@@ -1,0 +1,53 @@
+"""Extension bench — the Yin-Yang grid's generality (paper Section II).
+
+The paper argues the grid is a general spherical substrate, citing its
+adoption by mantle-convection and atmosphere/ocean codes.  This bench
+times the three in-repo applications' validation problems and asserts
+their quantitative targets (the numbers EXPERIMENTS.md records).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatSolver, radial_mode_decay_rate
+from repro.apps.shallow_water import williamson2_drift
+from repro.apps.transport import revolution_error
+from repro.grids.yinyang import YinYangGrid
+
+
+def test_heat_eigenmode_decay(benchmark):
+    grid = YinYangGrid(17, 12, 36)
+    kappa = 5e-3
+    exact = radial_mode_decay_rate(grid, kappa)
+
+    def measure():
+        return HeatSolver(grid, kappa=kappa).measured_decay_rate()
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rel = abs(measured - exact) / exact
+    print(f"\n[Generality] heat eigenmode decay: exact {exact:.5f}, "
+          f"measured {measured:.5f} (rel err {rel:.1e})")
+    assert rel < 5e-3
+
+
+def test_transport_revolution(benchmark):
+    grid = YinYangGrid(5, 22, 66)
+
+    def revolve():
+        return revolution_error(grid, axis=(1.0, 0.0, 1.0), width=0.7)
+
+    err = benchmark.pedantic(revolve, rounds=1, iterations=1)
+    print(f"\n[Generality] tracer round-the-world (tilted axis, through "
+          f"both panels): return error {err:.4f}")
+    assert err < 0.15
+
+
+def test_shallow_water_tc2(benchmark):
+    grid = YinYangGrid(4, 26, 78)
+
+    def drift():
+        return williamson2_drift(grid, hours=1.0)
+
+    d = benchmark.pedantic(drift, rounds=1, iterations=1)
+    print(f"\n[Generality] Williamson TC2 height drift after 1 h: {d:.2e}")
+    assert d < 1.5e-3

@@ -1,0 +1,42 @@
+"""E-F1 — Fig. 1: the basic Yin-Yang grid.
+
+Regenerates the grid geometry: two identical panels covering the sphere
+with the ~6 % overlap, plus the construction cost of the overset
+interpolation stencils at a production-shaped (scaled) resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grids.dissection import covered_fraction_monte_carlo, overlap_fraction
+from repro.grids.yinyang import YinYangGrid
+from repro.viz.mercator import ascii_sphere_map, coverage_fractions
+
+
+def test_fig1_overlap_fraction(benchmark):
+    covered, doubled = benchmark(coverage_fractions, 360, 720)
+    print(f"\n[Fig. 1] sphere coverage: {100 * covered:.2f} % "
+          f"(must be 100), overlap: {100 * doubled:.2f} % "
+          f"(paper: 'about 6%'; analytic {100 * overlap_fraction():.3f} %)")
+    print(ascii_sphere_map(18, 60))
+    assert covered == pytest.approx(1.0)
+    assert doubled == pytest.approx(overlap_fraction(), abs=0.003)
+
+
+def test_fig1_grid_construction(benchmark):
+    """Build a Yin-Yang grid (1/8-linear-scale flagship geometry) with
+    its interpolation stencils — the paper's grid machinery."""
+
+    def build():
+        return YinYangGrid(65, 66, 194)
+
+    grid = benchmark(build)
+    print(f"\n[Fig. 1] built {grid!r}: {grid.npoints:,} points, "
+          f"ring {grid.yin.n_ring} x 2 overset boundary points")
+    assert grid.coverage_check(4000) == 1.0
+
+
+def test_fig1_montecarlo_coverage(benchmark):
+    covered, doubled = benchmark(covered_fraction_monte_carlo, 200_000)
+    assert covered == 1.0
+    assert doubled == pytest.approx(overlap_fraction(), abs=0.005)

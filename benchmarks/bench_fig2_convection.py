@@ -1,0 +1,73 @@
+"""E-F2 — Fig. 2: columnar convection structure.
+
+Two parts:
+
+* the *analysis* pipeline of Fig. 2(c-d): equatorial z-vorticity and
+  the cyclonic/anti-cyclonic column census, validated on a manufactured
+  columnar flow (the long spin-up to a developed state lives in
+  ``examples/convection_columns.py``);
+* the *solver throughput* of the time stepper that produced Fig. 2 —
+  the laptop-scale analogue of the paper's 3888-processor run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.parameters import MHDParameters
+from repro.viz.columns import column_profile, synthetic_columns
+
+
+def test_fig2_column_census(benchmark):
+    grid = YinYangGrid(9, 20, 58)
+    states = synthetic_columns(grid, m=7)
+
+    def census():
+        return column_profile(grid, states, nphi=512)
+
+    c = benchmark(census)
+    print(
+        f"\n[Fig. 2] column census at r = {c.radius:.2f}: "
+        f"{c.n_cyclonic} cyclonic + {c.n_anticyclonic} anti-cyclonic columns"
+    )
+    assert c.n_cyclonic == 7
+    assert c.n_anticyclonic == 7
+    assert c.balanced
+
+
+def test_fig2_step_throughput(benchmark):
+    """Cost of one RK4 step of the full Yin-Yang MHD solver at a
+    laptop-scale grid (the shape whose scaled-up version made Fig. 2)."""
+    cfg = RunConfig(
+        nr=13, nth=18, nph=52, params=MHDParameters.laptop_demo(),
+        dt=5e-4, amp_temperature=2e-2,
+    )
+    dyn = YinYangDynamo(cfg)
+    dyn.step()  # warm the caches / JIT-free but first-touch allocations
+
+    result = benchmark(dyn.step, 5e-4)
+    assert dyn.is_physical()
+    points = dyn.grid.npoints
+    per_point = benchmark.stats.stats.mean / points
+    print(f"\n[Fig. 2 solver] {points:,} points, "
+          f"{1e9 * per_point:.1f} ns/point/step")
+
+
+def test_fig2_short_convection_run(benchmark):
+    """A short real run: perturbation -> flow organised by rotation.
+    Asserts physicality and flow generation (the full developed state
+    is the example's job, not a benchmark's)."""
+    cfg = RunConfig(
+        nr=9, nth=14, nph=42, params=MHDParameters.laptop_demo(),
+        amp_temperature=5e-2, seed=2,
+    )
+
+    def run():
+        dyn = YinYangDynamo(cfg)
+        dyn.run(10, record_every=0)
+        return dyn
+
+    dyn = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert dyn.is_physical()
+    assert dyn.energies().kinetic > 0.0

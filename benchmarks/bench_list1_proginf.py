@@ -1,0 +1,41 @@
+"""E-L1 — List 1: the MPIPROGINF output of the 15.2 TFlops run.
+
+Synthesises the 4096-process hardware-counter population from the
+calibrated model and renders the report in the ES runtime's format; the
+derived columns (GFLOPS, average vector length, vector operation ratio,
+memory per process) must land on the paper's numbers.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.perf.proginf import format_mpiproginf, proginf_for_run
+
+
+def test_list1_reproduction(benchmark, calibrated_model):
+    pred = calibrated_model.predict(511, 514, 1538, 4096)
+
+    def generate():
+        counters = proginf_for_run(pred, real_time=453.0)
+        return counters, format_mpiproginf(counters)
+
+    counters, text = benchmark(generate)
+    print("\n[List 1] MPIPROGINF reproduction:\n" + text)
+
+    m = re.search(r"GFLOPS \(rel\. to User Time\)\s*:\s*([0-9.]+)", text)
+    gflops = float(m.group(1))
+    assert gflops == pytest.approx(15181.8, rel=0.03)  # <-- 15.2 TFlops
+
+    avl = np.mean([c.average_vector_length for c in counters])
+    assert avl == pytest.approx(251.56, rel=0.01)
+
+    ratio = np.mean([c.vector_operation_ratio for c in counters])
+    assert ratio == pytest.approx(99.06, abs=0.2)
+
+    mem = np.mean([c.memory_mb for c in counters])
+    assert mem == pytest.approx(1106.9, rel=0.15)
+
+    real = max(c.real_time for c in counters)
+    assert real == pytest.approx(454.3, rel=0.05)

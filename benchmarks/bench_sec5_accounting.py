@@ -1,0 +1,69 @@
+"""E-S5 — Section V's run accounting.
+
+* data volume: 127 snapshot saves ~ 500 GB on the 255-radial grid;
+* wall-clock: six hours on 3888 processors to reach saturation, stated
+  as ~0.3 % of the magnetic free-decay time.
+"""
+
+import pytest
+
+from repro.io.volume import DataVolumeModel, paper_run_volume
+from repro.mhd.parameters import MHDParameters
+
+
+def test_sec5_data_volume(benchmark):
+    acct = benchmark(paper_run_volume)
+    print(
+        f"\n[Section V] {acct['snapshots']} saves of "
+        f"{acct['grid_points']:,} points: full 10-field single-precision "
+        f"volume {acct['full_volume_gb']:.0f} GB; paper reports "
+        f"{acct['reported_gb']:.0f} GB -> implied per-save reduction "
+        f"{acct['implied_subsample']:.2f}x"
+    )
+    assert acct["full_volume_gb"] == pytest.approx(2048, rel=0.01)
+    assert acct["implied_subsample"] == pytest.approx(0.244, abs=0.01)
+    assert acct["per_snapshot_gb_reported"] == pytest.approx(3.94, abs=0.02)
+
+
+def test_sec5_six_hour_run_model(benchmark, calibrated_model):
+    """Model the 6-hour 3888-process run on the 255-grid: steps taken,
+    simulated time and the fraction of the magnetic decay time reached.
+
+    The paper states ~0.3 % of the free-decay time; the model reports
+    what OUR normalisation gives (recorded in EXPERIMENTS.md — the
+    paper's exact time normalisation is not published)."""
+    params = MHDParameters.paper_run()
+
+    def account():
+        pred = calibrated_model.predict(255, 514, 1538, 3888)
+        wall = 6 * 3600.0
+        steps = wall / pred.step_time
+        # CFL time step at the production radial resolution
+        import numpy as np
+
+        h = (params.ro - params.ri) / 254
+        sound = np.sqrt(params.gamma * params.t_inner)
+        dt = 0.3 * h / sound
+        sim_time = steps * dt
+        return {
+            "step_time": pred.step_time,
+            "steps": steps,
+            "dt": dt,
+            "sim_time": sim_time,
+            "decay_fraction": sim_time / params.magnetic_decay_time,
+            "tflops": pred.tflops,
+        }
+
+    acct = benchmark(account)
+    print(
+        f"\n[Section V] 6 h at {acct['tflops']:.1f} TFlops -> "
+        f"{acct['steps']:,.0f} steps of dt = {acct['dt']:.2e}, "
+        f"simulated time {acct['sim_time']:.2f} "
+        f"({100 * acct['decay_fraction']:.2f} % of the decay time; "
+        f"paper: ~0.3 %)"
+    )
+    # shape assertions: tens of thousands of steps, a small fraction of
+    # the decay time, the Table II row's sustained rate
+    assert acct["steps"] > 1e4
+    assert acct["decay_fraction"] < 0.5
+    assert acct["tflops"] == pytest.approx(12.1, rel=0.1)

@@ -1,0 +1,41 @@
+"""E-T1 — Table I: Earth Simulator specifications.
+
+Regenerates the hardware table from the machine model and benchmarks
+the vector-pipeline evaluation that every performance prediction leans
+on.
+"""
+
+import pytest
+
+from repro.machine.specs import EARTH_SIMULATOR
+from repro.machine.vector import VectorPipeline
+
+
+def render_table1() -> str:
+    rows = EARTH_SIMULATOR.table_rows()
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def test_table1_reproduction(benchmark):
+    text = benchmark(render_table1)
+    print("\n[Table I] Specifications of the Earth Simulator\n" + text)
+    assert "40.96 Tflops" in text
+    assert "5120" in text
+    assert "12.3 GB/s x 2" in text
+
+
+def test_pipeline_sustained_rate(benchmark):
+    """Benchmark the effective-GFlops evaluation at the paper's radial
+    loop lengths, and confirm the 255-vs-256 bank-conflict story."""
+    pipe = VectorPipeline(EARTH_SIMULATOR)
+
+    def evaluate():
+        return {L: pipe.effective_gflops(L) for L in (255, 256, 511, 512)}
+
+    rates = benchmark(evaluate)
+    print("\n[Table I model] sustained GFlops/AP by radial loop length:")
+    for L, r in rates.items():
+        print(f"  nr = {L:>3}: {r:5.2f} GF/s")
+    assert rates[255] > rates[256]
+    assert rates[511] > rates[512]

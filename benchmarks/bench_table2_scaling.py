@@ -1,0 +1,68 @@
+"""E-T2 — Table II: yycore performance on the Earth Simulator.
+
+Regenerates all six (processors, grid) rows from the calibrated machine
+model and asserts the *shape* targets recorded in EXPERIMENTS.md:
+
+* the 4096-processor anchor reproduces 15.2 TFlops / 46 %;
+* efficiency rises with grid points per processor;
+* the 255-radial rows sit below their 511 partners;
+* communication stays near the paper's ~10 %.
+"""
+
+import pytest
+
+from repro.perf.sweep import format_table2, run_table2
+
+
+def test_table2_reproduction(benchmark, calibrated_model):
+    rows = benchmark(run_table2, calibrated_model, calibrate=False)
+    print("\n[Table II] paper vs model:\n" + format_table2(rows))
+
+    table = {(r.n_processors, r.grid[0]): r for r in rows}
+    anchor = table[(4096, 511)]
+    assert anchor.model.tflops == pytest.approx(15.2, rel=0.005)
+    assert anchor.model.efficiency == pytest.approx(0.46, abs=0.01)
+
+    # ordering within each radial family
+    assert (
+        table[(1200, 255)].model.efficiency
+        > table[(2560, 255)].model.efficiency
+        > table[(3888, 255)].model.efficiency
+    )
+    assert (
+        table[(2560, 511)].model.efficiency
+        > table[(4096, 511)].model.efficiency
+    )
+    # the radial-size gap at equal processor count
+    assert table[(3888, 255)].model.efficiency < table[(3888, 511)].model.efficiency
+    assert table[(2560, 255)].model.efficiency < table[(2560, 511)].model.efficiency
+    # every row within a few efficiency points of the measurement
+    for r in rows:
+        assert abs(r.model.efficiency - r.paper_efficiency) < 0.05
+
+
+def test_table2_calibration_cost(benchmark):
+    """Calibration is a 60-step bisection on the anchor point."""
+    from repro.perf.model import PerformanceModel
+
+    def calibrate():
+        m = PerformanceModel()
+        return m.calibrate_kernel_efficiency()
+
+    k = benchmark(calibrate)
+    assert 0.5 < k <= 1.0
+
+
+def test_strong_scaling_sweep(benchmark, calibrated_model):
+    """Beyond Table II: a dense strong-scaling curve on the flagship
+    grid, confirming monotone efficiency decline."""
+    from repro.perf.sweep import sweep_processors
+
+    counts = [512, 1024, 2048, 3072, 4096]
+    preds = benchmark(sweep_processors, (511, 514, 1538), counts, calibrated_model)
+    effs = [p.efficiency for p in preds]
+    print("\n[Table II extension] strong scaling on 511 x 514 x 1538 x 2:")
+    for n, p in zip(counts, preds):
+        print(f"  {n:>5} APs: {p.tflops:6.2f} TFlops  {100 * p.efficiency:5.1f} %  "
+              f"comm {100 * p.comm_fraction:4.1f} %")
+    assert effs == sorted(effs, reverse=True)

@@ -1,0 +1,44 @@
+"""E-T3 — Table III: performances on the Earth Simulator reported at SC.
+
+Recomputes the derived columns (g.p./AP, Flops/g.p.) from the published
+primaries and places our modelled yycore row next to the measured one.
+"""
+
+import pytest
+
+from repro.perf.comparisons import PAPER_DERIVED, TABLE3_ENTRIES, format_table3
+
+
+def test_table3_reproduction(benchmark):
+    text = benchmark(format_table3)
+    print("\n[Table III] SC-paper comparison:\n" + text)
+    for entry in TABLE3_ENTRIES:
+        paper = PAPER_DERIVED[entry.label]
+        assert entry.points_per_ap == pytest.approx(
+            paper["points_per_ap"], rel=0.08
+        )
+        assert entry.flops_per_gridpoint == pytest.approx(
+            paper["flops_per_gridpoint"], rel=0.08
+        )
+
+
+def test_table3_model_consistency(benchmark, calibrated_model):
+    """The calibrated model's flagship prediction must reproduce this
+    paper's own Table III column."""
+
+    def predict():
+        return calibrated_model.predict(511, 514, 1538, 4096)
+
+    pred = benchmark(predict)
+    yy = TABLE3_ENTRIES[-1]
+    assert pred.tflops == pytest.approx(yy.tflops, rel=0.01)
+    assert pred.grid_points == pytest.approx(yy.grid_points, rel=0.01)
+    assert pred.points_per_ap == pytest.approx(yy.points_per_ap, rel=0.05)
+    assert pred.flops_per_gridpoint_rate == pytest.approx(
+        yy.flops_per_gridpoint, rel=0.05
+    )
+    print(
+        f"\n[Table III] modelled yycore: {pred.tflops:.1f} TFlops / "
+        f"{pred.n_processors // 8} PN, {pred.points_per_ap:.1e} g.p./AP, "
+        f"{pred.flops_per_gridpoint_rate / 1e3:.0f}K Flops/g.p."
+    )

@@ -1,0 +1,74 @@
+"""Extension bench — weak scaling and full-machine projection.
+
+Beyond Table II's strong-scaling rows: hold the per-AP workload at the
+flagship run's ~2e5 points and grow the machine, and project the
+flagship grid onto all 5120 APs (the configuration the paper did not
+get an allocation for).  Includes the BSP per-rank simulation as a
+second opinion on the closed-form step time.
+"""
+
+import pytest
+
+from repro.machine.des import simulate_step, validate_against_closed_form
+from repro.perf.feasibility import check_feasibility
+from repro.perf.sweep import projected_full_machine, weak_scaling_sweep
+
+
+def test_weak_scaling(benchmark, calibrated_model):
+    preds = benchmark(
+        weak_scaling_sweep, points_per_ap=2.0e5,
+        processor_counts=(512, 1024, 2048, 4096), model=calibrated_model,
+    )
+    print("\n[Weak scaling] ~2e5 points per AP:")
+    for p in preds:
+        print(f"  {p.n_processors:>5} APs: grid {p.nr}x{p.nth}x{p.nph}x2 "
+              f"{p.tflops:6.2f} TFlops  {100 * p.efficiency:5.1f} %  "
+              f"comm {100 * p.comm_fraction:4.1f} %")
+    effs = [p.efficiency for p in preds]
+    # near-flat: the hallmark of weak scaling (within a few points)
+    assert max(effs) - min(effs) < 0.08
+    # per-AP throughput must not collapse
+    assert preds[-1].tflops / preds[0].tflops > 6.0
+
+
+def test_full_machine_projection(benchmark, calibrated_model):
+    pred = benchmark(projected_full_machine, calibrated_model)
+    feas = check_feasibility(pred, calibrated_model.spec)
+    print(f"\n[Projection] flagship grid on all 5120 APs: "
+          f"{pred.tflops:.1f} TFlops ({100 * pred.efficiency:.1f} %), "
+          f"{feas.nodes_used} nodes, "
+          f"{feas.node_memory_used_gb:.1f} GB/node -> "
+          f"{'feasible' if feas.feasible else 'infeasible'}")
+    assert feas.feasible
+    assert pred.tflops > 15.2  # more machine, more sustained flops
+    assert pred.efficiency < 0.46 + 0.01  # but lower efficiency than Table II's anchor
+
+
+def test_bsp_simulation_validates_closed_form(benchmark, calibrated_model):
+    """The per-rank BSP simulation (load imbalance, per-rank messages)
+    agrees with the analytic model within ten per cent on Table II's
+    extremes."""
+
+    def validate():
+        return {
+            (511, 4096): validate_against_closed_form(
+                calibrated_model, 511, 514, 1538, 4096
+            ),
+            (255, 1200): validate_against_closed_form(
+                calibrated_model, 255, 514, 1538, 1200
+            ),
+        }
+
+    ratios = benchmark(validate)
+    print("\n[Validation] BSP-simulated / closed-form step time:")
+    for k, v in ratios.items():
+        print(f"  nr={k[0]}, {k[1]} APs: {v:.3f}")
+    for v in ratios.values():
+        assert v == pytest.approx(1.0, abs=0.10)
+
+
+def test_per_rank_distribution(benchmark, calibrated_model):
+    sim = benchmark(simulate_step, calibrated_model, 511, 514, 1538, 4096)
+    print(f"\n[Validation] per-rank step distribution: load imbalance "
+          f"{sim.load_imbalance:.3f}, mean comm {100 * sim.mean_comm_fraction:.1f} %")
+    assert 1.0 <= sim.load_imbalance < 1.3

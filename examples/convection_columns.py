@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fig. 2: columnar convection cells in a rotating spherical shell.
+
+Seeds the columnar onset mode (m = 6) of rotating convection, advances
+the compressible MHD solver until the cyclone/anticyclone chain is
+established, and extracts the columns from the axial vorticity in the
+equatorial plane as in the paper's Fig. 2(c-d): an ASCII rendering
+(cyclones '+', anticyclones '-'), the column census by depth and the
+azimuthal power spectrum.
+
+Notes on fidelity: the paper's Fig. 2 state (Ra = 3e6, 4e8 points) is
+turbulent with many thin columns; at laptop scale we run the same
+equations at Ra = 2e4 where the column chain is laminar.  The weak
+Shapiro filter (strength 0.05) stabilises the otherwise undamped
+grid-scale density mode at this resolution — see EXPERIMENTS.md.
+
+Run:  python examples/convection_columns.py  [~1 minute]
+"""
+
+import numpy as np
+
+from repro import MHDParameters, Panel, RunConfig, YinYangDynamo
+from repro.coords.transforms import other_panel_angles
+from repro.mhd.initial import perturb_mode
+from repro.viz.columns import count_columns, equatorial_vorticity
+from repro.viz.spectrum import azimuthal_spectrum, dominant_mode
+
+SEED_MODE = 6
+
+
+def ascii_equatorial(wz: np.ndarray, rows: int = 10) -> str:
+    """Render omega_z(r, phi) as ASCII: '+' cyclonic, '-' anticyclonic."""
+    nr, nphi = wz.shape
+    w = wz - wz.mean(axis=1, keepdims=True)
+    peak = np.abs(w).max() or 1.0
+    lines = []
+    for ir in np.linspace(nr - 2, 1, rows).astype(int):
+        row = w[ir] / peak
+        chars = np.where(row > 0.2, "+", np.where(row < -0.2, "-", "."))
+        lines.append("".join(chars[:: max(1, nphi // 72)]))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    params = MHDParameters.laptop_demo(rayleigh=2e4, ekman=2e-3)
+    config = RunConfig(
+        nr=13, nth=18, nph=54, params=params,
+        amp_temperature=1e-4, amp_seed_field=0.0, seed=7,
+        cfl=0.25, dt_recompute_every=5, filter_strength=0.05,
+    )
+    dyn = YinYangDynamo(config)
+    print(f"Grid {dyn.grid!r}, Ra = {params.rayleigh:.3g}, Ek = {params.ekman:.3g}")
+
+    # seed the columnar onset mode on both panels (same physical mode:
+    # the Yang panel needs global-frame longitudes)
+    for panel in (Panel.YIN, Panel.YANG):
+        g = dyn.grid.panel(panel)
+        angles = None
+        if panel is Panel.YANG:
+            th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+            angles = other_panel_angles(th, ph)
+        perturb_mode(dyn.state[panel], g, SEED_MODE, amplitude=2e-2,
+                     global_angles=angles)
+    dyn.enforce(dyn.state)
+
+    n_steps = 450
+    print(f"Amplifying the m = {SEED_MODE} columnar mode: {n_steps} steps ...")
+    dt = dyn.estimate_dt()
+    for k in range(n_steps):
+        if k % 5 == 0:
+            dt = dyn.estimate_dt()
+        dyn.step(dt)
+        if (k + 1) % 150 == 0:
+            e = dyn.energies()
+            print(f"  step {dyn.step_count:>4}  t = {dyn.time:.3f}  "
+                  f"KE = {e.kinetic:.4e}")
+    assert dyn.is_physical()
+
+    phi, wz = equatorial_vorticity(dyn.grid, dyn.state, nphi=288)
+    print("\nEquatorial axial vorticity (rows: outer -> inner radius):")
+    print(ascii_equatorial(wz))
+
+    print("\nColumn census by depth (azimuthal mean removed):")
+    nr = wz.shape[0]
+    for frac in (0.35, 0.5, 0.65):
+        ir = int(round(frac * (nr - 1)))
+        c = count_columns(phi, wz[ir], threshold_frac=0.25)
+        print(f"  r = {dyn.grid.yin.r[ir]:.2f}: {c.n_cyclonic} cyclonic / "
+              f"{c.n_anticyclonic} anti-cyclonic columns "
+              f"({'balanced' if c.balanced else 'unbalanced'})")
+
+    mid = wz[nr // 2] - wz[nr // 2].mean()
+    power = azimuthal_spectrum(mid)
+    m_star = dominant_mode(mid)
+    top = np.argsort(power[1:])[::-1][:4] + 1
+    print(f"\nAzimuthal spectrum at mid-depth: dominant m = {m_star} "
+          f"(top modes: {[int(m) for m in top]})")
+    print(
+        f"\nAs in Fig. 2, the flow organises into {2 * m_star} alternating "
+        f"columns; at the paper's Rayleigh number (100x higher on 500x "
+        f"more points) the chain multiplies and becomes turbulent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Magnetic seed-field evolution under convection (Section V's physics).
+
+The geodynamo process: thermal convection stirs the conducting fluid,
+and the velocity field acts on the infinitesimal magnetic seed through
+the induction equation dA/dt = v x B - eta j.  This example runs the
+kinematic phase and reports the magnetic-energy history and growth
+rate, plus the axial dipole moment the reversal studies track.
+
+At laptop resolution and modest Rayleigh number the flow is usually
+below the dynamo threshold (magnetic Reynolds number too small), so the
+seed decays ohmically — the example reports whichever behaviour the
+parameters produce and relates it to the critical magnetic Reynolds
+number.
+
+Run:  python examples/dynamo_growth.py  [~1-2 minutes]
+"""
+
+import numpy as np
+
+from repro import MHDParameters, Panel, RunConfig, YinYangDynamo
+from repro.io.series import TimeSeriesRecorder
+from repro.mhd.diagnostics import dipole_moment_axis
+
+
+def main() -> None:
+    params = MHDParameters.laptop_demo(rayleigh=3e4, ekman=2e-3)
+    config = RunConfig(
+        nr=11, nth=16, nph=48, params=params,
+        amp_temperature=5e-2, amp_seed_field=1e-6, seed=42,
+        cfl=0.25, dt_recompute_every=5,
+        # grid-scale stabilisation for the long vigorous run (see
+        # EXPERIMENTS.md "stability envelope")
+        filter_strength=0.05,
+    )
+    dyn = YinYangDynamo(config)
+    rec = TimeSeriesRecorder(["kinetic", "magnetic", "dipole"])
+
+    n_steps, sample_every = 500, 25
+    print(f"Running {n_steps} steps at Ra = {params.rayleigh:.3g}, "
+          f"Pm = {params.magnetic_prandtl:g} ...")
+    dt = dyn.estimate_dt()
+    for k in range(n_steps):
+        if k % 20 == 0:
+            dt = dyn.estimate_dt()
+        dyn.step(dt)
+        if (k + 1) % sample_every == 0:
+            e = dyn.energies()
+            dip = dipole_moment_axis(dyn.grid.yin, dyn.state[Panel.YIN], params)
+            rec.append(dyn.time, kinetic=e.kinetic, magnetic=e.magnetic, dipole=dip)
+            print(f"  t = {dyn.time:7.4f}  KE = {e.kinetic:10.4e}  "
+                  f"ME = {e.magnetic:10.4e}  dipole = {dip:+.3e}")
+
+    assert dyn.is_physical()
+    me = rec.channel("magnetic")
+    ke = rec.channel("kinetic")
+    rate = rec.growth_rate("magnetic", window=min(10, len(rec)))
+    u_rms = float(np.sqrt(2 * ke[-1] / dyn.energies().mass))
+    rm = u_rms * params.shell_depth / params.eta
+    print(f"\nMagnetic energy growth rate: {rate:+.3f} per time unit")
+    print(f"Flow magnetic Reynolds number Rm ~ {rm:.1f} "
+          f"(dynamo onset typically needs Rm ~ 50-100)")
+    if rate > 0:
+        print("-> self-excited dynamo action: the seed field grows, as in "
+              "the paper's production runs.")
+    else:
+        print("-> below the dynamo threshold at this resolution: the seed "
+              "decays ohmically. Raise the Rayleigh number / resolution "
+              "(the paper needed Ra = 3e6 on 8e8 points).")
+    print(f"\nMagnetic free-decay time = {params.magnetic_decay_time:.1f}; "
+          f"this run covered {100 * dyn.time / params.magnetic_decay_time:.2f} % "
+          f"of it (the paper's 6-hour run: ~0.3 %).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The Yin-Yang grid as a general spherical PDE substrate.
+
+The paper emphasises the grid's generality — it was applied to mantle
+convection [Yoshida & Kageyama 2004] and global atmosphere/ocean codes.
+This example runs the in-repo heat-conduction application on the
+two-panel grid, verifies the numerical decay of the analytic radial
+eigenmodes (a hard quantitative check of the whole metric + stencil +
+overset stack), and shows second-order convergence.
+
+Run:  python examples/heat_conduction.py  [~30 seconds]
+"""
+
+import numpy as np
+
+from repro.apps.heat import HeatSolver, radial_mode, radial_mode_decay_rate
+from repro.grids.yinyang import YinYangGrid
+
+
+def main() -> None:
+    kappa = 5e-3
+    print("Heat conduction on the Yin-Yang shell: dT/dt = kappa lap(T), "
+          "T(walls) = 0")
+    print(f"kappa = {kappa}\n")
+
+    print("Decay of the k-th radial eigenmode: exact rate kappa (k pi / L)^2")
+    g = YinYangGrid(17, 12, 36)
+    for k in (1, 2):
+        solver = HeatSolver(g, kappa=kappa)
+        exact = radial_mode_decay_rate(g, kappa, k)
+        t_end = 0.3 / exact
+        measured = solver.measured_decay_rate(k=k, t_end=t_end)
+        print(f"  k = {k}: exact {exact:.5f}, measured {measured:.5f} "
+              f"(rel. err {abs(measured - exact) / exact:.2e})")
+
+    print("\nConvergence of the k = 1 decay rate with radial resolution:")
+    prev = None
+    for nr in (9, 17, 33):
+        g = YinYangGrid(nr, 12, 36)
+        solver = HeatSolver(g, kappa=kappa)
+        exact = radial_mode_decay_rate(g, kappa, 1)
+        err = abs(solver.measured_decay_rate() - exact) / exact
+        ratio = f"  (x{prev / err:.1f} better)" if prev else ""
+        print(f"  nr = {nr:>2}: relative error {err:.2e}{ratio}")
+        prev = err
+    print("\nThe error shrinks ~4x per refinement: the full Yin-Yang stack "
+          "(metric, Laplacian, walls, overset ring) is second order, as the "
+          "paper's discretisation promises.")
+
+    # angular isotropy: a radial field must stay radial through the
+    # panel exchange
+    g = YinYangGrid(9, 12, 36)
+    solver = HeatSolver(g, kappa=kappa)
+    temp = solver.run(radial_mode(g, 1), 1.0)
+    spread = max(float(np.ptp(f, axis=(1, 2)).max()) for f in temp.values())
+    amp = solver.amplitude(temp)
+    print(f"\nAngular imprint of the two-panel geometry after t = 1: "
+          f"{spread / amp:.2e} of the amplitude (none, to round-off/"
+          f"truncation) - 'there is no indication of the internal border'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Section II's motivation: the Yin-Yang grid vs the lat-lon baseline.
+
+Quantifies, on equal-resolution grids, the two defects of the
+traditional latitude-longitude grid that the paper's previous code
+suffered from:
+
+* longitudinal grid convergence near the poles (cell-width collapse),
+* the explicit time step it throttles,
+
+then runs the same physical problem on both grids and compares cost per
+simulated time unit.
+
+Run:  python examples/latlon_vs_yinyang.py  [~1 minute]
+"""
+
+import time
+
+from repro import LatLonDynamo, MHDParameters, RunConfig, YinYangDynamo
+
+
+def main() -> None:
+    params = MHDParameters.laptop_demo()
+    # comparable angular resolution: the lat-lon grid needs the full
+    # 180 x 360 deg span; the panels cover 90(+) x 270(+) each
+    yy_cfg = RunConfig(nr=9, nth=18, nph=52, params=params, amp_temperature=2e-2)
+    ll_cfg = RunConfig(nr=9, nth=30, nph=60, params=params, amp_temperature=2e-2)
+
+    yy = YinYangDynamo(yy_cfg)
+    ll = LatLonDynamo(ll_cfg)
+
+    print("Grid geometry")
+    print(f"  Yin-Yang : {yy.grid!r}")
+    print(f"  lat-lon  : {ll.grid.shape} (interior "
+          f"{ll.grid.nth_interior} x {ll.grid.nph_interior})")
+    print(f"  equatorial cell width  yy = {yy.grid.yin.ro * yy.grid.yin.dphi:.4f}, "
+          f"ll = {ll.grid.equator_cell_width():.4f}")
+
+    print("\nPole pathology (Section II)")
+    print(f"  lat-lon equator/pole cell-width ratio: "
+          f"{ll.grid.pole_clustering_ratio():.1f}x")
+    print("  Yin-Yang panels: bounded by sqrt(2) = 1.41x by construction")
+
+    dt_yy = yy.estimate_dt()
+    dt_ll = ll.estimate_dt()
+    print("\nExplicit CFL time step")
+    print(f"  Yin-Yang dt = {dt_yy:.3e}")
+    print(f"  lat-lon  dt = {dt_ll:.3e}   ({dt_yy / dt_ll:.1f}x smaller)")
+
+    n = 40
+    print(f"\nRunning {n} steps on each grid ...")
+    t0 = time.perf_counter()
+    yy.run(n, record_every=0)
+    t_yy = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ll.run(n, record_every=0)
+    t_ll = time.perf_counter() - t0
+
+    cost_yy = t_yy / yy.time
+    cost_ll = t_ll / ll.time
+    print(f"  Yin-Yang : {t_yy:6.2f} s wall for t = {yy.time:.4f} "
+          f"-> {cost_yy:8.1f} s per simulated unit")
+    print(f"  lat-lon  : {t_ll:6.2f} s wall for t = {ll.time:.4f} "
+          f"-> {cost_ll:8.1f} s per simulated unit")
+    print(f"\nYin-Yang advantage at equal physics: {cost_ll / cost_yy:.1f}x "
+          f"cheaper per simulated time unit")
+    print("(the production win is even larger: the lat-lon code also "
+          "wastes points in the over-resolved polar caps)")
+
+    assert yy.is_physical() and ll.is_physical()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Section IV: the flat-MPI yycore program structure, demonstrated.
+
+Launches a SimMPI world, splits it into the Yin and Yang panel groups
+(the paper's MPI_COMM_SPLIT), builds the 2-D cartesian process array
+per panel (MPI_CART_CREATE / MPI_CART_SHIFT), runs the parallel dynamo
+with halo + overset communication (MPI_SEND / MPI_IRECV), and verifies
+the gathered fields against the serial solver bit-for-bit.
+
+Run:  python examples/parallel_demo.py  [~30 seconds]
+"""
+
+import numpy as np
+
+from repro import MHDParameters, Panel, RunConfig, YinYangDynamo
+from repro.parallel import SimMPI
+from repro.parallel.parallel_solver import ParallelYinYangDynamo
+
+
+def main() -> None:
+    params = MHDParameters.laptop_demo()
+    config = RunConfig(nr=9, nth=14, nph=42, params=params, dt=1e-3,
+                       amp_temperature=2e-2)
+    pth, pph = 2, 2
+    nprocs = 2 * pth * pph
+    n_steps = 5
+
+    print(f"Launching {nprocs} SimMPI ranks: 2 panels x ({pth} x {pph}) each")
+
+    def program(world):
+        solver = ParallelYinYangDynamo(world, config, pth, pph)
+        info = {
+            "world_rank": world.rank,
+            "panel": solver.panel.value,
+            "panel_rank": solver.panel_comm.rank,
+            "coords": solver.cart.coords(),
+            "tile": (solver.sub.owned_shape, solver.sub.global_slices()),
+            "neighbours": solver.cart.neighbours(),
+        }
+        solver.run(n_steps)
+        gathered = solver.gather_state()
+        comm_bytes = world.bytes_sent + solver.panel_comm.bytes_sent
+        return info, gathered, comm_bytes
+
+    results = SimMPI.run(nprocs, program)
+
+    print("\nRank map (the paper's panel split + cartesian decomposition):")
+    for info, _, nbytes in results:
+        sl = info["tile"][1]
+        print(
+            f"  world {info['world_rank']}: {info['panel']:>4}-panel rank "
+            f"{info['panel_rank']} at {info['coords']}, owns "
+            f"theta[{sl[0].start}:{sl[0].stop}] x phi[{sl[1].start}:{sl[1].stop}], "
+            f"sent {nbytes / 1e6:.1f} MB"
+        )
+
+    gathered = results[0][1]
+    print(f"\nRan {n_steps} RK4 steps in parallel; verifying against serial yycore ...")
+    serial = YinYangDynamo(config)
+    for _ in range(n_steps):
+        serial.step()
+    worst = 0.0
+    for panel in (Panel.YIN, Panel.YANG):
+        for a, b in zip(gathered[panel].arrays(), serial.state[panel].arrays()):
+            worst = max(worst, float(np.max(np.abs(a - b))))
+    print(f"max |parallel - serial| over all 16 fields: {worst:.3e}")
+    assert worst < 1e-12, "parallel solver diverged from serial reference"
+    print("-> the flat-MPI solver reproduces the serial solution "
+          "(same stencils, same arithmetic order).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Section IV: the Earth Simulator performance study.
+
+Regenerates Table I (machine specs), Table II (the six-row performance
+sweep, calibrated at the 15.2 TFlops flagship point), Table III (the
+SC-paper comparison) and List 1 (the MPIPROGINF report).
+
+Run:  python examples/performance_sweep.py  [~5 seconds]
+"""
+
+from repro.machine.specs import EARTH_SIMULATOR
+from repro.perf.comparisons import format_table3
+from repro.perf.model import PerformanceModel
+from repro.perf.proginf import format_mpiproginf, proginf_for_run
+from repro.perf.sweep import format_table2, run_table2
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Table I - Specifications of the Earth Simulator")
+    print("=" * 72)
+    width = max(len(l) for l, _ in EARTH_SIMULATOR.table_rows())
+    for label, value in EARTH_SIMULATOR.table_rows():
+        print(f"{label:<{width}}  {value}")
+
+    model = PerformanceModel()
+    k = model.calibrate_kernel_efficiency()
+    print(f"\nModel calibrated at the flagship point "
+          f"(kernel efficiency {k:.3f}); all other rows are predictions.")
+
+    print("\n" + "=" * 72)
+    print("Table II - yycore performance (paper vs model)")
+    print("=" * 72)
+    rows = run_table2(model, calibrate=False)
+    print(format_table2(rows))
+
+    print("\n" + "=" * 72)
+    print("Table III - performances on the Earth Simulator reported at SC")
+    print("=" * 72)
+    print(format_table3())
+
+    print("\n" + "=" * 72)
+    print("List 1 - MPIPROGINF output of the 15.2 TFlops run (synthesised)")
+    print("=" * 72)
+    pred = model.predict(511, 514, 1538, 4096)
+    counters = proginf_for_run(pred, real_time=453.0)
+    text = format_mpiproginf(counters)
+    print(text)
+    gflops_line = [l for l in text.splitlines() if "GFLOPS" in l][0]
+    print(f"\n{gflops_line.strip()}   <-- the paper's 15.2 TFlops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Dipole-field analysis: Gauss coefficients and reversal statistics.
+
+Section V looks ahead to "the dynamical features of the geodynamo such
+as the repeated dipole reversals" the group reported earlier [Li, Sato
+& Kageyama 2002].  This example exercises that analysis chain:
+
+1. compute the Gauss coefficients of the surface field from a live
+   (small) dynamo state — the axial dipole g10 and the dipole tilt;
+2. run the reversal detector over a long synthetic dipole series with
+   the square-wave-plus-noise character of the published reversal runs
+   and report the chron statistics.
+
+Run:  python examples/reversal_analysis.py  [~30 seconds]
+"""
+
+import numpy as np
+
+from repro import MHDParameters, RunConfig, YinYangDynamo
+from repro.analysis.harmonics import dipole_tilt, gauss_coefficients
+from repro.analysis.reversals import (
+    detect_reversals,
+    polarity_fractions,
+    reversal_rate,
+    synthetic_reversing_dipole,
+)
+
+
+def main() -> None:
+    # --- part 1: Gauss coefficients of a live state -----------------------
+    # NOTE the magnetic wall condition: a perfectly conducting mantle
+    # (the solver default) pins B_r(ro) = 0, so NO external field exists
+    # and every Gauss coefficient vanishes identically.  Surface-field
+    # studies therefore use the pseudo-vacuum condition, which lets the
+    # radial field thread the boundary.
+    from repro.mhd.boundary import MagneticBC
+
+    params = MHDParameters.laptop_demo()
+    dyn = YinYangDynamo(
+        RunConfig(nr=9, nth=20, nph=58, params=params,
+                  amp_temperature=2e-2, amp_seed_field=1e-4, seed=12,
+                  filter_strength=0.05,
+                  magnetic_bc=MagneticBC.PSEUDO_VACUUM)
+    )
+    dyn.run(40, record_every=0)
+    assert dyn.is_physical()
+    g = gauss_coefficients(dyn.grid, dyn.state, lmax=3)
+    g10 = g[(1, 0)]
+    tilt = np.degrees(dipole_tilt(g))
+    print("Gauss coefficients of the surface field (orthonormal basis):")
+    for (l, m), v in sorted(g.items()):
+        tag = " <- axial dipole" if (l, m) == (1, 0) else ""
+        print(f"  g({l},{m:+d}) = {v:+.4e}{tag}")
+    print(f"dipole tilt: {tilt:.1f} deg from the rotation axis")
+    print("(a random seed field has no preferred axis yet; the paper's "
+          "saturated runs align the dipole with rotation)")
+
+    # --- part 2: reversal statistics on a long series ---------------------
+    print("\nReversal bookkeeping on a synthetic 8-reversal dipole series")
+    t, dip = synthetic_reversing_dipole(6000, 8, noise=0.18, seed=5)
+    reversals, chrons = detect_reversals(t, dip)
+    normal, reversed_ = polarity_fractions(chrons)
+    print(f"  detected reversals : {len(reversals)}")
+    print(f"  reversal epochs    : {[f'{r:.3f}' for r in reversals]}")
+    print(f"  chron count        : {len(chrons)}")
+    print(f"  polarity fractions : {100 * normal:.0f} % normal / "
+          f"{100 * reversed_:.0f} % reversed")
+    print(f"  reversal rate      : {reversal_rate(reversals, t[-1] - t[0]):.1f} "
+          f"per unit time")
+    durations = sorted(c.duration for c in chrons)
+    print(f"  chron durations    : min {durations[0]:.3f}, "
+          f"median {durations[len(durations) // 2]:.3f}, max {durations[-1]:.3f}")
+    print("\nThe hysteresis detector ignores excursions that dip toward zero "
+          "and recover — the convention the reversal papers use.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of Kageyama et al., "A 15.2 TFlops Simulation
+of Geodynamo on the Earth Simulator" (SC 2004).
+
+The package builds everything the paper describes or depends on:
+
+* the **Yin-Yang grid** — the spherical overset grid of two identical
+  lat-lon panels (:mod:`repro.grids`) with its interpolation internal
+  boundary condition;
+* the **compressible MHD geodynamo model** of Section III
+  (:mod:`repro.mhd`) and the serial solver drivers (:mod:`repro.core`):
+  ``yycore`` on the Yin-Yang grid plus the lat-lon baseline;
+* the **flat-MPI parallelisation** of Section IV (:mod:`repro.parallel`)
+  on SimMPI, an in-process MPI-semantics runtime;
+* a calibrated **Earth Simulator model** (:mod:`repro.machine`) and the
+  **performance study** (:mod:`repro.perf`) regenerating Tables II-III
+  and the MPIPROGINF report of List 1;
+* output and analysis tools (:mod:`repro.io`, :mod:`repro.viz`) for the
+  Section-V diagnostics and Fig. 2's convection columns.
+
+Quickstart::
+
+    from repro import YinYangDynamo, RunConfig
+    dyn = YinYangDynamo(RunConfig(nr=13, nth=16, nph=48))
+    dyn.run(100, record_every=10)
+    print(dyn.energies())
+"""
+
+from repro.core import LatLonDynamo, RunConfig, YinYangDynamo
+from repro.grids import ComponentGrid, LatLonGrid, Panel, YinYangGrid
+from repro.machine import EARTH_SIMULATOR, EarthSimulatorSpec
+from repro.mhd import MHDParameters, MHDState
+from repro.perf import PerformanceModel, run_table2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "YinYangDynamo",
+    "LatLonDynamo",
+    "RunConfig",
+    "YinYangGrid",
+    "ComponentGrid",
+    "LatLonGrid",
+    "Panel",
+    "MHDParameters",
+    "MHDState",
+    "EarthSimulatorSpec",
+    "EARTH_SIMULATOR",
+    "PerformanceModel",
+    "run_table2",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Geodynamo analysis tools.
+
+The paper's group studies the generated field through its spherical-
+harmonic content — the axial dipole's strength and its reversals
+[Kageyama & Sato 1997; Li, Sato & Kageyama 2002; Ochi et al. 1999, all
+cited in the paper].  This package provides those analyses on Yin-Yang
+data:
+
+* :mod:`~repro.analysis.harmonics` — real spherical harmonics, surface
+  expansions over the two-panel grid and the Gauss coefficients of the
+  external potential field;
+* :mod:`~repro.analysis.reversals` — polarity bookkeeping on dipole
+  time series: reversal detection with hysteresis, chron statistics.
+"""
+
+from repro.analysis.harmonics import (
+    real_sph_harm,
+    surface_quadrature,
+    surface_expand,
+    gauss_coefficients,
+    dipole_tilt,
+)
+from repro.analysis.reversals import (
+    PolarityChron,
+    detect_reversals,
+    polarity_fractions,
+    reversal_rate,
+)
+
+__all__ = [
+    "real_sph_harm",
+    "surface_quadrature",
+    "surface_expand",
+    "gauss_coefficients",
+    "dipole_tilt",
+    "PolarityChron",
+    "detect_reversals",
+    "polarity_fractions",
+    "reversal_rate",
+]

@@ -1,0 +1,150 @@
+"""Spherical-harmonic surface analysis on the Yin-Yang grid.
+
+Expands fields sampled on the outer boundary of the two-panel grid in
+*real* orthonormal spherical harmonics, using the overlap-corrected
+quadrature (points covered by both panels weighted by 1/2).  From the
+radial magnetic field at the core-mantle boundary this yields the
+**Gauss coefficients** of the external potential field — ``g_1^0`` is
+the axial dipole whose sign flips define the reversals of the paper's
+Section V references.
+
+Conventions: real orthonormal harmonics
+
+    Y_{l0}            = N_{l0} P_l^0(cos theta)
+    Y_{lm}^c (m > 0)  = sqrt(2) N_{lm} P_l^m(cos theta) cos(m phi)
+    Y_{lm}^s (m > 0)  = sqrt(2) N_{lm} P_l^m(cos theta) sin(m phi)
+
+with ``integral |Y|^2 dOmega = 1``.  For a potential field outside
+``r = a`` with ``B = -grad V``,
+
+    V = a sum_{l,m} (a/r)^{l+1} [g_lm cos + h_lm sin] P~_lm,
+    B_r(a) = sum (l+1) [g_lm cos + h_lm sin] P~_lm,
+
+so each Gauss coefficient is the corresponding surface-expansion
+coefficient of ``B_r(a)`` divided by ``(l + 1)`` (modulo the Schmidt/
+orthonormal normalisation, which we keep orthonormal and document).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.special import lpmv
+
+from repro.fd.operators import SphericalOperators
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.state import MHDState
+from repro.utils.validation import require
+
+Array = np.ndarray
+
+
+def _norm(l: int, m: int) -> float:
+    """Orthonormalisation constant N_lm for P_l^m."""
+    from math import factorial
+
+    return np.sqrt((2 * l + 1) / (4 * np.pi) * factorial(l - m) / factorial(l + m))
+
+
+def real_sph_harm(l: int, m: int, theta, phi) -> Array:
+    """Real orthonormal spherical harmonic.
+
+    ``m > 0``: the cosine harmonic; ``m < 0``: the sine harmonic of
+    ``|m|``; ``m = 0``: zonal.  Vectorised over ``theta`` / ``phi``.
+    """
+    require(l >= 0, f"l must be >= 0, got {l}")
+    require(abs(m) <= l, f"|m| = {abs(m)} exceeds l = {l}")
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    am = abs(m)
+    leg = lpmv(am, l, np.cos(theta))
+    n = _norm(l, am)
+    if m == 0:
+        return n * leg * np.ones_like(phi)
+    if m > 0:
+        return np.sqrt(2.0) * n * leg * np.cos(am * phi)
+    return np.sqrt(2.0) * n * leg * np.sin(am * phi)
+
+
+def surface_quadrature(grid: YinYangGrid) -> Dict[Panel, Array]:
+    """Solid-angle weights per panel with overlap points halved.
+
+    Sums to ``4 pi`` over both panels (tested), so surface integrals of
+    smooth fields are second-order accurate.
+    """
+    out: Dict[Panel, Array] = {}
+    for g in grid.panels:
+        w = g.cell_solid_angle()
+        factor = np.where(grid.overlap_mask[g.panel], 0.5, 1.0)
+        out[g.panel] = w * factor
+    return out
+
+
+def _panel_global_angles(grid: YinYangGrid, panel: Panel) -> Tuple[Array, Array]:
+    from repro.coords.transforms import other_panel_angles
+
+    g = grid.panel(panel)
+    th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+    if panel is Panel.YANG:
+        th, ph = other_panel_angles(th, ph)
+    return th, ph
+
+
+def surface_expand(
+    grid: YinYangGrid, fields: Dict[Panel, Array], lmax: int
+) -> Dict[Tuple[int, int], float]:
+    """Expansion coefficients ``c_lm = integral f Y_lm dOmega`` of a
+    surface field given as per-panel ``(nth, nph)`` arrays.
+
+    Keys: ``(l, m)`` with ``m < 0`` the sine harmonics.
+    """
+    require(lmax >= 0, "lmax must be >= 0")
+    weights = surface_quadrature(grid)
+    coeffs: Dict[Tuple[int, int], float] = {}
+    angles = {p: _panel_global_angles(grid, p) for p in (Panel.YIN, Panel.YANG)}
+    for l in range(lmax + 1):
+        for m in range(-l, l + 1):
+            total = 0.0
+            for p in (Panel.YIN, Panel.YANG):
+                th, ph = angles[p]
+                y = real_sph_harm(l, m, th, ph)
+                total += float(np.sum(fields[p] * y * weights[p]))
+            coeffs[(l, m)] = total
+    return coeffs
+
+
+def gauss_coefficients(
+    grid: YinYangGrid,
+    states: Dict[Panel, MHDState],
+    *,
+    lmax: int = 4,
+) -> Dict[Tuple[int, int], float]:
+    """Gauss coefficients (orthonormal normalisation) of the potential
+    field matching ``B_r`` on the outer boundary.
+
+    ``g[(1, 0)]`` is the axial dipole; its sign is the polarity whose
+    flip-flops the reversal studies track.
+    """
+    br: Dict[Panel, Array] = {}
+    for p, state in states.items():
+        g = grid.panel(p)
+        ops = SphericalOperators(g)
+        b = ops.curl(state.a)
+        br[p] = b[0][-1]  # radial field on the outer wall
+    c = surface_expand(grid, br, lmax)
+    return {(l, m): v / (l + 1) for (l, m), v in c.items() if l >= 1}
+
+
+def dipole_tilt(g: Dict[Tuple[int, int], float]) -> float:
+    """Angle (radians) between the dipole axis and the rotation axis.
+
+    From the three l = 1 Gauss coefficients; 0 for an axial dipole,
+    pi/2 for an equatorial one.
+    """
+    g10 = g[(1, 0)]
+    g11 = g.get((1, 1), 0.0)
+    h11 = g.get((1, -1), 0.0)
+    equatorial = np.hypot(g11, h11)
+    return float(np.arctan2(equatorial, g10))

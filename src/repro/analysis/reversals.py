@@ -1,0 +1,119 @@
+"""Dipole polarity bookkeeping: reversal detection and chron statistics.
+
+The paper's Section V notes the run must be integrated much longer
+"until we observe the dynamical features of the geodynamo such as the
+repeated dipole reversals [5, 11, 13]".  These tools implement the
+analysis those references apply to dipole-moment time series: polarity
+intervals (chrons), reversal epochs and rates, with a hysteresis
+threshold so that excursions wobbling around zero are not miscounted as
+reversal showers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class PolarityChron:
+    """One interval of fixed polarity."""
+
+    start: float
+    end: float
+    polarity: int  #: +1 or -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def detect_reversals(
+    times: Array,
+    dipole: Array,
+    *,
+    hysteresis_frac: float = 0.25,
+) -> Tuple[List[float], List[PolarityChron]]:
+    """Find reversal epochs and polarity chrons in a dipole series.
+
+    A reversal is recorded when the dipole, having exceeded
+    ``+threshold`` (or ``-threshold``), first exceeds the opposite
+    threshold; ``threshold = hysteresis_frac x median |dipole|``.
+    Returns ``(reversal_times, chrons)``.  Excursions that dip toward
+    zero and recover do not count — the hysteresis implements the
+    standard magnetostratigraphic convention.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    dipole = np.asarray(dipole, dtype=np.float64)
+    require(times.ndim == 1 and times.shape == dipole.shape, "1-D equal-length series")
+    require(times.size >= 2, "need at least two samples")
+    require(bool(np.all(np.diff(times) >= 0)), "times must be nondecreasing")
+    check_positive("hysteresis_frac", hysteresis_frac)
+
+    scale = float(np.median(np.abs(dipole)))
+    if scale == 0.0:
+        return [], []
+    thr = hysteresis_frac * scale
+
+    reversals: List[float] = []
+    chrons: List[PolarityChron] = []
+    state = 0  # current confirmed polarity; 0 = undetermined
+    chron_start = times[0]
+    for t, d in zip(times, dipole):
+        if state == 0:
+            if abs(d) >= thr:
+                state = 1 if d > 0 else -1
+                chron_start = t
+            continue
+        if d * state <= -thr:  # crossed the opposite threshold
+            reversals.append(float(t))
+            chrons.append(PolarityChron(start=chron_start, end=float(t), polarity=state))
+            state = -state
+            chron_start = float(t)
+    if state != 0:
+        chrons.append(
+            PolarityChron(start=chron_start, end=float(times[-1]), polarity=state)
+        )
+    return reversals, chrons
+
+
+def polarity_fractions(chrons: List[PolarityChron]) -> Tuple[float, float]:
+    """(fraction of time normal, fraction reversed) over the chrons."""
+    total = sum(c.duration for c in chrons)
+    if total == 0.0:
+        return 0.0, 0.0
+    normal = sum(c.duration for c in chrons if c.polarity > 0)
+    return normal / total, (total - normal) / total
+
+
+def reversal_rate(reversals: List[float], t_span: float) -> float:
+    """Reversals per unit time over an observation span."""
+    check_positive("t_span", t_span)
+    return len(reversals) / t_span
+
+
+def synthetic_reversing_dipole(
+    n: int = 2000,
+    n_reversals: int = 5,
+    *,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> Tuple[Array, Array]:
+    """A synthetic flip-flopping dipole series (for tests and demos),
+    patterned on the square-wave-plus-noise character of the reversal
+    runs in [Li, Sato & Kageyama 2002]."""
+    require(n_reversals >= 0, "n_reversals must be >= 0")
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, n)
+    flips = np.sort(rng.uniform(0.05, 0.95, n_reversals))
+    polarity = np.ones(n)
+    for f in flips:
+        polarity[t >= f] *= -1
+    dip = polarity * (1.0 + 0.1 * np.sin(40 * t)) + noise * rng.standard_normal(n)
+    return t, dip

@@ -1,0 +1,44 @@
+"""Further applications of the Yin-Yang grid.
+
+The paper stresses that the Yin-Yang grid is a *general* spherical
+substrate — it "has already been applied to a mantle convection
+simulation" [Yoshida & Kageyama 2004] and to atmosphere/ocean codes.
+This package carries the in-repo demonstrations of that generality:
+
+* :mod:`~repro.apps.heat` — heat conduction on the Yin-Yang shell with
+  analytic decay-mode solutions, used for quantitative convergence
+  verification of the whole grid + operator + overset stack (and as
+  the skeleton any new Yin-Yang application starts from);
+* :mod:`~repro.apps.transport` — passive-tracer advection with the
+  solid-body-rotation analytic test (the conservative-transport work
+  the paper cites);
+* :mod:`~repro.apps.shallow_water` — the rotating shallow-water system
+  with the Williamson test-case-2 validation (the atmosphere/ocean
+  exports the paper cites).
+"""
+
+from repro.apps.heat import HeatSolver, radial_mode, radial_mode_decay_rate
+from repro.apps.transport import (
+    TransportSolver,
+    gaussian_blob,
+    revolution_error,
+    rotation_velocity,
+)
+from repro.apps.shallow_water import (
+    ShallowWaterSolver,
+    williamson2_state,
+    williamson2_drift,
+)
+
+__all__ = [
+    "HeatSolver",
+    "radial_mode",
+    "radial_mode_decay_rate",
+    "TransportSolver",
+    "gaussian_blob",
+    "revolution_error",
+    "rotation_velocity",
+    "ShallowWaterSolver",
+    "williamson2_state",
+    "williamson2_drift",
+]

@@ -1,0 +1,121 @@
+"""Heat conduction on the Yin-Yang shell — the grid-verification app.
+
+Solves the scalar diffusion problem
+
+    dT/dt = kappa lap(T),   T(ri) = T(ro) = 0,
+
+on the two-panel grid with the overset internal boundary condition.
+The radial eigenmodes are analytic,
+
+    T_k(r, t) = sin(k pi (r - ri) / L) / r * exp(-kappa (k pi / L)^2 t),
+
+because ``lap(f(r)) = (r f)'' / r``; measuring the numerical decay rate
+against the exact eigenvalue exercises the *entire* spatial stack —
+metric terms, Laplacian stencils, wall conditions and the Yin<->Yang
+interpolation — with a hard quantitative target (second-order
+convergence, tested).
+
+This doubles as the skeleton of any new Yin-Yang application (the
+mantle-convection and atmosphere/ocean codes the paper cites share this
+structure: per-panel kernels + overset ring exchange + wall rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.fd.operators import SphericalOperators
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.rk4 import rk4_step
+from repro.utils.validation import check_positive
+
+Array = np.ndarray
+PairField = Dict[Panel, Array]
+
+
+def radial_mode(grid: YinYangGrid, k: int = 1) -> PairField:
+    """The k-th radial Dirichlet eigenmode sampled on both panels."""
+    check_positive("k", k)
+    out: PairField = {}
+    for g in grid.panels:
+        ri, ro = g.ri, g.ro
+        profile = np.sin(k * np.pi * (g.r - ri) / (ro - ri)) / g.r
+        out[g.panel] = np.broadcast_to(profile[:, None, None], g.shape).copy()
+    return out
+
+
+def radial_mode_decay_rate(grid: YinYangGrid, kappa: float, k: int = 1) -> float:
+    """Exact decay rate ``kappa (k pi / L)^2`` of the k-th mode."""
+    L = grid.yin.ro - grid.yin.ri
+    return kappa * (k * np.pi / L) ** 2
+
+
+class HeatSolver:
+    """Explicit RK4 heat-conduction solver on a Yin-Yang grid."""
+
+    def __init__(self, grid: YinYangGrid, kappa: float = 1e-2):
+        check_positive("kappa", kappa)
+        self.grid = grid
+        self.kappa = kappa
+        self.ops = {p: SphericalOperators(grid.panel(p)) for p in (Panel.YIN, Panel.YANG)}
+        self.time = 0.0
+
+    # ---- TimeDependentSystem interface ---------------------------------------
+
+    def rhs(self, temp: PairField) -> PairField:
+        return {p: self.kappa * self.ops[p].laplacian(f) for p, f in temp.items()}
+
+    def enforce(self, temp: PairField) -> None:
+        """Overset ring from the other panel, zero walls."""
+        self.grid.apply_overset_scalar(temp[Panel.YIN], temp[Panel.YANG])
+        for f in temp.values():
+            f[0] = 0.0
+            f[-1] = 0.0
+
+    @staticmethod
+    def axpy(temp: PairField, a: float, k: PairField) -> PairField:
+        return {p: f + a * k[p] for p, f in temp.items()}
+
+    # ---- driving --------------------------------------------------------------
+
+    def stable_dt(self, cfl: float = 0.2) -> float:
+        g = self.grid.yin
+        h = min(g.dr, g.ri * g.dtheta, g.ri * np.sin(g.theta[1:-1]).min() * g.dphi)
+        return cfl * h * h / (2.0 * self.kappa)
+
+    def step(self, temp: PairField, dt: float) -> PairField:
+        out = rk4_step(self, temp, dt)
+        self.time += dt
+        return out
+
+    def run(self, temp: PairField, t_end: float, *, cfl: float = 0.2) -> PairField:
+        dt = self.stable_dt(cfl)
+        while self.time < t_end - 1e-15:
+            step_dt = min(dt, t_end - self.time)
+            temp = self.step(temp, step_dt)
+        return temp
+
+    # ---- diagnostics -----------------------------------------------------------
+
+    def amplitude(self, temp: PairField) -> float:
+        """Max |T| over both panels (the mode-decay observable)."""
+        return max(float(np.abs(f).max()) for f in temp.values())
+
+    def measured_decay_rate(self, k: int = 1, t_end: float | None = None) -> float:
+        """Evolve the k-th radial mode and fit its decay rate.
+
+        Runs to roughly one analytic e-folding (or ``t_end``) and
+        returns ``-ln(A(t)/A(0)) / t``.
+        """
+        lam = radial_mode_decay_rate(self.grid, self.kappa, k)
+        if t_end is None:
+            t_end = 0.3 / lam
+        temp = radial_mode(self.grid, k)
+        a0 = self.amplitude(temp)
+        self.time = 0.0
+        temp = self.run(temp, t_end)
+        a1 = self.amplitude(temp)
+        return float(-np.log(a1 / a0) / self.time)

@@ -1,0 +1,183 @@
+"""Passive-tracer transport on the Yin-Yang grid.
+
+The Yin-Yang grid's first exports were transport-dominated codes — the
+paper cites conservative CIP transport [Peng, Xiao, Takahashi & Yabe]
+and shallow-water validation [Ohdaira et al.] on the same overset grid.
+This module provides the classic transport benchmark those works use:
+
+    dc/dt + v . grad(c) = kappa lap(c)
+
+with a *solid-body-rotation* velocity about an arbitrary axis.  For
+``kappa = 0`` the exact solution is the initial condition rigidly
+rotated, so after one full revolution the field must return to where it
+started — a quantitative, analytic test of the advection operator and
+the Yin<->Yang internal boundary condition together (including the
+interesting case where the blob crosses panel borders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.coords.spherical import cart_vector_to_sph, sph_to_cart
+from repro.coords.transforms import other_panel_angles, yinyang_vector_map
+from repro.fd.operators import SphericalOperators
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.rk4 import rk4_step
+from repro.utils.validation import check_positive, require
+
+Array = np.ndarray
+PairField = Dict[Panel, Array]
+Vec3 = Tuple[float, float, float]
+
+
+def rotation_velocity(grid: YinYangGrid, axis: Vec3, omega: float) -> Dict[Panel, tuple]:
+    """Spherical components of ``v = omega axis_hat x r`` on both panels.
+
+    ``axis`` is given in the *global* frame; each panel receives the
+    components in its own basis (the Yang frame gets the eq.-1-mapped
+    vector), so the same physical flow drives both panels.
+    """
+    ax = np.asarray(axis, dtype=np.float64)
+    norm = np.linalg.norm(ax)
+    require(norm > 0, "rotation axis must be nonzero")
+    ax = ax / norm
+    out = {}
+    for g in grid.panels:
+        th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+        if g.panel is Panel.YANG:
+            th_g, ph_g = other_panel_angles(th, ph)
+        else:
+            th_g, ph_g = th, ph
+        x, y, z = sph_to_cart(1.0, th_g, ph_g)
+        vx = omega * (ax[1] * z - ax[2] * y)
+        vy = omega * (ax[2] * x - ax[0] * z)
+        vz = omega * (ax[0] * y - ax[1] * x)
+        if g.panel is Panel.YANG:
+            vx, vy, vz = yinyang_vector_map(vx, vy, vz)
+        vr, vth, vph = cart_vector_to_sph(vx, vy, vz, th, ph)
+        r3 = g.r[:, None, None]
+        out[g.panel] = (
+            r3 * vr[None], r3 * vth[None], r3 * vph[None]
+        )
+    return out
+
+
+def gaussian_blob(
+    grid: YinYangGrid, center: Tuple[float, float], width: float = 0.35
+) -> PairField:
+    """A Gaussian tracer blob centred at global angles ``(theta0, phi0)``,
+    constant in radius (the transport tests are horizontal)."""
+    check_positive("width", width)
+    th0, ph0 = center
+    cx, cy, cz = sph_to_cart(1.0, th0, ph0)
+    out: PairField = {}
+    for g in grid.panels:
+        th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+        if g.panel is Panel.YANG:
+            th, ph = other_panel_angles(th, ph)
+        x, y, z = sph_to_cart(1.0, th, ph)
+        # great-circle distance via the chord
+        dist = np.arccos(np.clip(x * cx + y * cy + z * cz, -1.0, 1.0))
+        blob = np.exp(-((dist / width) ** 2))
+        out[g.panel] = np.broadcast_to(blob[None], g.shape).copy()
+    return out
+
+
+class TransportSolver:
+    """RK4 advection(-diffusion) of a passive tracer on the Yin-Yang grid."""
+
+    def __init__(
+        self,
+        grid: YinYangGrid,
+        velocity: Dict[Panel, tuple],
+        *,
+        kappa: float = 0.0,
+    ):
+        require(kappa >= 0.0, "kappa must be >= 0")
+        self.grid = grid
+        self.velocity = velocity
+        self.kappa = kappa
+        self.ops = {p: SphericalOperators(grid.panel(p)) for p in (Panel.YIN, Panel.YANG)}
+        self.time = 0.0
+
+    def rhs(self, c: PairField) -> PairField:
+        out: PairField = {}
+        for p, f in c.items():
+            adv = self.ops[p].advect_scalar(self.velocity[p], f)
+            if self.kappa > 0.0:
+                out[p] = -adv + self.kappa * self.ops[p].laplacian(f)
+            else:
+                out[p] = -adv
+        return out
+
+    def enforce(self, c: PairField) -> None:
+        self.grid.apply_overset_scalar(c[Panel.YIN], c[Panel.YANG])
+        # radial walls: the tracer is columnar; zero-gradient keeps the
+        # wall rows consistent with the interior
+        for f in c.values():
+            f[0] = f[1]
+            f[-1] = f[-2]
+
+    @staticmethod
+    def axpy(c: PairField, a: float, k: PairField) -> PairField:
+        return {p: f + a * k[p] for p, f in c.items()}
+
+    def max_speed(self) -> float:
+        return max(
+            float(np.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2).max())
+            for v in self.velocity.values()
+        )
+
+    def stable_dt(self, cfl: float = 0.3) -> float:
+        g = self.grid.yin
+        h = min(g.ri * g.dtheta, g.ri * float(np.sin(g.theta[1:-1]).min()) * g.dphi)
+        dt_adv = cfl * h / max(self.max_speed(), 1e-300)
+        if self.kappa > 0.0:
+            dt_adv = min(dt_adv, cfl * h * h / (2.0 * self.kappa))
+        return dt_adv
+
+    def step(self, c: PairField, dt: float) -> PairField:
+        out = rk4_step(self, c, dt)
+        self.time += dt
+        return out
+
+    def run(self, c: PairField, t_end: float, *, cfl: float = 0.3) -> PairField:
+        dt = self.stable_dt(cfl)
+        while self.time < t_end - 1e-14:
+            c = self.step(c, min(dt, t_end - self.time))
+        return c
+
+
+def revolution_error(
+    grid: YinYangGrid,
+    *,
+    axis: Vec3 = (0.0, 0.0, 1.0),
+    center: Tuple[float, float] = (np.pi / 2, 0.0),
+    width: float = 0.4,
+    cfl: float = 0.3,
+) -> float:
+    """Relative L-inf error after one full solid-body revolution.
+
+    The exact solution is the initial blob; the error measures the
+    combined advection + overset-interpolation accuracy (second order,
+    tested).  With the default equatorial blob and polar axis the tracer
+    crosses the Yin panel's longitude borders — with a tilted axis it
+    sweeps through both panels.
+    """
+    omega = 1.0
+    vel = rotation_velocity(grid, axis, omega)
+    solver = TransportSolver(grid, vel)
+    c0 = gaussian_blob(grid, center, width)
+    c = {p: f.copy() for p, f in c0.items()}
+    solver.enforce(c)
+    c = solver.run(c, 2.0 * np.pi / omega, cfl=cfl)
+    err = 0.0
+    scale = max(float(np.abs(f).max()) for f in c0.values())
+    for p in c0:
+        interior = (slice(1, -1), slice(1, -1), slice(1, -1))
+        err = max(err, float(np.abs(c[p][interior] - c0[p][interior]).max()))
+    return err / scale

@@ -1,0 +1,148 @@
+"""Command-line interface: regenerate the paper's artefacts.
+
+``python -m repro.cli <command>`` (or the ``repro-paper`` console
+script) prints the reproduced tables and figures:
+
+=============  =====================================================
+``table1``     Earth Simulator specifications
+``table2``     the six-row performance sweep (paper vs model)
+``table3``     the SC-paper comparison with recomputed derivations
+``list1``      the MPIPROGINF report of the 15.2 TFlops run
+``fig1``       Yin-Yang coverage/overlap numbers + ASCII map
+``fig2``       column census of a manufactured columnar flow
+``volume``     Section V's 500 GB / 127-save accounting
+``run``        a small live dynamo run with energy history
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> None:
+    from repro.machine.specs import EARTH_SIMULATOR
+
+    rows = EARTH_SIMULATOR.table_rows()
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"{label:<{width}}  {value}")
+
+
+def _cmd_table2(args) -> None:
+    from repro.perf.sweep import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+
+
+def _cmd_table3(args) -> None:
+    from repro.perf.comparisons import format_table3
+
+    print(format_table3())
+
+
+def _cmd_list1(args) -> None:
+    from repro.perf.proginf import list1_report
+
+    print(list1_report())
+
+
+def _cmd_fig1(args) -> None:
+    from repro.grids.dissection import overlap_fraction
+    from repro.viz.mercator import ascii_sphere_map, coverage_fractions
+
+    covered, doubled = coverage_fractions(180, 360)
+    print(f"coverage: {100 * covered:.2f} %   overlap: {100 * doubled:.2f} % "
+          f"(analytic {100 * overlap_fraction():.3f} %)")
+    print(ascii_sphere_map(args.rows, 3 * args.rows))
+
+
+def _cmd_fig2(args) -> None:
+    from repro.grids.yinyang import YinYangGrid
+    from repro.viz.columns import column_profile, synthetic_columns
+
+    grid = YinYangGrid(9, 20, 58)
+    states = synthetic_columns(grid, m=args.mode)
+    census = column_profile(grid, states, nphi=512)
+    print(f"m = {args.mode} columnar flow at r = {census.radius:.2f}: "
+          f"{census.n_cyclonic} cyclonic / {census.n_anticyclonic} anti-cyclonic")
+
+
+def _cmd_volume(args) -> None:
+    from repro.io.volume import paper_run_volume
+
+    for k, v in paper_run_volume().items():
+        print(f"{k:<28} {v:,.4g}" if isinstance(v, float) else f"{k:<28} {v:,}")
+
+
+def _cmd_report(args) -> None:
+    from repro.perf.report import generate_report
+
+    rep = generate_report()
+    print(rep.to_markdown())
+    if not rep.all_match:
+        raise SystemExit(1)
+
+
+def _cmd_run(args) -> None:
+    from repro import MHDParameters, RunConfig, YinYangDynamo
+
+    params = MHDParameters.laptop_demo()
+    dyn = YinYangDynamo(
+        RunConfig(nr=args.nr, nth=args.nth, nph=args.nph, params=params,
+                  amp_temperature=2e-2, filter_strength=0.05)
+    )
+    print(f"running {args.steps} steps on {dyn.grid!r} ...")
+    dyn.run(args.steps, record_every=max(1, args.steps // 8))
+    for rec in dyn.history:
+        e = rec.energies
+        print(f"  step {rec.step:>5}  t = {rec.time:8.4f}  "
+              f"KE = {e.kinetic:10.4e}  ME = {e.magnetic:10.4e}")
+    print("final:", {k: f"{v:.4g}" for k, v in dyn.energies().as_dict().items()})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description="Regenerate artefacts of the SC 2004 Yin-Yang geodynamo paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Earth Simulator specifications").set_defaults(fn=_cmd_table1)
+    sub.add_parser("table2", help="performance sweep, paper vs model").set_defaults(fn=_cmd_table2)
+    sub.add_parser("table3", help="SC-paper comparison").set_defaults(fn=_cmd_table3)
+    sub.add_parser("list1", help="MPIPROGINF report").set_defaults(fn=_cmd_list1)
+
+    p = sub.add_parser("fig1", help="Yin-Yang coverage map")
+    p.add_argument("--rows", type=int, default=18, help="ASCII map height")
+    p.set_defaults(fn=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="column census demo")
+    p.add_argument("--mode", type=int, default=6, help="azimuthal mode number")
+    p.set_defaults(fn=_cmd_fig2)
+
+    sub.add_parser("volume", help="Section V data-volume accounting").set_defaults(fn=_cmd_volume)
+    sub.add_parser(
+        "report", help="full paper-vs-reproduction comparison (markdown)"
+    ).set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("run", help="small live dynamo run")
+    p.add_argument("--nr", type=int, default=11)
+    p.add_argument("--nth", type=int, default=14)
+    p.add_argument("--nph", type=int, default=42)
+    p.add_argument("--steps", type=int, default=40)
+    p.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

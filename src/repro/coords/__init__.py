@@ -1,0 +1,43 @@
+"""Spherical coordinate kit.
+
+Provides spherical <-> Cartesian conversions, the Yin <-> Yang coordinate
+map of Kageyama & Sato (eq. 1 of the SC 2004 paper), and the vector-basis
+rotations needed to move spherical vector components between the two
+panels of the Yin-Yang grid.
+"""
+
+from repro.coords.spherical import (
+    cart_to_sph,
+    sph_to_cart,
+    sph_vector_to_cart,
+    cart_vector_to_sph,
+    unit_vectors,
+)
+from repro.coords.transforms import (
+    yin_to_yang_cart,
+    yang_to_yin_cart,
+    yin_to_yang_sph,
+    yang_to_yin_sph,
+    other_panel_angles,
+    YINYANG_MATRIX,
+)
+from repro.coords.rotations import (
+    sph_component_rotation,
+    rotate_sph_vector_between_panels,
+)
+
+__all__ = [
+    "cart_to_sph",
+    "sph_to_cart",
+    "sph_vector_to_cart",
+    "cart_vector_to_sph",
+    "unit_vectors",
+    "yin_to_yang_cart",
+    "yang_to_yin_cart",
+    "yin_to_yang_sph",
+    "yang_to_yin_sph",
+    "other_panel_angles",
+    "YINYANG_MATRIX",
+    "sph_component_rotation",
+    "rotate_sph_vector_between_panels",
+]

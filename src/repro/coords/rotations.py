@@ -1,0 +1,87 @@
+"""Rotation of spherical vector components between Yin-Yang panels.
+
+A vector field on the sphere carries components ``(v_r, v_theta, v_phi)``
+relative to the *local* spherical basis of whichever panel stores it.
+When panel B interpolates a vector from panel A (the overset internal
+boundary condition), the donor components must be re-expressed in B's
+basis.  Because the Yin<->Yang map is a linear isometry, the component
+rotation at each point is a 3x3 orthogonal matrix; the radial direction
+is shared (``v_r`` is invariant), so the matrix is block
+``1 (+) SO(2)``-like: only the tangential pair mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.coords.spherical import (
+    cart_vector_to_sph,
+    sph_vector_to_cart,
+)
+from repro.coords.transforms import other_panel_angles, yinyang_vector_map
+
+Array = np.ndarray
+
+
+def rotate_sph_vector_between_panels(
+    vr, vth, vph, theta, phi
+) -> Tuple[Array, Array, Array]:
+    """Re-express spherical vector components in the other panel's basis.
+
+    Parameters
+    ----------
+    vr, vth, vph:
+        Components relative to the *source* panel's spherical basis at
+        the source-panel angles ``(theta, phi)``.
+    theta, phi:
+        Source-panel angular coordinates of the evaluation points.
+
+    Returns
+    -------
+    Components relative to the *destination* panel's spherical basis at
+    the same physical points.  By the Yin-Yang symmetry, the same
+    function handles Yin->Yang and Yang->Yin.
+    """
+    vx, vy, vz = sph_vector_to_cart(vr, vth, vph, theta, phi)
+    wx, wy, wz = yinyang_vector_map(vx, vy, vz)
+    theta_o, phi_o = other_panel_angles(theta, phi)
+    return cart_vector_to_sph(wx, wy, wz, theta_o, phi_o)
+
+
+def sph_component_rotation(theta, phi) -> Array:
+    """The 3x3 rotation matrices mapping source-panel spherical components
+    to destination-panel components at each point.
+
+    Returns an array of shape ``broadcast(theta, phi).shape + (3, 3)``
+    such that ``v_dest = R @ v_src`` componentwise in the order
+    ``(r, theta, phi)``.  Each matrix is orthogonal, and its ``(0, 0)``
+    entry is 1 with zero off-diagonal radial coupling: the radial
+    component never mixes with the tangential ones.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    shape = np.broadcast(theta, phi).shape
+    R = np.empty(shape + (3, 3))
+    basis = np.eye(3)
+    for k in range(3):
+        vr = np.full(shape, basis[k, 0])
+        vth = np.full(shape, basis[k, 1])
+        vph = np.full(shape, basis[k, 2])
+        wr, wth, wph = rotate_sph_vector_between_panels(vr, vth, vph, theta, phi)
+        R[..., 0, k] = wr
+        R[..., 1, k] = wth
+        R[..., 2, k] = wph
+    return R
+
+
+def tangential_rotation_angle(theta, phi) -> Array:
+    """The rotation angle of the tangential (theta, phi) component pair.
+
+    ``sph_component_rotation`` restricted to the tangential block is an
+    orthogonal 2x2 matrix; this returns ``atan2`` of its off-diagonal
+    structure, useful for diagnostics and tests.
+    """
+    R = sph_component_rotation(theta, phi)
+    return np.arctan2(R[..., 2, 1], R[..., 1, 1])

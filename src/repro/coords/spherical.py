@@ -1,0 +1,119 @@
+"""Spherical polar coordinates: conversions and local unit vectors.
+
+Conventions (matching the paper's Section II):
+
+* radius ``r >= 0``;
+* colatitude ``theta`` in ``[0, pi]`` measured from the +z axis;
+* longitude ``phi`` in ``(-pi, pi]`` measured from the +x axis.
+
+All functions are fully vectorised: scalar or ndarray inputs broadcast
+together, and the outputs have the broadcast shape.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def sph_to_cart(r, theta, phi) -> Tuple[Array, Array, Array]:
+    """Spherical position ``(r, theta, phi)`` to Cartesian ``(x, y, z)``."""
+    r = np.asarray(r, dtype=np.float64)
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    st = np.sin(theta)
+    x = r * st * np.cos(phi)
+    y = r * st * np.sin(phi)
+    z = r * np.cos(theta)
+    return x, y, z
+
+
+def cart_to_sph(x, y, z) -> Tuple[Array, Array, Array]:
+    """Cartesian position to spherical ``(r, theta, phi)``.
+
+    ``theta`` is returned in ``[0, pi]`` and ``phi`` in ``(-pi, pi]``.
+    At the origin the angles are returned as 0 (the radius is 0 there, so
+    any angle choice is consistent).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    r = np.sqrt(x * x + y * y + z * z)
+    # clip guards round-off when |z| is a hair above r
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = np.where(r > 0.0, z / np.where(r > 0.0, r, 1.0), 1.0)
+    theta = np.arccos(np.clip(ratio, -1.0, 1.0))
+    phi = np.arctan2(y, x)
+    return r, theta, phi
+
+
+def unit_vectors(theta, phi) -> Tuple[Array, Array, Array]:
+    """Local spherical unit vectors ``(rhat, thhat, phhat)`` in Cartesian.
+
+    Each returned array has shape ``broadcast(theta, phi).shape + (3,)``,
+    the trailing axis holding the Cartesian components.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    st, ct = np.sin(theta), np.cos(theta)
+    sp, cp = np.sin(phi), np.cos(phi)
+    shape = np.broadcast(theta, phi).shape
+    rhat = np.empty(shape + (3,))
+    thhat = np.empty(shape + (3,))
+    phhat = np.empty(shape + (3,))
+    rhat[..., 0] = st * cp
+    rhat[..., 1] = st * sp
+    rhat[..., 2] = ct
+    thhat[..., 0] = ct * cp
+    thhat[..., 1] = ct * sp
+    thhat[..., 2] = -st
+    phhat[..., 0] = -sp
+    phhat[..., 1] = cp
+    phhat[..., 2] = 0.0
+    return rhat, thhat, phhat
+
+
+def sph_vector_to_cart(vr, vth, vph, theta, phi) -> Tuple[Array, Array, Array]:
+    """Spherical vector components to Cartesian components at (theta, phi)."""
+    vr = np.asarray(vr, dtype=np.float64)
+    vth = np.asarray(vth, dtype=np.float64)
+    vph = np.asarray(vph, dtype=np.float64)
+    st, ct = np.sin(theta), np.cos(theta)
+    sp, cp = np.sin(phi), np.cos(phi)
+    vx = vr * st * cp + vth * ct * cp - vph * sp
+    vy = vr * st * sp + vth * ct * sp + vph * cp
+    vz = vr * ct - vth * st
+    return vx, vy, vz
+
+
+def cart_vector_to_sph(vx, vy, vz, theta, phi) -> Tuple[Array, Array, Array]:
+    """Cartesian vector components to spherical components at (theta, phi)."""
+    vx = np.asarray(vx, dtype=np.float64)
+    vy = np.asarray(vy, dtype=np.float64)
+    vz = np.asarray(vz, dtype=np.float64)
+    st, ct = np.sin(theta), np.cos(theta)
+    sp, cp = np.sin(phi), np.cos(phi)
+    vr = vx * st * cp + vy * st * sp + vz * ct
+    vth = vx * ct * cp + vy * ct * sp - vz * st
+    vph = -vx * sp + vy * cp
+    return vr, vth, vph
+
+
+def great_circle_distance(theta1, phi1, theta2, phi2) -> Array:
+    """Central angle between two points on the unit sphere (radians).
+
+    Uses the numerically robust Vincenty form of the haversine formula.
+    """
+    # work in latitude for the standard formula
+    lat1 = np.pi / 2 - np.asarray(theta1, dtype=np.float64)
+    lat2 = np.pi / 2 - np.asarray(theta2, dtype=np.float64)
+    dphi = np.asarray(phi2, dtype=np.float64) - np.asarray(phi1, dtype=np.float64)
+    num = np.sqrt(
+        (np.cos(lat2) * np.sin(dphi)) ** 2
+        + (np.cos(lat1) * np.sin(lat2) - np.sin(lat1) * np.cos(lat2) * np.cos(dphi)) ** 2
+    )
+    den = np.sin(lat1) * np.sin(lat2) + np.cos(lat1) * np.cos(lat2) * np.cos(dphi)
+    return np.arctan2(num, den)

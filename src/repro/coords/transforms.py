@@ -1,0 +1,94 @@
+"""The Yin <-> Yang coordinate map (paper eq. 1).
+
+The Yang grid's Cartesian frame ``(xe, ye, ze)`` relates to the Yin
+(= global) frame ``(xn, yn, zn)`` by::
+
+    (xe, ye, ze) = (-xn, zn, yn)       and identically
+    (xn, yn, zn) = (-xe, ze, ye)
+
+The map is its own inverse (an involution) and an isometry — the matrix
+below is orthogonal (a proper rotation, determinant +1: a y/z swap
+composed with an x negation).  Because the forward and inverse
+transforms are written in the same form, every routine written "from Yin
+to Yang" also serves "from Yang to Yin"; this is the complementarity the
+paper exploits to share all subroutines between the two panels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.coords.spherical import cart_to_sph, sph_to_cart
+
+Array = np.ndarray
+
+#: The linear map of eq. (1) as a matrix: ``x_other = M @ x_this``.
+YINYANG_MATRIX = np.array(
+    [
+        [-1.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [0.0, 1.0, 0.0],
+    ]
+)
+
+
+def yin_to_yang_cart(x, y, z) -> Tuple[Array, Array, Array]:
+    """Map Yin-frame Cartesian coordinates into the Yang frame."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    return -x, z, y
+
+
+def yang_to_yin_cart(x, y, z) -> Tuple[Array, Array, Array]:
+    """Map Yang-frame Cartesian coordinates into the Yin frame.
+
+    Identical in form to :func:`yin_to_yang_cart` — eq. (1)'s symmetry.
+    """
+    return yin_to_yang_cart(x, y, z)
+
+
+def yin_to_yang_sph(r, theta, phi) -> Tuple[Array, Array, Array]:
+    """Map spherical coordinates measured in the Yin frame to Yang-frame
+    spherical coordinates of the same physical point."""
+    x, y, z = sph_to_cart(r, theta, phi)
+    xe, ye, ze = yin_to_yang_cart(x, y, z)
+    return cart_to_sph(xe, ye, ze)
+
+
+def yang_to_yin_sph(r, theta, phi) -> Tuple[Array, Array, Array]:
+    """Map Yang-frame spherical coordinates to Yin-frame ones."""
+    return yin_to_yang_sph(r, theta, phi)
+
+
+def other_panel_angles(theta, phi) -> Tuple[Array, Array]:
+    """Angles of the same physical point expressed in the *other* panel.
+
+    A radius-free version of :func:`yin_to_yang_sph` used by the overset
+    interpolation machinery (donor search happens on the unit sphere).
+    Closed form, avoiding the Cartesian round trip where possible::
+
+        cos(theta') = sin(theta) sin(phi)
+        tan(phi')   = cos(theta) / (-sin(theta) cos(phi))
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    st, ct = np.sin(theta), np.cos(theta)
+    sp, cp = np.sin(phi), np.cos(phi)
+    theta_o = np.arccos(np.clip(st * sp, -1.0, 1.0))
+    phi_o = np.arctan2(ct, -st * cp)
+    return theta_o, phi_o
+
+
+def yinyang_vector_map(vx, vy, vz) -> Tuple[Array, Array, Array]:
+    """Apply the eq.-(1) linear map to Cartesian *vector* components.
+
+    Vectors transform with the same orthogonal matrix as positions (the
+    map is linear), so this routine is shared for both directions.
+    """
+    vx = np.asarray(vx, dtype=np.float64)
+    vy = np.asarray(vy, dtype=np.float64)
+    vz = np.asarray(vz, dtype=np.float64)
+    return -vx, vz, vy

@@ -1,0 +1,70 @@
+"""Checkpointing: save / restore solver states as ``.npz`` archives.
+
+The production run in the paper saved three-dimensional data 127 times
+over a six-hour run; this module provides the (laptop-scale) analogue,
+storing the prognostic fields per panel plus the run clock.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.grids.component import Panel
+from repro.mhd.state import FIELD_NAMES, MHDState
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str | Path,
+    states: Dict[Panel, MHDState] | MHDState,
+    *,
+    time: float = 0.0,
+    step: int = 0,
+) -> Path:
+    """Write a checkpoint archive.
+
+    Accepts either a Yin-Yang panel pair or a single (lat-lon) state.
+    Returns the path written.
+    """
+    path = Path(path)
+    if isinstance(states, MHDState):
+        states = {Panel.YIN: states}
+    payload: Dict[str, np.ndarray] = {
+        "_version": np.array(_FORMAT_VERSION),
+        "_time": np.array(time),
+        "_step": np.array(step),
+        "_panels": np.array([p.value for p in states], dtype="U8"),
+    }
+    for panel, state in states.items():
+        for name, arr in state.named_arrays():
+            payload[f"{panel.value}:{name}"] = arr
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(path: str | Path):
+    """Read a checkpoint archive.
+
+    Returns ``(states, time, step)`` where ``states`` maps
+    :class:`Panel` to :class:`MHDState` (single-state saves come back
+    under ``Panel.YIN``).
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        version = int(data["_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        time = float(data["_time"])
+        step = int(data["_step"])
+        states: Dict[Panel, MHDState] = {}
+        for pv in data["_panels"]:
+            panel = Panel(str(pv))
+            arrays = [np.array(data[f"{panel.value}:{n}"]) for n in FIELD_NAMES]
+            states[panel] = MHDState(*arrays)
+    return states, time, step

@@ -1,0 +1,87 @@
+"""Run configuration shared by the solver drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mhd.boundary import MagneticBC
+from repro.mhd.parameters import MHDParameters
+from repro.utils.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Configuration of a dynamo run.
+
+    Parameters
+    ----------
+    nr, nth, nph:
+        Grid points per panel (Yin-Yang) or interior angular points
+        (lat-lon baseline); ``nr`` includes both wall points.
+    params:
+        Physical parameters; defaults to the laptop demo preset.
+    cfl:
+        Courant factor for automatic step estimation; used when ``dt``
+        is not fixed.
+    dt:
+        Fixed time step; ``None`` re-estimates from the CFL condition
+        every ``dt_recompute_every`` steps.
+    amp_temperature, amp_seed_field:
+        Initial perturbation amplitudes (Section III: random temperature
+        perturbation + infinitesimal random magnetic seed).
+    magnetic_bc:
+        Wall magnetic condition.
+    seed:
+        RNG seed for reproducible initial perturbations.
+    """
+
+    nr: int = 17
+    nth: int = 20
+    nph: int = 60
+    params: MHDParameters = field(default_factory=MHDParameters.laptop_demo)
+    cfl: float = 0.3
+    dt: float | None = None
+    dt_recompute_every: int = 10
+    amp_temperature: float = 1e-3
+    amp_seed_field: float = 1e-6
+    magnetic_bc: MagneticBC = MagneticBC.PERFECT_CONDUCTOR
+    seed: int = 2004
+    extra_theta: int = 1
+    extra_phi: int = 2
+    #: Subtract the discrete residual of the hydrostatic conduction state
+    #: from the RHS (well-balanced scheme).  The analytic balance is not
+    #: an exact equilibrium of the second-order stencils; on coarse grids
+    #: the residual would drive spurious flows much larger than the
+    #: physical perturbations.  Production-resolution runs may disable it.
+    subtract_base_rhs: bool = True
+    #: Shapiro-filter strength in [0, 0.5), applied to all prognostic
+    #: fields every ``filter_every`` steps.  0 (default) = the paper's
+    #: pure central-difference scheme; long laptop-scale runs need a
+    #: small value (~0.05) because the continuity equation is otherwise
+    #: undamped at the grid scale (see repro.mhd.filter).
+    filter_strength: float = 0.0
+    filter_every: int = 1
+
+    def __post_init__(self):
+        require(self.nr >= 5, f"nr must be >= 5, got {self.nr}")
+        require(self.nth >= 8, f"nth must be >= 8, got {self.nth}")
+        require(self.nph >= 12, f"nph must be >= 12, got {self.nph}")
+        check_positive("cfl", self.cfl)
+        if self.dt is not None:
+            check_positive("dt", self.dt)
+        require(self.dt_recompute_every >= 1, "dt_recompute_every must be >= 1")
+        require(0.0 <= self.filter_strength < 0.5,
+                f"filter_strength must be in [0, 0.5), got {self.filter_strength}")
+        require(self.filter_every >= 1, "filter_every must be >= 1")
+
+    @staticmethod
+    def paper_headline() -> "RunConfig":
+        """The flagship configuration of the paper (not runnable on a
+        laptop — used by the performance model and accounting benches):
+        511 x 514 x 1538 x 2 grid points, paper parameters."""
+        return RunConfig(nr=511, nth=514, nph=1538, params=MHDParameters.paper_run())
+
+    @staticmethod
+    def paper_mid() -> "RunConfig":
+        """The 255-radial-point configuration of Table II / Section V."""
+        return RunConfig(nr=255, nth=514, nph=1538, params=MHDParameters.paper_run())

@@ -1,0 +1,142 @@
+"""The lat-lon baseline dynamo solver (the paper's "previous code").
+
+Identical physics, discretisation and time integration to
+:class:`~repro.core.yycore.YinYangDynamo`, but on the traditional
+full-sphere latitude-longitude grid: periodic longitude halos,
+across-pole colatitude halos with tangential sign flips, and — the
+point the paper makes in Section II — a time step throttled by the
+longitudinal grid convergence towards the poles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.yycore import HistoryRecord
+from repro.grids.latlon import LatLonGrid
+from repro.mhd.boundary import WallBC
+from repro.mhd.cfl import estimate_dt
+from repro.mhd.diagnostics import EnergyReport, panel_energies
+from repro.mhd.equations import PanelEquations
+from repro.mhd.initial import conduction_state, perturb_state
+from repro.mhd.rk4 import rk4_step
+from repro.mhd.state import MHDState
+from repro.utils.timer import TimerRegistry
+
+
+class LatLonDynamo:
+    """Serial lat-lon MHD dynamo driver (baseline)."""
+
+    def __init__(self, config: RunConfig | None = None):
+        self.config = config or RunConfig()
+        c = self.config
+        self.grid = LatLonGrid.build(c.nr, c.nth, c.nph, ri=c.params.ri, ro=c.params.ro)
+        self.equations = PanelEquations(self.grid, c.params, (0.0, 0.0, c.params.omega))
+        self.wall_bc = WallBC(c.params, magnetic=c.magnetic_bc)
+        self.timers = TimerRegistry()
+        self.time = 0.0
+        self.step_count = 0
+        self.history: List[HistoryRecord] = []
+        self._base_rhs: MHDState | None = None
+        if c.subtract_base_rhs:
+            base = conduction_state(self.grid, c.params)
+            self.enforce(base)
+            self._base_rhs = self.equations.rhs(base)
+        self.state = self.initial_state()
+
+    def initial_state(self) -> MHDState:
+        c = self.config
+        s = conduction_state(self.grid, c.params)
+        rng = np.random.default_rng(c.seed)
+        perturb_state(
+            s, amp_temperature=c.amp_temperature, amp_seed_field=c.amp_seed_field, rng=rng
+        )
+        self.enforce(s)
+        return s
+
+    # ---- TimeDependentSystem interface ------------------------------------------
+
+    def rhs(self, state: MHDState) -> MHDState:
+        with self.timers.timing("rhs"):
+            out = self.equations.rhs(state)
+            if self._base_rhs is not None:
+                out.iadd_scaled(-1.0, self._base_rhs)
+            return out
+
+    def enforce(self, state: MHDState) -> None:
+        with self.timers.timing("halo"):
+            self.grid.fill_halos_scalar(state.rho)
+            self.grid.fill_halos_scalar(state.p)
+            self.grid.fill_halos_vector(*state.f)
+            self.grid.fill_halos_vector(*state.a)
+        with self.timers.timing("wall_bc"):
+            self.wall_bc.apply(state)
+
+    @staticmethod
+    def axpy(state: MHDState, a: float, k: MHDState) -> MHDState:
+        return state.axpy(a, k)
+
+    # ---- time stepping ---------------------------------------------------------------
+
+    def estimate_dt(self) -> float:
+        """CFL step — includes the pole-throttled longitudinal width."""
+        return estimate_dt([(self.grid, self.state)], self.config.params, cfl=self.config.cfl)
+
+    def step(self, dt: float | None = None) -> float:
+        if dt is None:
+            dt = self.config.dt or self.estimate_dt()
+        self.state = rk4_step(self, self.state, dt)
+        self.time += dt
+        self.step_count += 1
+        c = self.config
+        if c.filter_strength > 0.0 and self.step_count % c.filter_every == 0:
+            from repro.mhd.filter import filter_state
+
+            filter_state(self.state, c.filter_strength)
+            self.enforce(self.state)
+        return dt
+
+    def run(self, n_steps: int, *, record_every: int = 1) -> List[HistoryRecord]:
+        c = self.config
+        dt = c.dt or self.estimate_dt()
+        for k in range(n_steps):
+            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
+                dt = self.estimate_dt()
+            self.step(dt)
+            if record_every and (self.step_count % record_every == 0):
+                self.record()
+        return self.history
+
+    def record(self) -> HistoryRecord:
+        rec = HistoryRecord(
+            step=self.step_count,
+            time=self.time,
+            dt=self.config.dt or float("nan"),
+            energies=self.energies(),
+        )
+        self.history.append(rec)
+        return rec
+
+    # ---- diagnostics --------------------------------------------------------------
+
+    def energies(self) -> EnergyReport:
+        """Global energies; halo rows/columns are excluded from quadrature."""
+        w = self.grid.volume_weights()
+        mask = np.zeros(self.grid.shape[1:], dtype=bool)
+        mask[1:-1, 1:-1] = True
+        return panel_energies(
+            self.grid, self.state, self.config.params, w * mask[None, :, :]
+        )
+
+    def is_physical(self) -> bool:
+        return self.state.is_physical()
+
+    def pole_step_penalty(self) -> float:
+        """Ratio of the equatorial to polar longitudinal cell widths —
+        the factor by which the pole cells throttle the explicit dt
+        relative to an equator-limited grid (Section II's motivation)."""
+        return self.grid.pole_clustering_ratio()

@@ -1,0 +1,204 @@
+"""``yycore`` — the Yin-Yang finite-difference geodynamo solver.
+
+This is the serial reference implementation of the paper's code: the
+compressible MHD equations advanced with RK4 on the two panels of a
+:class:`~repro.grids.yinyang.YinYangGrid`, with
+
+* identical RHS kernels on both panels (only the rotation-vector
+  orientation differs — the Yin-Yang symmetry of Section II/IV),
+* the overset interpolation internal boundary condition after every
+  stage, and
+* the radial wall conditions after every stage.
+
+The parallel flat-MPI version lives in
+:mod:`repro.parallel.parallel_solver` and is verified to reproduce this
+driver's fields exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.boundary import WallBC
+from repro.mhd.cfl import estimate_dt
+from repro.mhd.diagnostics import EnergyReport, yinyang_energies
+from repro.mhd.equations import PanelEquations
+from repro.mhd.initial import conduction_state, perturb_state
+from repro.mhd.rk4 import rk4_step
+from repro.mhd.state import MHDState
+from repro.utils.timer import TimerRegistry
+
+PairState = Dict[Panel, MHDState]
+
+
+@dataclass
+class HistoryRecord:
+    """One diagnostics sample of a run."""
+
+    step: int
+    time: float
+    dt: float
+    energies: EnergyReport
+
+
+class YinYangDynamo:
+    """Serial Yin-Yang MHD dynamo driver (the paper's contribution)."""
+
+    def __init__(self, config: RunConfig | None = None):
+        self.config = config or RunConfig()
+        c = self.config
+        self.grid = YinYangGrid(
+            c.nr, c.nth, c.nph,
+            ri=c.params.ri, ro=c.params.ro,
+            extra_theta=c.extra_theta, extra_phi=c.extra_phi,
+        )
+        omega = c.params.omega
+        # global +z axis: Yin-local (0,0,omega); Yang-local (0,omega,0) - eq. (1)
+        self.equations: Dict[Panel, PanelEquations] = {
+            Panel.YIN: PanelEquations(self.grid.yin, c.params, (0.0, 0.0, omega)),
+            Panel.YANG: PanelEquations(self.grid.yang, c.params, (0.0, omega, 0.0)),
+        }
+        self.wall_bc = WallBC(c.params, magnetic=c.magnetic_bc)
+        self.timers = TimerRegistry()
+        self.time = 0.0
+        self.step_count = 0
+        self.history: List[HistoryRecord] = []
+        self._base_rhs: PairState | None = None
+        if c.subtract_base_rhs:
+            base = {
+                p: conduction_state(self.grid.panel(p), c.params)
+                for p in (Panel.YIN, Panel.YANG)
+            }
+            self.enforce(base)
+            self._base_rhs = {p: self.equations[p].rhs(s) for p, s in base.items()}
+        self.state: PairState = self.initial_state()
+
+    # ---- state construction ----------------------------------------------------
+
+    def initial_state(self) -> PairState:
+        """Hydrostatic conduction state + perturbations on both panels."""
+        c = self.config
+        pair: PairState = {}
+        for k, panel in enumerate((Panel.YIN, Panel.YANG)):
+            s = conduction_state(self.grid.panel(panel), c.params)
+            rng = np.random.default_rng(c.seed + k)
+            perturb_state(
+                s,
+                amp_temperature=c.amp_temperature,
+                amp_seed_field=c.amp_seed_field,
+                rng=rng,
+            )
+            pair[panel] = s
+        self.enforce(pair)
+        return pair
+
+    # ---- TimeDependentSystem interface (used by rk4_step) -------------------------
+
+    def rhs(self, pair: PairState) -> PairState:
+        """Panel-wise RHS — identical kernels, per the Yin-Yang symmetry.
+
+        With ``subtract_base_rhs`` the discrete residual of the reference
+        conduction state is removed, making that state an exact discrete
+        equilibrium (well-balanced scheme).
+        """
+        with self.timers.timing("rhs"):
+            out = {p: self.equations[p].rhs(s) for p, s in pair.items()}
+            if self._base_rhs is not None:
+                for p, k in out.items():
+                    k.iadd_scaled(-1.0, self._base_rhs[p])
+            return out
+
+    def enforce(self, pair: PairState) -> None:
+        """Internal (overset) then wall boundary conditions, in place.
+
+        The wall condition is applied last so the physical walls override
+        the interpolated values at the ring/wall corner points.
+        """
+        yin, yang = pair[Panel.YIN], pair[Panel.YANG]
+        with self.timers.timing("overset"):
+            self.grid.apply_overset_scalar(yin.rho, yang.rho)
+            self.grid.apply_overset_scalar(yin.p, yang.p)
+            self.grid.apply_overset_vector(yin.f, yang.f)
+            self.grid.apply_overset_vector(yin.a, yang.a)
+        with self.timers.timing("wall_bc"):
+            self.wall_bc.apply(yin)
+            self.wall_bc.apply(yang)
+
+    @staticmethod
+    def axpy(pair: PairState, a: float, k: PairState) -> PairState:
+        return {p: s.axpy(a, k[p]) for p, s in pair.items()}
+
+    # ---- time stepping ---------------------------------------------------------------
+
+    def estimate_dt(self) -> float:
+        pairs = [(self.grid.panel(p), s) for p, s in self.state.items()]
+        return estimate_dt(pairs, self.config.params, cfl=self.config.cfl)
+
+    def step(self, dt: float | None = None) -> float:
+        """Advance one RK4 step; returns the dt used.
+
+        With a nonzero ``filter_strength`` the Shapiro filter smooths the
+        prognostic fields after the step (every ``filter_every`` steps)
+        and the boundary conditions are re-imposed.
+        """
+        if dt is None:
+            dt = self.config.dt or self.estimate_dt()
+        self.state = rk4_step(self, self.state, dt)
+        self.time += dt
+        self.step_count += 1
+        c = self.config
+        if c.filter_strength > 0.0 and self.step_count % c.filter_every == 0:
+            from repro.mhd.filter import filter_state
+
+            for s in self.state.values():
+                filter_state(s, c.filter_strength)
+            self.enforce(self.state)
+        return dt
+
+    def run(self, n_steps: int, *, record_every: int = 1) -> List[HistoryRecord]:
+        """Advance ``n_steps`` steps, recording energy diagnostics.
+
+        The time step is re-estimated every ``dt_recompute_every`` steps
+        when not fixed in the configuration.
+        """
+        c = self.config
+        dt = c.dt or self.estimate_dt()
+        for k in range(n_steps):
+            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
+                dt = self.estimate_dt()
+            self.step(dt)
+            if record_every and (self.step_count % record_every == 0):
+                self.record()
+        return self.history
+
+    def record(self) -> HistoryRecord:
+        rec = HistoryRecord(
+            step=self.step_count,
+            time=self.time,
+            dt=self.config.dt or float("nan"),
+            energies=self.energies(),
+        )
+        self.history.append(rec)
+        return rec
+
+    # ---- diagnostics --------------------------------------------------------------
+
+    def energies(self) -> EnergyReport:
+        """Overlap-corrected global energies."""
+        return yinyang_energies(self.grid, self.state, self.config.params)
+
+    def is_physical(self) -> bool:
+        return all(s.is_physical() for s in self.state.values())
+
+    def energy_series(self):
+        """(times, kinetic, magnetic) arrays from the recorded history."""
+        t = np.array([r.time for r in self.history])
+        ke = np.array([r.energies.kinetic for r in self.history])
+        me = np.array([r.energies.magnetic for r in self.history])
+        return t, ke, me

@@ -1,0 +1,25 @@
+"""Second-order finite differences in spherical coordinates.
+
+The paper discretises all spatial derivatives with second-order central
+differences in ``(r, theta, phi)`` (Section III).  This package provides
+
+* :mod:`~repro.fd.stencils` — axis-wise first/second derivatives on
+  uniform meshes (central interior, one-sided second-order at edges);
+* :mod:`~repro.fd.operators` — the vector-calculus operators (gradient,
+  divergence, curl, Laplacians, advection) with the spherical metric
+  terms, built on a :class:`~repro.grids.base.PatchMetric`;
+* :mod:`~repro.fd.strain` — the rate-of-strain tensor and the viscous
+  dissipation function of eq. (6).
+"""
+
+from repro.fd.stencils import diff, diff2
+from repro.fd.operators import SphericalOperators
+from repro.fd.strain import strain_tensor, viscous_dissipation
+
+__all__ = [
+    "diff",
+    "diff2",
+    "SphericalOperators",
+    "strain_tensor",
+    "viscous_dissipation",
+]

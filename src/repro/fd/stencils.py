@@ -1,0 +1,83 @@
+"""Axis-wise finite-difference stencils on uniform meshes.
+
+All routines return arrays of the input's full shape.  Interior points
+use the second-order central stencil; the first/last plane along the
+differentiation axis uses the one-sided second-order (3-point) stencil,
+so derivative arrays never contain invalid edge values.  Solvers
+overwrite boundary planes with boundary-condition data anyway; the
+one-sided values serve diagnostics and the lat-lon halo rows.
+
+Everything is whole-array NumPy slicing — no Python-level loops over
+grid points — per the vectorisation guidance for this project.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _axslice(ndim: int, axis: int, sl: slice) -> tuple:
+    out = [slice(None)] * ndim
+    out[axis] = sl
+    return tuple(out)
+
+
+def diff(f: Array, h: float, axis: int) -> Array:
+    """First derivative along ``axis`` with uniform spacing ``h``.
+
+    Central second order in the interior; one-sided second order
+    (``(-3 f0 + 4 f1 - f2) / 2h``) at the two edge planes.
+    """
+    f = np.asarray(f)
+    if f.shape[axis] < 3:
+        raise ValueError(f"need >= 3 points along axis {axis}, got {f.shape[axis]}")
+    out = np.empty_like(f, dtype=np.float64)
+    nd = f.ndim
+    mid = _axslice(nd, axis, slice(1, -1))
+    up = _axslice(nd, axis, slice(2, None))
+    dn = _axslice(nd, axis, slice(None, -2))
+    out[mid] = (f[up] - f[dn]) / (2.0 * h)
+    first = _axslice(nd, axis, slice(0, 1))
+    i1 = _axslice(nd, axis, slice(1, 2))
+    i2 = _axslice(nd, axis, slice(2, 3))
+    out[first] = (-3.0 * f[first] + 4.0 * f[i1] - f[i2]) / (2.0 * h)
+    last = _axslice(nd, axis, slice(-1, None))
+    j1 = _axslice(nd, axis, slice(-2, -1))
+    j2 = _axslice(nd, axis, slice(-3, -2))
+    out[last] = (3.0 * f[last] - 4.0 * f[j1] + f[j2]) / (2.0 * h)
+    return out
+
+
+def diff2(f: Array, h: float, axis: int) -> Array:
+    """Second derivative along ``axis`` with uniform spacing ``h``.
+
+    Central second order in the interior; at the edge planes the
+    (first-order) 3-point one-sided stencil ``(f0 - 2 f1 + f2)/h^2`` is
+    used — edge planes are boundary points in the solvers, so only
+    diagnostics ever read them.
+    """
+    f = np.asarray(f)
+    if f.shape[axis] < 3:
+        raise ValueError(f"need >= 3 points along axis {axis}, got {f.shape[axis]}")
+    out = np.empty_like(f, dtype=np.float64)
+    nd = f.ndim
+    mid = _axslice(nd, axis, slice(1, -1))
+    up = _axslice(nd, axis, slice(2, None))
+    dn = _axslice(nd, axis, slice(None, -2))
+    h2 = h * h
+    out[mid] = (f[up] - 2.0 * f[mid] + f[dn]) / h2
+    first = _axslice(nd, axis, slice(0, 1))
+    i1 = _axslice(nd, axis, slice(1, 2))
+    i2 = _axslice(nd, axis, slice(2, 3))
+    out[first] = (f[first] - 2.0 * f[i1] + f[i2]) / h2
+    last = _axslice(nd, axis, slice(-1, None))
+    j1 = _axslice(nd, axis, slice(-2, -1))
+    j2 = _axslice(nd, axis, slice(-3, -2))
+    out[last] = (f[last] - 2.0 * f[j1] + f[j2]) / h2
+    return out
+
+
+#: Axis conventions for fields on a :class:`~repro.grids.base.SphericalPatch`.
+AXIS_R, AXIS_TH, AXIS_PH = 0, 1, 2

@@ -1,0 +1,87 @@
+"""Rate-of-strain tensor and viscous dissipation (eq. 6).
+
+The energy equation (4) contains the viscous heating
+
+    Phi = 2 mu ( e_ij e_ij - (1/3) (div v)^2 ),
+    e_ij = (1/2) (d v_i / d x_j + d v_j / d x_i),
+
+with ``e_ij`` the physical (orthonormal-basis) components of the
+rate-of-strain tensor in spherical coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.fd.stencils import AXIS_PH, AXIS_R, AXIS_TH, diff
+from repro.fd.operators import SphericalOperators
+
+Array = np.ndarray
+Vec = Tuple[Array, Array, Array]
+
+
+def strain_tensor(ops: SphericalOperators, v: Vec) -> Dict[str, Array]:
+    """The six independent components of ``e_ij`` in spherical coordinates.
+
+    Returns a dict with keys ``rr, tt, pp, rt, rp, tp`` (``t`` = theta,
+    ``p`` = phi).  Standard formulas (e.g. Batchelor, Appendix 2):
+
+        e_rr = d_r v_r
+        e_tt = (1/r) d_th v_th + v_r / r
+        e_pp = (1/(r sin)) d_ph v_ph + v_r / r + cot(th) v_th / r
+        e_rt = (1/2) [ (1/r) d_th v_r + d_r v_th - v_th / r ]
+        e_rp = (1/2) [ (1/(r sin)) d_ph v_r + d_r v_ph - v_ph / r ]
+        e_tp = (1/2) [ (1/(r sin)) d_ph v_th + (1/r) d_th v_ph
+                       - cot(th) v_ph / r ]
+    """
+    m = ops.m
+    dr, dth, dph = ops.dr, ops.dth, ops.dph
+    vr, vth, vph = v
+    e_rr = diff(vr, dr, AXIS_R)
+    e_tt = m.inv_r * diff(vth, dth, AXIS_TH) + m.inv_r * vr
+    e_pp = (
+        m.inv_r_sin * diff(vph, dph, AXIS_PH)
+        + m.inv_r * vr
+        + m.inv_r * m.cot_th * vth
+    )
+    e_rt = 0.5 * (m.inv_r * diff(vr, dth, AXIS_TH) + diff(vth, dr, AXIS_R) - m.inv_r * vth)
+    e_rp = 0.5 * (
+        m.inv_r_sin * diff(vr, dph, AXIS_PH) + diff(vph, dr, AXIS_R) - m.inv_r * vph
+    )
+    e_tp = 0.5 * (
+        m.inv_r_sin * diff(vth, dph, AXIS_PH)
+        + m.inv_r * diff(vph, dth, AXIS_TH)
+        - m.inv_r * m.cot_th * vph
+    )
+    return {"rr": e_rr, "tt": e_tt, "pp": e_pp, "rt": e_rt, "rp": e_rp, "tp": e_tp}
+
+
+def strain_double_contraction(e: Dict[str, Array]) -> Array:
+    """``e_ij e_ij`` with off-diagonal components counted twice."""
+    return (
+        e["rr"] ** 2
+        + e["tt"] ** 2
+        + e["pp"] ** 2
+        + 2.0 * (e["rt"] ** 2 + e["rp"] ** 2 + e["tp"] ** 2)
+    )
+
+
+def viscous_dissipation(ops: SphericalOperators, v: Vec, mu: float) -> Array:
+    """The dissipation function ``Phi`` of eq. (6).
+
+    Non-negative for any velocity field (tested by property-based tests):
+    ``e_ij e_ij - (1/3) tr(e)^2`` is the squared deviatoric strain.
+    """
+    e = strain_tensor(ops, v)
+    ee = strain_double_contraction(e)
+    trace = e["rr"] + e["tt"] + e["pp"]  # equals div(v) analytically
+    return 2.0 * mu * (ee - trace**2 / 3.0)
+
+
+def trace_equals_divergence_residual(ops: SphericalOperators, v: Vec) -> Array:
+    """Residual ``tr(e) - div(v)`` — identically zero in exact arithmetic
+    when both sides use the same stencils; used as a consistency test."""
+    e = strain_tensor(ops, v)
+    return (e["rr"] + e["tt"] + e["pp"]) - ops.div(v)

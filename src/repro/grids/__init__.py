@@ -1,0 +1,55 @@
+"""Spherical-shell grids.
+
+* :class:`~repro.grids.base.SphericalPatch` — a structured
+  ``(r, theta, phi)`` patch with uniform spacing and precomputed metric
+  factors; the common substrate of every grid here.
+* :class:`~repro.grids.component.ComponentGrid` — one Yin or Yang panel
+  (a partial latitude-longitude grid, paper Section II).
+* :class:`~repro.grids.yinyang.YinYangGrid` — the overset pair with its
+  interpolation stencils (the paper's contribution).
+* :class:`~repro.grids.latlon.LatLonGrid` — the traditional full-sphere
+  latitude-longitude grid with pole treatment (the baseline the paper's
+  previous code used).
+* :mod:`~repro.grids.dissection` — overlap-area analysis (Fig. 1) and
+  the minimum-overlap dissection variants discussed in Section II.
+"""
+
+from repro.grids.base import SphericalPatch, PatchMetric
+from repro.grids.component import ComponentGrid, Panel
+from repro.grids.latlon import LatLonGrid
+from repro.grids.yinyang import YinYangGrid
+from repro.grids.interpolation import OversetInterpolator, BilinearStencil
+from repro.grids.overlap_check import (
+    OverlapMismatch,
+    double_solution_mismatch,
+    state_mismatch_report,
+)
+from repro.grids.refinement import refine, coarsen, prolong_scalar, prolong_state
+from repro.grids.dissection import (
+    component_area,
+    overlap_fraction,
+    minimal_overlap_fraction,
+    covered_fraction_monte_carlo,
+)
+
+__all__ = [
+    "SphericalPatch",
+    "PatchMetric",
+    "ComponentGrid",
+    "Panel",
+    "LatLonGrid",
+    "YinYangGrid",
+    "OversetInterpolator",
+    "BilinearStencil",
+    "component_area",
+    "overlap_fraction",
+    "minimal_overlap_fraction",
+    "covered_fraction_monte_carlo",
+    "OverlapMismatch",
+    "double_solution_mismatch",
+    "state_mismatch_report",
+    "refine",
+    "coarsen",
+    "prolong_scalar",
+    "prolong_state",
+]

@@ -1,0 +1,193 @@
+"""One component panel (Yin or Yang) of the Yin-Yang grid.
+
+A component grid is a *partial* latitude-longitude grid (paper Section
+II): nominally 90 degrees of colatitude around the equator and 270
+degrees of longitude, extended by a small, configurable number of extra
+cell rows so that every overset boundary point of one panel falls
+strictly inside the finite-difference region of the other panel.  The
+Yin and Yang panels are geometrically identical; only the orientation of
+their coordinate frames differs (eq. 1), so a single class describes
+both and a :class:`Panel` tag records which frame a given instance uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+
+from repro.grids.base import SphericalPatch
+from repro.utils.validation import check_positive, require
+
+Array = np.ndarray
+
+#: Nominal colatitude span of a component panel: [pi/4, 3pi/4].
+THETA_MIN = np.pi / 4
+THETA_MAX = 3 * np.pi / 4
+#: Nominal longitude span of a component panel: [-3pi/4, 3pi/4].
+PHI_MIN = -3 * np.pi / 4
+PHI_MAX = 3 * np.pi / 4
+
+
+class Panel(enum.Enum):
+    """Which coordinate frame a component grid uses.
+
+    The paper calls Yin the "n-grid" and Yang the "e-grid"; the Yin frame
+    coincides with the global (geographic) frame.
+    """
+
+    YIN = "yin"
+    YANG = "yang"
+
+    @property
+    def other(self) -> "Panel":
+        return Panel.YANG if self is Panel.YIN else Panel.YIN
+
+    @property
+    def short(self) -> str:
+        """The paper's one-letter tag: ``n`` for Yin, ``e`` for Yang."""
+        return "n" if self is Panel.YIN else "e"
+
+
+@dataclass(frozen=True)
+class ComponentGrid(SphericalPatch):
+    """A Yin or Yang panel.
+
+    Construct via :meth:`build`, which derives the uniform spacings from
+    the nominal spans and the requested extension margins.
+
+    Attributes
+    ----------
+    panel:
+        Which frame (:class:`Panel`) this grid's coordinates refer to.
+    extra_theta, extra_phi:
+        Number of extra cell rows beyond the nominal span on each side in
+        colatitude / longitude.  The defaults (1, 2) satisfy the donor
+        condition ``delta_phi >= delta_theta + dphi`` for aspect-ratio-1
+        meshes, keeping overset receptor points inside the donor's
+        finite-difference region (verified when building a
+        :class:`~repro.grids.yinyang.YinYangGrid`).
+    """
+
+    panel: Panel = Panel.YIN
+    extra_theta: int = 1
+    extra_phi: int = 2
+
+    @staticmethod
+    def build(
+        nr: int,
+        nth: int,
+        nph: int,
+        *,
+        ri: float = 0.35,
+        ro: float = 1.0,
+        panel: Panel = Panel.YIN,
+        extra_theta: int = 1,
+        extra_phi: int = 2,
+    ) -> "ComponentGrid":
+        """Build a panel with ``nth x nph`` angular points (including the
+        extension rows and the overset boundary ring) and ``nr`` radii
+        (including the two wall points).
+
+        The nominal span is divided into ``nth - 1 - 2*extra_theta``
+        colatitude cells and ``nph - 1 - 2*extra_phi`` longitude cells.
+        """
+        check_positive("ri", ri)
+        require(ro > ri, f"ro must exceed ri, got ri={ri}, ro={ro}")
+        require(extra_theta >= 0 and extra_phi >= 0, "extension margins must be >= 0")
+        nth_cells = nth - 1 - 2 * extra_theta
+        nph_cells = nph - 1 - 2 * extra_phi
+        require(nth_cells >= 3, f"nth={nth} too small for extra_theta={extra_theta}")
+        require(nph_cells >= 3, f"nph={nph} too small for extra_phi={extra_phi}")
+        dth = (THETA_MAX - THETA_MIN) / nth_cells
+        dph = (PHI_MAX - PHI_MIN) / nph_cells
+        theta = THETA_MIN - extra_theta * dth + dth * np.arange(nth)
+        phi = PHI_MIN - extra_phi * dph + dph * np.arange(nph)
+        require(
+            theta[0] > 0.0 and theta[-1] < np.pi,
+            "extension margin pushes the panel over a pole; "
+            "reduce extra_theta or refine the mesh",
+        )
+        r = np.linspace(ri, ro, nr)
+        return ComponentGrid(
+            r=r, theta=theta, phi=phi,
+            panel=panel, extra_theta=extra_theta, extra_phi=extra_phi,
+        )
+
+    def twin(self) -> "ComponentGrid":
+        """The geometrically identical panel in the other frame."""
+        return ComponentGrid(
+            r=self.r, theta=self.theta, phi=self.phi,
+            panel=self.panel.other,
+            extra_theta=self.extra_theta, extra_phi=self.extra_phi,
+        )
+
+    # ---- overset boundary ring ---------------------------------------------
+
+    @cached_property
+    def ring_indices(self) -> Tuple[Array, Array]:
+        """Angular indices ``(ith, iph)`` of the overset boundary ring.
+
+        The ring is the perimeter of the ``nth x nph`` angular index
+        rectangle: the points whose values are supplied by interpolation
+        from the other panel rather than by the PDE.
+        """
+        ith, iph = [], []
+        # top and bottom colatitude rows
+        for row in (0, self.nth - 1):
+            ith.append(np.full(self.nph, row, dtype=np.intp))
+            iph.append(np.arange(self.nph, dtype=np.intp))
+        # left and right longitude columns (excluding corners already taken)
+        for col in (0, self.nph - 1):
+            ith.append(np.arange(1, self.nth - 1, dtype=np.intp))
+            iph.append(np.full(self.nth - 2, col, dtype=np.intp))
+        return np.concatenate(ith), np.concatenate(iph)
+
+    @property
+    def n_ring(self) -> int:
+        """Number of angular points in the overset boundary ring."""
+        return 2 * self.nph + 2 * (self.nth - 2)
+
+    @cached_property
+    def ring_angles(self) -> Tuple[Array, Array]:
+        """Panel-frame ``(theta, phi)`` of each overset ring point."""
+        ith, iph = self.ring_indices
+        return self.theta[ith], self.phi[iph]
+
+    def fd_mask(self) -> Array:
+        """Boolean ``(nth, nph)`` mask of angular points advanced by the PDE
+        (i.e. everything except the overset boundary ring)."""
+        mask = np.ones((self.nth, self.nph), dtype=bool)
+        ith, iph = self.ring_indices
+        mask[ith, iph] = False
+        return mask
+
+    def interior_cell_box(self) -> Tuple[float, float, float, float]:
+        """``(theta_lo, theta_hi, phi_lo, phi_hi)`` bounding the region in
+        which a bilinear donor cell may be anchored so that all four of
+        its corners are finite-difference points of *this* panel."""
+        return (
+            float(self.theta[1]),
+            float(self.theta[-2]),
+            float(self.phi[1]),
+            float(self.phi[-2]),
+        )
+
+    def contains_angles(self, theta, phi, *, fd_only: bool = False) -> Array:
+        """Vectorised membership test for panel-frame angles.
+
+        With ``fd_only`` the test is against the finite-difference region
+        (one cell in from the edges), the region usable as donor cells.
+        """
+        theta = np.asarray(theta, dtype=np.float64)
+        phi = np.asarray(phi, dtype=np.float64)
+        k = 1 if fd_only else 0
+        return (
+            (theta >= self.theta[k])
+            & (theta <= self.theta[-1 - k])
+            & (phi >= self.phi[k])
+            & (phi <= self.phi[-1 - k])
+        )

@@ -1,0 +1,142 @@
+"""The traditional full-sphere latitude-longitude grid (the baseline).
+
+The paper's previous geodynamo code used this grid and suffered from the
+pole coordinate singularity and the longitudinal grid convergence near
+the poles; Section II motivates the Yin-Yang grid by those defects.  We
+implement the baseline faithfully so the comparison benchmarks can
+quantify them:
+
+* colatitude rows are offset half a cell from the poles
+  (``theta_j = (j + 1/2) dtheta``), so no mesh point sits on the axis;
+* longitude is periodic, handled with one halo column on each side;
+* across-pole coupling is handled with one halo row on each side whose
+  values are copies from the antipodal-longitude interior row, with sign
+  flips on tangential vector components;
+* the smallest cell width ``r sin(theta) dphi`` shrinks towards the pole
+  — the time-step penalty benchmarked in ``bench_fig1_grid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+
+from repro.grids.base import SphericalPatch
+from repro.utils.validation import check_positive, require
+
+Array = np.ndarray
+
+#: Sign conventions for across-pole halo copies.
+SCALAR_FLIP = (1.0,)
+VECTOR_FLIP = (1.0, -1.0, -1.0)  # (v_r, v_theta, v_phi)
+
+
+@dataclass(frozen=True)
+class LatLonGrid(SphericalPatch):
+    """Full-sphere latitude-longitude grid with pole and periodic halos.
+
+    Arrays on this grid have shape ``(nr, nth, nph)`` where the first and
+    last colatitude rows and longitude columns are *halo* points (filled
+    by :meth:`fill_halos`), and interior angular points are advanced by
+    the PDE.  Build via :meth:`build`.
+    """
+
+    @staticmethod
+    def build(
+        nr: int, nth_interior: int, nph_interior: int, *, ri: float = 0.35, ro: float = 1.0
+    ) -> "LatLonGrid":
+        """Build a grid with the given number of *interior* angular points.
+
+        ``nph_interior`` must be even so that the across-pole copy lands
+        on a mesh longitude (``phi + pi``).
+        """
+        check_positive("ri", ri)
+        require(ro > ri, f"ro must exceed ri, got ri={ri}, ro={ro}")
+        require(nth_interior >= 4, "need at least 4 colatitude rows")
+        require(
+            nph_interior >= 8 and nph_interior % 2 == 0,
+            f"nph_interior must be even and >= 8, got {nph_interior}",
+        )
+        dth = np.pi / nth_interior
+        dph = 2 * np.pi / nph_interior
+        # interior rows (j + 1/2) dth plus one halo row beyond each pole
+        theta = dth * (np.arange(nth_interior + 2) - 0.5)
+        phi = -np.pi + dph * (np.arange(nph_interior + 2) - 1)
+        r = np.linspace(ri, ro, nr)
+        return LatLonGrid(r=r, theta=theta, phi=phi)
+
+    # ---- structure ------------------------------------------------------------
+
+    @property
+    def nth_interior(self) -> int:
+        return self.nth - 2
+
+    @property
+    def nph_interior(self) -> int:
+        return self.nph - 2
+
+    @cached_property
+    def pole_shift(self) -> Array:
+        """Array-column permutation implementing ``phi -> phi + pi`` on the
+        interior longitudes, expressed in full-array column indices."""
+        n = self.nph_interior
+        k = np.arange(n)
+        return ((k + n // 2) % n) + 1
+
+    # ---- halo filling -----------------------------------------------------------
+
+    def fill_halos_scalar(self, f: Array) -> None:
+        """Fill periodic and across-pole halo points of a scalar, in place."""
+        self._fill(f, flip=1.0)
+
+    def fill_halos_vector(self, vr: Array, vth: Array, vph: Array) -> None:
+        """Fill halos of spherical vector components, in place.
+
+        Crossing a pole reverses the local theta and phi directions, so
+        the tangential components change sign.
+        """
+        for comp, s in zip((vr, vth, vph), VECTOR_FLIP):
+            self._fill(comp, flip=s)
+
+    def _fill(self, f: Array, flip: float) -> None:
+        if f.shape != self.shape:
+            raise ValueError(f"field shape {f.shape} != grid shape {self.shape}")
+        # periodic longitude: halo columns copy the opposite interior column
+        f[:, :, 0] = f[:, :, -2]
+        f[:, :, -1] = f[:, :, 1]
+        # across-pole rows: antipodal longitude of the first/last interior row
+        shift = self.pole_shift
+        f[:, 0, 1:-1] = flip * f[:, 1, shift]
+        f[:, -1, 1:-1] = flip * f[:, -2, shift]
+        # pole-halo corners follow from periodicity of the halo row
+        f[:, 0, 0] = f[:, 0, -2]
+        f[:, 0, -1] = f[:, 0, 1]
+        f[:, -1, 0] = f[:, -1, -2]
+        f[:, -1, -1] = f[:, -1, 1]
+
+    # ---- pole pathology metrics ---------------------------------------------------
+
+    def min_cell_width(self) -> float:
+        """Smallest longitudinal cell width ``ro sin(theta) dphi`` over the
+        interior rows — the quantity that throttles the explicit time step
+        on this grid (it vanishes like ``theta`` towards the pole)."""
+        s = np.sin(self.theta[1:-1])
+        return float(self.ro * np.min(np.abs(s)) * self.dphi)
+
+    def equator_cell_width(self) -> float:
+        """Longitudinal cell width at the equator, for the pole/equator ratio."""
+        return float(self.ro * self.dphi)
+
+    def pole_clustering_ratio(self) -> float:
+        """Equator-to-pole cell width ratio; ~``2 nth / pi`` for half-offset
+        rows.  The Yin-Yang grid bounds the same ratio by ``sqrt(2)``."""
+        return self.equator_cell_width() / self.min_cell_width()
+
+    def interior_mask(self) -> Array:
+        """Boolean ``(nth, nph)`` mask of PDE-advanced angular points."""
+        mask = np.zeros((self.nth, self.nph), dtype=bool)
+        mask[1:-1, 1:-1] = True
+        return mask

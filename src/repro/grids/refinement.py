@@ -1,0 +1,117 @@
+"""Grid refinement and field transfer for convergence studies.
+
+The reproduction leans on second-order convergence claims throughout;
+these helpers build refined/coarsened versions of a Yin-Yang grid and
+move fields between them, so convergence studies (and multigrid-style
+initialisation of fine runs from coarse ones) are one-liners.
+
+Refinement convention: the *cell counts* scale, preserving the nominal
+spans and the extension margins in physical angle as closely as integer
+margins allow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.grids.component import Panel
+from repro.grids.interpolation import build_bilinear_stencil
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.state import FIELD_NAMES, MHDState
+from repro.utils.validation import check_positive, require
+
+Array = np.ndarray
+
+
+def refine(grid: YinYangGrid, factor: int = 2) -> YinYangGrid:
+    """A Yin-Yang grid with ``factor``-times the cells per dimension."""
+    check_positive("factor", factor)
+    g = grid.yin
+    nth_cells = (g.nth - 1 - 2 * g.extra_theta) * factor
+    nph_cells = (g.nph - 1 - 2 * g.extra_phi) * factor
+    nr = (g.nr - 1) * factor + 1
+    return YinYangGrid(
+        nr,
+        nth_cells + 1 + 2 * g.extra_theta,
+        nph_cells + 1 + 2 * g.extra_phi,
+        ri=g.ri, ro=g.ro,
+        extra_theta=g.extra_theta, extra_phi=g.extra_phi,
+    )
+
+
+def coarsen(grid: YinYangGrid, factor: int = 2) -> YinYangGrid:
+    """The inverse of :func:`refine` (cell counts must divide evenly)."""
+    check_positive("factor", factor)
+    g = grid.yin
+    nth_cells = g.nth - 1 - 2 * g.extra_theta
+    nph_cells = g.nph - 1 - 2 * g.extra_phi
+    require(
+        nth_cells % factor == 0 and nph_cells % factor == 0
+        and (g.nr - 1) % factor == 0,
+        f"cell counts {(g.nr - 1, nth_cells, nph_cells)} not divisible by {factor}",
+    )
+    return YinYangGrid(
+        (g.nr - 1) // factor + 1,
+        nth_cells // factor + 1 + 2 * g.extra_theta,
+        nph_cells // factor + 1 + 2 * g.extra_phi,
+        ri=g.ri, ro=g.ro,
+        extra_theta=g.extra_theta, extra_phi=g.extra_phi,
+    )
+
+
+def _radial_interp(src_r: Array, dst_r: Array, field: Array) -> Array:
+    """Linear interpolation along the radial (first) axis."""
+    t = (dst_r - src_r[0]) / (src_r[1] - src_r[0])
+    i0 = np.clip(np.floor(t).astype(np.intp), 0, src_r.size - 2)
+    w = (t - i0)[:, None, None]
+    return (1.0 - w) * field[i0] + w * field[i0 + 1]
+
+
+def prolong_scalar(
+    src: YinYangGrid, dst: YinYangGrid, fields: Dict[Panel, Array]
+) -> Dict[Panel, Array]:
+    """Transfer a per-panel scalar field to another Yin-Yang grid.
+
+    Trilinear: bilinear in the panel angles (same panel — the frames
+    coincide), linear in radius.  Works for refinement, coarsening and
+    general resampling alike.
+    """
+    out: Dict[Panel, Array] = {}
+    for panel in (Panel.YIN, Panel.YANG):
+        sg, dg = src.panel(panel), dst.panel(panel)
+        th, ph = np.meshgrid(dg.theta, dg.phi, indexing="ij")
+        # clamp to the source's angular extent (margins may differ by
+        # less than a source cell)
+        thc = np.clip(th, sg.theta[0], sg.theta[-1])
+        phc = np.clip(ph, sg.phi[0], sg.phi[-1])
+        st = build_bilinear_stencil(sg, thc.ravel(), phc.ravel(), fd_only=False)
+        horiz = st.apply(fields[panel]).reshape(sg.nr, dg.nth, dg.nph)
+        out[panel] = _radial_interp(sg.r, dg.r, horiz)
+    return out
+
+
+def prolong_state(
+    src: YinYangGrid, dst: YinYangGrid, states: Dict[Panel, MHDState]
+) -> Dict[Panel, MHDState]:
+    """Transfer a full solver state pair between Yin-Yang grids.
+
+    Component fields transfer like scalars: panel bases coincide between
+    the two grids (same frames), so no rotation is needed.
+    """
+    out: Dict[Panel, MHDState] = {}
+    per_field = {
+        name: prolong_scalar(
+            src, dst, {p: getattr(s, name) for p, s in states.items()}
+        )
+        for name in FIELD_NAMES
+    }
+    for panel in (Panel.YIN, Panel.YANG):
+        out[panel] = MHDState(*(per_field[n][panel] for n in FIELD_NAMES))
+    return out
+
+
+def convergence_triplet(base: YinYangGrid) -> tuple:
+    """(coarse, medium, fine) grids for Richardson-style order checks."""
+    return base, refine(base, 2), refine(base, 4)

@@ -1,0 +1,25 @@
+"""Output: snapshots, time series and the paper's data-volume accounting.
+
+Section V: "It is convenient for data visualization/analysis purpose to
+store the Cartesian components of the magnetic field B, velocity v,
+vorticity omega, and temperature T.  During one simulation run of 6
+hours of wall clock time, we saved the 3-dimensional data 127 times,
+and about 500 GB of data was generated in total."
+"""
+
+from repro.io.snapshot import Snapshot, snapshot_from_state, save_snapshot, load_snapshot
+from repro.io.series import TimeSeriesRecorder
+from repro.io.volume import DataVolumeModel, paper_run_volume
+from repro.io.catalog import RunCatalog, record_run
+
+__all__ = [
+    "Snapshot",
+    "snapshot_from_state",
+    "save_snapshot",
+    "load_snapshot",
+    "TimeSeriesRecorder",
+    "DataVolumeModel",
+    "paper_run_volume",
+    "RunCatalog",
+    "record_run",
+]

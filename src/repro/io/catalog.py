@@ -1,0 +1,176 @@
+"""Run catalogues: structured on-disk layout for simulation campaigns.
+
+The production run of Section V produced 127 snapshots, energy series
+and run metadata; a downstream user needs those organised.  A
+:class:`RunCatalog` owns one run directory::
+
+    <root>/
+      manifest.json        # config, params, code version, clock
+      series.npz           # energy/diagnostic time series
+      checkpoints/
+        step_000123.npz
+      snapshots/
+        yin_step_000123.npz
+        yang_step_000123.npz
+
+and offers append-style recording plus full reload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import RunConfig
+from repro.grids.component import Panel
+from repro.io.series import TimeSeriesRecorder
+from repro.io.snapshot import Snapshot, load_snapshot, save_snapshot
+from repro.utils.validation import require
+
+MANIFEST_VERSION = 1
+
+
+def _config_to_jsonable(config: RunConfig) -> Dict:
+    d = asdict(config)
+    d["magnetic_bc"] = config.magnetic_bc.value
+    return d
+
+
+class RunCatalog:
+    """One run's on-disk home."""
+
+    def __init__(self, root: str | Path, *, create: bool = True):
+        self.root = Path(root)
+        if create:
+            (self.root / "checkpoints").mkdir(parents=True, exist_ok=True)
+            (self.root / "snapshots").mkdir(parents=True, exist_ok=True)
+        elif not self.root.exists():
+            raise FileNotFoundError(f"no run directory at {self.root}")
+
+    # ---- manifest ---------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def write_manifest(self, config: RunConfig, **extra) -> None:
+        payload = {
+            "manifest_version": MANIFEST_VERSION,
+            "config": _config_to_jsonable(config),
+            **extra,
+        }
+        self.manifest_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def read_manifest(self) -> Dict:
+        require(self.manifest_path.exists(), f"no manifest in {self.root}")
+        data = json.loads(self.manifest_path.read_text())
+        if data.get("manifest_version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {data.get('manifest_version')}"
+            )
+        return data
+
+    # ---- series --------------------------------------------------------------
+
+    def save_series(self, rec: TimeSeriesRecorder) -> Path:
+        return rec.save(self.root / "series.npz")
+
+    def load_series(self) -> TimeSeriesRecorder:
+        return TimeSeriesRecorder.load(self.root / "series.npz")
+
+    # ---- checkpoints ------------------------------------------------------------
+
+    def checkpoint_path(self, step: int) -> Path:
+        return self.root / "checkpoints" / f"step_{step:06d}.npz"
+
+    def save_checkpoint(self, states, *, time: float, step: int) -> Path:
+        return save_checkpoint(self.checkpoint_path(step), states, time=time, step=step)
+
+    def list_checkpoints(self) -> List[int]:
+        out = []
+        for p in sorted((self.root / "checkpoints").glob("step_*.npz")):
+            out.append(int(p.stem.split("_")[1]))
+        return out
+
+    def load_checkpoint(self, step: Optional[int] = None):
+        """Load a checkpoint (default: the latest)."""
+        steps = self.list_checkpoints()
+        require(bool(steps), f"no checkpoints under {self.root}")
+        if step is None:
+            step = steps[-1]
+        require(step in steps, f"no checkpoint for step {step}; have {steps}")
+        return load_checkpoint(self.checkpoint_path(step))
+
+    # ---- snapshots ----------------------------------------------------------------
+
+    def snapshot_path(self, panel: Panel, step: int) -> Path:
+        return self.root / "snapshots" / f"{panel.value}_step_{step:06d}.npz"
+
+    def save_snapshot(self, snap: Snapshot) -> Path:
+        return save_snapshot(self.snapshot_path(snap.panel, snap.step), snap)
+
+    def list_snapshots(self) -> List[tuple]:
+        out = []
+        for p in sorted((self.root / "snapshots").glob("*_step_*.npz")):
+            panel, _, step = p.stem.partition("_step_")
+            out.append((Panel(panel), int(step)))
+        return out
+
+    def load_snapshot(self, panel: Panel, step: int) -> Snapshot:
+        return load_snapshot(self.snapshot_path(panel, step))
+
+    # ---- accounting -----------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())
+
+    def summary(self) -> Dict:
+        return {
+            "root": str(self.root),
+            "has_manifest": self.manifest_path.exists(),
+            "has_series": (self.root / "series.npz").exists(),
+            "checkpoints": self.list_checkpoints(),
+            "snapshots": len(self.list_snapshots()),
+            "total_bytes": self.total_bytes(),
+        }
+
+
+def record_run(
+    dyn,
+    catalog: RunCatalog,
+    n_steps: int,
+    *,
+    snapshot_every: int = 0,
+    checkpoint_every: int = 0,
+    record_every: int = 1,
+) -> TimeSeriesRecorder:
+    """Drive a Yin-Yang dynamo while cataloguing output — the Section V
+    workflow (run; save series; save 3-D data every so often)."""
+    from repro.io.snapshot import snapshot_from_state
+
+    catalog.write_manifest(dyn.config, grid=repr(dyn.grid))
+    rec = TimeSeriesRecorder(["kinetic", "magnetic", "thermal", "mass"])
+    dt = dyn.config.dt or dyn.estimate_dt()
+    for k in range(n_steps):
+        if dyn.config.dt is None and k > 0 and k % dyn.config.dt_recompute_every == 0:
+            dt = dyn.estimate_dt()
+        dyn.step(dt)
+        if record_every and dyn.step_count % record_every == 0:
+            e = dyn.energies()
+            rec.append(dyn.time, kinetic=e.kinetic, magnetic=e.magnetic,
+                       thermal=e.thermal, mass=e.mass)
+        if checkpoint_every and dyn.step_count % checkpoint_every == 0:
+            catalog.save_checkpoint(dyn.state, time=dyn.time, step=dyn.step_count)
+        if snapshot_every and dyn.step_count % snapshot_every == 0:
+            for panel, state in dyn.state.items():
+                snap = snapshot_from_state(
+                    dyn.grid.panel(panel), state, time=dyn.time, step=dyn.step_count
+                )
+                catalog.save_snapshot(snap)
+    catalog.save_series(rec)
+    return rec

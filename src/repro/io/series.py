@@ -1,0 +1,96 @@
+"""Scalar time-series recording (energies, dipole moment, extrema).
+
+Geodynamo studies live on long scalar series — the paper's Section V
+watches kinetic and magnetic energy approach saturation, and its
+references track the dipole moment through reversals.  The recorder is
+a small append-only store with named channels and ``.npz`` persistence.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class TimeSeriesRecorder:
+    """Append-only named scalar channels over simulation time."""
+
+    def __init__(self, channels: Sequence[str]):
+        if not channels:
+            raise ValueError("need at least one channel name")
+        if len(set(channels)) != len(channels):
+            raise ValueError("channel names must be unique")
+        self.channels = tuple(channels)
+        self._t: List[float] = []
+        self._data: Dict[str, List[float]] = {c: [] for c in self.channels}
+
+    def append(self, t: float, **values: float) -> None:
+        """Record one sample; every channel must be supplied."""
+        missing = set(self.channels) - set(values)
+        if missing:
+            raise ValueError(f"missing channels: {sorted(missing)}")
+        extra = set(values) - set(self.channels)
+        if extra:
+            raise ValueError(f"unknown channels: {sorted(extra)}")
+        if self._t and t < self._t[-1]:
+            raise ValueError(f"time must be nondecreasing, got {t} after {self._t[-1]}")
+        self._t.append(float(t))
+        for c in self.channels:
+            self._data[c].append(float(values[c]))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self._t)
+
+    def channel(self, name: str) -> np.ndarray:
+        if name not in self._data:
+            raise KeyError(f"no channel {name!r}; have {self.channels}")
+        return np.array(self._data[name])
+
+    def last(self) -> Dict[str, float]:
+        """Most recent sample as ``{'time': t, channel: value, ...}``."""
+        if not self._t:
+            raise IndexError("recorder is empty")
+        out = {"time": self._t[-1]}
+        out.update({c: self._data[c][-1] for c in self.channels})
+        return out
+
+    def growth_rate(self, name: str, window: int = 10) -> float:
+        """Exponential growth rate of a (positive) channel over the last
+        ``window`` samples — used to watch the dynamo's kinematic phase."""
+        if len(self._t) < max(window, 2):
+            raise ValueError("not enough samples")
+        t = self.times[-window:]
+        y = self.channel(name)[-window:]
+        if np.any(y <= 0.0):
+            raise ValueError(f"channel {name!r} must be positive for a growth rate")
+        slope = np.polyfit(t, np.log(y), 1)[0]
+        return float(slope)
+
+    # ---- persistence --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {"_time": self.times}
+        for c in self.channels:
+            payload[c] = self.channel(c)
+        np.savez_compressed(path, **payload)
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @staticmethod
+    def load(path: str | Path) -> "TimeSeriesRecorder":
+        path = Path(path)
+        if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+            path = path.with_suffix(path.suffix + ".npz")
+        with np.load(path) as data:
+            channels = [k for k in data.files if k != "_time"]
+            rec = TimeSeriesRecorder(channels)
+            times = data["_time"]
+            for i, t in enumerate(times):
+                rec.append(float(t), **{c: float(data[c][i]) for c in channels})
+        return rec

@@ -1,0 +1,109 @@
+"""Visualisation snapshots: derived Cartesian fields (paper Section V).
+
+The prognostic state stores spherical components of ``f`` and ``A``; for
+visualisation/analysis the paper stores the *Cartesian* components of
+``B``, ``v``, the vorticity ``omega = curl v`` and temperature ``T``.
+A snapshot therefore carries 10 scalar fields per panel (3 + 3 + 3 + 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.coords.spherical import sph_vector_to_cart
+from repro.coords.transforms import yinyang_vector_map
+from repro.fd.operators import SphericalOperators
+from repro.grids.base import SphericalPatch
+from repro.grids.component import ComponentGrid, Panel
+from repro.mhd.state import MHDState
+
+Array = np.ndarray
+
+#: Fields stored per panel, in order.
+SNAPSHOT_FIELDS = ("bx", "by", "bz", "vx", "vy", "vz", "wx", "wy", "wz", "temperature")
+
+
+@dataclass
+class Snapshot:
+    """Derived 3-D fields of one panel at one instant.
+
+    Cartesian components are *global-frame* (Yin-frame) components even
+    for the Yang panel, so downstream analysis never needs to know which
+    panel a value came from.
+    """
+
+    panel: Panel
+    time: float
+    step: int
+    fields: Dict[str, Array]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.fields["temperature"].shape
+
+    def nbytes(self, itemsize: int = 4) -> int:
+        """Size when stored at ``itemsize`` bytes per value (the paper
+        saved single precision)."""
+        n = sum(f.size for f in self.fields.values())
+        return n * itemsize
+
+
+def _to_global_cart(patch: SphericalPatch, panel: Panel, vec) -> Tuple[Array, Array, Array]:
+    """Spherical components on a panel -> global-frame Cartesian fields."""
+    th = patch.theta3
+    ph = patch.phi3
+    vx, vy, vz = sph_vector_to_cart(vec[0], vec[1], vec[2], th, ph)
+    if panel is Panel.YANG:
+        # panel-local Cartesian -> global (Yin) frame, eq. (1)
+        vx, vy, vz = yinyang_vector_map(vx, vy, vz)
+    return vx, vy, vz
+
+
+def snapshot_from_state(
+    grid: ComponentGrid, state: MHDState, *, time: float = 0.0, step: int = 0
+) -> Snapshot:
+    """Build the Section-V snapshot fields from one panel's state."""
+    ops = SphericalOperators(grid)
+    v = state.velocity()
+    b = ops.curl(state.a)
+    w = ops.curl(v)
+    bx, by, bz = _to_global_cart(grid, grid.panel, b)
+    vx, vy, vz = _to_global_cart(grid, grid.panel, v)
+    wx, wy, wz = _to_global_cart(grid, grid.panel, w)
+    fields = {
+        "bx": bx, "by": by, "bz": bz,
+        "vx": vx, "vy": vy, "vz": vz,
+        "wx": wx, "wy": wy, "wz": wz,
+        "temperature": state.temperature(),
+    }
+    return Snapshot(panel=grid.panel, time=time, step=step, fields=fields)
+
+
+def save_snapshot(path: str | Path, snap: Snapshot) -> Path:
+    """Write a snapshot as a compressed ``.npz`` (single precision, as
+    the paper's runs did for volume reasons)."""
+    path = Path(path)
+    payload = {k: v.astype(np.float32) for k, v in snap.fields.items()}
+    payload["_panel"] = np.array(snap.panel.value, dtype="U8")
+    payload["_time"] = np.array(snap.time)
+    payload["_step"] = np.array(snap.step)
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_snapshot(path: str | Path) -> Snapshot:
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        fields = {k: np.array(data[k], dtype=np.float64) for k in SNAPSHOT_FIELDS}
+        return Snapshot(
+            panel=Panel(str(data["_panel"])),
+            time=float(data["_time"]),
+            step=int(data["_step"]),
+            fields=fields,
+        )

@@ -1,0 +1,33 @@
+"""A calibrated model of the Earth Simulator (paper Table I).
+
+The ES is gone (and was never pip-installable); reproducing the paper's
+*performance* claims therefore uses an explicit machine model:
+
+* :mod:`~repro.machine.specs` — the hardware constants of Table I;
+* :mod:`~repro.machine.vector` — the SX-6 vector pipeline: vector
+  length 256, startup cost, memory-bank-conflict penalties (the reason
+  the radial grid size is 255 or 511, "just below the size (or doubled
+  size) of the vector register ... to avoid bank conflicts");
+* :mod:`~repro.machine.node` / :mod:`~repro.machine.network` — 8-AP SMP
+  nodes on the 12.3 GB/s x 2 crossbar;
+* :mod:`~repro.machine.counters` — the hardware counters MPIPROGINF
+  reports (FLOP count, vector instruction/element counts, ...).
+"""
+
+from repro.machine.specs import EarthSimulatorSpec, EARTH_SIMULATOR
+from repro.machine.vector import VectorPipeline, bank_conflict_factor, average_vector_length
+from repro.machine.network import CrossbarNetwork
+from repro.machine.node import ProcessorNode, placement
+from repro.machine.counters import HardwareCounters
+
+__all__ = [
+    "EarthSimulatorSpec",
+    "EARTH_SIMULATOR",
+    "VectorPipeline",
+    "bank_conflict_factor",
+    "average_vector_length",
+    "CrossbarNetwork",
+    "ProcessorNode",
+    "placement",
+    "HardwareCounters",
+]

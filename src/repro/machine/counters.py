@@ -1,0 +1,136 @@
+"""Hardware counters as MPIPROGINF reports them (paper List 1).
+
+The Earth Simulator's runtime, with the environment variable
+``MPIPROGINF`` set, printed per-process hardware counters between
+``MPI_Init`` and ``MPI_Finalize``: times, instruction counts, vector
+statistics, FLOP count and memory use, each with the min / max / average
+over the processes.  :class:`HardwareCounters` carries one process's
+values; :func:`synthesize_counters` generates a process population from
+the performance model's prediction with deterministic jitter, matching
+the spreads visible in List 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+from typing import List
+
+import numpy as np
+
+#: Constant runtime/buffer overhead added to field memory (List 1 shows
+#: ~1.1 GB/process where the field arrays alone are tens of MB).
+RUNTIME_MEMORY_OVERHEAD_MB = 1000.0
+
+
+@dataclass
+class HardwareCounters:
+    """One process's MPIPROGINF counter set."""
+
+    real_time: float  #: seconds, MPI_Init..MPI_Finalize
+    user_time: float
+    system_time: float
+    vector_time: float  #: seconds spent in vector instructions
+    instruction_count: float
+    vector_instruction_count: float
+    vector_element_count: float
+    flop_count: float
+    memory_mb: float
+
+    # ---- derived columns (computed exactly as the ES runtime did) -------------
+
+    @property
+    def mflops(self) -> float:
+        """FLOP count / user time / 1e6."""
+        return self.flop_count / self.user_time / 1e6
+
+    @property
+    def mops(self) -> float:
+        """All operations (scalar instructions + vector elements) rate."""
+        scalar_ops = self.instruction_count - self.vector_instruction_count
+        return (scalar_ops + self.vector_element_count) / self.user_time / 1e6
+
+    @property
+    def average_vector_length(self) -> float:
+        """vector elements / vector instructions."""
+        return self.vector_element_count / self.vector_instruction_count
+
+    @property
+    def vector_operation_ratio(self) -> float:
+        """Percent of operations executed by the vector unit."""
+        scalar_ops = self.instruction_count - self.vector_instruction_count
+        return 100.0 * self.vector_element_count / (self.vector_element_count + scalar_ops)
+
+
+def synthesize_counters(
+    *,
+    n_processes: int,
+    flops_per_process: float,
+    user_time: float,
+    avl: float,
+    vector_op_ratio: float,
+    vector_time_fraction: float = 0.79,
+    flops_per_vector_element: float = 0.475,
+    field_memory_mb: float = 50.0,
+    jitter: float = 0.006,
+    seed: int = 15,
+) -> List[HardwareCounters]:
+    """Build a deterministic population of per-process counters.
+
+    ``flops_per_vector_element`` converts element counts to FLOPs (not
+    every vector element count is an arithmetic FLOP — loads, stores and
+    mask operations count as elements too; List 1 implies ~0.47).
+    ``jitter`` reproduces the percent-level min/max spread of List 1.
+    """
+    rng = np.random.default_rng(seed)
+    out: List[HardwareCounters] = []
+    for _ in range(n_processes):
+        j = 1.0 + jitter * rng.standard_normal()
+
+        def wob(x: float, scale: float = 1.0) -> float:
+            return float(x * (1.0 + scale * jitter * rng.standard_normal()))
+
+        flops = flops_per_process * j
+        vec_elems = flops / flops_per_vector_element
+        vec_instr = vec_elems / wob(avl, 0.15)
+        # instruction count: vector instructions + scalar instructions,
+        # scalar count chosen to hit the vector-operation ratio
+        scalar_ops = vec_elems * (1.0 - vector_op_ratio) / vector_op_ratio
+        ut = wob(user_time)
+        out.append(
+            HardwareCounters(
+                real_time=ut * wob(1.024, 0.05),
+                user_time=ut,
+                system_time=wob(0.0101 * user_time, 2.0),
+                vector_time=wob(vector_time_fraction * user_time),
+                instruction_count=scalar_ops + vec_instr,
+                vector_instruction_count=vec_instr,
+                vector_element_count=vec_elems,
+                flop_count=flops,
+                memory_mb=wob(field_memory_mb + RUNTIME_MEMORY_OVERHEAD_MB, 0.4),
+            )
+        )
+    return out
+
+
+def aggregate(counters: List[HardwareCounters]):
+    """Global min/max/average rows exactly as MPIPROGINF aggregates them.
+
+    Returns ``{field: (min, argmin, max, argmax, mean)}`` over the plain
+    counter fields.
+    """
+    table = {}
+    for f in dc_fields(HardwareCounters):
+        vals = np.array([getattr(c, f.name) for c in counters])
+        table[f.name] = (
+            float(vals.min()), int(vals.argmin()),
+            float(vals.max()), int(vals.argmax()),
+            float(vals.mean()),
+        )
+    for name in ("mflops", "mops", "average_vector_length", "vector_operation_ratio"):
+        vals = np.array([getattr(c, name) for c in counters])
+        table[name] = (
+            float(vals.min()), int(vals.argmin()),
+            float(vals.max()), int(vals.argmax()),
+            float(vals.mean()),
+        )
+    return table

@@ -1,0 +1,121 @@
+"""Per-rank step simulation (BSP) — the machine model's second opinion.
+
+The closed-form model in :mod:`repro.perf.model` times the *slowest*
+process analytically.  This module simulates one RK4 step rank-by-rank
+under bulk-synchronous-parallel semantics: each stage, every rank
+computes over its own tile (tiles differ — the ceil-division load
+imbalance), then the stage synchronises on communication.  The makespan
+distribution feeds the MPIPROGINF-style jitter and validates the
+closed-form prediction (tested to agree within a few per cent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.machine.specs import EarthSimulatorSpec
+from repro.parallel.decomposition import PanelDecomposition
+from repro.perf.model import ITEM, N_FIELDS, N_STAGES, PerformanceModel
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class StepSimulation:
+    """Outcome of one simulated time step across all ranks."""
+
+    compute_times: Array  #: per-rank seconds of computation per step
+    comm_times: Array  #: per-rank seconds of communication per step
+    makespan: float  #: wall time of the step (max over ranks, BSP)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of the per-rank compute time (1 = perfectly even)."""
+        return float(self.compute_times.max() / self.compute_times.mean())
+
+    @property
+    def mean_comm_fraction(self) -> float:
+        total = self.compute_times + self.comm_times
+        return float((self.comm_times / total).mean())
+
+
+def simulate_step(
+    model: PerformanceModel, nr: int, nth: int, nph: int, n_processors: int
+) -> StepSimulation:
+    """Simulate one step of the flat-MPI yycore on the machine model.
+
+    Every rank of both panels gets its actual tile from the same
+    decomposition the parallel solver uses, its compute time from the
+    vector-pipeline model, and its halo/overset communication from the
+    network model; the BSP stage barrier makes the makespan the max
+    over ranks of (compute + comm) plus the per-stage fixed overhead.
+    """
+    n_per_panel = n_processors // 2
+    from repro.perf.model import choose_process_grid
+
+    pth, pph = choose_process_grid(n_per_panel, nth, nph)
+    decomp = PanelDecomposition(nth, nph, pth, pph)
+
+    compute = np.empty(n_processors)
+    comm = np.empty(n_processors)
+    spec: EarthSimulatorSpec = model.spec
+    inter_frac = model.network.internode_fraction_of_neighbours(spec.aps_per_node, pph)
+    for panel in range(2):
+        for rank in range(n_per_panel)  :
+            sub = decomp.subdomain(rank)
+            oth, oph = sub.owned_shape
+            local_points = float(nr) * oth * oph
+            t_comp = model._compute_time(local_points, nr)
+            # per-stage halo messages of this rank's actual strips
+            msgs = []
+            for direction, width in (
+                ("n", oph), ("s", oph), ("w", oth), ("e", oth)
+            ):
+                has = {
+                    "n": sub.halo_n, "s": sub.halo_s, "w": sub.halo_w, "e": sub.halo_e
+                }[direction]
+                if has:
+                    msgs.append(2 * width * nr * ITEM)
+            t_halo = 0.0
+            for nbytes in msgs:
+                t_inter = model.network.message_time(
+                    nbytes, internode=True, sharing=spec.aps_per_node // 2
+                )
+                t_intra = model.network.message_time(nbytes, internode=False)
+                t_halo += inter_frac * t_inter + (1 - inter_frac) * t_intra
+                t_halo += model.msg_software
+            t_halo *= N_STAGES * N_FIELDS
+            # overset share: only edge tiles carry ring points
+            is_edge = (
+                sub.th0 == 0 or sub.th1 == nth or sub.ph0 == 0 or sub.ph1 == nph
+            )
+            t_over = (
+                model._overset_time(nr, nth, nph, n_per_panel) if is_edge else 0.0
+            )
+            idx = panel * n_per_panel + rank
+            compute[idx] = t_comp
+            comm[idx] = t_halo + t_over
+    makespan = float(np.max(compute + comm)) + N_STAGES * model.fixed_overhead
+    return StepSimulation(compute_times=compute, comm_times=comm, makespan=makespan)
+
+
+def validate_against_closed_form(
+    model: PerformanceModel, nr: int, nth: int, nph: int, n_processors: int
+) -> float:
+    """Ratio simulated makespan / closed-form step time (~1, tested)."""
+    sim = simulate_step(model, nr, nth, nph, n_processors)
+    pred = model.predict(nr, nth, nph, n_processors)
+    return sim.makespan / pred.step_time
+
+
+def per_rank_flop_rates(
+    model: PerformanceModel, sim: StepSimulation, nr: int, nth: int, nph: int
+) -> List[float]:
+    """Per-rank sustained GFlop/s over the simulated step, for the
+    MPIPROGINF min/max spread."""
+    n = sim.compute_times.size
+    total_flops = model.work_per_point * nr * nth * nph * 2 / n
+    return [float(total_flops / sim.makespan / 1e9) for _ in range(n)]

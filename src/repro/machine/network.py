@@ -1,0 +1,84 @@
+"""The Earth Simulator's single-stage crossbar network model.
+
+640 nodes on a full crossbar at 12.3 GB/s per direction per node
+(Table I).  Flat MPI puts 8 processes on each node: intra-node messages
+move through shared memory; inter-node messages share the node's
+crossbar port, so the effective per-process bandwidth divides by the
+number of processes on the node communicating simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import EarthSimulatorSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CrossbarNetwork:
+    """Message-time model over the ES crossbar."""
+
+    spec: EarthSimulatorSpec
+
+    def message_time(
+        self, nbytes: float, *, internode: bool, sharing: int = 1
+    ) -> float:
+        """Seconds to deliver one message.
+
+        Parameters
+        ----------
+        nbytes:
+            Message payload size.
+        internode:
+            Whether the peers sit on different nodes.
+        sharing:
+            Processes on this node concurrently using the crossbar port
+            (flat MPI: up to 8); bandwidth divides among them.
+        """
+        check_positive("sharing", sharing)
+        if internode:
+            lat = self.spec.mpi_latency_us * 1e-6
+            bw = self.spec.internode_bw_gbs * 1e9 / sharing
+        else:
+            lat = self.spec.intranode_latency_us * 1e-6
+            bw = self.spec.intranode_bw_gbs * 1e9
+        return lat + nbytes / bw
+
+    def exchange_time(
+        self,
+        messages: list[tuple[float, bool]],
+        *,
+        sharing: int = 1,
+        overlap: float = 0.0,
+    ) -> float:
+        """Total time of a set of ``(nbytes, internode)`` messages issued
+        by one process in one communication phase.
+
+        ``overlap`` in [0, 1) discounts the fraction hidden behind
+        computation (the paper's flat-MPI yycore does not overlap:
+        default 0)."""
+        total = sum(
+            self.message_time(nb, internode=inter, sharing=sharing)
+            for nb, inter in messages
+        )
+        return total * (1.0 - overlap)
+
+    def internode_fraction_of_neighbours(
+        self, procs_per_node: int, tile_cols: int
+    ) -> float:
+        """Probability a cartesian neighbour lives on another node.
+
+        With row-major placement of a 2-D process array whose rows have
+        ``tile_cols`` processes and ``procs_per_node`` consecutive ranks
+        per node, east/west neighbours are mostly intra-node while
+        north/south neighbours are mostly inter-node.  Used by the
+        performance model to mix latencies.
+        """
+        check_positive("procs_per_node", procs_per_node)
+        check_positive("tile_cols", tile_cols)
+        # east/west: adjacent ranks; intra-node unless crossing a node edge
+        ew_internode = 1.0 / procs_per_node
+        # north/south: ranks differ by tile_cols
+        ns_internode = 1.0 if tile_cols >= procs_per_node else tile_cols / procs_per_node
+        return 0.5 * ew_internode + 0.5 * ns_internode

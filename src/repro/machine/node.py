@@ -1,0 +1,54 @@
+"""Processor-node layout helpers (8 APs per PN, flat MPI placement)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.machine.specs import EarthSimulatorSpec
+from repro.utils.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class ProcessorNode:
+    """One PN: 8 APs sharing 16 GB of memory."""
+
+    spec: EarthSimulatorSpec
+    node_id: int
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.spec.ap_peak_gflops * self.spec.aps_per_node
+
+    def fits(self, bytes_per_process: float, processes: int) -> bool:
+        """Does the working set of ``processes`` flat-MPI ranks fit?"""
+        return bytes_per_process * processes <= self.spec.node_memory_gb * 2**30
+
+
+def placement(n_processes: int, spec: EarthSimulatorSpec) -> List[Tuple[int, int]]:
+    """Flat-MPI rank placement: ``rank -> (node, slot)``, 8 per node.
+
+    MPI on the ES fills nodes with consecutive ranks; the performance
+    model uses this to decide which neighbour messages stay on-node.
+    """
+    check_positive("n_processes", n_processes)
+    require(
+        n_processes <= spec.total_aps,
+        f"{n_processes} processes exceed the machine's {spec.total_aps} APs",
+    )
+    per = spec.aps_per_node
+    return [(r // per, r % per) for r in range(n_processes)]
+
+
+def memory_per_process_bytes(
+    nr: int, local_nth: int, local_nph: int, *, nfields: int = 30, itemsize: int = 8
+) -> float:
+    """Working-set estimate of one yycore process's *field arrays*.
+
+    ``nfields`` counts prognostic fields, RK4 stage storage and work
+    arrays.  List 1 reports ~1.1 GB per process for the flagship run —
+    far above the field arrays alone; the difference is MPI buffering
+    and runtime overhead, modelled as a constant in
+    :mod:`repro.machine.counters`.
+    """
+    return float(nr) * local_nth * local_nph * nfields * itemsize

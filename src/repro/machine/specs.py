@@ -1,0 +1,82 @@
+"""Earth Simulator hardware specifications (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class EarthSimulatorSpec:
+    """The constants of Table I plus modelling parameters.
+
+    The first block is verbatim Table I; the second are pipeline/network
+    characteristics typical of the SX-6-class hardware, used by the
+    performance model and documented in DESIGN.md.
+    """
+
+    # ---- Table I ------------------------------------------------------------
+    ap_peak_gflops: float = 8.0  #: peak performance of one arithmetic processor
+    aps_per_node: int = 8  #: APs per processor node (PN)
+    total_nodes: int = 640  #: total number of PNs
+    node_memory_gb: float = 16.0  #: shared memory per PN
+    internode_bw_gbs: float = 12.3  #: inter-node transfer rate, each direction
+    total_memory_tb: float = 10.0
+
+    # ---- pipeline / network model parameters ---------------------------------
+    vector_register_length: int = 256  #: hardware vector length
+    vector_startup_elements: float = 40.0  #: pipeline fill cost, in elements
+    scalar_slowdown: float = 16.0  #: scalar unit speed = peak / this
+    memory_banks: int = 2048  #: interleaved main-memory banks per node
+    mpi_latency_us: float = 8.6  #: one-way MPI latency between nodes
+    intranode_bw_gbs: float = 32.0  #: shared-memory copy bandwidth inside a PN
+    intranode_latency_us: float = 1.5
+
+    def __post_init__(self):
+        check_positive("ap_peak_gflops", self.ap_peak_gflops)
+        require(self.aps_per_node >= 1, "aps_per_node must be >= 1")
+        require(self.total_nodes >= 1, "total_nodes must be >= 1")
+        require(self.vector_register_length >= 1, "vector register length >= 1")
+
+    # ---- derived Table I rows ---------------------------------------------------
+
+    @property
+    def total_aps(self) -> int:
+        """8 AP x 640 PN = 5120."""
+        return self.aps_per_node * self.total_nodes
+
+    @property
+    def total_peak_tflops(self) -> float:
+        """8 Gflops x 5120 AP = 40 Tflops."""
+        return self.ap_peak_gflops * self.total_aps / 1000.0
+
+    def peak_tflops(self, n_processors: int) -> float:
+        """Theoretical peak of ``n_processors`` APs, in TFlops."""
+        require(1 <= n_processors <= self.total_aps,
+                f"processor count {n_processors} outside machine size")
+        return self.ap_peak_gflops * n_processors / 1000.0
+
+    def nodes_for(self, n_processors: int) -> int:
+        """PNs occupied by ``n_processors`` flat-MPI processes (1/AP)."""
+        return -(-n_processors // self.aps_per_node)
+
+    def table_rows(self):
+        """Table I as (label, value) rows for the bench harness."""
+        return [
+            ("Peak performance of arithmetic processor (AP)", f"{self.ap_peak_gflops:g} Gflops"),
+            ("Number of AP in a processor node (PN)", f"{self.aps_per_node}"),
+            ("Total number of PN", f"{self.total_nodes}"),
+            ("Total number of AP",
+             f"{self.aps_per_node} AP x {self.total_nodes} PN = {self.total_aps}"),
+            ("Shared memory size of PN", f"{self.node_memory_gb:g} GB"),
+            ("Total peak performance",
+             f"{self.ap_peak_gflops:g} Gflops x {self.total_aps} AP = "
+             f"{self.total_peak_tflops:g} Tflops"),
+            ("Total main memory", f"{self.total_memory_tb:g} TB"),
+            ("Inter-node data transfer rate", f"{self.internode_bw_gbs:g} GB/s x 2"),
+        ]
+
+
+#: The machine of the paper.
+EARTH_SIMULATOR = EarthSimulatorSpec()

@@ -1,0 +1,44 @@
+"""The compressible MHD geodynamo model (paper Section III).
+
+Basic variables (eqs. 2-5): mass density ``rho``, mass flux ``f = rho v``,
+pressure ``p``, magnetic vector potential ``A``.  Subsidiary fields:
+``B = curl A``, ``j = curl B``, ``E = -v x B + eta j``; ideal gas
+``p = rho T``; central gravity ``g = -g0 / r^2 rhat``; rotating frame
+with Coriolis force ``2 rho v x Omega``.
+"""
+
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+from repro.mhd.equations import PanelEquations
+from repro.mhd.boundary import WallBC, MagneticBC
+from repro.mhd.initial import (
+    conduction_state,
+    hydrostatic_profiles,
+    perturb_mode,
+    perturb_state,
+)
+from repro.mhd.filter import apply_shapiro, filter_state
+# repro.mhd.linear drives the full solver (repro.core) and is imported
+# directly to avoid a circular package import.
+from repro.mhd.rk4 import rk4_step
+from repro.mhd.cfl import estimate_dt, signal_speeds
+from repro.mhd.diagnostics import EnergyReport, panel_energies
+
+__all__ = [
+    "MHDParameters",
+    "MHDState",
+    "PanelEquations",
+    "WallBC",
+    "MagneticBC",
+    "conduction_state",
+    "hydrostatic_profiles",
+    "perturb_mode",
+    "perturb_state",
+    "apply_shapiro",
+    "filter_state",
+    "rk4_step",
+    "estimate_dt",
+    "signal_speeds",
+    "EnergyReport",
+    "panel_energies",
+]

@@ -1,0 +1,98 @@
+"""Time-step estimation for the explicit compressible MHD solver.
+
+The fastest signals are the fast magnetosonic speed (bounded by the
+sound speed plus the Alfven speed) and the flow speed; diffusion adds a
+quadratic-in-h limit.  The smallest cell width on a patch sets the
+constraint — on the lat-lon baseline that width collapses near the poles
+(the penalty quantified in ``bench_fig1_grid``), while on a Yin-Yang
+panel it stays within a factor sqrt(2) of the equatorial width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.grids.base import SphericalPatch
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+
+Array = np.ndarray
+
+
+def min_cell_widths(patch: SphericalPatch) -> tuple[float, float, float]:
+    """Smallest physical cell extents ``(dr, r dtheta, r sin(theta) dphi)``.
+
+    Colatitude halo rows (which may overshoot the poles on the lat-lon
+    grid) are excluded; the interior rows govern stability.
+    """
+    theta = patch.theta[1:-1]
+    r_min = patch.ri
+    return (
+        patch.dr,
+        r_min * patch.dtheta,
+        float(r_min * np.min(np.abs(np.sin(theta))) * patch.dphi),
+    )
+
+
+@dataclass(frozen=True)
+class SignalSpeeds:
+    sound: float
+    alfven: float
+    flow: float
+
+    @property
+    def fast(self) -> float:
+        """Upper bound on the fast magnetosonic + advection speed."""
+        return self.sound + self.alfven + self.flow
+
+
+def signal_speeds(state: MHDState, params: MHDParameters, b_fields=None) -> SignalSpeeds:
+    """Maximum signal speeds over a patch state.
+
+    ``b_fields`` may pass precomputed magnetic components (avoiding a
+    curl); absent, the magnetic contribution uses the vector potential's
+    magnitude scaled by a conservative shell-gradient bound, which is a
+    cheap overestimate suitable for step control before B is assembled.
+    """
+    rho = state.rho
+    sound = float(np.sqrt(params.gamma * np.max(state.p / rho)))
+    v = state.velocity()
+    flow = float(np.sqrt(np.max(v[0] ** 2 + v[1] ** 2 + v[2] ** 2)))
+    if b_fields is not None:
+        b2 = b_fields[0] ** 2 + b_fields[1] ** 2 + b_fields[2] ** 2
+        alfven = float(np.sqrt(np.max(b2 / rho)))
+    else:
+        a2 = state.ar**2 + state.ath**2 + state.aph**2
+        bound = np.sqrt(np.max(a2)) * (2.0 * np.pi / (params.ro - params.ri))
+        alfven = float(bound / np.sqrt(np.min(rho)))
+    return SignalSpeeds(sound=sound, alfven=alfven, flow=flow)
+
+
+def estimate_dt(
+    patches_states: Iterable[tuple[SphericalPatch, MHDState]],
+    params: MHDParameters,
+    *,
+    cfl: float = 0.3,
+    b_fields=None,
+) -> float:
+    """Stable explicit time step over one or more (patch, state) pairs.
+
+    Combines the advective limit ``cfl * h / c_fast`` with the diffusive
+    limit ``cfl * h^2 / (2 d_max)`` where ``d_max`` is the largest
+    diffusivity among ``mu/rho_min``, ``kappa/rho_min`` and ``eta``.
+    """
+    dt = np.inf
+    for patch, state in patches_states:
+        h = min(min_cell_widths(patch))
+        sp = signal_speeds(state, params, b_fields=b_fields)
+        rho_min = float(np.min(state.rho))
+        d_max = max(params.mu / rho_min, params.kappa / rho_min, params.eta)
+        dt_adv = cfl * h / max(sp.fast, 1e-300)
+        dt_diff = cfl * h * h / (2.0 * d_max)
+        dt = min(dt, dt_adv, dt_diff)
+    if not np.isfinite(dt):
+        raise ValueError("could not bound the time step (empty input?)")
+    return float(dt)

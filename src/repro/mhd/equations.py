@@ -1,0 +1,161 @@
+"""Right-hand sides of the normalised MHD equations (eqs. 2-6).
+
+:class:`PanelEquations` evaluates the time derivatives of the prognostic
+state on one grid patch.  The same class serves the Yin panel, the Yang
+panel and the lat-lon baseline: the only panel-dependent ingredient is
+the orientation of the rotation vector, supplied as *local Cartesian*
+components (the rotation axis is the global +z axis, which is the Yang
+frame's +y axis — eq. 1).  This mirrors the paper's observation that all
+Yin subroutines serve Yang unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.coords.spherical import cart_vector_to_sph
+from repro.fd.operators import SphericalOperators
+from repro.fd.strain import viscous_dissipation
+from repro.grids.base import SphericalPatch
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+
+Array = np.ndarray
+Vec = Tuple[Array, Array, Array]
+
+
+def rotation_vector_field(patch: SphericalPatch, omega_cart: Tuple[float, float, float]) -> Vec:
+    """Local spherical components of a constant Cartesian vector.
+
+    A constant vector (the rotation axis) has position-dependent
+    spherical components; broadcastable ``(1, nth, nph)`` arrays are
+    returned so the cross products in the RHS broadcast for free.
+    """
+    th, ph = np.meshgrid(patch.theta, patch.phi, indexing="ij")
+    wx, wy, wz = (np.full(th.shape, c) for c in omega_cart)
+    wr, wth, wph = cart_vector_to_sph(wx, wy, wz, th, ph)
+    return (wr[None, :, :], wth[None, :, :], wph[None, :, :])
+
+
+class PanelEquations:
+    """RHS evaluator for one patch.
+
+    Parameters
+    ----------
+    patch:
+        The grid patch; its metric feeds the spherical operators.
+    params:
+        Physical parameters.
+    omega_cart:
+        Rotation vector in the *patch-local* Cartesian frame.  Yin /
+        lat-lon: ``(0, 0, omega)``; Yang: ``(0, omega, 0)``.
+    """
+
+    def __init__(
+        self,
+        patch: SphericalPatch,
+        params: MHDParameters,
+        omega_cart: Tuple[float, float, float],
+    ):
+        self.patch = patch
+        self.params = params
+        self.ops = SphericalOperators(patch)
+        self.omega = rotation_vector_field(patch, omega_cart)
+        # central gravity: g = -g0 / r^2 rhat, precomputed radial profile
+        self.gravity_r = -params.g0 / patch.r3**2
+
+    # ---- subsidiary fields -----------------------------------------------------
+
+    def magnetic_field(self, state: MHDState) -> Vec:
+        """``B = curl A``."""
+        return self.ops.curl(state.a)
+
+    def current_density(self, b: Vec) -> Vec:
+        """``j = curl B``."""
+        return self.ops.curl(b)
+
+    def electric_field(self, v: Vec, b: Vec, j: Vec) -> Vec:
+        """``E = -v x B + eta j``."""
+        vxb = self.ops.cross(v, b)
+        eta = self.params.eta
+        return (-vxb[0] + eta * j[0], -vxb[1] + eta * j[1], -vxb[2] + eta * j[2])
+
+    # ---- the full right-hand side ------------------------------------------------
+
+    def rhs(self, state: MHDState) -> MHDState:
+        """Time derivatives of all eight prognostic fields (eqs. 2-5).
+
+        Values on boundary/halo points are computed with one-sided
+        stencils and are meaningless; the drivers overwrite them with
+        boundary-condition data after every stage.
+        """
+        ops = self.ops
+        prm = self.params
+        v = state.velocity()
+        f = state.f
+
+        # eq. (2): mass continuity
+        drho = -ops.div(f)
+
+        # subsidiary electromagnetic fields
+        b = self.magnetic_field(state)
+        j = self.current_density(b)
+
+        # eq. (3): momentum
+        momentum_flux = ops.div_tensor_vf(v, f)
+        gp = ops.grad(state.p)
+        jxb = ops.cross(j, b)
+        cor = ops.cross(v, self.omega)
+        gd = ops.grad_div(v)
+        lap_v = ops.vector_laplacian(v)
+        rho = state.rho
+        df = tuple(
+            -momentum_flux[i]
+            - gp[i]
+            + jxb[i]
+            + 2.0 * rho * cor[i]
+            + prm.mu * (lap_v[i] + gd[i] / 3.0)
+            for i in range(3)
+        )
+        # gravity acts radially only
+        df = (df[0] + rho * self.gravity_r, df[1], df[2])
+
+        # eq. (4): pressure
+        divv = ops.div(v)
+        temp = state.p / rho
+        phi_visc = viscous_dissipation(ops, v, prm.mu)
+        j2 = ops.norm2(j)
+        dp = (
+            -ops.advect_scalar(v, state.p)
+            - prm.gamma * state.p * divv
+            + (prm.gamma - 1.0)
+            * (prm.kappa * ops.laplacian(temp) + prm.eta * j2 + phi_visc)
+        )
+
+        # eq. (5): induction, dA/dt = -E
+        e = self.electric_field(v, b, j)
+        da = (-e[0], -e[1], -e[2])
+
+        return MHDState(
+            rho=drho,
+            fr=df[0], fth=df[1], fph=df[2],
+            p=dp,
+            ar=da[0], ath=da[1], aph=da[2],
+        )
+
+    # ---- energy sources (diagnostics) ----------------------------------------------
+
+    def lorentz_work(self, state: MHDState) -> Array:
+        """``v . (j x B)`` — rate of magnetic-to-kinetic energy transfer."""
+        v = state.velocity()
+        b = self.magnetic_field(state)
+        j = self.current_density(b)
+        return self.ops.dot(v, self.ops.cross(j, b))
+
+    def ohmic_heating(self, state: MHDState) -> Array:
+        """``eta j^2`` — Joule dissipation density."""
+        b = self.magnetic_field(state)
+        j = self.current_density(b)
+        return self.params.eta * self.ops.norm2(j)

@@ -1,0 +1,170 @@
+"""Physical parameters and nondimensional numbers of the dynamo model.
+
+The paper's normalisation: outer-sphere radius ``ro = 1``, outer-sphere
+temperature ``T(ro) = 1`` and density ``rho(ro) = 1``.  Six free
+parameters govern the system, three of them dissipation constants
+(viscosity ``mu``, thermal conductivity ``kappa``, resistivity ``eta``).
+The headline run takes the previous (reversal) run's parameters with
+each dissipation constant divided by 10, making the Rayleigh number 100
+times larger (3e6) and the Ekman number 2e-5.
+
+Nondimensional definitions used here (documented, since the paper defers
+to its references):
+
+* shell depth ``L = ro - ri``;
+* ``Ekman = nu / (Omega L^2)`` with ``nu = mu / rho(ro) = mu``;
+* ``Rayleigh = g_o dT L^3 / (nu kappa_T)`` with ``g_o = g0 / ro^2`` the
+  gravity at the outer wall, ``dT = T_inner - 1`` and
+  ``kappa_T = kappa`` (unit density/heat capacity in these units);
+* ``Prandtl = nu / kappa_T``; ``magnetic Prandtl = nu / eta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class MHDParameters:
+    """Parameter set for the normalised compressible MHD equations."""
+
+    gamma: float = 5.0 / 3.0  #: ratio of specific heats
+    g0: float = 1.0  #: central gravity constant, g = -g0/r^2 rhat
+    omega: float = 10.0  #: frame rotation rate (axis = global +z)
+    mu: float = 1e-3  #: dynamic viscosity
+    kappa: float = 1e-3  #: thermal conductivity K
+    eta: float = 1e-3  #: electrical resistivity
+    t_inner: float = 2.0  #: fixed temperature of the inner wall (T(ro)=1)
+    ri: float = 0.35  #: inner wall radius (ro = 1 by normalisation)
+    ro: float = 1.0  #: outer wall radius (paper normalisation: = 1)
+
+    def __post_init__(self):
+        require(self.gamma > 1.0, f"gamma must exceed 1, got {self.gamma}")
+        for name in ("g0", "mu", "kappa", "eta", "ri", "ro"):
+            check_positive(name, getattr(self, name))
+        require(self.omega >= 0.0, "omega must be >= 0")
+        require(self.ro > self.ri, "ro must exceed ri")
+        require(self.t_inner >= 1.0, "inner wall must be at least as hot as outer")
+
+    # ---- nondimensional numbers ------------------------------------------------
+
+    @property
+    def shell_depth(self) -> float:
+        return self.ro - self.ri
+
+    @property
+    def nu(self) -> float:
+        """Kinematic viscosity at the outer wall (rho(ro) = 1)."""
+        return self.mu
+
+    @property
+    def ekman(self) -> float:
+        """``nu / (Omega L^2)`` — 2e-5 for the paper's headline run."""
+        if self.omega == 0.0:
+            return float("inf")
+        return self.nu / (self.omega * self.shell_depth**2)
+
+    @property
+    def rayleigh(self) -> float:
+        """``g_o dT L^3 / (nu kappa)`` — 3e6 for the headline run."""
+        g_outer = self.g0 / self.ro**2
+        dT = self.t_inner - 1.0
+        return g_outer * dT * self.shell_depth**3 / (self.nu * self.kappa)
+
+    @property
+    def prandtl(self) -> float:
+        return self.nu / self.kappa
+
+    @property
+    def magnetic_prandtl(self) -> float:
+        return self.nu / self.eta
+
+    @property
+    def taylor(self) -> float:
+        """``(2 Omega L^2 / nu)^2 = (2 / Ekman)^2``."""
+        if self.omega == 0.0:
+            return 0.0
+        return (2.0 * self.omega * self.shell_depth**2 / self.nu) ** 2
+
+    @property
+    def magnetic_decay_time(self) -> float:
+        """Free decay time of the slowest shell mode, ``L^2 / (pi^2 eta)``.
+
+        Section V reports the 6-hour run advanced ~0.3 % of this time.
+        """
+        return self.shell_depth**2 / (self.eta * 3.141592653589793**2)
+
+    # ---- presets ---------------------------------------------------------------
+
+    def with_dissipation_scaled(self, factor: float) -> "MHDParameters":
+        """Scale all three dissipation constants by ``factor``.
+
+        The paper's run is the previous run with ``factor = 1/10``:
+        Reynolds numbers x10, Rayleigh x100.
+        """
+        check_positive("factor", factor)
+        return replace(
+            self, mu=self.mu * factor, kappa=self.kappa * factor, eta=self.eta * factor
+        )
+
+    @staticmethod
+    def from_nondimensional(
+        rayleigh: float,
+        ekman: float,
+        *,
+        prandtl: float = 1.0,
+        magnetic_prandtl: float = 1.0,
+        g0: float = 2.0,
+        t_inner: float = 2.0,
+        gamma: float = 5.0 / 3.0,
+        ri: float = 0.35,
+        ro: float = 1.0,
+    ) -> "MHDParameters":
+        """Build a parameter set from target nondimensional numbers.
+
+        The compressible normalisation fixes the sound speed near 1, so a
+        *modest* gravity constant (default ``g0 = 2``, giving a mild
+        density stratification ``rho(ri)/rho(ro) ~ T_i^(g0/b - 1)``) is
+        held fixed and the dissipation constants are derived::
+
+            nu    = sqrt(g_o dT L^3 Pr / Ra)
+            kappa = nu / Pr,   eta = nu / Pm,   Omega = nu / (Ek L^2)
+        """
+        check_positive("rayleigh", rayleigh)
+        check_positive("ekman", ekman)
+        check_positive("prandtl", prandtl)
+        check_positive("magnetic_prandtl", magnetic_prandtl)
+        L = ro - ri
+        g_outer = g0 / ro**2
+        dT = t_inner - 1.0
+        require(dT > 0.0, "t_inner must exceed 1 to drive convection")
+        nu = (g_outer * dT * L**3 * prandtl / rayleigh) ** 0.5
+        kappa = nu / prandtl
+        eta = nu / magnetic_prandtl
+        omega = nu / (ekman * L**2)
+        return MHDParameters(
+            gamma=gamma, g0=g0, omega=omega, mu=nu, kappa=kappa, eta=eta,
+            t_inner=t_inner, ri=ri, ro=ro,
+        )
+
+    @staticmethod
+    def previous_run() -> "MHDParameters":
+        """Parameters patterned on the earlier reversal runs [Li et al.
+        2002], chosen so the paper's quoted numbers emerge after the /10
+        dissipation scaling: Rayleigh 3e4 -> 3e6, Ekman 2e-4 -> 2e-5."""
+        return MHDParameters.from_nondimensional(rayleigh=3e4, ekman=2e-4)
+
+    @staticmethod
+    def paper_run() -> "MHDParameters":
+        """The SC 2004 headline parameters: previous run, dissipation / 10
+        (Rayleigh = 3e6, Ekman = 2e-5)."""
+        return MHDParameters.previous_run().with_dissipation_scaled(0.1)
+
+    @staticmethod
+    def laptop_demo(rayleigh: float = 1e4, ekman: float = 2e-3) -> "MHDParameters":
+        """Moderate parameters that convect on coarse meshes in seconds:
+        supercritical but laminar — a handful of convection columns,
+        resolvable with ~20 points per dimension."""
+        return MHDParameters.from_nondimensional(rayleigh=rayleigh, ekman=ekman)

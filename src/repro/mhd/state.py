@@ -1,0 +1,118 @@
+"""The prognostic state of the MHD system on one grid patch.
+
+The paper's basic simulation variables are the mass density ``rho``, the
+mass flux density ``f = rho v``, the pressure ``p`` and the magnetic
+vector potential ``A`` — eight scalar fields per grid point.  Magnetic
+field, current density and electric field are *subsidiary* quantities
+recomputed from the state when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+Vec = Tuple[Array, Array, Array]
+
+#: Canonical ordering of the eight prognostic fields.
+FIELD_NAMES = ("rho", "fr", "fth", "fph", "p", "ar", "ath", "aph")
+
+
+@dataclass
+class MHDState:
+    """Eight prognostic arrays on a single patch, all the same shape."""
+
+    rho: Array
+    fr: Array
+    fth: Array
+    fph: Array
+    p: Array
+    ar: Array
+    ath: Array
+    aph: Array
+
+    def __post_init__(self):
+        shape = self.rho.shape
+        for name in FIELD_NAMES:
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ValueError(
+                    f"field {name} has shape {arr.shape}, expected {shape}"
+                )
+
+    # ---- construction ---------------------------------------------------------
+
+    @staticmethod
+    def zeros(shape: Tuple[int, int, int]) -> "MHDState":
+        return MHDState(*(np.zeros(shape) for _ in FIELD_NAMES))
+
+    def copy(self) -> "MHDState":
+        return MHDState(*(getattr(self, n).copy() for n in FIELD_NAMES))
+
+    # ---- views ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.rho.shape
+
+    @property
+    def f(self) -> Vec:
+        """Mass-flux vector components."""
+        return (self.fr, self.fth, self.fph)
+
+    @property
+    def a(self) -> Vec:
+        """Vector-potential components."""
+        return (self.ar, self.ath, self.aph)
+
+    def velocity(self) -> Vec:
+        """``v = f / rho`` (allocates three new arrays)."""
+        inv = 1.0 / self.rho
+        return (self.fr * inv, self.fth * inv, self.fph * inv)
+
+    def temperature(self) -> Array:
+        """``T = p / rho`` (ideal gas, eq. 6)."""
+        return self.p / self.rho
+
+    def arrays(self) -> Iterator[Array]:
+        for n in FIELD_NAMES:
+            yield getattr(self, n)
+
+    def named_arrays(self) -> Iterator[Tuple[str, Array]]:
+        for n in FIELD_NAMES:
+            yield n, getattr(self, n)
+
+    # ---- algebra for time integration ---------------------------------------------
+
+    def axpy(self, a: float, other: "MHDState") -> "MHDState":
+        """Return ``self + a * other`` as a new state."""
+        return MHDState(
+            *(x + a * y for x, y in zip(self.arrays(), other.arrays()))
+        )
+
+    def iadd_scaled(self, a: float, other: "MHDState") -> "MHDState":
+        """In-place ``self += a * other``; returns self."""
+        for x, y in zip(self.arrays(), other.arrays()):
+            x += a * y
+        return self
+
+    def scale(self, a: float) -> "MHDState":
+        """In-place ``self *= a``; returns self."""
+        for x in self.arrays():
+            x *= a
+        return self
+
+    # ---- sanity -----------------------------------------------------------------
+
+    def is_physical(self) -> bool:
+        """Positivity of density and pressure, finiteness of everything."""
+        if not (np.all(self.rho > 0.0) and np.all(self.p > 0.0)):
+            return False
+        return all(bool(np.all(np.isfinite(x))) for x in self.arrays())
+
+    def max_abs(self) -> dict:
+        """Per-field max |value| — handy for divergence monitoring."""
+        return {n: float(np.max(np.abs(x))) for n, x in self.named_arrays()}

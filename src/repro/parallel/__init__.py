@@ -1,0 +1,40 @@
+"""Flat-MPI parallelisation of yycore (paper Section IV) on SimMPI.
+
+The paper parallelises with MPI: ``MPI_COMM_SPLIT`` divides the
+processes into the Yin and Yang panel groups, ``MPI_CART_CREATE`` builds
+a 2-D process array within each panel, halo exchange uses
+``MPI_SEND / MPI_IRECV`` between the four neighbours, and the Yin<->Yang
+overset interpolation communicates under the world communicator.
+
+mpi4py is unavailable in this environment, so the same program structure
+runs on :mod:`repro.parallel.simmpi` — an in-process, thread-based
+runtime with MPI semantics (communicators, split, cartesian topologies,
+point-to-point and collective operations).  The parallel solver is
+verified to reproduce the serial yycore fields exactly.
+"""
+
+from repro.parallel.simmpi import SimMPI, Communicator, ANY_SOURCE, ANY_TAG
+from repro.parallel.cart import CartComm, create_cart
+from repro.parallel.decomposition import PanelDecomposition, Subdomain, split_indices
+from repro.parallel.halo import HaloExchanger
+from repro.parallel.overset_comm import OversetExchanger
+from repro.parallel.parallel_solver import ParallelYinYangDynamo, run_parallel_dynamo
+from repro.parallel.tracing import CommTrace, TracedCommunicator
+
+__all__ = [
+    "SimMPI",
+    "Communicator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CartComm",
+    "create_cart",
+    "PanelDecomposition",
+    "Subdomain",
+    "split_indices",
+    "HaloExchanger",
+    "OversetExchanger",
+    "ParallelYinYangDynamo",
+    "run_parallel_dynamo",
+    "CommTrace",
+    "TracedCommunicator",
+]

@@ -1,0 +1,186 @@
+"""Two-dimensional in-panel domain decomposition (paper Section IV).
+
+Each Yin-Yang panel's angular index space (``nth x nph``, including the
+overset boundary ring) is tiled over a ``pth x pph`` process array.  The
+radial dimension is *not* decomposed — the paper keeps it whole in every
+process for vectorisation (vector length 255/511).
+
+Local arrays carry ``HALO = 2`` ghost layers on sides that have a
+neighbouring tile and none on panel-edge sides, so the one-sided edge
+stencils of the serial code are reproduced bit-for-bit at the panel
+boundary while two-level operator compositions (``curl curl``,
+``grad div``) remain exact on owned points after one halo exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+#: Ghost width on interior tile borders.  Two layers: the RHS contains
+#: doubly-nested derivatives, each consuming one layer.
+HALO = 2
+
+
+def split_indices(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous block distribution of ``range(n)``.
+
+    The first ``n % parts`` blocks get one extra element (MPI-style).
+    Returns ``[(start, stop), ...]`` with ``stop`` exclusive.
+    """
+    require(parts >= 1, f"parts must be >= 1, got {parts}")
+    require(n >= parts, f"cannot split {n} indices into {parts} non-empty parts")
+    base, rem = divmod(n, parts)
+    out = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < rem else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One tile of a panel's angular index space.
+
+    ``th0:th1`` / ``ph0:ph1`` are the *owned* global index ranges;
+    ``halo_*`` are the ghost widths actually present on each side
+    (``HALO`` next to a neighbour, 0 at a panel edge).
+    """
+
+    nth: int
+    nph: int
+    th0: int
+    th1: int
+    ph0: int
+    ph1: int
+
+    @property
+    def halo_n(self) -> int:  # towards smaller theta (north)
+        return HALO if self.th0 > 0 else 0
+
+    @property
+    def halo_s(self) -> int:
+        return HALO if self.th1 < self.nth else 0
+
+    @property
+    def halo_w(self) -> int:  # towards smaller phi (west)
+        return HALO if self.ph0 > 0 else 0
+
+    @property
+    def halo_e(self) -> int:
+        return HALO if self.ph1 < self.nph else 0
+
+    # ---- local layout ---------------------------------------------------------
+
+    @property
+    def owned_shape(self) -> Tuple[int, int]:
+        return (self.th1 - self.th0, self.ph1 - self.ph0)
+
+    @property
+    def local_shape(self) -> Tuple[int, int]:
+        """Angular shape of local arrays (owned + present halos)."""
+        return (
+            self.owned_shape[0] + self.halo_n + self.halo_s,
+            self.owned_shape[1] + self.halo_w + self.halo_e,
+        )
+
+    @property
+    def gth0(self) -> int:
+        """Global theta index of local row 0."""
+        return self.th0 - self.halo_n
+
+    @property
+    def gph0(self) -> int:
+        """Global phi index of local column 0."""
+        return self.ph0 - self.halo_w
+
+    def owned_local(self) -> Tuple[slice, slice]:
+        """Local-array slices of the owned block."""
+        oth, oph = self.owned_shape
+        return (
+            slice(self.halo_n, self.halo_n + oth),
+            slice(self.halo_w, self.halo_w + oph),
+        )
+
+    def global_slices(self) -> Tuple[slice, slice]:
+        """Global-array slices of the owned block."""
+        return (slice(self.th0, self.th1), slice(self.ph0, self.ph1))
+
+    def local_extent_global(self) -> Tuple[slice, slice]:
+        """Global-array slices covering owned + halos (for restriction)."""
+        lth, lph = self.local_shape
+        return (slice(self.gth0, self.gth0 + lth), slice(self.gph0, self.gph0 + lph))
+
+    def to_local(self, ith: np.ndarray, iph: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Convert global angular indices to local ones (no range check)."""
+        return ith - self.gth0, iph - self.gph0
+
+    def owns(self, ith, iph) -> np.ndarray:
+        """Vectorised: does this tile own global point(s) ``(ith, iph)``?"""
+        ith = np.asarray(ith)
+        iph = np.asarray(iph)
+        return (
+            (ith >= self.th0) & (ith < self.th1) & (iph >= self.ph0) & (iph < self.ph1)
+        )
+
+
+class PanelDecomposition:
+    """The full tiling of one panel over a ``pth x pph`` process array.
+
+    Tile ``(i, j)`` (row-major rank ``i * pph + j``) owns theta block
+    ``i`` and phi block ``j``; the layout matches
+    :class:`~repro.parallel.cart.CartComm`'s coordinates.
+    """
+
+    def __init__(self, nth: int, nph: int, pth: int, pph: int):
+        require(pth >= 1 and pph >= 1, "process grid must be at least 1 x 1")
+        # every tile must be wide enough to hold a 2-layer halo exchange
+        th_blocks = split_indices(nth, pth)
+        ph_blocks = split_indices(nph, pph)
+        for lo, hi in th_blocks:
+            require(hi - lo >= HALO, f"theta block {hi - lo} thinner than halo {HALO}")
+        for lo, hi in ph_blocks:
+            require(hi - lo >= HALO, f"phi block {hi - lo} thinner than halo {HALO}")
+        self.nth, self.nph = nth, nph
+        self.pth, self.pph = pth, pph
+        self.th_blocks = th_blocks
+        self.ph_blocks = ph_blocks
+
+    @property
+    def nranks(self) -> int:
+        return self.pth * self.pph
+
+    def subdomain(self, rank: int) -> Subdomain:
+        i, j = divmod(rank, self.pph)
+        require(0 <= i < self.pth, f"rank {rank} outside process grid")
+        th0, th1 = self.th_blocks[i]
+        ph0, ph1 = self.ph_blocks[j]
+        return Subdomain(self.nth, self.nph, th0, th1, ph0, ph1)
+
+    @cached_property
+    def _th_bounds(self) -> np.ndarray:
+        return np.array([b[0] for b in self.th_blocks] + [self.nth])
+
+    @cached_property
+    def _ph_bounds(self) -> np.ndarray:
+        return np.array([b[0] for b in self.ph_blocks] + [self.nph])
+
+    def owner_of(self, ith, iph) -> np.ndarray:
+        """Vectorised owning-rank lookup for global angular indices."""
+        ith = np.asarray(ith)
+        iph = np.asarray(iph)
+        if np.any((ith < 0) | (ith >= self.nth) | (iph < 0) | (iph >= self.nph)):
+            raise ValueError("angular index outside the panel")
+        bi = np.searchsorted(self._th_bounds, ith, side="right") - 1
+        bj = np.searchsorted(self._ph_bounds, iph, side="right") - 1
+        return bi * self.pph + bj
+
+    def all_subdomains(self) -> List[Subdomain]:
+        return [self.subdomain(r) for r in range(self.nranks)]

@@ -1,0 +1,327 @@
+"""The flat-MPI parallel yycore (paper Section IV), on SimMPI.
+
+Program structure, mirroring the paper:
+
+1. ``world.split`` divides the processes into the Yin group and the Yang
+   group ("panels");
+2. ``create_cart`` builds a 2-D process array inside each panel
+   (``MPI_CART_CREATE``), neighbours via ``shift`` (``MPI_CART_SHIFT``);
+3. each process owns a ``theta x phi`` tile (full radial extent) and
+   exchanges 2-wide halos with its four neighbours
+   (``MPI_SEND``/``MPI_IRECV``);
+4. the Yin<->Yang overset interpolation communicates under the world
+   communicator.
+
+The parallel solver reproduces the serial
+:class:`~repro.core.yycore.YinYangDynamo` *bitwise*: identical stencils
+(one-sided exactly at panel edges), identical interpolation arithmetic
+and identical reduction association in the time-step estimate.  The
+equivalence is asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.grids.base import SphericalPatch
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.boundary import WallBC
+from repro.mhd.cfl import min_cell_widths
+from repro.mhd.equations import PanelEquations
+from repro.mhd.initial import conduction_state, perturb_state
+from repro.mhd.rk4 import rk4_step
+from repro.mhd.state import FIELD_NAMES, MHDState
+from repro.parallel.cart import create_cart
+from repro.parallel.decomposition import PanelDecomposition
+from repro.parallel.halo import HaloExchanger
+from repro.parallel.overset_comm import OversetExchanger
+from repro.parallel.simmpi import Communicator, SimMPI
+
+Array = np.ndarray
+
+
+def _restrict(global_field: Array, sl: Tuple[slice, slice]) -> Array:
+    return np.ascontiguousarray(global_field[:, sl[0], sl[1]])
+
+
+class ParallelYinYangDynamo:
+    """One rank's view of the parallel dynamo.
+
+    Construct inside a SimMPI program; ``world.size`` must equal
+    ``2 * pth * pph`` (the paper notes the total process count is even).
+    """
+
+    def __init__(self, world: Communicator, config: RunConfig, pth: int, pph: int):
+        self.world = world
+        self.config = config
+        nper = pth * pph
+        if world.size != 2 * nper:
+            raise ValueError(
+                f"world size {world.size} != 2 * {pth} * {pph} processes"
+            )
+        c = config
+        self.panel_index = 0 if world.rank < nper else 1
+        self.panel: Panel = Panel.YIN if self.panel_index == 0 else Panel.YANG
+        # the paper's MPI_COMM_SPLIT into Yin/Yang groups
+        self.panel_comm = world.split(color=self.panel_index, key=world.rank)
+        self.cart = create_cart(self.panel_comm, (pth, pph))
+
+        # global geometry is cheap and known to every rank
+        self.grid = YinYangGrid(
+            c.nr, c.nth, c.nph, ri=c.params.ri, ro=c.params.ro,
+            extra_theta=c.extra_theta, extra_phi=c.extra_phi,
+        )
+        self.decomp = PanelDecomposition(c.nth, c.nph, pth, pph)
+        self.sub = self.decomp.subdomain(self.panel_comm.rank)
+
+        panel_grid = self.grid.panel(self.panel)
+        lsl = self.sub.local_extent_global()
+        self.local_patch = SphericalPatch(
+            r=panel_grid.r,
+            theta=panel_grid.theta[lsl[0]],
+            phi=panel_grid.phi[lsl[1]],
+        )
+        omega = c.params.omega
+        omega_cart = (0.0, 0.0, omega) if self.panel is Panel.YIN else (0.0, omega, 0.0)
+        self.equations = PanelEquations(self.local_patch, c.params, omega_cart)
+        self.wall_bc = WallBC(c.params, magnetic=c.magnetic_bc)
+        self.halo = HaloExchanger(self.cart, self.sub)
+        self.overset = OversetExchanger(
+            self.grid, self.decomp, world, self.panel_index, self.panel_comm.rank
+        )
+
+        self.time = 0.0
+        self.step_count = 0
+
+        self._base_rhs: Optional[MHDState] = None
+        if c.subtract_base_rhs:
+            base = self._restrict_state(self._serial_enforced_conduction())
+            self._base_rhs = self.equations.rhs(base)
+        self.state = self._initial_state()
+
+    # ---- state setup -----------------------------------------------------------
+
+    def _serial_enforced_conduction(self) -> Dict[Panel, MHDState]:
+        """The serial driver's enforced conduction pair (global arrays)."""
+        pair = {
+            p: conduction_state(self.grid.panel(p), self.config.params)
+            for p in (Panel.YIN, Panel.YANG)
+        }
+        self._serial_enforce(pair)
+        return pair
+
+    def _serial_enforce(self, pair: Dict[Panel, MHDState]) -> None:
+        yin, yang = pair[Panel.YIN], pair[Panel.YANG]
+        self.grid.apply_overset_scalar(yin.rho, yang.rho)
+        self.grid.apply_overset_scalar(yin.p, yang.p)
+        self.grid.apply_overset_vector(yin.f, yang.f)
+        self.grid.apply_overset_vector(yin.a, yang.a)
+        self.wall_bc.apply(yin)
+        self.wall_bc.apply(yang)
+
+    def _restrict_state(self, pair: Dict[Panel, MHDState]) -> MHDState:
+        sl = self.sub.local_extent_global()
+        g = pair[self.panel]
+        return MHDState(*(_restrict(arr, sl) for arr in g.arrays()))
+
+    def _initial_state(self) -> MHDState:
+        """Replicate the serial initial state deterministically, restrict."""
+        c = self.config
+        pair: Dict[Panel, MHDState] = {}
+        for k, p in enumerate((Panel.YIN, Panel.YANG)):
+            s = conduction_state(self.grid.panel(p), c.params)
+            rng = np.random.default_rng(c.seed + k)
+            perturb_state(
+                s, amp_temperature=c.amp_temperature,
+                amp_seed_field=c.amp_seed_field, rng=rng,
+            )
+            pair[p] = s
+        self._serial_enforce(pair)
+        return self._restrict_state(pair)
+
+    # ---- TimeDependentSystem interface -------------------------------------------
+
+    def rhs(self, state: MHDState) -> MHDState:
+        out = self.equations.rhs(state)
+        if self._base_rhs is not None:
+            out.iadd_scaled(-1.0, self._base_rhs)
+        return out
+
+    def enforce(self, state: MHDState) -> None:
+        """Overset exchange, halo exchange, wall conditions — in that
+        order, so ring updates reach neighbouring halos before the local
+        stencils read them."""
+        self.overset.exchange_scalar(state.rho, tag0=0)
+        self.overset.exchange_scalar(state.p, tag0=8)
+        self.overset.exchange_vector(state.f, tag0=16)
+        self.overset.exchange_vector(state.a, tag0=24)
+        self.halo.exchange(list(state.arrays()))
+        self.wall_bc.apply(state)
+
+    @staticmethod
+    def axpy(state: MHDState, a: float, k: MHDState) -> MHDState:
+        return state.axpy(a, k)
+
+    # ---- stepping ----------------------------------------------------------------
+
+    def estimate_dt(self) -> float:
+        """CFL estimate bit-matching the serial driver's.
+
+        The serial code computes per-panel maxima over whole-panel arrays
+        and takes the min over panels; max/min reductions are
+        association-free, so distributed panel reductions reproduce the
+        serial floats exactly.
+        """
+        c = self.config.params
+        s = self.state
+        v = s.velocity()
+        local = np.array([
+            float(np.max(s.p / s.rho)),
+            float(np.max(v[0] ** 2 + v[1] ** 2 + v[2] ** 2)),
+            float(np.max(s.ar**2 + s.ath**2 + s.aph**2)),
+            -float(np.min(s.rho)),  # negated so one max-reduce serves all
+        ])
+        panel_max = self.panel_comm.allreduce(local, op=np.maximum)
+        max_pr, max_v2, max_a2, neg_min_rho = panel_max
+        rho_min = -neg_min_rho
+        sound = float(np.sqrt(c.gamma * max_pr))
+        flow = float(np.sqrt(max_v2))
+        alfven = float(
+            np.sqrt(max_a2) * (2.0 * np.pi / (c.ro - c.ri)) / np.sqrt(rho_min)
+        )
+        h = min(min_cell_widths(self.grid.panel(self.panel)))
+        d_max = max(c.mu / rho_min, c.kappa / rho_min, c.eta)
+        cfl = self.config.cfl
+        dt_panel = min(np.inf, cfl * h / max(sound + alfven + flow, 1e-300),
+                       cfl * h * h / (2.0 * d_max))
+        return float(self.world.allreduce(dt_panel, op=min))
+
+    def step(self, dt: Optional[float] = None) -> float:
+        if dt is None:
+            dt = self.config.dt or self.estimate_dt()
+        self.state = rk4_step(self, self.state, dt)
+        self.time += dt
+        self.step_count += 1
+        c = self.config
+        if c.filter_strength > 0.0 and self.step_count % c.filter_every == 0:
+            self._filter_local(self.state, c.filter_strength)
+            self.enforce(self.state)
+        return dt
+
+    def _filter_local(self, state: MHDState, strength: float) -> None:
+        """The Shapiro filter on this rank's owned interior points.
+
+        Reproduces the serial filter bitwise: the increment is evaluated
+        from pre-filter values (halos hold the neighbours' pre-filter
+        owned data), on exactly the global points the serial code
+        filters (one in from every panel edge and wall).
+        """
+        s = self.sub
+        th_lo, th_hi = max(1, s.th0), min(s.nth - 1, s.th1)
+        ph_lo, ph_hi = max(1, s.ph0), min(s.nph - 1, s.ph1)
+        if th_lo >= th_hi or ph_lo >= ph_hi:
+            return
+        lt = slice(th_lo - s.gth0, th_hi - s.gth0)
+        lp = slice(ph_lo - s.gph0, ph_hi - s.gph0)
+        lt_p = slice(lt.start + 1, lt.stop + 1)
+        lt_m = slice(lt.start - 1, lt.stop - 1)
+        lp_p = slice(lp.start + 1, lp.stop + 1)
+        lp_m = slice(lp.start - 1, lp.stop - 1)
+        for f in state.arrays():
+            c = f[1:-1, lt, lp]
+            inc = (
+                f[2:, lt, lp] + f[:-2, lt, lp]
+                + f[1:-1, lt_p, lp] + f[1:-1, lt_m, lp]
+                + f[1:-1, lt, lp_p] + f[1:-1, lt, lp_m]
+                - 6.0 * c
+            ) / 6.0
+            f[1:-1, lt, lp] += strength * inc
+
+    def run(self, n_steps: int) -> None:
+        c = self.config
+        dt = c.dt or self.estimate_dt()
+        for k in range(n_steps):
+            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
+                dt = self.estimate_dt()
+            self.step(dt)
+
+    # ---- gathering -----------------------------------------------------------------
+
+    def gather_state(self) -> Optional[Dict[Panel, MHDState]]:
+        """Assemble the global panel pair on world rank 0 (None elsewhere)."""
+        oth, oph = self.sub.owned_local()
+        blocks = {
+            n: np.ascontiguousarray(arr[:, oth, oph])
+            for n, arr in self.state.named_arrays()
+        }
+        gathered = self.panel_comm.gather((self.panel_comm.rank, blocks), root=0)
+        panel_state: Optional[MHDState] = None
+        if self.panel_comm.rank == 0:
+            shape = self.grid.panel(self.panel).shape
+            panel_state = MHDState.zeros(shape)
+            for rank, blk in gathered:
+                sl = self.decomp.subdomain(rank).global_slices()
+                for n in FIELD_NAMES:
+                    getattr(panel_state, n)[:, sl[0], sl[1]] = blk[n]
+        # panel roots forward to world rank 0
+        if self.world.rank == 0:
+            result = {Panel.YIN: panel_state}
+            other = self.world.Recv(source=self.decomp.nranks, tag=999)
+            result[Panel.YANG] = MHDState(*[other[n] for n in FIELD_NAMES])
+            return result
+        if self.world.rank == self.decomp.nranks:
+            assert panel_state is not None
+            self.world.Send(
+                {n: getattr(panel_state, n) for n in FIELD_NAMES}, dest=0, tag=999
+            )
+        return None
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of :func:`run_parallel_dynamo` (from world rank 0)."""
+
+    states: Dict[Panel, MHDState]
+    time: float
+    steps: int
+    dt_history: List[float]
+
+
+def run_parallel_dynamo(
+    config: RunConfig,
+    pth: int,
+    pph: int,
+    n_steps: int,
+    *,
+    timeout: float = 300.0,
+) -> ParallelRunResult:
+    """Launch a SimMPI world of ``2 * pth * pph`` ranks, run ``n_steps``
+    and return the gathered result."""
+
+    def program(world: Communicator):
+        solver = ParallelYinYangDynamo(world, config, pth, pph)
+        dts: List[float] = []
+        c = config
+        dt = c.dt or solver.estimate_dt()
+        for k in range(n_steps):
+            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
+                dt = solver.estimate_dt()
+            solver.step(dt)
+            dts.append(dt)
+        gathered = solver.gather_state()
+        if world.rank == 0:
+            return ParallelRunResult(
+                states=gathered, time=solver.time, steps=solver.step_count,
+                dt_history=dts,
+            )
+        return None
+
+    results = SimMPI.run(2 * pth * pph, program, timeout=timeout)
+    out = results[0]
+    assert out is not None
+    return out

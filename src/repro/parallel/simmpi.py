@@ -1,0 +1,351 @@
+"""SimMPI — an in-process, thread-based MPI look-alike.
+
+Runs an SPMD rank function on one thread per rank and provides the MPI
+subset yycore needs (paper Section IV):
+
+* point-to-point: ``Send`` / ``Isend`` / ``Recv`` / ``Irecv`` with
+  ``(source, tag)`` matching, NumPy-buffer payloads copied eagerly
+  (buffered-send semantics, so no rendezvous deadlocks);
+* collectives: ``barrier``, ``bcast``, ``gather``, ``allgather``,
+  ``allreduce``, ``alltoall``;
+* communicator management: ``split`` (the paper's ``MPI_COMM_SPLIT``
+  dividing the world into the Yin and Yang panel groups) and ``dup``.
+
+Semantics notes
+---------------
+* SPMD discipline: all members of a communicator must call collectives
+  in the same order (as with real MPI); the runtime matches collective
+  calls by a per-communicator sequence number.
+* Message ordering between a fixed (sender, receiver, tag) pair is FIFO,
+  as MPI guarantees.
+* This is a *correctness* substrate: it deliberately performs no real
+  parallel speedup (the GIL serialises NumPy-light work); performance is
+  the business of :mod:`repro.machine` / :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+ANY_SOURCE = -2
+ANY_TAG = -1
+
+#: Default wall-clock guard for blocking operations; a deadlocked test
+#: fails fast instead of hanging the suite.
+DEFAULT_TIMEOUT = 120.0
+
+
+class SimMPIError(RuntimeError):
+    pass
+
+
+class DeadlockTimeout(SimMPIError):
+    """A blocking receive/collective did not complete within the guard."""
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+class _MailBox:
+    """Per-(comm, receiver-rank) queue with (source, tag) matching."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._messages: List[_Message] = []
+
+    def put(self, msg: _Message) -> None:
+        with self._cond:
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float) -> _Message:
+        def match():
+            for i, m in enumerate(self._messages):
+                if (source == ANY_SOURCE or m.source == source) and (
+                    tag == ANY_TAG or m.tag == tag
+                ):
+                    return i
+            return None
+
+        with self._cond:
+            idx = match()
+            while idx is None:
+                if not self._cond.wait(timeout=timeout):
+                    raise DeadlockTimeout(
+                        f"Recv(source={source}, tag={tag}) timed out after {timeout}s"
+                    )
+                idx = match()
+            return self._messages.pop(idx)
+
+
+class _Runtime:
+    """Shared state of one SimMPI world: mailboxes and collective slots."""
+
+    def __init__(self, nprocs: int, timeout: float):
+        self.nprocs = nprocs
+        self.timeout = timeout
+        self._boxes: Dict[Tuple[str, int], _MailBox] = {}
+        self._boxes_lock = threading.Lock()
+        self._coll_lock = threading.Lock()
+        self._coll_cond = threading.Condition(self._coll_lock)
+        self._coll_slots: Dict[Tuple[str, int], Dict[int, Any]] = {}
+        self._coll_done: Dict[Tuple[str, int], Dict[int, Any]] = {}
+        self.failures: List[BaseException] = []
+
+    def mailbox(self, comm_id: str, rank: int) -> _MailBox:
+        key = (comm_id, rank)
+        with self._boxes_lock:
+            if key not in self._boxes:
+                self._boxes[key] = _MailBox()
+            return self._boxes[key]
+
+    def exchange(
+        self, comm: "Communicator", seq: int, payload: Any
+    ) -> Dict[int, Any]:
+        """Deposit ``payload`` and wait until every member of ``comm`` has
+        deposited for the same sequence number; returns all payloads."""
+        key = (comm.id, seq)
+        size = comm.size
+        with self._coll_cond:
+            slot = self._coll_slots.setdefault(key, {})
+            slot[comm.rank] = payload
+            if len(slot) == size:
+                self._coll_done[key] = self._coll_slots.pop(key)
+                self._coll_cond.notify_all()
+            else:
+                while key not in self._coll_done:
+                    if not self._coll_cond.wait(timeout=self.timeout):
+                        raise DeadlockTimeout(
+                            f"collective seq={seq} on comm {comm.id} timed out "
+                            f"({len(slot)}/{size} ranks arrived)"
+                        )
+            result = self._coll_done[key]
+            # last rank to leave cleans up
+            slot_readers = self._coll_slots.setdefault(("readers",) + key, {})  # type: ignore[arg-type]
+            slot_readers[comm.rank] = True
+            if len(slot_readers) == size:
+                del self._coll_done[key]
+                del self._coll_slots[("readers",) + key]  # type: ignore[arg-type]
+            return result
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation."""
+
+    _complete: Callable[[], Any]
+    _done: bool = False
+    _value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._complete()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        """SimMPI sends complete eagerly; receives complete on wait()."""
+        return self._done
+
+
+def _copy_payload(data: Any) -> Any:
+    """Eager copy giving buffered-send semantics."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    return data
+
+
+class Communicator:
+    """An MPI-style communicator over a subset of world ranks."""
+
+    def __init__(self, runtime: _Runtime, comm_id: str, members: Sequence[int], world_rank: int):
+        self._runtime = runtime
+        self.id = comm_id
+        self.members = list(members)
+        try:
+            self.rank = self.members.index(world_rank)
+        except ValueError as exc:
+            raise SimMPIError(
+                f"world rank {world_rank} is not a member of comm {comm_id}"
+            ) from exc
+        self.world_rank = world_rank
+        self.size = len(self.members)
+        self._seq = 0
+        self._child_count = 0
+        # communication accounting (used by tests and the perf model hooks)
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # ---- point-to-point -------------------------------------------------------
+
+    def Send(self, data: Any, dest: int, tag: int = 0) -> None:
+        """Blocking standard send (buffered: copies and returns)."""
+        if not 0 <= dest < self.size:
+            raise SimMPIError(f"dest {dest} out of range for comm of size {self.size}")
+        payload = _copy_payload(data)
+        if isinstance(payload, np.ndarray):
+            self.bytes_sent += payload.nbytes
+        self.messages_sent += 1
+        box = self._runtime.mailbox(self.id, dest)
+        box.put(_Message(source=self.rank, tag=tag, payload=payload))
+
+    def Isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (buffered)."""
+        self.Send(data, dest, tag)
+        return Request(_complete=lambda: None, _done=True)
+
+    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive.  With an ndarray ``buf`` the payload is copied
+        into it (mpi4py upper-case convention); the payload is returned
+        either way."""
+        msg = self._runtime.mailbox(self.id, self.rank).get(
+            source, tag, self._runtime.timeout
+        )
+        if buf is not None:
+            arr = np.asarray(msg.payload)
+            if buf.shape != arr.shape:
+                raise SimMPIError(
+                    f"Recv buffer shape {buf.shape} != message shape {arr.shape}"
+                )
+            buf[...] = arr
+        return msg.payload
+
+    def Irecv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; the transfer happens in ``wait()``."""
+        return Request(_complete=lambda: self.Recv(buf, source, tag))
+
+    def Sendrecv(self, senddata: Any, dest: int, recvsource: int, sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        req = self.Irecv(source=recvsource, tag=recvtag)
+        self.Send(senddata, dest, sendtag)
+        return req.wait()
+
+    # ---- collectives -------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        s = self._seq
+        self._seq += 1
+        return s
+
+    def barrier(self) -> None:
+        self._runtime.exchange(self, self._next_seq(), None)
+
+    def bcast(self, data: Any, root: int = 0) -> Any:
+        all_data = self._runtime.exchange(
+            self, self._next_seq(), _copy_payload(data) if self.rank == root else None
+        )
+        return all_data[root]
+
+    def gather(self, data: Any, root: int = 0) -> Optional[List[Any]]:
+        all_data = self._runtime.exchange(self, self._next_seq(), _copy_payload(data))
+        if self.rank == root:
+            return [all_data[r] for r in range(self.size)]
+        return None
+
+    def allgather(self, data: Any) -> List[Any]:
+        all_data = self._runtime.exchange(self, self._next_seq(), _copy_payload(data))
+        return [all_data[r] for r in range(self.size)]
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce with ``op`` (default: elementwise/scalar sum) to all ranks.
+
+        The reduction is applied in rank order, making the result
+        bit-reproducible across runs (fixed association order).
+        """
+        parts = self.allgather(value)
+        if op is None:
+            acc = parts[0]
+            for p in parts[1:]:
+                acc = acc + p
+            return acc
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = op(acc, p)
+        return acc
+
+    def alltoall(self, data: Sequence[Any]) -> List[Any]:
+        if len(data) != self.size:
+            raise SimMPIError(f"alltoall needs {self.size} items, got {len(data)}")
+        matrix = self._runtime.exchange(self, self._next_seq(), [_copy_payload(d) for d in data])
+        return [matrix[r][self.rank] for r in range(self.size)]
+
+    # ---- communicator management ----------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """``MPI_COMM_SPLIT``: partition members by ``color``, order each
+        group by ``(key, old rank)``.  The paper splits the world into the
+        Yin group and the Yang group this way."""
+        if key is None:
+            key = self.rank
+        pairs = self._runtime.exchange(self, self._next_seq(), (color, key))
+        self._child_count += 1
+        group = sorted(
+            (r for r in range(self.size) if pairs[r][0] == color),
+            key=lambda r: (pairs[r][1], r),
+        )
+        members = [self.members[r] for r in group]
+        child_id = f"{self.id}/s{self._child_count}c{color}"
+        return Communicator(self._runtime, child_id, members, self.world_rank)
+
+    def dup(self) -> "Communicator":
+        self.barrier()
+        self._child_count += 1
+        return Communicator(
+            self._runtime, f"{self.id}/d{self._child_count}", self.members, self.world_rank
+        )
+
+
+class SimMPI:
+    """Launcher: run an SPMD function on ``nprocs`` simulated ranks.
+
+    >>> def program(comm):
+    ...     return comm.allreduce(comm.rank)
+    >>> SimMPI.run(4, program)
+    [6, 6, 6, 6]
+    """
+
+    @staticmethod
+    def run(
+        nprocs: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: float = DEFAULT_TIMEOUT,
+        **kwargs: Any,
+    ) -> List[Any]:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank; returns the
+        per-rank return values in rank order.  Any rank exception aborts
+        the world and is re-raised (with all failures noted)."""
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        runtime = _Runtime(nprocs, timeout)
+        results: List[Any] = [None] * nprocs
+
+        def runner(rank: int) -> None:
+            comm = Communicator(runtime, "world", list(range(nprocs)), rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to launcher
+                runtime.failures.append(exc)
+                raise
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout * 2)
+            if t.is_alive():
+                raise DeadlockTimeout(f"{t.name} did not terminate (deadlock?)")
+        if runtime.failures:
+            raise runtime.failures[0]
+        return results

@@ -1,0 +1,54 @@
+"""Performance model and reporting (paper Section IV: Tables II, III, List 1).
+
+* :mod:`~repro.perf.flopcount_array` — a NumPy-wrapping array that
+  counts floating-point operations as the *actual* solver kernels run;
+* :mod:`~repro.perf.flops` — measured work-per-gridpoint of the yycore
+  RHS / RK4 step (the model's W);
+* :mod:`~repro.perf.model` — the end-to-end model mapping
+  ``(grid, processor count)`` to sustained TFlops and efficiency;
+* :mod:`~repro.perf.proginf` — the MPIPROGINF report generator (List 1);
+* :mod:`~repro.perf.comparisons` — the published SC-paper records of
+  Table III with their derived metrics;
+* :mod:`~repro.perf.sweep` — Table II's six-row sweep and generic sweeps.
+"""
+
+from repro.perf.flopcount_array import CountingArray, count_flops
+from repro.perf.flops import (
+    measure_rhs_flops_per_point,
+    measure_step_flops_per_point,
+    WorkEstimate,
+    DEFAULT_STEP_FLOPS_PER_POINT,
+)
+from repro.perf.model import PerformanceModel, PerfPrediction, choose_process_grid
+from repro.perf.proginf import format_mpiproginf, proginf_for_run
+from repro.perf.comparisons import SCEntry, TABLE3_ENTRIES, table3_rows
+from repro.perf.sweep import table2_configs, run_table2, SweepRow
+from repro.perf.hybrid import HybridPerformanceModel, problem_size_sweep
+from repro.perf.feasibility import FeasibilityReport, check_feasibility
+from repro.perf.report import ReproductionReport, generate_report
+
+__all__ = [
+    "CountingArray",
+    "count_flops",
+    "measure_rhs_flops_per_point",
+    "measure_step_flops_per_point",
+    "WorkEstimate",
+    "DEFAULT_STEP_FLOPS_PER_POINT",
+    "PerformanceModel",
+    "PerfPrediction",
+    "choose_process_grid",
+    "format_mpiproginf",
+    "proginf_for_run",
+    "SCEntry",
+    "TABLE3_ENTRIES",
+    "table3_rows",
+    "table2_configs",
+    "run_table2",
+    "SweepRow",
+    "HybridPerformanceModel",
+    "problem_size_sweep",
+    "FeasibilityReport",
+    "check_feasibility",
+    "ReproductionReport",
+    "generate_report",
+]

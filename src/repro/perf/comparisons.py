@@ -1,0 +1,130 @@
+"""Table III — performances on the Earth Simulator reported at SC.
+
+The paper situates yycore among four other Earth Simulator codes from
+SC 2002/2003.  The *primary* quantities (sustained TFlops, node count,
+grid points, method, parallelisation) are as published; the *derived*
+rows (grid points per AP, Flops per grid point) are recomputed here and
+tested against the paper's printed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.machine.specs import EARTH_SIMULATOR
+
+
+@dataclass(frozen=True)
+class SCEntry:
+    """One column of Table III."""
+
+    label: str  #: first-author tag used in the paper
+    reference: str
+    tflops: float  #: sustained performance
+    nodes: int  #: processor nodes used
+    efficiency: float  #: fraction of peak, as published
+    grid_points: float
+    simulation_kind: str
+    science_field: str
+    method: str
+    parallelisation: str
+
+    @property
+    def aps(self) -> int:
+        return self.nodes * EARTH_SIMULATOR.aps_per_node
+
+    @property
+    def points_per_ap(self) -> float:
+        """Derived row "g.p./AP"."""
+        return self.grid_points / self.aps
+
+    @property
+    def flops_per_gridpoint(self) -> float:
+        """Derived row "Flops/g.p." — sustained flops per grid point."""
+        return self.tflops * 1e12 / self.grid_points
+
+    @property
+    def peak_fraction_check(self) -> float:
+        """Recomputed efficiency from TFlops / (nodes x 64 GFlops)."""
+        peak = self.nodes * EARTH_SIMULATOR.aps_per_node * EARTH_SIMULATOR.ap_peak_gflops
+        return self.tflops * 1e12 / (peak * 1e9)
+
+
+TABLE3_ENTRIES: List[SCEntry] = [
+    SCEntry(
+        label="Shingu", reference="Shingu et al., SC 2002",
+        tflops=26.6, nodes=640, efficiency=0.65, grid_points=7.1e8,
+        simulation_kind="fluid", science_field="atmosphere",
+        method="spectral", parallelisation="MPI-microtask",
+    ),
+    SCEntry(
+        label="Yokokawa", reference="Yokokawa et al., SC 2002",
+        tflops=16.4, nodes=512, efficiency=0.50, grid_points=8.6e9,
+        simulation_kind="fluid", science_field="turbulence",
+        method="spectral", parallelisation="MPI-microtask",
+    ),
+    SCEntry(
+        label="Sakagami", reference="Sakagami et al., SC 2002",
+        tflops=14.9, nodes=512, efficiency=0.45, grid_points=1.7e10,
+        simulation_kind="fluid", science_field="inertial fusion",
+        method="finite volume", parallelisation="HPF (flat MPI)",
+    ),
+    SCEntry(
+        label="Komatitsch", reference="Komatitsch et al., SC 2003",
+        tflops=5.0, nodes=243, efficiency=0.32, grid_points=5.5e9,
+        simulation_kind="wave propagation", science_field="seismic wave",
+        method="spectral element", parallelisation="flat MPI",
+    ),
+    SCEntry(
+        label="Kageyama et al.", reference="this paper, SC 2004",
+        tflops=15.2, nodes=512, efficiency=0.46, grid_points=8.1e8,
+        simulation_kind="fluid", science_field="geodynamo",
+        method="finite difference", parallelisation="flat MPI",
+    ),
+]
+
+#: The derived values as printed in the paper, for the regression test.
+#: One correction: the paper prints Yokokawa's Flops/g.p. as "19K", but
+#: its own primary numbers give 16.4e12 / 8.6e9 = 1.9K — a factor-10
+#: transcription slip in the original table (every other row checks
+#: out); we record the recomputed value.
+PAPER_DERIVED = {
+    "Shingu": {"points_per_ap": 1.4e5, "flops_per_gridpoint": 38e3},
+    "Yokokawa": {"points_per_ap": 2.1e6, "flops_per_gridpoint": 1.9e3},
+    "Sakagami": {"points_per_ap": 4.2e6, "flops_per_gridpoint": 0.87e3},
+    "Komatitsch": {"points_per_ap": 2.8e6, "flops_per_gridpoint": 0.91e3},
+    "Kageyama et al.": {"points_per_ap": 2.1e5, "flops_per_gridpoint": 19e3},
+}
+
+
+def table3_rows() -> List[dict]:
+    """Table III with recomputed derived columns, one dict per code."""
+    rows = []
+    for e in TABLE3_ENTRIES:
+        rows.append(
+            {
+                "Paper": e.label,
+                "Flops/PN": f"{e.tflops:g}T/{e.nodes}",
+                "efficiency": f"{100 * e.efficiency:.0f}%",
+                "grid points (g.p.)": f"{e.grid_points:.1e}",
+                "g.p./AP": f"{e.points_per_ap:.1e}",
+                "Flops/g.p.": f"{e.flops_per_gridpoint / 1e3:.2g}K",
+                "Simulation kind": e.simulation_kind,
+                "Field": e.science_field,
+                "Method": e.method,
+                "Parallelization": e.parallelisation,
+            }
+        )
+    return rows
+
+
+def format_table3() -> str:
+    """Render Table III as aligned text for the benchmark harness."""
+    rows = table3_rows()
+    keys = list(rows[0].keys())
+    widths = {k: max(len(k), max(len(r[k]) for r in rows)) for k in keys}
+    lines = ["  ".join(k.ljust(widths[k]) for k in keys)]
+    for r in rows:
+        lines.append("  ".join(r[k].ljust(widths[k]) for k in keys))
+    return "\n".join(lines)

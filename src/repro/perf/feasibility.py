@@ -1,0 +1,85 @@
+"""Feasibility checks for a configuration on the Earth Simulator model.
+
+Beyond speed, a run must *fit*: 8 flat-MPI processes per 16 GB node,
+and no more processes than the machine has APs.  List 1 reports ~1.1 GB
+per process for the flagship run (mostly runtime/buffer overhead over
+the ~50 MB of field arrays); the checks here use the same accounting as
+:mod:`repro.machine.counters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.machine.counters import RUNTIME_MEMORY_OVERHEAD_MB
+from repro.machine.node import memory_per_process_bytes
+from repro.machine.specs import EarthSimulatorSpec
+from repro.perf.model import PerfPrediction
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of the capacity checks for one configuration."""
+
+    fits_processors: bool
+    fits_memory: bool
+    nodes_used: int
+    memory_per_process_gb: float
+    node_memory_used_gb: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits_processors and self.fits_memory
+
+    def problems(self) -> List[str]:
+        out = []
+        if not self.fits_processors:
+            out.append("more processes than the machine has APs")
+        if not self.fits_memory:
+            out.append(
+                f"{self.node_memory_used_gb:.1f} GB per node exceeds capacity"
+            )
+        return out
+
+
+def check_feasibility(
+    pred: PerfPrediction, spec: EarthSimulatorSpec
+) -> FeasibilityReport:
+    """Capacity-check a performance prediction against the machine."""
+    pth, pph = pred.process_grid
+    local_nth = -(-pred.nth // pth)
+    local_nph = -(-pred.nph // pph)
+    per_process = (
+        memory_per_process_bytes(pred.nr, local_nth, local_nph)
+        + RUNTIME_MEMORY_OVERHEAD_MB * 2**20
+    )
+    per_node = per_process * spec.aps_per_node
+    return FeasibilityReport(
+        fits_processors=pred.n_processors <= spec.total_aps,
+        fits_memory=per_node <= spec.node_memory_gb * 2**30,
+        nodes_used=spec.nodes_for(pred.n_processors),
+        memory_per_process_gb=per_process / 2**30,
+        node_memory_used_gb=per_node / 2**30,
+    )
+
+
+def max_grid_on_machine(
+    spec: EarthSimulatorSpec, *, nr: int = 511, aspect: float = 3.0
+) -> int:
+    """Largest per-panel angular point count (nth, with nph = aspect*nth)
+    whose flagship-style flat-MPI run still fits in memory on the full
+    machine — the capacity envelope the 10 TB of Table I implies."""
+    n_proc = spec.total_aps
+    lo, hi = 16, 20000
+    from repro.perf.model import PerformanceModel
+
+    model = PerformanceModel(spec)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        pred = model.predict(nr, mid, int(aspect * mid), n_proc)
+        if check_feasibility(pred, spec).fits_memory:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,104 @@
+"""A flop-counting ndarray wrapper.
+
+Wraps field arrays so that every NumPy ufunc executed on them is tallied
+as ``elements x flops_per_element``; running the *real* solver kernels
+on wrapped inputs measures the work-per-gridpoint the performance model
+needs — no hand-maintained operation inventory to drift out of sync
+with the code.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+import numpy as np
+
+#: FLOPs charged per output element for each counted ufunc.  Division
+#: and roots are one "operation" on vector hardware's fused pipes; we
+#: follow the common convention of 1 flop each (the ES counted them so).
+_UFUNC_FLOPS: Dict[str, int] = {
+    "add": 1, "subtract": 1, "multiply": 1, "divide": 1, "true_divide": 1,
+    "negative": 1, "positive": 0, "absolute": 1,
+    "sqrt": 1, "square": 1, "reciprocal": 1,
+    "power": 4, "float_power": 4,
+    "exp": 4, "log": 4,
+    "sin": 4, "cos": 4, "tan": 4,
+    "arcsin": 4, "arccos": 4, "arctan": 4, "arctan2": 4,
+    "maximum": 1, "minimum": 1,
+    "fmax": 1, "fmin": 1,
+}
+
+
+class _Tally(threading.local):
+    def __init__(self):
+        self.flops = 0
+        self.by_ufunc: Dict[str, int] = {}
+        self.active = False
+
+
+_TALLY = _Tally()
+
+
+class CountingArray(np.ndarray):
+    """ndarray subclass that charges ufunc work to the active tally."""
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        clean_in = tuple(
+            x.view(np.ndarray) if isinstance(x, CountingArray) else x for x in inputs
+        )
+        out = kwargs.get("out")
+        if out is not None:
+            kwargs["out"] = tuple(
+                x.view(np.ndarray) if isinstance(x, CountingArray) else x for x in out
+            )
+        result = getattr(ufunc, method)(*clean_in, **kwargs)
+        if _TALLY.active and method in ("__call__", "reduce"):
+            cost = _UFUNC_FLOPS.get(ufunc.__name__)
+            if cost:
+                if method == "reduce":
+                    n = np.asarray(clean_in[0]).size
+                else:
+                    n = np.asarray(result[0] if isinstance(result, tuple) else result).size
+                _TALLY.flops += cost * n
+                _TALLY.by_ufunc[ufunc.__name__] = (
+                    _TALLY.by_ufunc.get(ufunc.__name__, 0) + cost * n
+                )
+        if isinstance(result, tuple):
+            return tuple(
+                r.view(CountingArray) if isinstance(r, np.ndarray) else r for r in result
+            )
+        if isinstance(result, np.ndarray):
+            return result.view(CountingArray)
+        return result
+
+
+def wrap(arr: np.ndarray) -> CountingArray:
+    """View an array as a :class:`CountingArray` (no copy)."""
+    return np.asarray(arr).view(CountingArray)
+
+
+class count_flops:
+    """Context manager activating the tally.
+
+    >>> a = wrap(np.ones(100)); b = wrap(np.ones(100))
+    >>> with count_flops() as fc:
+    ...     c = a * b + a
+    >>> fc.flops
+    200
+    """
+
+    def __enter__(self) -> "count_flops":
+        self._prev = (_TALLY.flops, dict(_TALLY.by_ufunc), _TALLY.active)
+        _TALLY.flops = 0
+        _TALLY.by_ufunc = {}
+        _TALLY.active = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flops = _TALLY.flops
+        self.by_ufunc = dict(_TALLY.by_ufunc)
+        _TALLY.flops, _TALLY.by_ufunc, _TALLY.active = self._prev
+
+    flops: int = 0
+    by_ufunc: Dict[str, int] = {}

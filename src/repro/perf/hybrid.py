@@ -1,0 +1,135 @@
+"""Flat-MPI vs hybrid parallelisation model (paper Section IV).
+
+"Generally, flat MPI parallelization requires a larger problem size to
+achieve the same level of performance efficiency compared to the hybrid
+parallelization (e.g., MPI for inter-node and microtasking for
+intra-node parallelization) on the Earth Simulator [Nakajima 2002].
+Since one Earth Simulator node has 8 APs, the flat MPI method generates
+8 times as many MPI processes as hybrid parallelization.  However, in
+our yycore code with flat MPI, high performance could be achieved with
+relatively low numbers of mesh size."
+
+This module extends :class:`~repro.perf.model.PerformanceModel` with a
+hybrid mode so that claim can be exercised quantitatively: hybrid runs
+one MPI process per node (8x fewer processes, hence 8x fewer and larger
+messages and larger per-process tiles) at the cost of a microtasking
+(fork/join) overhead per parallel region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.perf.model import (
+    ITEM,
+    N_FIELDS,
+    N_STAGES,
+    PerformanceModel,
+    PerfPrediction,
+    choose_process_grid,
+)
+from repro.utils.validation import require
+import math
+
+
+@dataclass(frozen=True)
+class ParallelisationComparison:
+    """Flat-MPI vs hybrid prediction at one configuration."""
+
+    flat: PerfPrediction
+    hybrid: PerfPrediction
+
+    @property
+    def hybrid_advantage(self) -> float:
+        """hybrid efficiency / flat efficiency (> 1 where hybrid wins)."""
+        return self.hybrid.efficiency / self.flat.efficiency
+
+
+class HybridPerformanceModel(PerformanceModel):
+    """The performance model with MPI + intra-node microtasking.
+
+    One MPI process per 8-AP node; each parallel loop nest pays a
+    fork/join cost (``microtask_overhead_us``) but message counts drop
+    8x and the per-process fixed overhead amortises over 8x more work.
+    """
+
+    def __init__(self, *args, microtask_overhead_us: float = 120.0,
+                 regions_per_stage: int = 40, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.microtask_overhead = microtask_overhead_us * 1e-6
+        self.regions_per_stage = regions_per_stage
+
+    def predict_hybrid(self, nr: int, nth: int, nph: int, n_processors: int) -> PerfPrediction:
+        """Predict with hybrid parallelisation over the same AP count.
+
+        ``n_processors`` still counts APs; the MPI process count is
+        ``n_processors / 8`` (must stay even for the panel split).
+        """
+        per_node = self.spec.aps_per_node
+        require(n_processors % (2 * per_node) == 0,
+                "hybrid needs a whole, even number of nodes")
+        n_mpi = n_processors // per_node
+        n_per_panel = n_mpi // 2
+        pth, pph = choose_process_grid(n_per_panel, nth, nph)
+        tile_th = math.ceil(nth / pth)
+        tile_ph = math.ceil(nph / pph)
+        local_points = float(nr) * tile_th * tile_ph
+
+        # compute: 8 APs share the tile; microtasking adds fork/join cost
+        t_comp = self._compute_time(local_points, nr) / per_node
+        t_fork = N_STAGES * self.regions_per_stage * self.microtask_overhead
+        # halo: one (8x larger) message per side per field-stage, full
+        # node bandwidth available to the single process
+        msgs = []
+        for strip in (tile_ph, tile_ph, tile_th, tile_th):
+            msgs.append((2 * strip * nr * ITEM, True))
+        per_field_stage = self.network.exchange_time(msgs, sharing=1)
+        per_field_stage += len(msgs) * self.msg_software
+        t_halo = N_STAGES * N_FIELDS * per_field_stage
+        t_over = self._overset_time(nr, nth, nph, n_per_panel)
+        # the non-vectorised per-stage work is itself microtasked over
+        # the node's APs — hybrid's actual advantage over flat MPI —
+        # at the price of the fork/join cost per parallel region
+        t_fixed = N_STAGES * self.fixed_overhead / per_node
+        step = t_comp + t_halo + t_over + t_fixed + t_fork
+
+        total_points = nr * nth * nph * 2
+        flops_per_step = self.work_per_point * total_points
+        tflops = flops_per_step / step / 1e12
+        peak = self.spec.peak_tflops(n_processors)
+        from repro.machine.vector import vector_operation_ratio
+
+        return PerfPrediction(
+            n_processors=n_processors,
+            nr=nr, nth=nth, nph=nph,
+            process_grid=(pth, pph),
+            step_time=step,
+            compute_time=t_comp,
+            comm_time=t_halo + t_over,
+            tflops=tflops,
+            efficiency=tflops / peak,
+            avl=self.pipeline.effective_avl(nr),
+            vector_op_ratio=vector_operation_ratio(nr, self.scalar_op_fraction),
+            flops_per_step=flops_per_step,
+        )
+
+    def compare(self, nr: int, nth: int, nph: int, n_processors: int) -> ParallelisationComparison:
+        return ParallelisationComparison(
+            flat=self.predict(nr, nth, nph, n_processors),
+            hybrid=self.predict_hybrid(nr, nth, nph, n_processors),
+        )
+
+
+def problem_size_sweep(
+    model: HybridPerformanceModel,
+    n_processors: int = 4096,
+    radial_sizes: Tuple[int, ...] = (63, 127, 255, 511),
+) -> List[ParallelisationComparison]:
+    """Nakajima's observation, reproduced: sweep the problem size at a
+    fixed processor count and watch flat MPI close the gap (or pass
+    hybrid) as the per-process work grows."""
+    out = []
+    for nr in radial_sizes:
+        out.append(model.compare(nr, 514, 1538, n_processors))
+    return out

@@ -1,0 +1,129 @@
+"""The one-shot reproduction report: every artefact, paper vs model.
+
+Collects the quantitative comparisons of EXPERIMENTS.md into a single
+structured object (and a markdown rendering), so the whole reproduction
+can be regenerated and eyeballed with one call — ``repro-paper report``
+on the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.grids.dissection import overlap_fraction
+from repro.machine.specs import EARTH_SIMULATOR
+from repro.perf.comparisons import PAPER_DERIVED, TABLE3_ENTRIES
+from repro.perf.model import PerformanceModel
+from repro.perf.proginf import proginf_for_run
+from repro.perf.sweep import run_table2
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-reproduction line item."""
+
+    artefact: str
+    quantity: str
+    paper: float
+    reproduced: float
+    tolerance: float  #: relative tolerance considered "matching"
+
+    @property
+    def rel_error(self) -> float:
+        if self.paper == 0.0:
+            return abs(self.reproduced)
+        return abs(self.reproduced - self.paper) / abs(self.paper)
+
+    @property
+    def matches(self) -> bool:
+        return self.rel_error <= self.tolerance
+
+
+@dataclass
+class ReproductionReport:
+    """All line items plus a pass/fail roll-up."""
+
+    items: List[Comparison] = field(default_factory=list)
+
+    def add(self, *args, **kwargs) -> None:
+        self.items.append(Comparison(*args, **kwargs))
+
+    @property
+    def n_matching(self) -> int:
+        return sum(1 for c in self.items if c.matches)
+
+    @property
+    def all_match(self) -> bool:
+        return self.n_matching == len(self.items)
+
+    def to_markdown(self) -> str:
+        lines = [
+            "| artefact | quantity | paper | reproduced | rel. err | ok |",
+            "|---|---|---|---|---|---|",
+        ]
+        for c in self.items:
+            lines.append(
+                f"| {c.artefact} | {c.quantity} | {c.paper:.4g} | "
+                f"{c.reproduced:.4g} | {100 * c.rel_error:.1f}% | "
+                f"{'yes' if c.matches else 'NO'} |"
+            )
+        lines.append(
+            f"\n{self.n_matching}/{len(self.items)} quantities within tolerance."
+        )
+        return "\n".join(lines)
+
+
+def generate_report(model: PerformanceModel | None = None) -> ReproductionReport:
+    """Regenerate every headline quantity and compare to the paper."""
+    model = model or PerformanceModel()
+    model.calibrate_kernel_efficiency()
+    rep = ReproductionReport()
+
+    # Table I
+    rep.add("Table I", "total peak TFlops", 40.96, EARTH_SIMULATOR.total_peak_tflops, 1e-9)
+    rep.add("Table I", "peak of 4096 APs (TFlops)", 32.8,
+            EARTH_SIMULATOR.peak_tflops(4096), 0.01)
+
+    # Fig. 1
+    rep.add("Fig. 1", "overlap fraction (%)", 6.0, 100 * overlap_fraction(), 0.02)
+
+    # Table II
+    for r in run_table2(model, calibrate=False):
+        rep.add(
+            "Table II",
+            f"{r.n_processors} APs, nr={r.grid[0]}: efficiency (%)",
+            100 * r.paper_efficiency,
+            100 * r.model.efficiency,
+            0.10,
+        )
+
+    # List 1
+    pred = model.predict(511, 514, 1538, 4096)
+    counters = proginf_for_run(pred, real_time=453.0)
+    flop_total = sum(c.flop_count for c in counters)
+    user_total = sum(c.user_time for c in counters)
+    gflops = flop_total / user_total / 1e9 * len(counters)
+    rep.add("List 1", "GFLOPS (rel. to user time)", 15181.8, gflops, 0.03)
+    avl = float(np.mean([c.average_vector_length for c in counters]))
+    rep.add("List 1", "average vector length", 251.56, avl, 0.01)
+    ratio = float(np.mean([c.vector_operation_ratio for c in counters]))
+    rep.add("List 1", "vector operation ratio (%)", 99.06, ratio, 0.005)
+
+    # Table III derived rows
+    for e in TABLE3_ENTRIES:
+        paper = PAPER_DERIVED[e.label]
+        rep.add("Table III", f"{e.label}: g.p./AP", paper["points_per_ap"],
+                e.points_per_ap, 0.08)
+        rep.add("Table III", f"{e.label}: Flops/g.p.",
+                paper["flops_per_gridpoint"], e.flops_per_gridpoint, 0.08)
+
+    # Section V volume
+    from repro.io.volume import paper_run_volume
+
+    acct = paper_run_volume()
+    rep.add("Section V", "reported GB per snapshot", 3.94,
+            acct["per_snapshot_gb_reported"], 0.01)
+    return rep

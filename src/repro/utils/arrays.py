@@ -1,0 +1,71 @@
+"""NumPy array helpers shared by the grid and solver layers.
+
+The solver stores every field with one ghost layer on each side of every
+axis; the helpers here centralise the ghost/interior slicing conventions
+so indexing arithmetic appears in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Number of ghost layers used by all second-order central stencils.
+NGHOST = 1
+
+
+def as_float_array(x, name: str = "array") -> np.ndarray:
+    """Convert ``x`` to a C-contiguous float64 ndarray.
+
+    Raises :class:`TypeError` for inputs that cannot be interpreted as a
+    numeric array (strings, ragged lists, ...).
+    """
+    try:
+        arr = np.asarray(x, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} is not interpretable as a float array: {exc}") from exc
+    return np.ascontiguousarray(arr)
+
+
+def assert_shape(arr: np.ndarray, shape: Sequence[int], name: str = "array") -> None:
+    """Raise :class:`ValueError` unless ``arr.shape == tuple(shape)``."""
+    if tuple(arr.shape) != tuple(shape):
+        raise ValueError(f"{name} has shape {arr.shape}, expected {tuple(shape)}")
+
+
+def interior_slices(ndim: int, ng: int = NGHOST) -> Tuple[slice, ...]:
+    """Slices selecting the interior (non-ghost) region of an ndim array."""
+    return tuple(slice(ng, -ng) for _ in range(ndim))
+
+
+def ghost_interior(arr: np.ndarray, ng: int = NGHOST) -> np.ndarray:
+    """Return a view of the interior of an array carrying ghost layers."""
+    return arr[interior_slices(arr.ndim, ng)]
+
+
+def pad_ghost(interior: np.ndarray, ng: int = NGHOST, fill: float = 0.0) -> np.ndarray:
+    """Embed an interior array into a ghost-padded array (copy).
+
+    The ghost frame is filled with ``fill``; callers set physically
+    meaningful ghost values via the boundary-condition machinery.
+    """
+    shape = tuple(n + 2 * ng for n in interior.shape)
+    out = np.full(shape, fill, dtype=interior.dtype)
+    out[interior_slices(interior.ndim, ng)] = interior
+    return out
+
+
+def rel_linf(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative L-infinity difference ``max|a-b| / max(1, max|b|)``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = max(1.0, float(np.max(np.abs(b))) if b.size else 0.0)
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b))) / denom
+
+
+def periodic_wrap(idx: np.ndarray, n: int) -> np.ndarray:
+    """Wrap integer indices onto ``[0, n)`` (periodic axis helper)."""
+    return np.mod(idx, n)

@@ -1,0 +1,86 @@
+"""Lightweight wall-clock timers used by the drivers and benchmarks.
+
+The Earth Simulator runs in the paper report per-phase timings (vector
+time, communication time).  Our drivers use :class:`TimerRegistry` to
+attribute wall-clock time to named phases (``rhs``, ``halo``, ``overset``,
+``io``), mirroring that accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch: total elapsed seconds across start/stop pairs."""
+
+    total: float = 0.0
+    count: int = 0
+    _t0: float | None = None
+
+    def start(self) -> None:
+        if self._t0 is not None:
+            raise RuntimeError("Timer already running")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Timer not running")
+        dt = time.perf_counter() - self._t0
+        self.total += dt
+        self.count += 1
+        self._t0 = None
+        return dt
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per start/stop interval (0 if never stopped)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TimerRegistry:
+    """A named collection of :class:`Timer` objects with a context helper."""
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    def timer(self, name: str) -> Timer:
+        if name not in self.timers:
+            self.timers[name] = Timer()
+        return self.timers[name]
+
+    @contextmanager
+    def timing(self, name: str) -> Iterator[Timer]:
+        t = self.timer(name)
+        t.start()
+        try:
+            yield t
+        finally:
+            t.stop()
+
+    def totals(self) -> Dict[str, float]:
+        """Mapping of phase name to accumulated seconds."""
+        return {k: v.total for k, v in self.timers.items()}
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the registry's grand-total time spent in ``name``."""
+        grand = sum(t.total for t in self.timers.values())
+        if grand == 0.0:
+            return 0.0
+        return self.timers[name].total / grand if name in self.timers else 0.0
+
+    def report(self) -> str:
+        """Multi-line human-readable table of phase timings."""
+        lines = [f"{'phase':<16}{'seconds':>12}{'calls':>8}{'mean (ms)':>12}"]
+        for name in sorted(self.timers):
+            t = self.timers[name]
+            lines.append(f"{name:<16}{t.total:>12.6f}{t.count:>8}{1e3 * t.mean:>12.4f}")
+        return "\n".join(lines)

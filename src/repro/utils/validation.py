@@ -1,0 +1,57 @@
+"""Small argument-validation helpers used across the package.
+
+These raise :class:`ValueError` (or :class:`TypeError`) with uniform
+messages so error text stays consistent across the many configuration
+objects in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``lo <= value <= hi`` (or strict) and return ``value``."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {lo} {op} {name} {op} {hi}, got {value!r}")
+    return value
+
+
+def check_odd(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive odd integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0 or value % 2 == 0:
+        raise ValueError(f"{name} must be a positive odd integer, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, typ: type) -> Any:
+    """Validate ``isinstance(value, typ)`` and return ``value``."""
+    if not isinstance(value, typ):
+        raise TypeError(
+            f"{name} must be {typ.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,53 @@
+"""Analysis / visualisation-support tools (paper Fig. 1 and Fig. 2).
+
+Array-producing (matplotlib-free) building blocks:
+
+* :mod:`~repro.viz.slices` — equatorial and meridional cuts, merging
+  the two panels by "choosing one of the two solutions" in the overlap
+  (the paper's stated post-processing policy);
+* :mod:`~repro.viz.mercator` — Mercator-projection masks of the panels
+  and their overlap (Fig. 1's geometry);
+* :mod:`~repro.viz.columns` — detection and counting of the cyclonic /
+  anti-cyclonic convection columns of Fig. 2 from the z-vorticity in
+  the equatorial plane.
+"""
+
+from repro.viz.slices import equatorial_slice, merge_equatorial, meridional_slice
+from repro.viz.mercator import panel_mask_lonlat, overlap_map, ascii_sphere_map
+from repro.viz.spectrum import (
+    azimuthal_spectrum,
+    dominant_mode,
+    vorticity_mode_spectrum,
+    spectral_slope,
+)
+from repro.viz.render import (
+    write_pgm,
+    write_signed_ppm,
+    equatorial_disk_image,
+)
+from repro.viz.columns import (
+    equatorial_vorticity,
+    count_columns,
+    column_profile,
+    ColumnCensus,
+)
+
+__all__ = [
+    "equatorial_slice",
+    "merge_equatorial",
+    "meridional_slice",
+    "panel_mask_lonlat",
+    "overlap_map",
+    "ascii_sphere_map",
+    "equatorial_vorticity",
+    "count_columns",
+    "column_profile",
+    "ColumnCensus",
+    "azimuthal_spectrum",
+    "dominant_mode",
+    "vorticity_mode_spectrum",
+    "spectral_slope",
+    "write_pgm",
+    "write_signed_ppm",
+    "equatorial_disk_image",
+]

@@ -1,0 +1,77 @@
+"""Panel geometry on longitude-latitude rasters (paper Fig. 1).
+
+In the Mercator projection each basic Yin-Yang component is a rectangle;
+these helpers rasterise panel membership over the sphere so Fig. 1's
+coverage/overlap picture can be regenerated (as arrays, or as a quick
+ASCII map for terminals and test output).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.coords.transforms import other_panel_angles
+from repro.grids.component import PHI_MAX, PHI_MIN, THETA_MAX, THETA_MIN
+
+Array = np.ndarray
+
+
+def _inside(theta: Array, phi: Array) -> Array:
+    return (
+        (theta >= THETA_MIN) & (theta <= THETA_MAX) & (phi >= PHI_MIN) & (phi <= PHI_MAX)
+    )
+
+
+def panel_mask_lonlat(nlat: int = 90, nlon: int = 180) -> Tuple[Array, Array]:
+    """Boolean (Yin, Yang) membership masks on a regular lon-lat raster.
+
+    Rows run from north (small colatitude) to south; columns from
+    longitude ``-pi`` to ``pi``.  Cell centres are sampled.
+    """
+    theta = (np.arange(nlat) + 0.5) * np.pi / nlat
+    phi = -np.pi + (np.arange(nlon) + 0.5) * 2 * np.pi / nlon
+    th, ph = np.meshgrid(theta, phi, indexing="ij")
+    yin = _inside(th, ph)
+    th_o, ph_o = other_panel_angles(th, ph)
+    yang = _inside(th_o, ph_o)
+    return yin, yang
+
+
+def overlap_map(nlat: int = 90, nlon: int = 180) -> Array:
+    """Coverage-count raster: 0 = uncovered (must not happen), 1 = one
+    panel, 2 = the ~6 % double-solution region."""
+    yin, yang = panel_mask_lonlat(nlat, nlon)
+    return yin.astype(np.int8) + yang.astype(np.int8)
+
+
+def coverage_fractions(nlat: int = 360, nlon: int = 720) -> Tuple[float, float]:
+    """(covered fraction, overlap fraction) by area-weighted rasterisation.
+
+    Weights each raster cell by ``sin(theta)``; converges to (1.0,
+    0.0607) — Fig. 1's "about 6 %" overlap.
+    """
+    theta = (np.arange(nlat) + 0.5) * np.pi / nlat
+    w = np.sin(theta)[:, None]
+    cover = overlap_map(nlat, nlon)
+    total = w.sum() * cover.shape[1]
+    covered = float(((cover >= 1) * w).sum() / total)
+    doubled = float(((cover == 2) * w).sum() / total)
+    return covered, doubled
+
+
+def ascii_sphere_map(nlat: int = 24, nlon: int = 72) -> str:
+    """Fig. 1 as terminal art: ``n`` Yin-only, ``e`` Yang-only, ``#``
+    the overlap region."""
+    yin, yang = panel_mask_lonlat(nlat, nlon)
+    chars = np.where(yin & yang, "#", np.where(yin, "n", np.where(yang, "e", "?")))
+    return "\n".join("".join(row) for row in chars)
+
+
+def mercator_rectangle() -> Tuple[float, float, float, float]:
+    """The component panel's rectangle in Mercator coordinates:
+    ``(lon_min, lon_max, lat_min, lat_max)`` in degrees — 270 deg of
+    longitude by 90 deg of latitude, as in Section II."""
+    lat_max = 90.0 - np.degrees(THETA_MIN)
+    return (np.degrees(PHI_MIN), np.degrees(PHI_MAX), -lat_max, lat_max)

@@ -1,0 +1,102 @@
+"""Minimal image output (PGM/PPM, pure stdlib) for slice visualisation.
+
+The paper's visualisations were produced with the group's dedicated
+tools; this module provides dependency-free raster output so examples
+can save actual images of equatorial slices (Fig. 2-style) without
+matplotlib: grayscale PGM for scalar fields and a red/blue PPM for
+signed fields such as the axial vorticity (the paper's "two colors
+indicate cyclonic and anti-cyclonic convection columns").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+Array = np.ndarray
+
+
+def normalise(values: Array, *, symmetric: bool = False) -> Array:
+    """Map values to [0, 1]; symmetric mode pins 0.5 at zero."""
+    v = np.asarray(values, dtype=np.float64)
+    if symmetric:
+        peak = float(np.abs(v).max()) or 1.0
+        return 0.5 + 0.5 * v / peak
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return np.full_like(v, 0.5)
+    return (v - lo) / (hi - lo)
+
+
+def write_pgm(path: str | Path, values: Array) -> Path:
+    """Write a scalar field as a binary 8-bit PGM image."""
+    v = normalise(values)
+    require(v.ndim == 2, f"need a 2-D array, got shape {v.shape}")
+    data = (255 * v).astype(np.uint8)
+    path = Path(path)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode())
+        fh.write(data.tobytes())
+    return path
+
+
+def write_signed_ppm(path: str | Path, values: Array) -> Path:
+    """Write a signed field as a red(+)/white(0)/blue(-) PPM image —
+    the two-colour convention of Fig. 2(c-d)."""
+    v = np.asarray(values, dtype=np.float64)
+    require(v.ndim == 2, f"need a 2-D array, got shape {v.shape}")
+    peak = float(np.abs(v).max()) or 1.0
+    x = np.clip(v / peak, -1.0, 1.0)
+    rgb = np.empty(v.shape + (3,), dtype=np.uint8)
+    pos = np.clip(x, 0.0, 1.0)
+    neg = np.clip(-x, 0.0, 1.0)
+    rgb[..., 0] = (255 * (1.0 - neg)).astype(np.uint8)  # red fades with -
+    rgb[..., 1] = (255 * (1.0 - np.abs(x))).astype(np.uint8)
+    rgb[..., 2] = (255 * (1.0 - pos)).astype(np.uint8)  # blue fades with +
+    path = Path(path)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{rgb.shape[1]} {rgb.shape[0]}\n255\n".encode())
+        fh.write(rgb.tobytes())
+    return path
+
+
+def read_pnm(path: str | Path) -> Tuple[str, Array]:
+    """Read back a binary PGM/PPM written by this module (for tests)."""
+    raw = Path(path).read_bytes()
+    parts = raw.split(b"\n", 3)
+    magic = parts[0].decode()
+    require(magic in ("P5", "P6"), f"unsupported PNM magic {magic!r}")
+    w, h = (int(x) for x in parts[1].split())
+    data = np.frombuffer(parts[3], dtype=np.uint8)
+    if magic == "P5":
+        return magic, data.reshape(h, w)
+    return magic, data.reshape(h, w, 3)
+
+
+def equatorial_disk_image(
+    phi: Array, values: Array, *, size: int = 200, r_inner_frac: float = 0.35
+) -> Array:
+    """Rasterise an (nr, nphi) equatorial slice onto a square disk image
+    viewed from the north (Fig. 2(a)'s viewpoint); NaN outside the
+    annulus (renderers map it to the background)."""
+    nr, nphi = values.shape
+    y, x = np.mgrid[0:size, 0:size]
+    cx = (size - 1) / 2.0
+    xx = (x - cx) / cx
+    yy = (cx - y) / cx
+    rr = np.hypot(xx, yy)
+    ang = np.arctan2(yy, xx)
+    out = np.full((size, size), np.nan)
+    inside = (rr >= r_inner_frac) & (rr <= 1.0)
+    ir = np.clip(
+        np.round((rr[inside] - r_inner_frac) / (1.0 - r_inner_frac) * (nr - 1)),
+        0, nr - 1,
+    ).astype(np.intp)
+    dphi = phi[1] - phi[0]
+    ip = np.mod(np.round((ang[inside] - phi[0]) / dphi), nphi).astype(np.intp)
+    out[inside] = values[ir, ip]
+    return out

@@ -1,0 +1,106 @@
+"""Planar cuts through the Yin-Yang shell, merging the two panels.
+
+Section II: in the overlap "we just choose one of the two solutions and
+the resulting visualization shows smooth pictures.  There is no
+indication of the internal border between the Yin and Yang grids."
+The mergers here implement exactly that policy: prefer the Yin value
+where the point lies in the Yin panel, else take Yang.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.coords.transforms import other_panel_angles
+from repro.grids.component import ComponentGrid, Panel
+from repro.grids.interpolation import build_bilinear_stencil
+from repro.grids.yinyang import YinYangGrid
+
+Array = np.ndarray
+
+
+def sample_panel(grid: ComponentGrid, field: Array, theta: Array, phi: Array) -> Array:
+    """Bilinear sample of one panel's field at *panel-frame* angles.
+
+    ``theta/phi`` are 1-D of equal length n; returns ``(nr, n)``.
+    Points must lie inside the panel (raises otherwise).
+    """
+    st = build_bilinear_stencil(grid, np.asarray(theta), np.asarray(phi), fd_only=False)
+    return st.apply(field)
+
+
+def sample_sphere(
+    grid: YinYangGrid,
+    fields: Dict[Panel, Array],
+    theta_global: Array,
+    phi_global: Array,
+) -> Array:
+    """Sample a merged scalar at global angles, choosing one solution.
+
+    Yin is preferred wherever the point lies inside the Yin panel; the
+    remainder (polar caps and the far-side lune) comes from Yang.
+    """
+    theta_global = np.atleast_1d(np.asarray(theta_global, dtype=np.float64))
+    phi_global = np.atleast_1d(np.asarray(phi_global, dtype=np.float64))
+    n = theta_global.size
+    in_yin = grid.yin.contains_angles(theta_global, phi_global)
+    th_o, ph_o = other_panel_angles(theta_global, phi_global)
+    in_yang = grid.yang.contains_angles(th_o, ph_o)
+    if not np.all(in_yin | in_yang):
+        k = int(np.argmax(~(in_yin | in_yang)))
+        raise ValueError(
+            f"point (theta={theta_global[k]:.4f}, phi={phi_global[k]:.4f}) "
+            "is covered by neither panel — invalid Yin-Yang grid?"
+        )
+    nr = fields[Panel.YIN].shape[0]
+    out = np.empty((nr, n))
+    idx_yin = np.flatnonzero(in_yin)
+    idx_yang = np.flatnonzero(~in_yin)
+    if idx_yin.size:
+        out[:, idx_yin] = sample_panel(
+            grid.yin, fields[Panel.YIN], theta_global[idx_yin], phi_global[idx_yin]
+        )
+    if idx_yang.size:
+        out[:, idx_yang] = sample_panel(
+            grid.yang, fields[Panel.YANG], th_o[idx_yang], ph_o[idx_yang]
+        )
+    return out
+
+
+def equatorial_slice(
+    grid: YinYangGrid, fields: Dict[Panel, Array], nphi: int = 360
+) -> Tuple[Array, Array]:
+    """Merged field on the global equatorial plane.
+
+    Returns ``(phi, values)`` with ``values`` of shape ``(nr, nphi)``;
+    the equator's centre portion lives on Yin and the far-side lune on
+    Yang — Fig. 2(a)'s viewing plane.
+    """
+    phi = np.linspace(-np.pi, np.pi, nphi, endpoint=False)
+    theta = np.full(nphi, np.pi / 2)
+    return phi, sample_sphere(grid, fields, theta, phi)
+
+
+def merge_equatorial(
+    grid: YinYangGrid, fields: Dict[Panel, Array], nphi: int = 360
+) -> Array:
+    """Convenience: just the ``(nr, nphi)`` equatorial values."""
+    return equatorial_slice(grid, fields, nphi)[1]
+
+
+def meridional_slice(
+    grid: YinYangGrid, fields: Dict[Panel, Array], phi0: float = 0.0, ntheta: int = 180
+) -> Tuple[Array, Array]:
+    """Merged field on the meridian plane of longitude ``phi0``.
+
+    Returns ``(theta, values)`` with ``values`` of shape ``(nr, ntheta)``.
+    The colatitude range stays a hair inside (0, pi): the poles
+    themselves are covered by Yang but sampled just off-axis to keep
+    angles well-defined.
+    """
+    eps = 1e-6
+    theta = np.linspace(eps, np.pi - eps, ntheta)
+    phi = np.full(ntheta, float(phi0))
+    return theta, sample_sphere(grid, fields, theta, phi)

@@ -1,0 +1,85 @@
+"""Azimuthal (m-) spectra of fields on the equatorial plane.
+
+Rotating convection selects a dominant azimuthal wavenumber — the
+number of column pairs visible in Fig. 2.  The spectrum tools quantify
+that selection: the census in :mod:`repro.viz.columns` counts columns
+in physical space, while :func:`dominant_mode` reads the same number
+off the Fourier side (the two are cross-checked in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.state import MHDState
+from repro.viz.columns import equatorial_vorticity
+
+Array = np.ndarray
+
+
+def azimuthal_spectrum(circle_values: Array) -> Array:
+    """Power per azimuthal mode of samples on one circle.
+
+    ``circle_values`` is 1-D over uniformly spaced longitudes; returns
+    ``|FFT|^2 / n^2`` for modes ``m = 0 .. n//2`` (one-sided, with the
+    conjugate-pair doubling applied to 0 < m < n/2).
+    """
+    w = np.asarray(circle_values, dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError(f"need 1-D circle samples, got shape {w.shape}")
+    n = w.size
+    coef = np.fft.rfft(w) / n
+    power = np.abs(coef) ** 2
+    power[1:] *= 2.0
+    if n % 2 == 0:
+        power[-1] /= 2.0
+    return power
+
+
+def dominant_mode(circle_values: Array, *, m_min: int = 1) -> int:
+    """The azimuthal wavenumber carrying the most power (m >= m_min)."""
+    power = azimuthal_spectrum(circle_values)
+    if power.size <= m_min:
+        raise ValueError("not enough samples to resolve the requested modes")
+    return int(np.argmax(power[m_min:]) + m_min)
+
+
+def vorticity_mode_spectrum(
+    grid: YinYangGrid,
+    states: Dict[Panel, MHDState],
+    *,
+    nphi: int = 256,
+    radius_frac: float = 0.5,
+) -> Tuple[Array, int]:
+    """(power spectrum, dominant m) of the equatorial axial vorticity.
+
+    The dominant m equals the number of cyclone/anticyclone *pairs* —
+    Fig. 2's column count divided by two.
+    """
+    phi, wz = equatorial_vorticity(grid, states, nphi=nphi)
+    del phi
+    nr = wz.shape[0]
+    ir = int(round(radius_frac * (nr - 1)))
+    power = azimuthal_spectrum(wz[ir])
+    return power, dominant_mode(wz[ir])
+
+
+def spectral_slope(power: Array, m_lo: int, m_hi: int) -> float:
+    """Log-log slope of the spectrum over ``[m_lo, m_hi]``.
+
+    Developed turbulence shows a falling tail; the laminar column state
+    shows a sharp peak instead.  Used by the turbulence-transition
+    diagnostics in the examples.
+    """
+    if not (0 < m_lo < m_hi < power.size):
+        raise ValueError("need 0 < m_lo < m_hi < len(power)")
+    m = np.arange(m_lo, m_hi + 1)
+    p = power[m_lo : m_hi + 1]
+    good = p > 0
+    if good.sum() < 2:
+        raise ValueError("spectrum vanishes over the requested range")
+    return float(np.polyfit(np.log(m[good]), np.log(p[good]), 1)[0])

@@ -1,0 +1,146 @@
+import numpy as np
+import pytest
+
+from repro.analysis.harmonics import (
+    dipole_tilt,
+    gauss_coefficients,
+    real_sph_harm,
+    surface_expand,
+    surface_quadrature,
+)
+from repro.coords.transforms import other_panel_angles
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.state import MHDState
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return YinYangGrid(7, 26, 76)
+
+
+def sample_harmonic(grid, l, m):
+    fields = {}
+    for p in (Panel.YIN, Panel.YANG):
+        g = grid.panel(p)
+        th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+        if p is Panel.YANG:
+            th, ph = other_panel_angles(th, ph)
+        fields[p] = real_sph_harm(l, m, th, ph)
+    return fields
+
+
+class TestRealSphHarm:
+    def test_y00_constant(self):
+        y = real_sph_harm(0, 0, 0.7, 1.1)
+        assert y == pytest.approx(1.0 / np.sqrt(4 * np.pi))
+
+    def test_y10_form(self):
+        th = np.linspace(0.1, 3.0, 9)
+        y = real_sph_harm(1, 0, th, 0.0)
+        np.testing.assert_allclose(y, np.sqrt(3 / (4 * np.pi)) * np.cos(th), atol=1e-12)
+
+    def test_sine_and_cosine_harmonics(self):
+        th, ph = 1.0, 0.6
+        yc = real_sph_harm(2, 1, th, ph)
+        ys = real_sph_harm(2, -1, th, ph)
+        ratio = ys / yc
+        assert ratio == pytest.approx(np.tan(ph), rel=1e-10)
+
+    def test_analytic_orthonormality(self):
+        """High-resolution quadrature on a plain lat-lon raster."""
+        nth, nph = 200, 400
+        th = (np.arange(nth) + 0.5) * np.pi / nth
+        ph = -np.pi + (np.arange(nph) + 0.5) * 2 * np.pi / nph
+        TH, PH = np.meshgrid(th, ph, indexing="ij")
+        w = np.sin(TH) * (np.pi / nth) * (2 * np.pi / nph)
+        for (l1, m1), (l2, m2) in [((1, 0), (1, 0)), ((2, 1), (2, 1)),
+                                   ((1, 0), (2, 0)), ((2, 1), (2, -1))]:
+            a = real_sph_harm(l1, m1, TH, PH)
+            b = real_sph_harm(l2, m2, TH, PH)
+            inner = float(np.sum(a * b * w))
+            expected = 1.0 if (l1, m1) == (l2, m2) else 0.0
+            assert inner == pytest.approx(expected, abs=2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            real_sph_harm(1, 2, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            real_sph_harm(-1, 0, 0.5, 0.5)
+
+
+class TestSurfaceQuadrature:
+    def test_total_solid_angle(self, grid):
+        w = surface_quadrature(grid)
+        total = sum(float(x.sum()) for x in w.values())
+        assert total == pytest.approx(4 * np.pi, rel=5e-3)
+
+
+class TestSurfaceExpand:
+    @pytest.mark.parametrize("lm", [(1, 0), (2, 1), (3, -2)])
+    def test_recovers_pure_harmonics(self, grid, lm):
+        l, m = lm
+        fields = sample_harmonic(grid, l, m)
+        c = surface_expand(grid, fields, lmax=3)
+        assert c[(l, m)] == pytest.approx(1.0, abs=0.02)
+        others = [abs(v) for k, v in c.items() if k != (l, m)]
+        assert max(others) < 0.03
+
+    def test_constant_field_is_y00(self, grid):
+        fields = {p: np.ones(grid.panel(p).shape[1:]) for p in (Panel.YIN, Panel.YANG)}
+        c = surface_expand(grid, fields, lmax=1)
+        assert c[(0, 0)] == pytest.approx(np.sqrt(4 * np.pi), rel=5e-3)
+
+
+class TestGaussCoefficients:
+    def test_axial_dipole_potential_field(self, grid):
+        """A uniform internal field B = B0 zhat has A_phi = B0 r sin/2,
+        B_r = B0 cos(theta): a pure (l=1, m=0) harmonic whose Gauss
+        coefficient is B0 sqrt(4 pi / 3) / 2... we verify proportionality
+        and sign symmetry rather than the absolute constant."""
+        b0 = 0.4
+        states = {}
+        for p in (Panel.YIN, Panel.YANG):
+            g = grid.panel(p)
+            s = MHDState.zeros(g.shape)
+            s.rho[:] = 1.0
+            s.p[:] = 1.0
+            if p is Panel.YIN:
+                s.aph[:] = 0.5 * b0 * g.r3 * np.sin(g.theta3)
+            else:
+                # global zhat field in Yang components via the vector map
+                from repro.coords.spherical import cart_vector_to_sph, sph_to_cart
+                from repro.coords.transforms import yinyang_vector_map
+
+                th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+                th_g, ph_g = other_panel_angles(th, ph)
+                x, y, z = sph_to_cart(1.0, th_g, ph_g)
+                # A = B0/2 zhat x r (global)
+                ax, ay, az = -0.5 * b0 * y, 0.5 * b0 * x, np.zeros_like(x)
+                ax, ay, az = yinyang_vector_map(ax, ay, az)
+                ar_, ath_, aph_ = cart_vector_to_sph(ax, ay, az, th, ph)
+                s.ar[:] = g.r3 * ar_[None]
+                s.ath[:] = g.r3 * ath_[None]
+                s.aph[:] = g.r3 * aph_[None]
+            states[p] = s
+        g1 = gauss_coefficients(grid, states, lmax=2)
+        g10 = g1[(1, 0)]
+        assert g10 > 0.0
+        # the remaining coefficients are noise-level
+        others = [abs(v) for k, v in g1.items() if k != (1, 0)]
+        assert max(others) < 0.05 * g10
+        # flipping the field flips the coefficient
+        for s in states.values():
+            for c in s.a:
+                c *= -1.0
+        g2 = gauss_coefficients(grid, states, lmax=2)
+        assert g2[(1, 0)] == pytest.approx(-g10, rel=1e-10)
+
+    def test_dipole_tilt_limits(self):
+        assert dipole_tilt({(1, 0): 1.0, (1, 1): 0.0, (1, -1): 0.0}) == 0.0
+        assert dipole_tilt({(1, 0): 0.0, (1, 1): 1.0, (1, -1): 0.0}) == pytest.approx(
+            np.pi / 2
+        )
+        assert dipole_tilt({(1, 0): -1.0, (1, 1): 0.0, (1, -1): 0.0}) == pytest.approx(
+            np.pi
+        )

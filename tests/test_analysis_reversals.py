@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.analysis.reversals import (
+    PolarityChron,
+    detect_reversals,
+    polarity_fractions,
+    reversal_rate,
+    synthetic_reversing_dipole,
+)
+
+
+class TestDetectReversals:
+    def test_clean_square_wave(self):
+        t = np.linspace(0, 1, 1000)
+        d = np.where(t < 0.5, 1.0, -1.0)
+        reversals, chrons = detect_reversals(t, d)
+        assert len(reversals) == 1
+        assert reversals[0] == pytest.approx(0.5, abs=0.01)
+        assert [c.polarity for c in chrons] == [1, -1]
+
+    def test_no_reversal_in_steady_series(self):
+        t = np.linspace(0, 1, 100)
+        reversals, chrons = detect_reversals(t, np.ones(100))
+        assert reversals == []
+        assert len(chrons) == 1 and chrons[0].polarity == 1
+
+    def test_excursion_not_counted(self):
+        """A dip toward zero that recovers is not a reversal."""
+        t = np.linspace(0, 1, 1000)
+        d = np.ones(1000)
+        d[400:450] = 0.05  # excursion within the hysteresis band
+        reversals, _ = detect_reversals(t, d, hysteresis_frac=0.25)
+        assert reversals == []
+
+    def test_noise_does_not_shower(self):
+        """Noisy but single-flip series yields exactly one reversal."""
+        t, d = synthetic_reversing_dipole(2000, 1, noise=0.2, seed=3)
+        reversals, _ = detect_reversals(t, d)
+        assert len(reversals) == 1
+
+    def test_synthetic_counts_recovered(self):
+        for n_rev in (0, 2, 5):
+            t, d = synthetic_reversing_dipole(4000, n_rev, noise=0.1, seed=n_rev)
+            reversals, chrons = detect_reversals(t, d)
+            assert len(reversals) == n_rev
+            assert len(chrons) == n_rev + 1
+
+    def test_polarities_alternate(self):
+        t, d = synthetic_reversing_dipole(3000, 4, seed=9)
+        _, chrons = detect_reversals(t, d)
+        signs = [c.polarity for c in chrons]
+        assert all(a == -b for a, b in zip(signs, signs[1:]))
+
+    def test_zero_series(self):
+        t = np.linspace(0, 1, 50)
+        reversals, chrons = detect_reversals(t, np.zeros(50))
+        assert reversals == [] and chrons == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_reversals(np.array([1.0, 0.5]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            detect_reversals(np.array([0.0]), np.array([1.0]))
+
+
+class TestStatistics:
+    def test_polarity_fractions(self):
+        chrons = [
+            PolarityChron(0.0, 0.75, +1),
+            PolarityChron(0.75, 1.0, -1),
+        ]
+        normal, reversed_ = polarity_fractions(chrons)
+        assert normal == pytest.approx(0.75)
+        assert reversed_ == pytest.approx(0.25)
+
+    def test_fractions_empty(self):
+        assert polarity_fractions([]) == (0.0, 0.0)
+
+    def test_reversal_rate(self):
+        assert reversal_rate([0.1, 0.5, 0.9], 2.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            reversal_rate([], 0.0)
+
+    def test_chron_duration(self):
+        assert PolarityChron(1.0, 3.5, -1).duration == pytest.approx(2.5)

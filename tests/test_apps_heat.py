@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatSolver, radial_mode, radial_mode_decay_rate
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+
+
+class TestAnalytics:
+    def test_mode_vanishes_at_walls(self):
+        g = YinYangGrid(9, 12, 36)
+        mode = radial_mode(g, 1)
+        for f in mode.values():
+            np.testing.assert_allclose(f[0], 0.0, atol=1e-14)
+            np.testing.assert_allclose(f[-1], 0.0, atol=1e-14)
+
+    def test_decay_rate_formula(self):
+        g = YinYangGrid(9, 12, 36)
+        lam1 = radial_mode_decay_rate(g, kappa=0.01, k=1)
+        lam2 = radial_mode_decay_rate(g, kappa=0.01, k=2)
+        assert lam2 == pytest.approx(4 * lam1)
+
+    def test_mode_is_laplacian_eigenfunction(self):
+        """lap(T_k) = -lambda_k T_k discretely, to truncation error."""
+        from repro.fd.operators import SphericalOperators
+
+        g = YinYangGrid(33, 12, 36)
+        mode = radial_mode(g, 1)[Panel.YIN]
+        ops = SphericalOperators(g.yin)
+        lam = radial_mode_decay_rate(g, kappa=1.0, k=1)
+        lap = ops.laplacian(mode)
+        interior = (slice(2, -2), slice(2, -2), slice(2, -2))
+        resid = lap[interior] + lam * mode[interior]
+        assert np.abs(resid).max() < 0.02 * lam * np.abs(mode).max()
+
+
+class TestSolver:
+    def test_decay_rate_second_order_convergence(self):
+        errs = []
+        for nr in (9, 17):
+            g = YinYangGrid(nr, 12, 36)
+            s = HeatSolver(g, kappa=5e-3)
+            lam = radial_mode_decay_rate(g, 5e-3)
+            errs.append(abs(s.measured_decay_rate() - lam) / lam)
+        assert errs[0] / errs[1] > 3.0
+        assert errs[1] < 0.01
+
+    def test_higher_mode_decays_faster(self):
+        g = YinYangGrid(17, 12, 36)
+        s1 = HeatSolver(g, kappa=5e-3)
+        r1 = s1.measured_decay_rate(k=1)
+        s2 = HeatSolver(g, kappa=5e-3)
+        r2 = s2.measured_decay_rate(k=2, t_end=0.3 / radial_mode_decay_rate(g, 5e-3, 2))
+        assert r2 == pytest.approx(4 * r1, rel=0.05)
+
+    def test_solution_stays_radial(self):
+        """A radial initial condition stays angularly uniform — the
+        overset exchange must not imprint the panel geometry."""
+        g = YinYangGrid(9, 12, 36)
+        s = HeatSolver(g, kappa=5e-3)
+        temp = radial_mode(g, 1)
+        temp = s.run(temp, 1.0)
+        for f in temp.values():
+            angular_spread = np.ptp(f, axis=(1, 2)).max()
+            assert angular_spread < 1e-6 * np.abs(f).max()
+
+    def test_max_principle(self):
+        """Diffusion with zero walls never exceeds the initial max."""
+        g = YinYangGrid(9, 12, 36)
+        s = HeatSolver(g, kappa=5e-3)
+        temp = radial_mode(g, 1)
+        a0 = s.amplitude(temp)
+        temp = s.run(temp, 2.0)
+        assert s.amplitude(temp) <= a0 * (1 + 1e-12)
+
+    def test_stable_dt_positive(self):
+        g = YinYangGrid(9, 12, 36)
+        s = HeatSolver(g, kappa=5e-3)
+        assert 0 < s.stable_dt() < 1.0
+
+    def test_kappa_validation(self):
+        with pytest.raises(ValueError):
+            HeatSolver(YinYangGrid(9, 12, 36), kappa=0.0)

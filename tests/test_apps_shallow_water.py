@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.apps.shallow_water import (
+    ShallowWaterSolver,
+    williamson2_drift,
+    williamson2_state,
+)
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return YinYangGrid(4, 14, 42)
+
+
+@pytest.fixture(scope="module")
+def solver(grid):
+    return ShallowWaterSolver(grid)
+
+
+class TestSetup:
+    def test_earth_defaults(self, solver):
+        assert solver.a == pytest.approx(6.37122e6)
+        assert solver.omega == pytest.approx(7.292e-5)
+
+    def test_coriolis_is_global(self, solver, grid):
+        """f depends on the *global* colatitude on both panels: its range
+        is [-2 Omega, 2 Omega] and Yang covers the poles where |f| peaks."""
+        f_yin = solver._geom[Panel.YIN]["coriolis"]
+        f_yang = solver._geom[Panel.YANG]["coriolis"]
+        assert np.abs(f_yang).max() > np.abs(f_yin).max()
+        assert np.abs(f_yang).max() <= 2 * solver.omega * 1.0000001
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            ShallowWaterSolver(grid, gravity=0.0)
+
+
+class TestWilliamson2:
+    def test_state_is_positive_depth(self, solver):
+        state = williamson2_state(solver)
+        for h, _, _ in state.values():
+            assert h.min() > 0.0
+
+    def test_geostrophic_balance_residual_small(self, solver):
+        """The initial RHS is truncation-level relative to the dynamic
+        scales (the state is an exact continuum steady solution)."""
+        state = williamson2_state(solver)
+        solver.enforce(state)
+        k = solver.rhs(state)
+        # height tendency scale vs gravity-wave advection scale
+        dh = max(float(np.abs(f[0][:, 2:-2, 2:-2]).max()) for f in k.values())
+        h_scale = max(float(f[0].max()) for f in state.values())
+        u_scale = 40.0
+        assert dh < 0.05 * h_scale * u_scale / solver.a * 10
+
+    def test_drift_small_and_converging(self):
+        d1 = williamson2_drift(YinYangGrid(4, 14, 42), hours=1.0)
+        d2 = williamson2_drift(YinYangGrid(4, 26, 78), hours=1.0)
+        assert d1 < 1e-2
+        assert d1 / d2 > 2.5  # ~second order
+
+    def test_velocity_field_consistent_across_panels(self, solver):
+        """TC2's flow is global solid-body rotation; after the overset
+        exchange the ring values must match the analytic field."""
+        state = williamson2_state(solver)
+        before = {p: tuple(np.copy(c) for c in f) for p, f in state.items()}
+        solver.enforce(state)
+        h_scale = max(float(f[0].max()) for f in before.values())
+        for p in state:
+            # height: relative bilinear error; velocities: m/s scale
+            assert np.abs(state[p][0] - before[p][0]).max() < 5e-3 * h_scale
+            for a, b in zip(state[p][1:], before[p][1:]):
+                assert np.abs(a - b).max() < 0.5
+
+
+class TestDynamics:
+    def test_gravity_wave_radiates_from_bump(self, solver):
+        """A height bump launches gravity waves: the initial tendency is
+        nonzero and the depth stays positive over a short run."""
+        state = williamson2_state(solver)
+        # add a localised bump on the Yin panel's equator
+        h = state[Panel.YIN][0]
+        nth, nph = h.shape[1:]
+        h[:, nth // 2, nph // 2] *= 1.01
+        solver.enforce(state)
+        state = solver.run(state, 600.0)  # ten minutes
+        for hh, _, _ in state.values():
+            assert hh.min() > 0.0
+
+    def test_stable_dt_scales_with_resolution(self, grid):
+        s1 = ShallowWaterSolver(YinYangGrid(4, 14, 42))
+        s2 = ShallowWaterSolver(YinYangGrid(4, 28, 84))
+        st1 = williamson2_state(s1)
+        st2 = williamson2_state(s2)
+        assert s2.stable_dt(st2) < s1.stable_dt(st1)
+
+    def test_rest_state_stays_at_rest(self, grid):
+        """Uniform depth, no flow: an exact discrete equilibrium."""
+        solver = ShallowWaterSolver(grid)
+        state = {}
+        for g in grid.panels:
+            shape = (1, g.nth, g.nph)
+            state[g.panel] = (
+                np.full(shape, 1000.0), np.zeros(shape), np.zeros(shape)
+            )
+        solver.enforce(state)
+        state = solver.run(state, 1800.0)
+        for h, uth, uph in state.values():
+            np.testing.assert_allclose(h, 1000.0, rtol=1e-12)
+            assert np.abs(uth).max() < 1e-10
+            assert np.abs(uph).max() < 1e-10

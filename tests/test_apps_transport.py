@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.apps.transport import (
+    TransportSolver,
+    gaussian_blob,
+    revolution_error,
+    rotation_velocity,
+)
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return YinYangGrid(5, 14, 42)
+
+
+class TestRotationVelocity:
+    def test_speed_profile(self, grid):
+        """|v| = omega r sin(angle to axis): max omega*r on the equator."""
+        vel = rotation_velocity(grid, (0, 0, 1), omega=2.0)
+        for p, v in vel.items():
+            speed = np.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2)
+            assert speed.max() <= 2.0 * grid.yin.ro + 1e-12
+
+    def test_polar_axis_is_pure_zonal_on_yin(self, grid):
+        vel = rotation_velocity(grid, (0, 0, 1), omega=1.0)
+        vr, vth, vph = vel[Panel.YIN]
+        np.testing.assert_allclose(vr, 0.0, atol=1e-12)
+        np.testing.assert_allclose(vth, 0.0, atol=1e-12)
+        expected = grid.yin.r3 * np.sin(grid.yin.theta3)
+        np.testing.assert_allclose(vph, np.broadcast_to(expected, vph.shape), atol=1e-12)
+
+    def test_panels_carry_same_physical_flow(self, grid):
+        """Divergence-free in both panels (rigid rotation)."""
+        from repro.fd.operators import SphericalOperators
+
+        vel = rotation_velocity(grid, (1, 2, 3), omega=1.0)
+        for p, v in vel.items():
+            ops = SphericalOperators(grid.panel(p))
+            div = ops.div(tuple(np.ascontiguousarray(c) for c in v))
+            sl = (slice(2, -2),) * 3
+            assert np.abs(div[sl]).max() < 5e-2
+
+    def test_zero_axis_rejected(self, grid):
+        with pytest.raises(ValueError):
+            rotation_velocity(grid, (0, 0, 0), omega=1.0)
+
+
+class TestBlob:
+    def test_peak_at_centre(self, grid):
+        """Peak ~1 (slightly less when the centre falls between nodes)."""
+        c = gaussian_blob(grid, (np.pi / 2, 0.3), width=0.4)
+        assert 0.95 < max(float(f.max()) for f in c.values()) <= 1.0
+
+    def test_polar_blob_lives_on_yang(self, grid):
+        c = gaussian_blob(grid, (0.05, 0.0), width=0.3)
+        assert c[Panel.YANG].max() > 0.9
+        assert c[Panel.YIN].max() < 0.9
+
+
+class TestRevolution:
+    def test_second_order_convergence(self):
+        errs = []
+        for n in (14, 28):
+            g = YinYangGrid(5, n, 3 * n)
+            errs.append(revolution_error(g, width=0.7))
+        assert errs[0] / errs[1] > 3.0
+
+    def test_blob_returns_through_panel_borders(self):
+        """A tilted axis drives the blob through both panels and back."""
+        g = YinYangGrid(5, 22, 66)
+        err = revolution_error(g, axis=(1.0, 0.0, 1.0), width=0.7)
+        assert err < 0.25
+
+    def test_maximum_principle(self):
+        """Pure advection cannot create new extrema (up to the small
+        dispersive over/undershoot of central differences)."""
+        g = YinYangGrid(5, 18, 54)
+        vel = rotation_velocity(g, (0, 0, 1), omega=1.0)
+        solver = TransportSolver(g, vel)
+        c = gaussian_blob(g, (np.pi / 2, 0.0), width=0.6)
+        solver.enforce(c)
+        c = solver.run(c, 1.0)
+        assert max(float(f.max()) for f in c.values()) < 1.2
+        assert min(float(f.min()) for f in c.values()) > -0.2
+
+
+class TestDiffusion:
+    def test_diffusion_spreads_and_lowers_peak(self, grid):
+        vel = rotation_velocity(grid, (0, 0, 1), omega=0.0)
+        solver = TransportSolver(grid, vel, kappa=5e-3)
+        c = gaussian_blob(grid, (np.pi / 2, 0.0), width=0.4)
+        solver.enforce(c)
+        peak0 = max(float(f.max()) for f in c.values())
+        c = solver.run(c, 2.0)
+        assert max(float(f.max()) for f in c.values()) < peak0
+
+    def test_negative_kappa_rejected(self, grid):
+        vel = rotation_velocity(grid, (0, 0, 1), omega=1.0)
+        with pytest.raises(ValueError):
+            TransportSolver(grid, vel, kappa=-1.0)
+
+    def test_stable_dt_shrinks_with_kappa(self, grid):
+        vel = rotation_velocity(grid, (0, 0, 1), omega=1.0)
+        a = TransportSolver(grid, vel).stable_dt()
+        b = TransportSolver(grid, vel, kappa=1.0).stable_dt()
+        assert b < a

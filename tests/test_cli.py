@@ -1,0 +1,55 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "40.96 Tflops" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Kageyama et al." in out
+        assert "finite difference" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--rows", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap" in out
+        assert "#" in out  # the overlap region in the ASCII map
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--mode", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cyclonic / 4 anti-cyclonic" in out
+
+    def test_volume(self, capsys):
+        assert main(["volume"]) == 0
+        out = capsys.readouterr().out
+        assert "implied_subsample" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--steps", "4", "--nr", "9", "--nth", "12",
+                     "--nph", "36"]) == 0
+        out = capsys.readouterr().out
+        assert "KE =" in out
+        assert "final:" in out
+
+    @pytest.mark.slow
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "15.20" in out

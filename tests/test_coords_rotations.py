@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coords.rotations import (
+    rotate_sph_vector_between_panels,
+    sph_component_rotation,
+    tangential_rotation_angle,
+)
+from repro.coords.transforms import other_panel_angles
+
+angles = st.tuples(
+    st.floats(0.1, np.pi - 0.1), st.floats(-np.pi + 0.02, np.pi - 0.02)
+)
+vec3 = st.tuples(*[st.floats(-4, 4)] * 3)
+
+
+class TestRotationMatrix:
+    @given(angles)
+    def test_orthogonal(self, ang):
+        R = sph_component_rotation(*ang)
+        np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-10)
+
+    @given(angles)
+    def test_radial_component_invariant(self, ang):
+        """The r-direction is shared between panels: no radial mixing."""
+        R = sph_component_rotation(*ang)
+        assert R[0, 0] == pytest.approx(1.0, abs=1e-10)
+        np.testing.assert_allclose(R[0, 1:], 0.0, atol=1e-10)
+        np.testing.assert_allclose(R[1:, 0], 0.0, atol=1e-10)
+
+    @given(angles)
+    def test_tangential_block_is_rotation_like(self, ang):
+        R = sph_component_rotation(*ang)
+        block = R[1:, 1:]
+        assert abs(np.linalg.det(block)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_batch_shapes(self):
+        th = np.linspace(0.5, 2.0, 4)
+        ph = np.linspace(-1.0, 1.0, 4)
+        R = sph_component_rotation(th, ph)
+        assert R.shape == (4, 3, 3)
+
+
+class TestRoundTrip:
+    @given(angles, vec3)
+    def test_there_and_back(self, ang, v):
+        """Rotating to the other panel and back recovers the vector —
+        using the destination-frame angles for the return leg."""
+        th, ph = ang
+        w = rotate_sph_vector_between_panels(*v, th, ph)
+        th_o, ph_o = other_panel_angles(th, ph)
+        back = rotate_sph_vector_between_panels(
+            float(w[0]), float(w[1]), float(w[2]), float(th_o), float(ph_o)
+        )
+        np.testing.assert_allclose([float(b) for b in back], v, atol=1e-9)
+
+    @given(angles, vec3)
+    def test_norm_preserved(self, ang, v):
+        w = rotate_sph_vector_between_panels(*v, *ang)
+        assert sum(float(c) ** 2 for c in w) == pytest.approx(
+            sum(c**2 for c in v), rel=1e-9, abs=1e-12
+        )
+
+    @given(angles)
+    def test_matrix_matches_function(self, ang):
+        R = sph_component_rotation(*ang)
+        v = np.array([0.3, -1.2, 2.0])
+        w = rotate_sph_vector_between_panels(v[0], v[1], v[2], *ang)
+        np.testing.assert_allclose([float(c) for c in w], R @ v, atol=1e-10)
+
+
+class TestTangentialAngle:
+    @given(angles)
+    def test_angle_reconstructs_block(self, ang):
+        R = sph_component_rotation(*ang)
+        alpha = float(tangential_rotation_angle(*ang))
+        # |sin| of the mixing angle must match the off-diagonal magnitude
+        assert abs(np.sin(alpha)) == pytest.approx(abs(R[2, 1]), abs=1e-9)

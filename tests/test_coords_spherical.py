@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coords.spherical import (
+    cart_to_sph,
+    cart_vector_to_sph,
+    great_circle_distance,
+    sph_to_cart,
+    sph_vector_to_cart,
+    unit_vectors,
+)
+
+angles = st.tuples(
+    st.floats(0.05, np.pi - 0.05),  # theta away from the axis
+    st.floats(-np.pi + 0.01, np.pi - 0.01),
+)
+radii = st.floats(0.1, 10.0)
+
+
+class TestPositionRoundTrip:
+    @given(radii, angles)
+    def test_sph_cart_sph(self, r, ang):
+        th, ph = ang
+        x, y, z = sph_to_cart(r, th, ph)
+        r2, th2, ph2 = cart_to_sph(x, y, z)
+        assert r2 == pytest.approx(r, rel=1e-12)
+        assert th2 == pytest.approx(th, abs=1e-12)
+        assert ph2 == pytest.approx(ph, abs=1e-12)
+
+    def test_axis_points(self):
+        x, y, z = sph_to_cart(2.0, 0.0, 0.3)
+        assert (x, y) == pytest.approx((0.0, 0.0), abs=1e-15)
+        assert z == pytest.approx(2.0)
+        r, th, _ = cart_to_sph(0.0, 0.0, -1.0)
+        assert th == pytest.approx(np.pi)
+        assert r == pytest.approx(1.0)
+
+    def test_origin_is_finite(self):
+        r, th, ph = cart_to_sph(0.0, 0.0, 0.0)
+        assert r == 0.0
+        assert np.isfinite(th) and np.isfinite(ph)
+
+    def test_vectorised_shapes(self):
+        th = np.linspace(0.3, 2.0, 5)[:, None]
+        ph = np.linspace(-1, 1, 7)[None, :]
+        x, y, z = sph_to_cart(1.0, th, ph)
+        assert x.shape == (5, 7)
+
+
+class TestUnitVectors:
+    @given(angles)
+    def test_orthonormal(self, ang):
+        th, ph = ang
+        rhat, thhat, phhat = unit_vectors(th, ph)
+        basis = np.stack([rhat, thhat, phhat])
+        gram = basis @ basis.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-12)
+
+    @given(angles)
+    def test_right_handed(self, ang):
+        th, ph = ang
+        rhat, thhat, phhat = unit_vectors(th, ph)
+        np.testing.assert_allclose(np.cross(rhat, thhat), phhat, atol=1e-12)
+
+    @given(angles)
+    def test_rhat_points_outward(self, ang):
+        th, ph = ang
+        x, y, z = sph_to_cart(1.0, th, ph)
+        rhat, _, _ = unit_vectors(th, ph)
+        np.testing.assert_allclose(rhat, [x, y, z], atol=1e-12)
+
+
+class TestVectorTransforms:
+    @given(angles, st.tuples(*[st.floats(-5, 5)] * 3))
+    def test_round_trip(self, ang, comps):
+        th, ph = ang
+        vr, vth, vph = comps
+        vx, vy, vz = sph_vector_to_cart(vr, vth, vph, th, ph)
+        back = cart_vector_to_sph(vx, vy, vz, th, ph)
+        np.testing.assert_allclose(back, comps, atol=1e-12)
+
+    @given(angles, st.tuples(*[st.floats(-5, 5)] * 3))
+    def test_norm_preserved(self, ang, comps):
+        th, ph = ang
+        vx, vy, vz = sph_vector_to_cart(*comps, *ang)
+        assert vx**2 + vy**2 + vz**2 == pytest.approx(
+            sum(c**2 for c in comps), rel=1e-10, abs=1e-12
+        )
+
+    def test_radial_vector_is_position_direction(self):
+        th, ph = 1.1, 0.7
+        vx, vy, vz = sph_vector_to_cart(3.0, 0.0, 0.0, th, ph)
+        x, y, z = sph_to_cart(3.0, th, ph)
+        np.testing.assert_allclose([vx, vy, vz], [x, y, z], atol=1e-12)
+
+
+class TestGreatCircle:
+    def test_antipodes(self):
+        d = great_circle_distance(np.pi / 2, 0.0, np.pi / 2, np.pi)
+        assert d == pytest.approx(np.pi)
+
+    def test_same_point(self):
+        assert great_circle_distance(1.0, 0.5, 1.0, 0.5) == pytest.approx(0.0, abs=1e-12)
+
+    @given(angles, angles)
+    def test_symmetric_and_bounded(self, a, b):
+        d1 = great_circle_distance(a[0], a[1], b[0], b[1])
+        d2 = great_circle_distance(b[0], b[1], a[0], a[1])
+        assert d1 == pytest.approx(d2, abs=1e-12)
+        assert 0.0 <= d1 <= np.pi + 1e-12

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coords.spherical import sph_to_cart
+from repro.coords.transforms import (
+    YINYANG_MATRIX,
+    other_panel_angles,
+    yang_to_yin_cart,
+    yin_to_yang_cart,
+    yin_to_yang_sph,
+    yinyang_vector_map,
+)
+
+coords = st.tuples(*[st.floats(-3, 3)] * 3)
+angles = st.tuples(
+    st.floats(0.05, np.pi - 0.05), st.floats(-np.pi + 0.01, np.pi - 0.01)
+)
+
+
+class TestMatrix:
+    def test_orthogonal(self):
+        np.testing.assert_allclose(YINYANG_MATRIX @ YINYANG_MATRIX.T, np.eye(3))
+
+    def test_involution(self):
+        np.testing.assert_allclose(YINYANG_MATRIX @ YINYANG_MATRIX, np.eye(3))
+
+    def test_determinant_plus_one(self):
+        """A y/z swap (det -1) composed with an x negation (det -1):
+        the map is a proper rotation."""
+        assert np.linalg.det(YINYANG_MATRIX) == pytest.approx(1.0)
+
+    @given(coords)
+    def test_matches_function(self, xyz):
+        out = yin_to_yang_cart(*xyz)
+        np.testing.assert_allclose(out, YINYANG_MATRIX @ np.array(xyz), atol=1e-14)
+
+
+class TestInvolution:
+    """Eq. (1): the forward and inverse maps have the same form."""
+
+    @given(coords)
+    def test_cartesian_involution(self, xyz):
+        once = yin_to_yang_cart(*xyz)
+        twice = yang_to_yin_cart(*once)
+        np.testing.assert_allclose(twice, xyz, atol=1e-14)
+
+    @given(coords)
+    def test_isometry(self, xyz):
+        out = yin_to_yang_cart(*xyz)
+        assert sum(c**2 for c in out) == pytest.approx(
+            sum(c**2 for c in xyz), rel=1e-12, abs=1e-14
+        )
+
+    @given(angles)
+    def test_angle_involution(self, ang):
+        th, ph = ang
+        th1, ph1 = other_panel_angles(th, ph)
+        th2, ph2 = other_panel_angles(th1, ph1)
+        assert float(th2) == pytest.approx(th, abs=1e-9)
+        # phi is only defined mod 2 pi
+        assert np.cos(ph2 - ph) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestAngleMap:
+    @given(st.floats(0.1, 5.0), angles)
+    def test_consistent_with_cartesian(self, r, ang):
+        th, ph = ang
+        r2, th2, ph2 = yin_to_yang_sph(r, th, ph)
+        assert float(r2) == pytest.approx(r, rel=1e-12)
+        # closed form must agree with the Cartesian route
+        th3, ph3 = other_panel_angles(th, ph)
+        assert float(th3) == pytest.approx(float(th2), abs=1e-10)
+        assert np.cos(ph3 - ph2) == pytest.approx(1.0, abs=1e-10)
+
+    def test_yin_pole_maps_to_yang_equator(self):
+        # the Yin coordinate pole (theta ~ 0) lies on the Yang equator
+        th, ph = other_panel_angles(1e-9, 0.0)
+        assert float(th) == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_known_point(self):
+        # (theta=90deg, phi=180deg) is the Yang grid's coordinate centre
+        th, ph = other_panel_angles(np.pi / 2, np.pi)
+        assert float(th) == pytest.approx(np.pi / 2, abs=1e-12)
+        assert float(ph) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestVectorMap:
+    @given(coords)
+    def test_linear_and_involutive(self, v):
+        once = yinyang_vector_map(*v)
+        twice = yinyang_vector_map(*once)
+        np.testing.assert_allclose(twice, v, atol=1e-14)
+
+    def test_rotation_axis_mapping(self):
+        # global z (the rotation axis) becomes Yang-local +y
+        np.testing.assert_allclose(yinyang_vector_map(0.0, 0.0, 1.0), (0.0, 1.0, 0.0))
+
+    @given(st.floats(0.1, 3.0), angles)
+    def test_position_consistency(self, r, ang):
+        """Mapping the position vector = mapping the point."""
+        th, ph = ang
+        xyz = sph_to_cart(r, th, ph)
+        np.testing.assert_allclose(
+            yinyang_vector_map(*xyz), yin_to_yang_cart(*xyz), atol=1e-14
+        )

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.grids.component import Panel
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+
+
+@pytest.fixture()
+def pair():
+    rng = np.random.default_rng(0)
+    out = {}
+    for panel in (Panel.YIN, Panel.YANG):
+        s = MHDState(*(rng.normal(size=(4, 5, 6)) for _ in range(8)))
+        out[panel] = s
+    return out
+
+
+class TestRoundTrip:
+    def test_pair_round_trip(self, pair, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, pair, time=1.25, step=42)
+        states, t, step = load_checkpoint(path)
+        assert t == 1.25 and step == 42
+        assert set(states) == {Panel.YIN, Panel.YANG}
+        for panel in pair:
+            for a, b in zip(states[panel].arrays(), pair[panel].arrays()):
+                np.testing.assert_array_equal(a, b)
+
+    def test_single_state_round_trip(self, pair, tmp_path):
+        path = tmp_path / "single.npz"
+        save_checkpoint(path, pair[Panel.YIN])
+        states, t, step = load_checkpoint(path)
+        assert list(states) == [Panel.YIN]
+        assert (t, step) == (0.0, 0)
+
+    def test_suffix_added_when_missing(self, pair, tmp_path):
+        path = tmp_path / "noext"
+        save_checkpoint(path, pair)
+        states, _, _ = load_checkpoint(tmp_path / "noext")
+        assert Panel.YANG in states
+
+
+class TestResume:
+    def test_run_resume_equivalence(self, tmp_path):
+        """Checkpointing mid-run and resuming reproduces the direct run
+        exactly (fixed dt)."""
+        params = MHDParameters.laptop_demo()
+        cfg = RunConfig(nr=7, nth=12, nph=36, params=params, dt=1e-3)
+        direct = YinYangDynamo(cfg)
+        direct.run(6, record_every=0)
+
+        staged = YinYangDynamo(cfg)
+        staged.run(3, record_every=0)
+        path = save_checkpoint(tmp_path / "mid", staged.state,
+                               time=staged.time, step=staged.step_count)
+        resumed = YinYangDynamo(cfg)
+        states, t, step = load_checkpoint(path)
+        resumed.state = states
+        resumed.time = t
+        resumed.step_count = step
+        resumed.run(3, record_every=0)
+
+        for panel in (Panel.YIN, Panel.YANG):
+            for a, b in zip(resumed.state[panel].arrays(), direct.state[panel].arrays()):
+                np.testing.assert_array_equal(a, b)
+
+    def test_version_guard(self, pair, tmp_path):
+        import numpy as np
+
+        path = save_checkpoint(tmp_path / "v", pair)
+        # corrupt the version
+        data = dict(np.load(path))
+        data["_version"] = np.array(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)

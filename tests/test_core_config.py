@@ -1,0 +1,46 @@
+import pytest
+
+from repro.core.config import RunConfig
+from repro.mhd.boundary import MagneticBC
+from repro.mhd.parameters import MHDParameters
+
+
+class TestValidation:
+    def test_defaults(self):
+        c = RunConfig()
+        assert c.dt is None
+        assert c.magnetic_bc is MagneticBC.PERFECT_CONDUCTOR
+        assert c.subtract_base_rhs
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"nr": 4}, {"nth": 7}, {"nph": 10},
+            {"cfl": 0.0}, {"dt": -1.0}, {"dt_recompute_every": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises((ValueError, TypeError)):
+            RunConfig(**kw)
+
+    def test_frozen(self):
+        c = RunConfig()
+        with pytest.raises(Exception):
+            c.nr = 99
+
+
+class TestPresets:
+    def test_paper_headline_grid(self):
+        c = RunConfig.paper_headline()
+        assert (c.nr, c.nth, c.nph) == (511, 514, 1538)
+        assert c.params.rayleigh == pytest.approx(3e6, rel=1e-6)
+
+    def test_paper_mid_grid(self):
+        c = RunConfig.paper_mid()
+        assert c.nr == 255
+        assert c.params.ekman == pytest.approx(2e-5, rel=1e-6)
+
+    def test_custom_params_flow_through(self):
+        p = MHDParameters.laptop_demo(rayleigh=3e4)
+        c = RunConfig(params=p)
+        assert c.params.rayleigh == pytest.approx(3e4)

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.core.guard import HealthReport, SolverDivergence, assert_healthy, check_state
+from repro.grids.component import ComponentGrid
+from repro.mhd.initial import conduction_state
+from repro.mhd.parameters import MHDParameters
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = MHDParameters.laptop_demo()
+    grid = ComponentGrid.build(7, 12, 36)
+    return grid, params
+
+
+class TestCheckState:
+    def test_rest_state_healthy(self, setup):
+        grid, params = setup
+        rep = check_state(grid, conduction_state(grid, params), params)
+        assert rep.physical
+        assert rep.max_speed == 0.0
+        assert rep.grid_reynolds == 0.0
+        assert not rep.marginal
+
+    def test_locates_fast_spot(self, setup):
+        grid, params = setup
+        s = conduction_state(grid, params)
+        s.fr[3, 5, 7] = 10.0 * s.rho[3, 5, 7]
+        rep = check_state(grid, s, params)
+        assert rep.worst_index == (3, 5, 7)
+        assert rep.max_speed == pytest.approx(10.0)
+
+    def test_nan_reported(self, setup):
+        grid, params = setup
+        s = conduction_state(grid, params)
+        s.fth[1, 1, 1] = np.nan
+        rep = check_state(grid, s, params)
+        assert not rep.physical
+        assert rep.worst_index == (1, 1, 1)
+
+    def test_grid_reynolds_scales_with_speed(self, setup):
+        grid, params = setup
+        s = conduction_state(grid, params)
+        s.fph[:] = 0.1 * s.rho
+        r1 = check_state(grid, s, params).grid_reynolds
+        s.fph[:] = 0.2 * s.rho
+        r2 = check_state(grid, s, params).grid_reynolds
+        assert r2 == pytest.approx(2 * r1)
+
+
+class TestAssertHealthy:
+    def test_passes_quietly(self, setup):
+        grid, params = setup
+        rep = assert_healthy(grid, conduction_state(grid, params), params)
+        assert isinstance(rep, HealthReport)
+
+    def test_raises_on_negative_pressure(self, setup):
+        grid, params = setup
+        s = conduction_state(grid, params)
+        s.p[2, 2, 2] = -1.0
+        with pytest.raises(SolverDivergence, match="min p"):
+            assert_healthy(grid, s, params, step=42)
+
+    def test_raises_on_excess_grid_reynolds(self, setup):
+        grid, params = setup
+        s = conduction_state(grid, params)
+        s.fr[:] = 100.0 * s.rho
+        with pytest.raises(SolverDivergence, match="grid Reynolds"):
+            assert_healthy(grid, s, params, max_grid_reynolds=5.0)
+
+    def test_exception_carries_report(self, setup):
+        grid, params = setup
+        s = conduction_state(grid, params)
+        s.rho[0, 0, 0] = -1.0
+        try:
+            assert_healthy(grid, s, params)
+        except SolverDivergence as exc:
+            assert exc.report.min_density == pytest.approx(-1.0)
+        else:
+            pytest.fail("expected SolverDivergence")

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.core import LatLonDynamo, RunConfig
+from repro.mhd.parameters import MHDParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MHDParameters.laptop_demo()
+
+
+def make(params, **kw):
+    defaults = dict(nr=7, nth=12, nph=24, params=params, dt=5e-4)
+    defaults.update(kw)
+    return LatLonDynamo(RunConfig(**defaults))
+
+
+class TestWellBalanced:
+    def test_unperturbed_rest_state(self, params):
+        dyn = make(params, amp_temperature=0.0, amp_seed_field=0.0)
+        for _ in range(5):
+            dyn.step()
+        for c in dyn.state.f:
+            assert np.abs(c).max() == 0.0
+
+
+class TestStepping:
+    def test_remains_physical(self, params):
+        dyn = make(params, amp_temperature=1e-2)
+        dyn.run(15, record_every=5)
+        assert dyn.is_physical()
+        assert len(dyn.history) == 3
+
+    def test_halos_consistent_after_steps(self, params):
+        """Periodic halo columns must mirror their interior partners."""
+        dyn = make(params, amp_temperature=1e-2)
+        dyn.run(5, record_every=0)
+        p = dyn.state.p
+        np.testing.assert_array_equal(p[:, :, 0], p[:, :, -2])
+        np.testing.assert_array_equal(p[:, :, -1], p[:, :, 1])
+
+    def test_adaptive_dt_smaller_than_yinyang(self, params):
+        """The pole cells throttle the explicit step (Section II)."""
+        from repro.core import YinYangDynamo
+
+        ll = LatLonDynamo(RunConfig(nr=7, nth=22, nph=44, params=params))
+        yy = YinYangDynamo(RunConfig(nr=7, nth=13, nph=34, params=params))
+        # comparable equatorial resolution
+        assert abs(ll.grid.dphi - yy.grid.yin.dphi) / yy.grid.yin.dphi < 0.6
+        assert ll.estimate_dt() < yy.estimate_dt()
+
+    def test_pole_step_penalty_value(self, params):
+        dyn = make(params)
+        assert dyn.pole_step_penalty() == dyn.grid.pole_clustering_ratio()
+        assert dyn.pole_step_penalty() > 5.0
+
+
+class TestEnergies:
+    def test_rest_energies(self, params):
+        dyn = make(params, amp_temperature=0.0, amp_seed_field=0.0)
+        e = dyn.energies()
+        assert e.kinetic == 0.0
+        assert e.thermal > 0.0
+
+    def test_mass_close_to_analytic(self, params):
+        from scipy.integrate import quad
+
+        from repro.mhd.initial import hydrostatic_profiles
+
+        dyn = LatLonDynamo(
+            RunConfig(nr=13, nth=20, nph=40, params=params,
+                      amp_temperature=0.0, amp_seed_field=0.0)
+        )
+        exact, _ = quad(
+            lambda r: hydrostatic_profiles(np.array([r]), params)[2][0]
+            * 4 * np.pi * r**2,
+            params.ri, params.ro,
+        )
+        assert dyn.energies().mass == pytest.approx(exact, rel=0.02)

@@ -1,0 +1,104 @@
+"""Energy-budget consistency of the discretised equations (2)-(5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.mhd.diagnostics import yinyang_total_energy
+from repro.mhd.parameters import MHDParameters
+
+
+def total_energy_drift(params, nr, n_steps=10, dt=5e-4, amp=2e-2):
+    cfg = RunConfig(
+        nr=nr, nth=12, nph=36, params=params, dt=dt,
+        amp_temperature=amp, amp_seed_field=0.0, seed=5,
+    )
+    dyn = YinYangDynamo(cfg)
+    e0 = yinyang_total_energy(dyn.grid, dyn.state, params)
+    dyn.run(n_steps, record_every=0)
+    assert dyn.is_physical()
+    e1 = yinyang_total_energy(dyn.grid, dyn.state, params)
+    return abs(e1 - e0) / abs(e0)
+
+
+class TestConservation:
+    def test_near_ideal_flow_conserves_total_energy(self):
+        """With tiny dissipation the total (kinetic + magnetic + internal
+        + gravitational) energy drifts only at truncation level."""
+        params = MHDParameters(
+            mu=1e-6, kappa=1e-6, eta=1e-6, omega=5.0, g0=2.0, t_inner=2.0
+        )
+        drift = total_energy_drift(params, nr=11)
+        assert drift < 5e-4
+
+    def test_drift_small_across_resolutions(self):
+        """The drift stays at round-off/quadrature level (< 1e-6 of the
+        total) for every tested radial resolution."""
+        params = MHDParameters(
+            mu=1e-6, kappa=1e-6, eta=1e-6, omega=5.0, g0=2.0, t_inner=2.0
+        )
+        for nr in (9, 13, 17):
+            assert total_energy_drift(params, nr=nr) < 1e-6
+
+    def test_strong_conduction_leaks_energy_through_walls(self):
+        """With large kappa and fixed wall temperatures, heat flows
+        through the boundaries: the total energy is NOT conserved and
+        changes far more than the ideal run's drift."""
+        ideal = MHDParameters(
+            mu=1e-6, kappa=1e-6, eta=1e-6, omega=5.0, g0=2.0, t_inner=2.0
+        )
+        conducting = MHDParameters(
+            mu=1e-6, kappa=5e-2, eta=1e-6, omega=5.0, g0=2.0, t_inner=2.0
+        )
+        d_ideal = total_energy_drift(ideal, nr=11)
+        d_cond = total_energy_drift(conducting, nr=11)
+        assert d_cond > 100 * d_ideal
+
+    def test_coriolis_does_no_work(self):
+        """Rotation reshuffles momentum but cannot change the energy:
+        drifts with and without rotation are comparable."""
+        base = dict(mu=1e-6, kappa=1e-6, eta=1e-6, g0=2.0, t_inner=2.0)
+        d_rot = total_energy_drift(MHDParameters(omega=20.0, **base), nr=11)
+        d_no = total_energy_drift(MHDParameters(omega=0.0, **base), nr=11)
+        assert d_rot < 10 * max(d_no, 1e-6)
+
+    def test_viscosity_dissipates_kinetic_energy(self):
+        """A sheared flow with large viscosity loses kinetic energy and
+        (through Phi) heats the fluid."""
+        from repro.grids.component import Panel
+
+        params = MHDParameters(
+            mu=5e-2, kappa=1e-6, eta=1e-6, omega=0.0, g0=2.0, t_inner=2.0
+        )
+        cfg = RunConfig(
+            nr=11, nth=12, nph=36, params=params, dt=2e-4,
+            amp_temperature=0.0, amp_seed_field=0.0,
+        )
+        dyn = YinYangDynamo(cfg)
+        # impose a differential rotation (sheared azimuthal flow)
+        for p in (Panel.YIN, Panel.YANG):
+            g = dyn.grid.panel(p)
+            s = dyn.state[p]
+            prof = np.sin(np.pi * (g.r - g.ri) / (g.ro - g.ri))
+            s.fph[:] = 0.05 * s.rho * prof[:, None, None]
+        dyn.enforce(dyn.state)
+        ke0 = dyn.energies().kinetic
+        te0 = dyn.energies().thermal
+        dyn.run(20, record_every=0)
+        assert dyn.energies().kinetic < ke0
+        assert dyn.energies().thermal > te0
+
+    def test_ohmic_heating_converts_magnetic_to_thermal(self):
+        params = MHDParameters(
+            mu=1e-6, kappa=1e-6, eta=5e-2, omega=0.0, g0=2.0, t_inner=2.0
+        )
+        cfg = RunConfig(
+            nr=11, nth=12, nph=36, params=params, dt=2e-4,
+            amp_temperature=0.0, amp_seed_field=1e-2, seed=8,
+        )
+        dyn = YinYangDynamo(cfg)
+        me0 = dyn.energies().magnetic
+        te0 = dyn.energies().thermal
+        dyn.run(20, record_every=0)
+        assert dyn.energies().magnetic < me0
+        assert dyn.energies().thermal > te0

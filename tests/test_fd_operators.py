@@ -1,0 +1,204 @@
+import numpy as np
+import pytest
+
+from repro.fd.operators import SphericalOperators
+from repro.grids.component import ComponentGrid
+
+
+def grid_ops(n=17):
+    g = ComponentGrid.build(n, n, 3 * n)
+    return g, SphericalOperators(g)
+
+
+def full(g, a):
+    return np.broadcast_to(a, g.shape).copy()
+
+
+class TestGradient:
+    def test_radial_function(self):
+        g, ops = grid_ops()
+        s = full(g, g.r3**2)
+        gr = ops.grad(s)
+        np.testing.assert_allclose(gr[0], full(g, 2 * g.r3), atol=1e-10)
+        np.testing.assert_allclose(gr[1], 0.0, atol=1e-10)
+        np.testing.assert_allclose(gr[2], 0.0, atol=1e-10)
+
+    def test_smooth_function_converges(self):
+        errs = []
+        for n in (11, 21):
+            g, ops = grid_ops(n)
+            r, th, ph = g.r3, g.theta3, g.phi3
+            s = full(g, r**2 * np.sin(th) ** 2 * np.cos(ph))
+            gr = ops.grad(s)
+            exact = (
+                2 * r * np.sin(th) ** 2 * np.cos(ph),
+                2 * r * np.sin(th) * np.cos(th) * np.cos(ph),
+                -r * np.sin(th) * np.sin(ph),
+            )
+            errs.append(
+                max(np.abs(gr[i] - full(g, exact[i])).max() for i in range(3))
+            )
+        assert errs[0] / errs[1] > 3.0
+
+
+class TestDivergence:
+    def test_radial_field_exact_form(self):
+        """div(r rhat) = 3 — exact for the linear radial profile."""
+        g, ops = grid_ops(11)
+        v = (full(g, g.r3 * np.ones_like(g.theta3)), g.zeros(), g.zeros())
+        np.testing.assert_allclose(ops.div(v), 3.0, atol=1e-9)
+
+    def test_solenoidal_rotation_field(self):
+        """div(Omega x r) = 0: solid-body rotation is divergence-free."""
+        g, ops = grid_ops(13)
+        vph = full(g, g.r3 * np.sin(g.theta3))
+        v = (g.zeros(), g.zeros(), vph)
+        np.testing.assert_allclose(ops.div(v), 0.0, atol=1e-9)
+
+
+class TestCurl:
+    def test_rotation_field_curl_is_2z(self):
+        """curl(Omega x r) = 2 Omega: for Omega = zhat, the curl's
+        spherical components are (2 cos(theta), -2 sin(theta), 0)."""
+        g, ops = grid_ops(13)
+        vph = full(g, g.r3 * np.sin(g.theta3))
+        c = ops.curl((g.zeros(), g.zeros(), vph))
+        tol = 2.0 * g.dtheta**2  # trig fields carry O(h^2) truncation
+        np.testing.assert_allclose(c[0], full(g, 2 * np.cos(g.theta3) * np.ones_like(g.r3)), atol=tol)
+        np.testing.assert_allclose(c[1], full(g, -2 * np.sin(g.theta3) * np.ones_like(g.r3)), atol=tol)
+        np.testing.assert_allclose(c[2], 0.0, atol=tol)
+
+    def test_curl_of_gradient_converges_to_zero(self):
+        errs = []
+        for n in (11, 21):
+            g, ops = grid_ops(n)
+            s = full(g, g.r3**2 * np.cos(g.theta3) * np.sin(g.phi3))
+            cg = ops.curl(ops.grad(s))
+            sl = (slice(2, -2),) * 3
+            errs.append(max(np.abs(c[sl]).max() for c in cg))
+        assert errs[0] / errs[1] > 3.0
+
+    def test_div_of_curl_converges_to_zero(self):
+        errs = []
+        for n in (11, 21):
+            g, ops = grid_ops(n)
+            r, th, ph = g.r3, g.theta3, g.phi3
+            v = tuple(
+                full(g, a)
+                for a in (r * np.sin(th) * np.cos(ph), r**2 * np.cos(th), r * np.sin(ph))
+            )
+            dc = ops.div(ops.curl(v))
+            sl = (slice(2, -2),) * 3
+            errs.append(np.abs(dc[sl]).max())
+        assert errs[0] / errs[1] > 3.0
+
+
+class TestLaplacian:
+    def test_harmonic_function(self):
+        """lap(1/r) = 0 away from the origin."""
+        g, ops = grid_ops(15)
+        s = full(g, 1.0 / g.r3 * np.ones_like(g.theta3))
+        lap = ops.laplacian(s)
+        sl = (slice(1, -1),) * 3
+        assert np.abs(lap[sl]).max() < 2e-2  # 1/r is stiff near ri
+
+    def test_quadratic(self):
+        """lap(r^2) = 6 exactly for this discretisation."""
+        g, ops = grid_ops(11)
+        s = full(g, g.r3**2 * np.ones_like(g.theta3))
+        np.testing.assert_allclose(ops.laplacian(s)[1:-1], 6.0, atol=1e-8)
+
+    def test_consistency_with_identity(self):
+        """Scalar laplacian == div(grad) up to the different stencil
+        composition's truncation error (both 2nd order)."""
+        g, ops = grid_ops(21)
+        s = full(g, g.r3 * np.sin(g.theta3) * np.cos(g.phi3))
+        a = ops.laplacian(s)
+        b = ops.div(ops.grad(s))
+        sl = (slice(2, -2),) * 3
+        assert np.abs(a[sl] - b[sl]).max() < 0.05 * max(1.0, np.abs(a[sl]).max())
+
+
+class TestAdvection:
+    def test_advect_scalar_uniform_gradient(self):
+        """v . grad(z) with v = zhat equals 1 (z = r cos(theta))."""
+        g, ops = grid_ops(13)
+        ct, st = np.cos(g.theta3), np.sin(g.theta3)
+        v = (full(g, ct * np.ones_like(g.r3)), full(g, -st * np.ones_like(g.r3)), g.zeros())
+        z = full(g, g.r3 * ct)
+        np.testing.assert_allclose(ops.advect_scalar(v, z), 1.0, atol=2.0 * g.dtheta**2)
+
+    def test_advect_vector_rigid_rotation_centripetal(self):
+        """(v.grad)v for solid rotation about z is the centripetal
+        acceleration -Omega^2 s shat (s = cylindrical radius)."""
+        g, ops = grid_ops(17)
+        st, ct = np.sin(g.theta3), np.cos(g.theta3)
+        vph = full(g, g.r3 * st)
+        v = (g.zeros(), g.zeros(), vph)
+        a = ops.advect_vector(v, v)
+        exact_r = -g.r3 * st**2  # shat . rhat = sin(theta)
+        exact_th = -g.r3 * st * ct
+        tol = 2.0 * g.dtheta**2
+        np.testing.assert_allclose(a[0], full(g, exact_r), atol=tol)
+        np.testing.assert_allclose(a[1], full(g, exact_th), atol=tol)
+        np.testing.assert_allclose(a[2], 0.0, atol=tol)
+
+    def test_div_tensor_identity(self):
+        """div(v f) = (div v) f + (v.grad) f by construction."""
+        g, ops = grid_ops(9)
+        rng = np.random.default_rng(1)
+        v = tuple(rng.normal(size=g.shape) for _ in range(3))
+        f = tuple(rng.normal(size=g.shape) for _ in range(3))
+        lhs = ops.div_tensor_vf(v, f)
+        dv = ops.div(v)
+        adv = ops.advect_vector(v, f)
+        for i in range(3):
+            np.testing.assert_allclose(lhs[i], dv * f[i] + adv[i], atol=1e-12)
+
+
+class TestVectorLaplacian:
+    def test_identity_definition(self):
+        g, ops = grid_ops(9)
+        rng = np.random.default_rng(2)
+        v = tuple(rng.normal(size=g.shape) for _ in range(3))
+        lap = ops.vector_laplacian(v)
+        gd = ops.grad_div(v)
+        cc = ops.curl_curl(v)
+        for i in range(3):
+            np.testing.assert_allclose(lap[i], gd[i] - cc[i], atol=1e-12)
+
+    def test_rotation_field_has_known_laplacian(self):
+        """lap(Omega x r) = 0 for solid-body rotation."""
+        g, ops = grid_ops(17)
+        vph = full(g, g.r3 * np.sin(g.theta3))
+        lap = ops.vector_laplacian((g.zeros(), g.zeros(), vph))
+        sl = (slice(2, -2),) * 3
+        for c in lap:
+            assert np.abs(c[sl]).max() < 5.0 * g.dtheta**2 / g.ri
+
+
+class TestAlgebra:
+    def test_cross_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = tuple(rng.normal(size=(4, 4, 4)) for _ in range(3))
+        b = tuple(rng.normal(size=(4, 4, 4)) for _ in range(3))
+        c = SphericalOperators.cross(a, b)
+        stacked = np.cross(np.stack(a, -1), np.stack(b, -1))
+        for i in range(3):
+            np.testing.assert_allclose(c[i], stacked[..., i], atol=1e-14)
+
+    def test_dot_and_norm2(self):
+        rng = np.random.default_rng(4)
+        a = tuple(rng.normal(size=(3, 3, 3)) for _ in range(3))
+        np.testing.assert_allclose(
+            SphericalOperators.dot(a, a), SphericalOperators.norm2(a), atol=1e-14
+        )
+
+    def test_cross_antisymmetry(self):
+        rng = np.random.default_rng(5)
+        a = tuple(rng.normal(size=(3, 3, 3)) for _ in range(3))
+        b = tuple(rng.normal(size=(3, 3, 3)) for _ in range(3))
+        ab = SphericalOperators.cross(a, b)
+        ba = SphericalOperators.cross(b, a)
+        for i in range(3):
+            np.testing.assert_allclose(ab[i], -ba[i], atol=1e-14)

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fd.operators import SphericalOperators
+from repro.fd.strain import (
+    strain_double_contraction,
+    strain_tensor,
+    trace_equals_divergence_residual,
+    viscous_dissipation,
+)
+from repro.grids.component import ComponentGrid
+
+
+def grid_ops(n=13):
+    g = ComponentGrid.build(n, n, 3 * n)
+    return g, SphericalOperators(g)
+
+
+def full(g, a):
+    return np.broadcast_to(a, g.shape).copy()
+
+
+class TestStrainTensor:
+    def test_rigid_rotation_is_strain_free(self):
+        """Solid-body rotation deforms nothing: e_ij -> 0 (2nd order)."""
+        g, ops = grid_ops(17)
+        vph = full(g, g.r3 * np.sin(g.theta3))
+        e = strain_tensor(ops, (g.zeros(), g.zeros(), vph))
+        sl = (slice(1, -1),) * 3
+        for comp in e.values():
+            assert np.abs(comp[sl]).max() < g.dtheta**2
+
+    def test_uniform_expansion(self):
+        """v = r rhat: e = diag(1, 1, 1), pure expansion."""
+        g, ops = grid_ops(11)
+        v = (full(g, g.r3 * np.ones_like(g.theta3)), g.zeros(), g.zeros())
+        e = strain_tensor(ops, v)
+        for key in ("rr", "tt", "pp"):
+            np.testing.assert_allclose(e[key], 1.0, atol=1e-9)
+        for key in ("rt", "rp", "tp"):
+            np.testing.assert_allclose(e[key], 0.0, atol=1e-9)
+
+    def test_trace_equals_divergence_exactly(self):
+        """tr(e) and div share stencils: the residual is exactly zero."""
+        g, ops = grid_ops(9)
+        rng = np.random.default_rng(6)
+        v = tuple(rng.normal(size=g.shape) for _ in range(3))
+        res = trace_equals_divergence_residual(ops, v)
+        np.testing.assert_allclose(res, 0.0, atol=1e-13)
+
+
+class TestDissipation:
+    @given(st.integers(0, 5))
+    def test_nonnegative_for_random_fields(self, seed):
+        """Phi = 2 mu (e:e - tr(e)^2/3) >= 0 for any velocity field."""
+        g, ops = grid_ops(9)
+        rng = np.random.default_rng(seed)
+        v = tuple(rng.normal(size=g.shape) for _ in range(3))
+        phi = viscous_dissipation(ops, v, mu=0.7)
+        assert phi.min() >= -1e-10 * max(1.0, np.abs(phi).max())
+
+    def test_zero_for_rigid_rotation(self):
+        g, ops = grid_ops(17)
+        vph = full(g, g.r3 * np.sin(g.theta3))
+        phi = viscous_dissipation(ops, (g.zeros(), g.zeros(), vph), mu=1.0)
+        sl = (slice(1, -1),) * 3
+        # Phi is quadratic in the strain, so the spurious value is O(h^4)
+        assert np.abs(phi[sl]).max() < 4.0 * g.dtheta**4
+
+    def test_zero_for_uniform_expansion(self):
+        """Pure expansion is all trace: the deviatoric part vanishes."""
+        g, ops = grid_ops(11)
+        v = (full(g, g.r3 * np.ones_like(g.theta3)), g.zeros(), g.zeros())
+        phi = viscous_dissipation(ops, v, mu=1.0)
+        np.testing.assert_allclose(phi, 0.0, atol=1e-12)
+
+    def test_scales_linearly_with_mu(self):
+        g, ops = grid_ops(9)
+        rng = np.random.default_rng(9)
+        v = tuple(rng.normal(size=g.shape) for _ in range(3))
+        p1 = viscous_dissipation(ops, v, mu=1.0)
+        p3 = viscous_dissipation(ops, v, mu=3.0)
+        np.testing.assert_allclose(p3, 3.0 * p1, rtol=1e-12)
+
+    def test_shear_flow_value(self):
+        """Uniform shear du_x/dz = S: Phi = mu S^2 pointwise.
+
+        v = S z xhat in Cartesian; its spherical components are smooth,
+        and the dissipation must be mu S^2 everywhere (2nd order)."""
+        g, ops = grid_ops(17)
+        S = 0.8
+        th, ph = g.theta3, g.phi3
+        z = g.r3 * np.cos(th)
+        # v = S z xhat: components via xhat . (rhat, thhat, phhat)
+        vr = full(g, S * z * np.sin(th) * np.cos(ph))
+        vth = full(g, S * z * np.cos(th) * np.cos(ph))
+        vph = full(g, -S * z * np.sin(ph))
+        phi = viscous_dissipation(ops, (vr, vth, vph), mu=1.0)
+        sl = (slice(2, -2),) * 3
+        np.testing.assert_allclose(phi[sl], S**2, rtol=20.0 * g.dtheta**2)
+
+
+class TestDoubleContraction:
+    def test_counts_off_diagonals_twice(self):
+        e = {k: np.ones((2, 2, 2)) for k in ("rr", "tt", "pp", "rt", "rp", "tp")}
+        ee = strain_double_contraction(e)
+        np.testing.assert_allclose(ee, 3.0 + 2.0 * 3.0)

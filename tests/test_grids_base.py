@@ -1,0 +1,127 @@
+import numpy as np
+import pytest
+
+from repro.grids.base import PatchMetric, SphericalPatch
+
+
+def make_patch(nr=6, nth=8, nph=10):
+    return SphericalPatch(
+        r=np.linspace(0.35, 1.0, nr),
+        theta=np.linspace(0.8, 2.3, nth),
+        phi=np.linspace(-2.0, 2.0, nph),
+    )
+
+
+class TestValidation:
+    def test_valid_patch(self):
+        p = make_patch()
+        assert p.shape == (6, 8, 10)
+
+    def test_rejects_nonuniform(self):
+        r = np.array([0.35, 0.4, 0.5, 0.9, 1.0])
+        with pytest.raises(ValueError, match="uniformly spaced"):
+            SphericalPatch(r=r, theta=np.linspace(1, 2, 5), phi=np.linspace(0, 1, 5))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            SphericalPatch(
+                r=np.linspace(1.0, 0.35, 5),
+                theta=np.linspace(1, 2, 5),
+                phi=np.linspace(0, 1, 5),
+            )
+
+    def test_rejects_pole_point(self):
+        with pytest.raises(ValueError, match="pole"):
+            SphericalPatch(
+                r=np.linspace(0.35, 1, 5),
+                theta=np.linspace(0.0, np.pi / 2, 5),
+                phi=np.linspace(0, 1, 5),
+            )
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            SphericalPatch(
+                r=np.linspace(0.0, 1.0, 5),
+                theta=np.linspace(1, 2, 5),
+                phi=np.linspace(0, 1, 5),
+            )
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            SphericalPatch(
+                r=np.linspace(0.35, 1, 3),
+                theta=np.linspace(1, 2, 5),
+                phi=np.linspace(0, 1, 5),
+            )
+
+    def test_rejects_2d_coordinate(self):
+        with pytest.raises(ValueError, match="1-D"):
+            SphericalPatch(
+                r=np.ones((4, 2)),
+                theta=np.linspace(1, 2, 5),
+                phi=np.linspace(0, 1, 5),
+            )
+
+
+class TestGeometry:
+    def test_spacings(self):
+        p = make_patch()
+        assert p.dr == pytest.approx(0.65 / 5)
+        assert p.dtheta == pytest.approx(1.5 / 7)
+        assert p.ri == 0.35 and p.ro == 1.0
+
+    def test_broadcast_views(self):
+        p = make_patch()
+        assert p.r3.shape == (6, 1, 1)
+        assert p.theta3.shape == (1, 8, 1)
+        assert p.phi3.shape == (1, 1, 10)
+
+    def test_volume_weights_integrate_shell(self):
+        """Sum of weights = volume of the angular sector of the shell."""
+        p = make_patch(20, 30, 30)
+        vol = float(np.sum(p.volume_weights()))
+        r0, r1 = p.ri, p.ro
+        exact = (
+            (r1**3 - r0**3) / 3.0
+            * (np.cos(p.theta[0]) - np.cos(p.theta[-1]))
+            * (p.phi[-1] - p.phi[0])
+        )
+        assert vol == pytest.approx(exact, rel=2e-3)
+
+    def test_integrate_constant(self):
+        p = make_patch(16, 20, 20)
+        one = np.ones(p.shape)
+        assert p.integrate(one) == pytest.approx(float(np.sum(p.volume_weights())))
+
+    def test_integrate_shape_mismatch(self):
+        p = make_patch()
+        with pytest.raises(ValueError, match="shape"):
+            p.integrate(np.ones((2, 2, 2)))
+
+    def test_cell_solid_angle_total(self):
+        p = make_patch(6, 40, 40)
+        total = float(np.sum(p.cell_solid_angle()))
+        exact = (np.cos(p.theta[0]) - np.cos(p.theta[-1])) * (p.phi[-1] - p.phi[0])
+        assert total == pytest.approx(exact, rel=2e-3)
+
+    def test_scalar_field_sampling(self):
+        p = make_patch()
+        f = p.scalar_field(lambda r, th, ph: r * 0 + 2.5)
+        assert f.shape == p.shape
+        assert np.all(f == 2.5)
+
+
+class TestMetric:
+    def test_cached(self):
+        p = make_patch()
+        assert p.metric is p.metric
+
+    def test_values(self):
+        p = make_patch()
+        m = PatchMetric(p)
+        np.testing.assert_allclose(m.inv_r[:, 0, 0], 1.0 / p.r)
+        np.testing.assert_allclose(m.sin_th[0, :, 0], np.sin(p.theta))
+        np.testing.assert_allclose(
+            m.cot_th[0, :, 0], np.cos(p.theta) / np.sin(p.theta)
+        )
+        np.testing.assert_allclose(m.inv_r_sin[:, :, 0], 1.0 / (p.r[:, None] * np.sin(p.theta)[None, :]))

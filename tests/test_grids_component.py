@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.grids.component import (
+    PHI_MAX,
+    PHI_MIN,
+    THETA_MAX,
+    THETA_MIN,
+    ComponentGrid,
+    Panel,
+)
+
+
+class TestPanelEnum:
+    def test_other(self):
+        assert Panel.YIN.other is Panel.YANG
+        assert Panel.YANG.other is Panel.YIN
+
+    def test_short_tags_match_paper(self):
+        """Yin is the n-grid, Yang the e-grid (Section II)."""
+        assert Panel.YIN.short == "n"
+        assert Panel.YANG.short == "e"
+
+
+class TestBuild:
+    def test_nominal_span_with_margins(self):
+        g = ComponentGrid.build(7, 14, 40, extra_theta=1, extra_phi=2)
+        # the nominal boundary values must be on-grid, margins outside
+        assert np.any(np.isclose(g.theta, THETA_MIN))
+        assert np.any(np.isclose(g.theta, THETA_MAX))
+        assert g.theta[0] < THETA_MIN and g.theta[-1] > THETA_MAX
+        assert g.phi[0] < PHI_MIN and g.phi[-1] > PHI_MAX
+
+    def test_zero_margin_is_exact_nominal(self):
+        g = ComponentGrid.build(7, 11, 31, extra_theta=0, extra_phi=0)
+        assert g.theta[0] == pytest.approx(THETA_MIN)
+        assert g.theta[-1] == pytest.approx(THETA_MAX)
+        assert g.phi[0] == pytest.approx(PHI_MIN)
+        assert g.phi[-1] == pytest.approx(PHI_MAX)
+
+    def test_rejects_over_pole_margin(self):
+        with pytest.raises(ValueError, match="pole"):
+            ComponentGrid.build(7, 12, 40, extra_theta=4)
+
+    def test_rejects_tiny_grids(self):
+        with pytest.raises(ValueError):
+            ComponentGrid.build(7, 5, 40)
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError, match="ro must exceed"):
+            ComponentGrid.build(7, 14, 40, ri=1.0, ro=0.35)
+
+    def test_twin_swaps_panel_only(self):
+        g = ComponentGrid.build(7, 14, 40, panel=Panel.YIN)
+        t = g.twin()
+        assert t.panel is Panel.YANG
+        np.testing.assert_array_equal(t.theta, g.theta)
+        np.testing.assert_array_equal(t.phi, g.phi)
+
+    def test_paper_flagship_proportions(self):
+        """514 x 1538 angular points give near-equal dtheta and dphi
+        (the paper's resolution is isotropic on the sphere)."""
+        g = ComponentGrid.build(5, 514, 1538)
+        assert g.dtheta == pytest.approx(g.dphi, rel=0.01)
+
+
+class TestRing:
+    def test_ring_size_formula(self):
+        g = ComponentGrid.build(7, 14, 40)
+        ith, iph = g.ring_indices
+        assert ith.size == g.n_ring == 2 * 40 + 2 * (14 - 2)
+
+    def test_ring_is_perimeter(self):
+        g = ComponentGrid.build(7, 10, 20)
+        ith, iph = g.ring_indices
+        on_edge = (ith == 0) | (ith == g.nth - 1) | (iph == 0) | (iph == g.nph - 1)
+        assert np.all(on_edge)
+
+    def test_ring_unique(self):
+        g = ComponentGrid.build(7, 10, 20)
+        ith, iph = g.ring_indices
+        pairs = set(zip(ith.tolist(), iph.tolist()))
+        assert len(pairs) == g.n_ring
+
+    def test_fd_mask_complements_ring(self):
+        g = ComponentGrid.build(7, 10, 20)
+        mask = g.fd_mask()
+        assert mask.sum() == (g.nth - 2) * (g.nph - 2)
+        ith, iph = g.ring_indices
+        assert not mask[ith, iph].any()
+
+
+class TestContains:
+    def test_fd_only_shrinks_box(self):
+        g = ComponentGrid.build(7, 14, 40)
+        edge_th = g.theta[0]
+        assert g.contains_angles(edge_th, 0.0)
+        assert not g.contains_angles(edge_th, 0.0, fd_only=True)
+
+    def test_vectorised(self):
+        g = ComponentGrid.build(7, 14, 40)
+        th = np.array([np.pi / 2, 0.01])
+        ph = np.array([0.0, 0.0])
+        np.testing.assert_array_equal(g.contains_angles(th, ph), [True, False])
+
+    def test_interior_cell_box(self):
+        g = ComponentGrid.build(7, 14, 40)
+        lo, hi, plo, phi_ = g.interior_cell_box()
+        assert lo == pytest.approx(g.theta[1])
+        assert hi == pytest.approx(g.theta[-2])
+        assert plo == pytest.approx(g.phi[1])
+        assert phi_ == pytest.approx(g.phi[-2])

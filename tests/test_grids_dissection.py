@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.grids.dissection import (
+    SPHERE_AREA,
+    baseball_dissection_halves_area,
+    component_area,
+    covered_fraction_monte_carlo,
+    cube_dissection_band_area,
+    extended_overlap_fraction,
+    minimal_overlap_fraction,
+    overlap_area,
+    overlap_fraction,
+)
+
+
+class TestAnalytic:
+    def test_component_area_closed_form(self):
+        """Basic panel: (3 pi / 2) * sqrt(2)."""
+        assert component_area() == pytest.approx(1.5 * np.pi * np.sqrt(2.0))
+
+    def test_overlap_is_about_six_percent(self):
+        """The paper's 'about 6 %' figure: (3 sqrt(2) - 4)/4 = 6.066 %."""
+        f = overlap_fraction()
+        assert f == pytest.approx((3.0 * np.sqrt(2.0) - 4.0) / 4.0)
+        assert 0.060 < f < 0.061
+
+    def test_two_components_cover_sphere(self):
+        assert 2 * component_area() - overlap_area() == pytest.approx(SPHERE_AREA)
+
+    def test_minimal_dissection_has_zero_overlap(self):
+        assert minimal_overlap_fraction() == 0.0
+
+    def test_extension_margins_grow_overlap(self):
+        base = overlap_fraction()
+        bigger = extended_overlap_fraction(0.02, 0.04)
+        assert bigger > base
+
+    def test_extension_zero_matches_base(self):
+        assert extended_overlap_fraction(0.0, 0.0) == pytest.approx(overlap_fraction())
+
+
+class TestMonteCarlo:
+    def test_full_coverage_and_overlap(self):
+        covered, doubled = covered_fraction_monte_carlo(100_000)
+        assert covered == 1.0
+        assert doubled == pytest.approx(overlap_fraction(), abs=0.004)
+
+    def test_seeded_reproducibility(self):
+        a = covered_fraction_monte_carlo(10_000, seed=1)
+        b = covered_fraction_monte_carlo(10_000, seed=1)
+        assert a == b
+
+    def test_shrunken_panels_leave_gaps(self):
+        covered, _ = covered_fraction_monte_carlo(
+            50_000,
+            theta_min=np.pi / 3, theta_max=2 * np.pi / 3,
+        )
+        assert covered < 1.0
+
+
+class TestNamedDissections:
+    def test_baseball_halves(self):
+        assert baseball_dissection_halves_area() == pytest.approx(2 * np.pi)
+
+    def test_cube_band(self):
+        assert cube_dissection_band_area() == pytest.approx(4 * SPHERE_AREA / 6)

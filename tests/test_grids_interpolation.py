@@ -1,0 +1,202 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coords.transforms import other_panel_angles
+from repro.grids.component import ComponentGrid, Panel
+from repro.grids.interpolation import (
+    BilinearStencil,
+    DonorCoverageError,
+    OversetInterpolator,
+    build_bilinear_stencil,
+)
+from repro.grids.yinyang import YinYangGrid
+
+
+def make_pair(nr=7, nth=14, nph=40):
+    yin = ComponentGrid.build(nr, nth, nph, panel=Panel.YIN)
+    return yin, yin.twin()
+
+
+class TestStencilConstruction:
+    def test_weights_in_unit_square(self):
+        yin, yang = make_pair()
+        interp = OversetInterpolator(yin, yang)
+        s = interp.stencil
+        assert np.all((s.wth >= 0) & (s.wth <= 1))
+        assert np.all((s.wph >= 0) & (s.wph <= 1))
+
+    def test_corner_weights_sum_to_one(self):
+        yin, yang = make_pair()
+        s = OversetInterpolator(yin, yang).stencil
+        total = sum(w for _, _, w in s.corner_weights())
+        np.testing.assert_allclose(total, 1.0, atol=1e-12)
+
+    def test_donor_cells_avoid_ring(self):
+        """fd_only: no donor corner may be an interpolated ring point."""
+        yin, yang = make_pair()
+        s = OversetInterpolator(yin, yang).stencil
+        for i, j, _ in s.corner_weights():
+            assert np.all((i >= 1) & (i <= yin.nth - 2))
+            assert np.all((j >= 1) & (j <= yin.nph - 2))
+
+    def test_insufficient_margin_raises(self):
+        yin = ComponentGrid.build(7, 14, 40, extra_theta=0, extra_phi=0)
+        with pytest.raises(DonorCoverageError, match="extension margins"):
+            OversetInterpolator(yin, yin.twin())
+
+    def test_same_panel_rejected(self):
+        yin, _ = make_pair()
+        with pytest.raises(ValueError, match="opposite panels"):
+            OversetInterpolator(yin, yin)
+
+    def test_yin_yang_symmetry(self):
+        """Complementarity (eq. 1): both directions share identical
+        stencils — the property the paper exploits to reuse all code."""
+        g = YinYangGrid(7, 14, 40)
+        a, b = g.to_yang.stencil, g.to_yin.stencil
+        np.testing.assert_array_equal(a.ith, b.ith)
+        np.testing.assert_array_equal(a.iph, b.iph)
+        np.testing.assert_allclose(a.wth, b.wth, atol=1e-12)
+        np.testing.assert_allclose(a.wph, b.wph, atol=1e-12)
+
+
+class TestScalarInterpolation:
+    def test_exact_on_constants(self):
+        yin, yang = make_pair()
+        interp = OversetInterpolator(yin, yang)
+        field = np.full(yin.shape, 3.25)
+        vals = interp.interp_scalar(field)
+        np.testing.assert_allclose(vals, 3.25, atol=1e-12)
+
+    def test_exact_on_radial_profiles(self):
+        """Interpolation is horizontal: functions of r pass through."""
+        yin, yang = make_pair()
+        interp = OversetInterpolator(yin, yang)
+        field = np.broadcast_to((yin.r**2)[:, None, None], yin.shape).copy()
+        vals = interp.interp_scalar(field)
+        expected = np.broadcast_to((yin.r**2)[:, None], vals.shape)
+        np.testing.assert_allclose(vals, expected, atol=1e-12)
+
+    def test_second_order_convergence(self):
+        """Bilinear error on a smooth global field shrinks ~ h^2."""
+        errs = []
+        for n in (10, 20, 40):
+            g = YinYangGrid(5, n, 3 * n)
+            f = g.sample_scalar(lambda r, th, ph: np.sin(th) ** 2 * np.cos(2 * ph))
+            fy = f[Panel.YIN].copy()
+            fe = f[Panel.YANG].copy()
+            g.apply_overset_scalar(fy, fe)
+            errs.append(
+                max(
+                    np.max(np.abs(fy - f[Panel.YIN])),
+                    np.max(np.abs(fe - f[Panel.YANG])),
+                )
+            )
+        assert errs[0] / errs[1] > 3.0
+        assert errs[1] / errs[2] > 3.0
+
+    def test_fill_scalar_only_touches_ring(self):
+        yin, yang = make_pair()
+        interp = OversetInterpolator(yin, yang)  # receptor = yang
+        donor = np.random.default_rng(0).normal(size=yin.shape)
+        receptor = np.zeros(yang.shape)
+        interp.fill_scalar(donor, receptor)
+        mask = np.zeros(yang.shape[1:], dtype=bool)
+        mask[interp.ring_ith, interp.ring_iph] = True
+        assert np.all(receptor[:, ~mask] == 0.0)
+        assert np.any(receptor[:, mask] != 0.0)
+
+
+class TestVectorInterpolation:
+    def test_rigid_rotation_field_is_exact_in_structure(self):
+        """A solid-body rotation about the global z axis has panel-frame
+        components that both panels must agree on after rotation.
+        v = Omega x r; on Yin: (0, 0, Omega r sin(theta))."""
+        g = YinYangGrid(7, 20, 58)
+        omega = 1.7
+
+        def yin_components(grid):
+            shape = grid.shape
+            vph = omega * grid.r3 * np.sin(grid.theta3)
+            return (
+                np.zeros(shape),
+                np.zeros(shape),
+                np.broadcast_to(vph, shape).copy(),
+            )
+
+        def yang_components(grid):
+            # global v in Cartesian: Omega x r with Omega = Omega zhat_global
+            th, ph = np.meshgrid(grid.theta, grid.phi, indexing="ij")
+            th_g, ph_g = other_panel_angles(th, ph)
+            from repro.coords.spherical import cart_vector_to_sph, sph_to_cart
+            from repro.coords.transforms import yinyang_vector_map
+
+            x, y, z = sph_to_cart(1.0, th_g, ph_g)
+            vx, vy, vz = -omega * y, omega * x, np.zeros_like(x)
+            # to Yang frame, then to Yang spherical components
+            vx, vy, vz = yinyang_vector_map(vx, vy, vz)
+            vr, vth, vph = cart_vector_to_sph(vx, vy, vz, th, ph)
+            r3 = grid.r[:, None, None]
+            return (
+                r3 * vr[None, :, :],
+                r3 * vth[None, :, :],
+                r3 * vph[None, :, :],
+            )
+
+        vy_ = yin_components(g.yin)
+        ve_ = yang_components(g.yang)
+        vy2 = tuple(c.copy() for c in vy_)
+        ve2 = tuple(c.copy() for c in ve_)
+        g.apply_overset_vector(vy2, ve2)
+        for a, b in zip(vy2, vy_):
+            # linear-in-position field: bilinear interpolation errs at h^2
+            assert np.max(np.abs(a - b)) < 5e-3
+        for a, b in zip(ve2, ve_):
+            assert np.max(np.abs(a - b)) < 5e-3
+
+    def test_vector_magnitude_preserved_for_constants(self):
+        """Interpolating a constant-magnitude tangent field preserves the
+        magnitude up to interpolation error (rotation is orthogonal)."""
+        g = YinYangGrid(5, 16, 46)
+        shape = g.yin.shape
+        comps_yin = (np.zeros(shape), np.ones(shape), np.zeros(shape))
+        comps_yang = (np.zeros(shape), np.ones(shape), np.zeros(shape))
+        wr, wth, wph = g.to_yang.interp_vector(*comps_yin)
+        mag = np.sqrt(wr**2 + wth**2 + wph**2)
+        np.testing.assert_allclose(mag, 1.0, atol=1e-10)
+        del comps_yang
+
+
+class TestBuildStencilEdgeCases:
+    def test_snapping_keeps_interpolation_property(self):
+        g = ComponentGrid.build(5, 14, 40)
+        # a point exactly on an admissible-cell boundary
+        theta = np.array([g.theta[1]])
+        phi = np.array([g.phi[1]])
+        s = build_bilinear_stencil(g, theta, phi, fd_only=True)
+        assert s.ith[0] == 1 and s.iph[0] == 1
+        assert s.wth[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_out_of_domain_raises(self):
+        g = ComponentGrid.build(5, 14, 40)
+        with pytest.raises(DonorCoverageError):
+            build_bilinear_stencil(g, np.array([0.01]), np.array([0.0]))
+
+    def test_apply_shapes(self):
+        s = BilinearStencil(
+            ith=np.array([1, 2]), iph=np.array([1, 1]),
+            wth=np.array([0.5, 0.25]), wph=np.array([0.0, 1.0]),
+        )
+        field = np.arange(60.0).reshape(3, 4, 5)
+        out = s.apply(field)
+        assert out.shape == (3, 2)
+
+
+@given(st.integers(10, 24), st.integers(1, 3))
+def test_any_reasonable_resolution_has_donors(nth, extra_phi):
+    """Default margins admit donor cells across a range of resolutions."""
+    nph = 3 * nth
+    g = YinYangGrid(5, nth, nph, extra_phi=max(2, extra_phi))
+    assert g.to_yang.n_ring == g.yang.n_ring

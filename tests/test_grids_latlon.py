@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.grids.latlon import LatLonGrid
+
+
+class TestBuild:
+    def test_half_cell_pole_offset(self):
+        g = LatLonGrid.build(7, 12, 24)
+        dth = np.pi / 12
+        assert g.theta[1] == pytest.approx(dth / 2)  # first interior row
+        assert g.theta[-2] == pytest.approx(np.pi - dth / 2)
+        # halo rows overshoot the poles
+        assert g.theta[0] < 0.0 and g.theta[-1] > np.pi
+
+    def test_requires_even_nph(self):
+        with pytest.raises(ValueError, match="even"):
+            LatLonGrid.build(7, 12, 25)
+
+    def test_interior_counts(self):
+        g = LatLonGrid.build(7, 12, 24)
+        assert g.nth_interior == 12
+        assert g.nph_interior == 24
+        assert g.shape == (7, 14, 26)
+
+    def test_longitude_covers_circle(self):
+        g = LatLonGrid.build(7, 12, 24)
+        interior_phi = g.phi[1:-1]
+        assert interior_phi[0] == pytest.approx(-np.pi)
+        assert interior_phi[-1] == pytest.approx(np.pi - 2 * np.pi / 24)
+
+
+class TestHaloFilling:
+    def test_periodic_longitude_scalar(self):
+        g = LatLonGrid.build(5, 8, 16)
+        f = np.arange(np.prod(g.shape), dtype=float).reshape(g.shape)
+        g.fill_halos_scalar(f)
+        np.testing.assert_array_equal(f[:, :, 0], f[:, :, -2])
+        np.testing.assert_array_equal(f[:, :, -1], f[:, :, 1])
+
+    def test_pole_copy_smooth_function(self):
+        """Across-pole halo of a smooth global scalar equals the function
+        evaluated at the reflected point (-theta -> theta, phi -> phi+pi)."""
+        g = LatLonGrid.build(5, 16, 32)
+        th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
+        # a smooth function of position only (well-defined at the pole)
+        x = np.sin(th) * np.cos(ph)
+        z = np.cos(th)
+        f = np.broadcast_to((z + 0.3 * x)[None], g.shape).copy()
+        expected_halo = f[:, 0, 1:-1].copy()  # analytic value at theta = -dth/2
+        g.fill_halos_scalar(f)
+        np.testing.assert_allclose(f[:, 0, 1:-1], expected_halo, atol=1e-12)
+
+    def test_pole_flip_vector(self):
+        """Tangential components change sign across the pole."""
+        g = LatLonGrid.build(5, 8, 16)
+        shape = g.shape
+        vr = np.ones(shape)
+        vth = np.full(shape, 2.0)
+        vph = np.full(shape, -3.0)
+        g.fill_halos_vector(vr, vth, vph)
+        assert np.all(vr[:, 0, 1:-1] == 1.0)
+        assert np.all(vth[:, 0, 1:-1] == -2.0)
+        assert np.all(vph[:, 0, 1:-1] == 3.0)
+
+    def test_pole_shift_is_half_turn(self):
+        g = LatLonGrid.build(5, 8, 16)
+        shift = g.pole_shift
+        n = g.nph_interior
+        # applying the shift twice returns the original column order
+        twice = shift[shift - 1]
+        np.testing.assert_array_equal(twice, np.arange(1, n + 1))
+
+    def test_fill_shape_mismatch(self):
+        g = LatLonGrid.build(5, 8, 16)
+        with pytest.raises(ValueError, match="shape"):
+            g.fill_halos_scalar(np.zeros((2, 2, 2)))
+
+
+class TestPolePathology:
+    def test_clustering_ratio_grows_linearly(self):
+        """Equator/pole cell-width ratio ~ 2 nth / pi: the Section II
+        problem that motivates the Yin-Yang grid."""
+        r1 = LatLonGrid.build(5, 16, 32).pole_clustering_ratio()
+        r2 = LatLonGrid.build(5, 32, 64).pole_clustering_ratio()
+        assert r2 / r1 == pytest.approx(2.0, rel=0.1)
+
+    def test_min_width_at_pole_row(self):
+        g = LatLonGrid.build(5, 16, 32)
+        assert g.min_cell_width() == pytest.approx(
+            g.ro * np.sin(g.theta[1]) * g.dphi
+        )
+
+    def test_interior_mask(self):
+        g = LatLonGrid.build(5, 8, 16)
+        m = g.interior_mask()
+        assert m.sum() == 8 * 16
+        assert not m[0].any() and not m[-1].any()
+        assert not m[:, 0].any() and not m[:, -1].any()

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return YinYangGrid(7, 16, 46)
+
+
+class TestStructure:
+    def test_panels_identical_geometry(self, grid):
+        np.testing.assert_array_equal(grid.yin.theta, grid.yang.theta)
+        np.testing.assert_array_equal(grid.yin.phi, grid.yang.phi)
+        assert grid.yin.panel is Panel.YIN
+        assert grid.yang.panel is Panel.YANG
+
+    def test_npoints_counts_both_panels(self, grid):
+        assert grid.npoints == 2 * grid.yin.npoints
+
+    def test_panel_lookup(self, grid):
+        assert grid.panel(Panel.YIN) is grid.yin
+        assert grid.panel(Panel.YANG) is grid.yang
+
+    def test_paper_flagship_point_count(self):
+        """511 x 514 x 1538 x 2 ~ 8.1e8 points (Table III's row)."""
+        n = 511 * 514 * 1538 * 2
+        assert n == pytest.approx(8.1e8, rel=0.01)
+
+
+class TestCoverage:
+    def test_full_sphere_coverage(self, grid):
+        assert grid.coverage_check(20000) == 1.0
+
+    def test_overlap_mask_fraction(self, grid):
+        """Solid-angle-weighted overlap fraction matches the analytic
+        value for the *extended* panels (coarse grids have wide margins,
+        so the overlap is well above the minimal-panel 6 %)."""
+        from repro.grids.dissection import extended_overlap_fraction
+
+        g0 = grid.yin
+        expected = extended_overlap_fraction(
+            g0.extra_theta * g0.dtheta, g0.extra_phi * g0.dphi
+        )
+        for panel in (Panel.YIN, Panel.YANG):
+            g = grid.panel(panel)
+            mask = grid.overlap_mask[panel]
+            w = g.cell_solid_angle()
+            frac = float((mask * w).sum()) / (4 * np.pi)
+            assert frac == pytest.approx(expected, rel=0.10)
+
+    def test_overlap_shrinks_with_resolution(self):
+        """The margin-induced extra overlap vanishes as the mesh refines,
+        approaching the paper's resolution-independent ~6 %."""
+        from repro.grids.dissection import extended_overlap_fraction
+
+        coarse = YinYangGrid(5, 14, 40).yin
+        fine = YinYangGrid(5, 42, 120).yin
+        f_coarse = extended_overlap_fraction(
+            coarse.extra_theta * coarse.dtheta, coarse.extra_phi * coarse.dphi
+        )
+        f_fine = extended_overlap_fraction(
+            fine.extra_theta * fine.dtheta, fine.extra_phi * fine.dphi
+        )
+        assert f_fine < f_coarse
+        assert f_fine < 0.15
+        # at the paper's resolution the margins are negligible: ~6 %
+        flagship = YinYangGrid(5, 514, 1538).yin
+        f_paper = extended_overlap_fraction(
+            flagship.extra_theta * flagship.dtheta,
+            flagship.extra_phi * flagship.dphi,
+        )
+        assert f_paper == pytest.approx(0.0607, abs=0.007)
+
+    def test_overlap_symmetry(self, grid):
+        a = grid.overlap_mask[Panel.YIN].mean()
+        b = grid.overlap_mask[Panel.YANG].mean()
+        assert a == pytest.approx(b, rel=1e-12)
+
+
+class TestSampling:
+    def test_sample_scalar_consistency_in_overlap(self, grid):
+        """Both panels sample the same global function: in the overlap
+        the values must agree at the shared physical points (here checked
+        via the interpolation residual being small)."""
+        f = grid.sample_scalar(lambda r, th, ph: r * np.cos(th) + np.sin(ph) * np.sin(th))
+        fy, fe = f[Panel.YIN].copy(), f[Panel.YANG].copy()
+        grid.apply_overset_scalar(fy, fe)
+        assert np.max(np.abs(fy - f[Panel.YIN])) < 5e-3
+        assert np.max(np.abs(fe - f[Panel.YANG])) < 5e-3
+
+    def test_sample_shapes(self, grid):
+        f = grid.sample_scalar(lambda r, th, ph: th * 0 + 1.0)
+        assert f[Panel.YIN].shape == grid.shape
+        assert f[Panel.YANG].shape == grid.shape
+
+
+class TestOversetApplication:
+    def test_scalar_idempotent(self, grid):
+        """Applying the overset condition twice changes nothing: donors
+        are never ring points, so the second pass sees the same donors."""
+        rng = np.random.default_rng(3)
+        fy = rng.normal(size=grid.shape)
+        fe = rng.normal(size=grid.shape)
+        grid.apply_overset_scalar(fy, fe)
+        fy2, fe2 = fy.copy(), fe.copy()
+        grid.apply_overset_scalar(fy2, fe2)
+        np.testing.assert_array_equal(fy, fy2)
+        np.testing.assert_array_equal(fe, fe2)
+
+    def test_vector_idempotent(self, grid):
+        rng = np.random.default_rng(4)
+        vy = tuple(rng.normal(size=grid.shape) for _ in range(3))
+        ve = tuple(rng.normal(size=grid.shape) for _ in range(3))
+        grid.apply_overset_vector(vy, ve)
+        vy2 = tuple(c.copy() for c in vy)
+        ve2 = tuple(c.copy() for c in ve)
+        grid.apply_overset_vector(vy2, ve2)
+        for a, b in zip(vy + ve, vy2 + ve2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_interior_untouched(self, grid):
+        rng = np.random.default_rng(5)
+        fy = rng.normal(size=grid.shape)
+        fe = rng.normal(size=grid.shape)
+        fy0, fe0 = fy.copy(), fe.copy()
+        grid.apply_overset_scalar(fy, fe)
+        fd = grid.yin.fd_mask()
+        np.testing.assert_array_equal(fy[:, fd], fy0[:, fd])
+        np.testing.assert_array_equal(fe[:, fd], fe0[:, fd])

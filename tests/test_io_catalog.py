@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.grids.component import Panel
+from repro.io.catalog import RunCatalog, record_run
+from repro.io.series import TimeSeriesRecorder
+from repro.mhd.parameters import MHDParameters
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    return RunCatalog(tmp_path / "run001")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RunConfig(nr=7, nth=12, nph=36, params=MHDParameters.laptop_demo(),
+                     dt=1e-3, amp_temperature=1e-2)
+
+
+class TestManifest:
+    def test_round_trip(self, catalog, config):
+        catalog.write_manifest(config, note="test run")
+        data = catalog.read_manifest()
+        assert data["note"] == "test run"
+        assert data["config"]["nr"] == 7
+        assert data["config"]["magnetic_bc"] == "perfect_conductor"
+
+    def test_missing_manifest(self, catalog):
+        with pytest.raises(ValueError, match="manifest"):
+            catalog.read_manifest()
+
+    def test_missing_directory_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunCatalog(tmp_path / "nope", create=False)
+
+
+class TestCheckpoints:
+    def test_save_list_load(self, catalog, config):
+        dyn = YinYangDynamo(config)
+        catalog.save_checkpoint(dyn.state, time=0.0, step=0)
+        dyn.run(2, record_every=0)
+        catalog.save_checkpoint(dyn.state, time=dyn.time, step=dyn.step_count)
+        assert catalog.list_checkpoints() == [0, 2]
+        states, t, step = catalog.load_checkpoint()
+        assert step == 2
+        for a, b in zip(states[Panel.YIN].arrays(), dyn.state[Panel.YIN].arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_load_specific_and_missing(self, catalog, config):
+        dyn = YinYangDynamo(config)
+        catalog.save_checkpoint(dyn.state, time=0.0, step=5)
+        _, _, step = catalog.load_checkpoint(5)
+        assert step == 5
+        with pytest.raises(ValueError, match="no checkpoint for step"):
+            catalog.load_checkpoint(7)
+
+    def test_empty_catalog(self, catalog):
+        with pytest.raises(ValueError, match="no checkpoints"):
+            catalog.load_checkpoint()
+
+
+class TestRecordRun:
+    def test_full_workflow(self, catalog, config):
+        dyn = YinYangDynamo(config)
+        rec = record_run(dyn, catalog, 6, snapshot_every=3, checkpoint_every=3,
+                         record_every=2)
+        assert len(rec) == 3
+        assert catalog.list_checkpoints() == [3, 6]
+        snaps = catalog.list_snapshots()
+        assert len(snaps) == 4  # 2 panels x 2 instants
+        assert (Panel.YANG, 6) in snaps
+        summary = catalog.summary()
+        assert summary["has_manifest"] and summary["has_series"]
+        assert summary["total_bytes"] > 0
+
+    def test_series_reload(self, catalog, config):
+        dyn = YinYangDynamo(config)
+        rec = record_run(dyn, catalog, 4, record_every=1)
+        back = catalog.load_series()
+        np.testing.assert_allclose(back.times, rec.times)
+        np.testing.assert_allclose(back.channel("kinetic"), rec.channel("kinetic"))
+
+    def test_snapshot_reload(self, catalog, config):
+        dyn = YinYangDynamo(config)
+        record_run(dyn, catalog, 2, snapshot_every=2, record_every=0)
+        snap = catalog.load_snapshot(Panel.YIN, 2)
+        assert snap.step == 2
+        assert snap.panel is Panel.YIN

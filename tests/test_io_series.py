@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.io.series import TimeSeriesRecorder
+
+
+class TestAppend:
+    def test_basic_recording(self):
+        rec = TimeSeriesRecorder(["ke", "me"])
+        rec.append(0.0, ke=1.0, me=2.0)
+        rec.append(0.1, ke=1.5, me=2.5)
+        assert len(rec) == 2
+        np.testing.assert_array_equal(rec.times, [0.0, 0.1])
+        np.testing.assert_array_equal(rec.channel("ke"), [1.0, 1.5])
+
+    def test_missing_channel_rejected(self):
+        rec = TimeSeriesRecorder(["ke", "me"])
+        with pytest.raises(ValueError, match="missing"):
+            rec.append(0.0, ke=1.0)
+
+    def test_unknown_channel_rejected(self):
+        rec = TimeSeriesRecorder(["ke"])
+        with pytest.raises(ValueError, match="unknown"):
+            rec.append(0.0, ke=1.0, bogus=2.0)
+
+    def test_time_must_not_decrease(self):
+        rec = TimeSeriesRecorder(["ke"])
+        rec.append(1.0, ke=1.0)
+        with pytest.raises(ValueError, match="nondecreasing"):
+            rec.append(0.5, ke=1.0)
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            TimeSeriesRecorder(["a", "a"])
+
+    def test_empty_channel_list_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder([])
+
+    def test_last(self):
+        rec = TimeSeriesRecorder(["ke"])
+        rec.append(0.0, ke=3.0)
+        rec.append(1.0, ke=4.0)
+        assert rec.last() == {"time": 1.0, "ke": 4.0}
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeriesRecorder(["ke"]).last()
+
+    def test_unknown_channel_lookup(self):
+        rec = TimeSeriesRecorder(["ke"])
+        with pytest.raises(KeyError):
+            rec.channel("nope")
+
+
+class TestGrowthRate:
+    def test_recovers_exponential_rate(self):
+        rec = TimeSeriesRecorder(["me"])
+        lam = 2.3
+        for t in np.linspace(0, 1, 20):
+            rec.append(t, me=np.exp(lam * t))
+        assert rec.growth_rate("me", window=20) == pytest.approx(lam, rel=1e-6)
+
+    def test_needs_positive_values(self):
+        rec = TimeSeriesRecorder(["x"])
+        for t in range(12):
+            rec.append(float(t), x=-1.0)
+        with pytest.raises(ValueError, match="positive"):
+            rec.growth_rate("x")
+
+    def test_needs_enough_samples(self):
+        rec = TimeSeriesRecorder(["x"])
+        rec.append(0.0, x=1.0)
+        with pytest.raises(ValueError, match="not enough"):
+            rec.growth_rate("x")
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        rec = TimeSeriesRecorder(["ke", "me"])
+        for t in np.linspace(0, 1, 7):
+            rec.append(float(t), ke=float(t**2), me=float(1 + t))
+        path = rec.save(tmp_path / "series.npz")
+        back = TimeSeriesRecorder.load(path)
+        assert set(back.channels) == {"ke", "me"}
+        np.testing.assert_allclose(back.times, rec.times)
+        np.testing.assert_allclose(back.channel("me"), rec.channel("me"))

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.io.volume import (
+    PAPER_REPORTED_GB,
+    PAPER_SNAPSHOTS,
+    DataVolumeModel,
+    paper_run_volume,
+)
+
+
+class TestModel:
+    def test_grid_points(self):
+        m = DataVolumeModel(nr=255, nth=514, nph=1538)
+        assert m.grid_points == 255 * 514 * 1538 * 2
+
+    def test_bytes_per_snapshot(self):
+        m = DataVolumeModel(nr=10, nth=10, nph=10, panels=1, n_fields=10, itemsize=4)
+        assert m.bytes_per_snapshot == 10**3 * 10 * 4
+
+    def test_subsample_scales(self):
+        full = DataVolumeModel(nr=10, nth=10, nph=10)
+        half = DataVolumeModel(nr=10, nth=10, nph=10, subsample=0.5)
+        assert half.bytes_per_snapshot == pytest.approx(full.bytes_per_snapshot / 2)
+
+    def test_total_gb(self):
+        m = DataVolumeModel(nr=255, nth=514, nph=1538)
+        assert m.total_gb(127) == pytest.approx(2048.1, rel=1e-3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            DataVolumeModel(nr=255, nth=514, nph=1538, subsample=0.0)
+        with pytest.raises(ValueError):
+            DataVolumeModel(nr=255, nth=514, nph=1538).total_bytes(0)
+
+
+class TestPaperAccounting:
+    """Section V: 127 saves, ~500 GB on the 255-radial grid."""
+
+    def test_reported_per_snapshot(self):
+        acct = paper_run_volume()
+        assert acct["per_snapshot_gb_reported"] == pytest.approx(3.94, abs=0.01)
+
+    def test_implied_subsample_about_one_quarter(self):
+        """Full 10-field single-precision snapshots would total ~2 TB;
+        500 GB implies the authors stored ~1/4 of that per save."""
+        acct = paper_run_volume()
+        assert acct["full_volume_gb"] == pytest.approx(2048, rel=0.01)
+        assert acct["implied_subsample"] == pytest.approx(0.244, abs=0.01)
+
+    def test_round_trip_consistency(self):
+        acct = paper_run_volume()
+        m = DataVolumeModel(nr=255, nth=514, nph=1538, subsample=acct["implied_subsample"])
+        assert m.total_gb(PAPER_SNAPSHOTS) == pytest.approx(PAPER_REPORTED_GB, rel=1e-6)

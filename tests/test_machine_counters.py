@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.machine.counters import (
+    HardwareCounters,
+    aggregate,
+    synthesize_counters,
+)
+
+
+def list1_like_counter():
+    """A counter populated with List 1's average column values."""
+    return HardwareCounters(
+        real_time=453.457,
+        user_time=443.220,
+        system_time=4.498,
+        vector_time=351.678,
+        instruction_count=46732455581.0,
+        vector_instruction_count=13758270302.0,
+        vector_element_count=3461109543510.0,
+        flop_count=1642792822350.0,
+        memory_mb=1106.882,
+    )
+
+
+class TestDerivedColumns:
+    """The derived quantities must reproduce List 1's printed values
+    when fed List 1's raw counters — validating our formulas against
+    the ES runtime's."""
+
+    def test_mflops(self):
+        assert list1_like_counter().mflops == pytest.approx(3706.5, rel=1e-3)
+
+    def test_mops(self):
+        assert list1_like_counter().mops == pytest.approx(7883.4, rel=1e-3)
+
+    def test_average_vector_length(self):
+        assert list1_like_counter().average_vector_length == pytest.approx(
+            251.564, rel=1e-4
+        )
+
+    def test_vector_operation_ratio(self):
+        assert list1_like_counter().vector_operation_ratio == pytest.approx(
+            99.056, abs=0.05
+        )
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_counters(
+            n_processes=8, flops_per_process=1e12, user_time=440.0,
+            avl=251.6, vector_op_ratio=0.99,
+        )
+        b = synthesize_counters(
+            n_processes=8, flops_per_process=1e12, user_time=440.0,
+            avl=251.6, vector_op_ratio=0.99,
+        )
+        assert [c.flop_count for c in a] == [c.flop_count for c in b]
+
+    def test_population_statistics(self):
+        cs = synthesize_counters(
+            n_processes=64, flops_per_process=1.64e12, user_time=443.0,
+            avl=251.6, vector_op_ratio=0.99,
+        )
+        flops = np.array([c.flop_count for c in cs])
+        assert flops.mean() == pytest.approx(1.64e12, rel=0.01)
+        # jitter creates a List-1-like percent-level spread
+        assert 0.0 < flops.std() / flops.mean() < 0.03
+
+    def test_derived_columns_consistent(self):
+        cs = synthesize_counters(
+            n_processes=16, flops_per_process=1.64e12, user_time=443.0,
+            avl=251.6, vector_op_ratio=0.99,
+        )
+        for c in cs:
+            assert c.average_vector_length == pytest.approx(251.6, rel=0.05)
+            assert c.vector_operation_ratio == pytest.approx(99.0, abs=0.2)
+            assert c.vector_time < c.user_time <= c.real_time * 1.2
+
+
+class TestAggregate:
+    def test_min_max_mean_structure(self):
+        cs = synthesize_counters(
+            n_processes=10, flops_per_process=1e12, user_time=400.0,
+            avl=250.0, vector_op_ratio=0.99,
+        )
+        agg = aggregate(cs)
+        mn, amn, mx, amx, mean = agg["flop_count"]
+        assert mn <= mean <= mx
+        assert cs[amn].flop_count == mn
+        assert cs[amx].flop_count == mx
+
+    def test_includes_derived_rows(self):
+        cs = synthesize_counters(
+            n_processes=4, flops_per_process=1e12, user_time=400.0,
+            avl=250.0, vector_op_ratio=0.99,
+        )
+        agg = aggregate(cs)
+        for key in ("mflops", "mops", "average_vector_length", "vector_operation_ratio"):
+            assert key in agg

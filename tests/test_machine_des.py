@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.machine.des import (
+    per_rank_flop_rates,
+    simulate_step,
+    validate_against_closed_form,
+)
+from repro.perf.model import PerformanceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = PerformanceModel()
+    m.calibrate_kernel_efficiency()
+    return m
+
+
+class TestSimulation:
+    def test_rank_count(self, model):
+        sim = simulate_step(model, 255, 514, 1538, 1200)
+        assert sim.compute_times.size == 1200
+        assert sim.comm_times.size == 1200
+
+    def test_makespan_bounds(self, model):
+        sim = simulate_step(model, 255, 514, 1538, 1200)
+        assert sim.makespan >= float(np.max(sim.compute_times))
+        assert sim.makespan > 0
+
+    def test_load_imbalance_from_ceil_division(self, model):
+        """514/1538 do not divide evenly: the imbalance is a few %."""
+        sim = simulate_step(model, 511, 514, 1538, 4096)
+        assert 1.0 <= sim.load_imbalance < 1.25
+
+    def test_comm_fraction_near_paper(self, model):
+        sim = simulate_step(model, 511, 514, 1538, 4096)
+        assert 0.03 < sim.mean_comm_fraction < 0.25
+
+    def test_edge_tiles_carry_overset(self, model):
+        sim = simulate_step(model, 255, 514, 1538, 1200)
+        # comm time is not uniform: edge tiles pay the overset messages
+        assert sim.comm_times.max() > sim.comm_times.min()
+
+
+class TestClosedFormAgreement:
+    @pytest.mark.parametrize(
+        "config", [(511, 4096), (255, 3888), (255, 1200)]
+    )
+    def test_within_ten_percent(self, model, config):
+        nr, nproc = config
+        ratio = validate_against_closed_form(model, nr, 514, 1538, nproc)
+        assert ratio == pytest.approx(1.0, abs=0.10)
+
+
+class TestFlopRates:
+    def test_rates_positive_and_under_peak(self, model):
+        sim = simulate_step(model, 511, 514, 1538, 4096)
+        rates = per_rank_flop_rates(model, sim, 511, 514, 1538)
+        assert len(rates) == 4096
+        assert all(0.0 < r < model.spec.ap_peak_gflops for r in rates)

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.machine.network import CrossbarNetwork
+from repro.machine.node import ProcessorNode, memory_per_process_bytes, placement
+from repro.machine.specs import EARTH_SIMULATOR
+
+
+@pytest.fixture()
+def net():
+    return CrossbarNetwork(EARTH_SIMULATOR)
+
+
+class TestMessageTime:
+    def test_latency_floor(self, net):
+        t = net.message_time(0, internode=True)
+        assert t == pytest.approx(EARTH_SIMULATOR.mpi_latency_us * 1e-6)
+
+    def test_bandwidth_term(self, net):
+        small = net.message_time(1e3, internode=True)
+        big = net.message_time(1e9, internode=True)
+        assert big > 100 * small
+        # asymptotic rate ~ 12.3 GB/s
+        assert big == pytest.approx(1e9 / (12.3e9), rel=0.2)
+
+    def test_intranode_faster(self, net):
+        nbytes = 1e6
+        assert net.message_time(nbytes, internode=False) < net.message_time(
+            nbytes, internode=True
+        )
+
+    def test_port_sharing_divides_bandwidth(self, net):
+        nbytes = 1e8
+        alone = net.message_time(nbytes, internode=True, sharing=1)
+        crowded = net.message_time(nbytes, internode=True, sharing=8)
+        assert crowded > 6 * alone
+
+    def test_exchange_time_sums(self, net):
+        msgs = [(1e6, True), (1e6, False)]
+        total = net.exchange_time(msgs)
+        assert total == pytest.approx(
+            net.message_time(1e6, internode=True)
+            + net.message_time(1e6, internode=False)
+        )
+
+    def test_overlap_discount(self, net):
+        msgs = [(1e6, True)]
+        assert net.exchange_time(msgs, overlap=0.5) == pytest.approx(
+            0.5 * net.exchange_time(msgs)
+        )
+
+
+class TestNeighbourLocality:
+    def test_wide_rows_make_ns_internode(self, net):
+        f = net.internode_fraction_of_neighbours(8, 64)
+        # east/west mostly on-node, north/south off-node
+        assert 0.5 < f < 0.6
+
+    def test_narrow_rows_keep_more_on_node(self, net):
+        wide = net.internode_fraction_of_neighbours(8, 64)
+        narrow = net.internode_fraction_of_neighbours(8, 4)
+        assert narrow < wide
+
+
+class TestNodeModel:
+    def test_peak(self):
+        node = ProcessorNode(EARTH_SIMULATOR, 0)
+        assert node.peak_gflops == pytest.approx(64.0)
+
+    def test_memory_fit(self):
+        node = ProcessorNode(EARTH_SIMULATOR, 0)
+        assert node.fits(1 * 2**30, 8)  # 8 GB total of 16
+        assert not node.fits(3 * 2**30, 8)
+
+    def test_placement_fills_nodes(self):
+        pl = placement(20, EARTH_SIMULATOR)
+        assert pl[0] == (0, 0)
+        assert pl[7] == (0, 7)
+        assert pl[8] == (1, 0)
+        assert pl[19] == (2, 3)
+
+    def test_placement_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            placement(6000, EARTH_SIMULATOR)
+
+    def test_memory_estimate_scales(self):
+        a = memory_per_process_bytes(255, 20, 28)
+        b = memory_per_process_bytes(511, 20, 28)
+        assert b == pytest.approx(2 * a, rel=0.01)

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.machine.specs import EARTH_SIMULATOR, EarthSimulatorSpec
+
+
+class TestTableI:
+    """Every row of Table I must be reproduced by the spec object."""
+
+    def test_total_aps(self):
+        assert EARTH_SIMULATOR.total_aps == 5120
+
+    def test_total_peak(self):
+        assert EARTH_SIMULATOR.total_peak_tflops == pytest.approx(40.96)
+
+    def test_row_values(self):
+        rows = dict(EARTH_SIMULATOR.table_rows())
+        assert rows["Peak performance of arithmetic processor (AP)"] == "8 Gflops"
+        assert rows["Number of AP in a processor node (PN)"] == "8"
+        assert rows["Total number of PN"] == "640"
+        assert rows["Shared memory size of PN"] == "16 GB"
+        assert rows["Total main memory"] == "10 TB"
+        assert rows["Inter-node data transfer rate"] == "12.3 GB/s x 2"
+        assert "5120" in rows["Total number of AP"]
+
+    def test_paper_peak_for_4096(self):
+        """'the theoretical peak performance of 4096 processors is
+        4096 x 8 Gflops = 32.8 Tflops'."""
+        assert EARTH_SIMULATOR.peak_tflops(4096) == pytest.approx(32.768)
+
+    def test_nodes_for_flat_mpi(self):
+        """4096 processes = 512 nodes; 3888 = 486 nodes."""
+        assert EARTH_SIMULATOR.nodes_for(4096) == 512
+        assert EARTH_SIMULATOR.nodes_for(3888) == 486
+        assert EARTH_SIMULATOR.nodes_for(1200) == 150
+
+    def test_peak_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            EARTH_SIMULATOR.peak_tflops(6000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarthSimulatorSpec(ap_peak_gflops=0.0)

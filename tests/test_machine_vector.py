@@ -1,0 +1,83 @@
+import pytest
+
+from repro.machine.specs import EARTH_SIMULATOR
+from repro.machine.vector import (
+    VectorPipeline,
+    average_vector_length,
+    bank_conflict_factor,
+    vector_instruction_count,
+    vector_operation_ratio,
+)
+
+
+class TestVectorLength:
+    def test_instruction_counts(self):
+        assert vector_instruction_count(255) == 1
+        assert vector_instruction_count(256) == 1
+        assert vector_instruction_count(257) == 2
+        assert vector_instruction_count(511) == 2
+        assert vector_instruction_count(512) == 2
+
+    def test_average_vector_length_values(self):
+        assert average_vector_length(255) == pytest.approx(255.0)
+        assert average_vector_length(511) == pytest.approx(255.5)
+        assert average_vector_length(512) == pytest.approx(256.0)
+        assert average_vector_length(100) == pytest.approx(100.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            vector_instruction_count(0)
+
+
+class TestBankConflicts:
+    def test_paper_choices_avoid_conflicts(self):
+        """'The radial grid size is 255 or 511 ... to avoid bank
+        conflicts': the model must penalise 256/512, not 255/511."""
+        assert bank_conflict_factor(255) == 1.0
+        assert bank_conflict_factor(511) == 1.0
+        assert bank_conflict_factor(256) > 1.0
+        assert bank_conflict_factor(512) > 1.0
+
+    def test_full_way_conflict_worst(self):
+        assert bank_conflict_factor(256) > bank_conflict_factor(192)
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def pipe(self):
+        return VectorPipeline(EARTH_SIMULATOR)
+
+    def test_flagship_avl_calibration(self, pipe):
+        """List 1 reports average vector length 251.6 at nr = 511."""
+        assert pipe.effective_avl(511) == pytest.approx(251.6, abs=0.5)
+
+    def test_efficiency_in_unit_interval(self, pipe):
+        for L in (64, 255, 256, 511):
+            assert 0.0 < pipe.vector_efficiency(L) < 1.0
+
+    def test_255_beats_256(self, pipe):
+        """The paper's whole point: 255 avoids the conflict penalty."""
+        assert pipe.vector_efficiency(255) > pipe.vector_efficiency(256)
+
+    def test_longer_loops_amortise_startup(self, pipe):
+        assert pipe.vector_efficiency(511) >= pipe.vector_efficiency(63)
+
+    def test_effective_gflops_below_peak(self, pipe):
+        g = pipe.effective_gflops(511)
+        assert 0.0 < g < EARTH_SIMULATOR.ap_peak_gflops
+
+    def test_time_for_flops_scales_linearly(self, pipe):
+        t1 = pipe.time_for_flops(1e9, 511)
+        t2 = pipe.time_for_flops(2e9, 511)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_scalar_fraction_hurts(self, pipe):
+        fast = pipe.effective_gflops(511, vector_op_ratio=0.999)
+        slow = pipe.effective_gflops(511, vector_op_ratio=0.95)
+        assert fast > slow
+
+
+class TestOperationRatio:
+    def test_paper_value(self):
+        """'the vector operation ratio is 99%'."""
+        assert vector_operation_ratio(511) == pytest.approx(0.99)

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.mhd.boundary import MagneticBC, WallBC
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+
+
+@pytest.fixture()
+def state():
+    rng = np.random.default_rng(0)
+    s = MHDState(*(rng.normal(size=(6, 5, 7)) for _ in range(8)))
+    s.rho = np.abs(s.rho) + 1.0
+    s.p = np.abs(s.p) + 1.0
+    return s
+
+
+@pytest.fixture()
+def params():
+    return MHDParameters.laptop_demo()
+
+
+class TestNoSlip:
+    def test_mass_flux_zero_on_walls(self, state, params):
+        WallBC(params).apply(state)
+        for c in state.f:
+            assert np.all(c[0] == 0.0)
+            assert np.all(c[-1] == 0.0)
+
+    def test_interior_untouched(self, state, params):
+        before = {n: a.copy() for n, a in state.named_arrays()}
+        WallBC(params).apply(state)
+        for n, a in state.named_arrays():
+            np.testing.assert_array_equal(a[1:-1], before[n][1:-1])
+
+
+class TestThermalWalls:
+    def test_wall_temperatures_fixed(self, state, params):
+        WallBC(params).apply(state)
+        temp = state.temperature()
+        np.testing.assert_allclose(temp[0], params.t_inner)
+        np.testing.assert_allclose(temp[-1], 1.0)
+
+    def test_density_zero_gradient(self, state, params):
+        WallBC(params).apply(state)
+        np.testing.assert_array_equal(state.rho[0], state.rho[1])
+        np.testing.assert_array_equal(state.rho[-1], state.rho[-2])
+
+
+class TestMagneticWalls:
+    def test_perfect_conductor_pins_tangential_a(self, state, params):
+        WallBC(params, magnetic=MagneticBC.PERFECT_CONDUCTOR).apply(state)
+        for c in (state.ath, state.aph):
+            assert np.all(c[0] == 0.0)
+            assert np.all(c[-1] == 0.0)
+        np.testing.assert_array_equal(state.ar[0], state.ar[1])
+        np.testing.assert_array_equal(state.ar[-1], state.ar[-2])
+
+    def test_pseudo_vacuum_zeroes_radial_a(self, state, params):
+        WallBC(params, magnetic=MagneticBC.PSEUDO_VACUUM).apply(state)
+        assert np.all(state.ar[0] == 0.0)
+        assert np.all(state.ar[-1] == 0.0)
+        np.testing.assert_array_equal(state.ath[0], state.ath[1])
+        np.testing.assert_array_equal(state.aph[-1], state.aph[-2])
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("bc", list(MagneticBC))
+    def test_applying_twice_is_identity(self, state, params, bc):
+        wall = WallBC(params, magnetic=bc)
+        wall.apply(state)
+        snap = {n: a.copy() for n, a in state.named_arrays()}
+        wall.apply(state)
+        for n, a in state.named_arrays():
+            np.testing.assert_array_equal(a, snap[n])

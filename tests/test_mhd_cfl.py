@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+
+from repro.grids.component import ComponentGrid
+from repro.grids.latlon import LatLonGrid
+from repro.mhd.cfl import estimate_dt, min_cell_widths, signal_speeds
+from repro.mhd.initial import conduction_state
+from repro.mhd.parameters import MHDParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MHDParameters.laptop_demo()
+
+
+class TestCellWidths:
+    def test_component_widths(self):
+        g = ComponentGrid.build(9, 12, 36)
+        dr, rdth, rsdph = min_cell_widths(g)
+        assert dr == pytest.approx(g.dr)
+        assert rdth == pytest.approx(g.ri * g.dtheta)
+        smin = np.abs(np.sin(g.theta[1:-1])).min()
+        assert rsdph == pytest.approx(g.ri * smin * g.dphi)
+
+    def test_yinyang_width_bounded_by_sqrt2(self):
+        """The panel's sin(theta) never drops below ~ 1/sqrt(2):
+        the Yin-Yang grid has no pole clustering (Section II)."""
+        g = ComponentGrid.build(9, 40, 118)
+        _, rdth, rsdph = min_cell_widths(g)
+        assert rsdph > rdth / 1.6
+
+    def test_latlon_pole_throttling(self):
+        """The lat-lon grid's minimum width collapses with resolution."""
+        g1 = LatLonGrid.build(9, 16, 32)
+        g2 = LatLonGrid.build(9, 32, 64)
+        w1 = min(min_cell_widths(g1))
+        w2 = min(min_cell_widths(g2))
+        # dphi halves AND sin(theta_min) halves: ~4x smaller
+        assert w1 / w2 > 3.0
+
+
+class TestSignalSpeeds:
+    def test_sound_speed_of_conduction_state(self, params):
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, params)
+        sp = signal_speeds(s, params)
+        # max T is at the inner wall
+        assert sp.sound == pytest.approx(
+            np.sqrt(params.gamma * params.t_inner), rel=1e-6
+        )
+        assert sp.flow == 0.0
+        assert sp.alfven == 0.0
+
+    def test_flow_speed(self, params):
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, params)
+        s.fr[:] = 0.3 * s.rho
+        sp = signal_speeds(s, params)
+        assert sp.flow == pytest.approx(0.3, rel=1e-12)
+
+    def test_alfven_with_explicit_b(self, params):
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, params)
+        b = (np.full(g.shape, 0.5), np.zeros(g.shape), np.zeros(g.shape))
+        sp = signal_speeds(s, params, b_fields=b)
+        rho_min = s.rho.min()
+        assert sp.alfven == pytest.approx(0.5 / np.sqrt(rho_min))
+
+    def test_fast_is_sum(self, params):
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, params)
+        sp = signal_speeds(s, params)
+        assert sp.fast == sp.sound + sp.alfven + sp.flow
+
+
+class TestEstimateDt:
+    def test_positive_and_finite(self, params):
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, params)
+        dt = estimate_dt([(g, s)], params)
+        assert 0.0 < dt < 1.0
+
+    def test_scales_with_cfl(self, params):
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, params)
+        a = estimate_dt([(g, s)], params, cfl=0.2)
+        b = estimate_dt([(g, s)], params, cfl=0.4)
+        assert b == pytest.approx(2.0 * a)
+
+    def test_min_over_patches(self, params):
+        coarse = ComponentGrid.build(9, 12, 36)
+        fine = ComponentGrid.build(33, 12, 36)
+        s1 = conduction_state(coarse, params)
+        s2 = conduction_state(fine, params)
+        both = estimate_dt([(coarse, s1), (fine, s2)], params)
+        assert both == pytest.approx(estimate_dt([(fine, s2)], params))
+
+    def test_diffusive_limit_engages(self):
+        """Huge viscosity: dt is set by the diffusive bound ~ h^2."""
+        p_lo = MHDParameters(mu=1e-4, kappa=1e-4, eta=1e-4)
+        p_hi = MHDParameters(mu=10.0, kappa=1e-4, eta=1e-4)
+        g = ComponentGrid.build(9, 12, 36)
+        s = conduction_state(g, p_lo)
+        dt_lo = estimate_dt([(g, s)], p_lo)
+        dt_hi = estimate_dt([(g, s)], p_hi)
+        assert dt_hi < dt_lo / 100.0
+
+    def test_empty_input_raises(self, params):
+        with pytest.raises(ValueError):
+            estimate_dt([], params)
+
+    def test_latlon_pays_pole_penalty(self, params):
+        """Same interior resolution: the lat-lon grid's dt is far below
+        the Yin-Yang panel's — Section II's motivation, quantified."""
+        yy = ComponentGrid.build(9, 24, 70)
+        ll = LatLonGrid.build(9, 46, 92)  # comparable angular spacing
+        s_yy = conduction_state(yy, params)
+        s_ll = conduction_state(ll, params)
+        dt_yy = estimate_dt([(yy, s_yy)], params)
+        dt_ll = estimate_dt([(ll, s_ll)], params)
+        assert dt_yy / dt_ll > 3.0

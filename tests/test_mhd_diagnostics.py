@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.diagnostics import (
+    EnergyReport,
+    dipole_moment_axis,
+    panel_energies,
+    saturation_detector,
+    yinyang_energies,
+    yinyang_quadrature_weights,
+)
+from repro.mhd.initial import conduction_state
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MHDParameters.laptop_demo()
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return YinYangGrid(9, 16, 46)
+
+
+class TestEnergyReport:
+    def test_addition(self):
+        a = EnergyReport(1, 2, 3, 4)
+        b = EnergyReport(10, 20, 30, 40)
+        c = a + b
+        assert (c.kinetic, c.magnetic, c.thermal, c.mass) == (11, 22, 33, 44)
+
+    def test_as_dict_keys(self):
+        d = EnergyReport(1, 2, 3, 4).as_dict()
+        assert set(d) == {"kinetic", "magnetic", "thermal", "mass"}
+
+
+class TestPanelEnergies:
+    def test_rest_state_kinetic_zero(self, grid, params):
+        s = conduction_state(grid.yin, params)
+        rep = panel_energies(grid.yin, s, params)
+        assert rep.kinetic == 0.0
+        assert rep.magnetic == pytest.approx(0.0, abs=1e-20)
+        assert rep.thermal > 0.0
+        assert rep.mass > 0.0
+
+    def test_kinetic_quadratic_in_flow(self, grid, params):
+        s = conduction_state(grid.yin, params)
+        s.fr[:] = 0.1 * s.rho
+        e1 = panel_energies(grid.yin, s, params).kinetic
+        s.fr[:] = 0.2 * s.rho
+        e2 = panel_energies(grid.yin, s, params).kinetic
+        assert e2 == pytest.approx(4.0 * e1, rel=1e-10)
+
+    def test_uniform_flow_kinetic_value(self, grid, params):
+        """KE of |v| = v0 everywhere = v0^2/2 x total mass."""
+        s = conduction_state(grid.yin, params)
+        v0 = 0.05
+        s.fth[:] = v0 * s.rho
+        rep = panel_energies(grid.yin, s, params)
+        assert rep.kinetic == pytest.approx(0.5 * v0**2 * rep.mass, rel=1e-10)
+
+
+class TestOverlapCorrection:
+    def test_weights_halved_in_overlap(self, grid):
+        w = yinyang_quadrature_weights(grid)
+        for panel in (Panel.YIN, Panel.YANG):
+            g = grid.panel(panel)
+            mask = grid.overlap_mask[panel]
+            full = g.volume_weights()
+            ratio = w[panel] / full
+            assert np.all(ratio[:, mask] == 0.5)
+            assert np.all(ratio[:, ~mask] == 1.0)
+
+    def test_total_mass_close_to_analytic(self, grid, params):
+        """Overlap-corrected mass integral matches the exact shell mass
+        of the hydrostatic profile."""
+        from scipy.integrate import quad
+
+        from repro.mhd.initial import hydrostatic_profiles
+
+        states = {
+            p: conduction_state(grid.panel(p), params)
+            for p in (Panel.YIN, Panel.YANG)
+        }
+        rep = yinyang_energies(grid, states, params)
+
+        def integrand(r):
+            return hydrostatic_profiles(np.array([r]), params)[2][0] * 4 * np.pi * r**2
+
+        exact, _ = quad(integrand, params.ri, params.ro)
+        assert rep.mass == pytest.approx(exact, rel=0.02)
+
+    def test_double_counting_without_correction(self, grid, params):
+        """Naive per-panel sums overcount by the overlap mass."""
+        states = {
+            p: conduction_state(grid.panel(p), params)
+            for p in (Panel.YIN, Panel.YANG)
+        }
+        naive = sum(
+            panel_energies(grid.panel(p), s, params).mass for p, s in states.items()
+        )
+        corrected = yinyang_energies(grid, states, params).mass
+        assert naive > corrected * 1.05
+
+
+class TestDipoleMoment:
+    def test_zero_without_field(self, grid, params):
+        s = conduction_state(grid.yin, params)
+        assert dipole_moment_axis(grid.yin, s, params) == 0.0
+
+    def test_sign_follows_field(self, grid, params):
+        """A ~ uniform-Bz vector potential: A_phi = B0 r sin(theta)/2."""
+        s = conduction_state(grid.yin, params)
+        b0 = 0.2
+        s.aph[:] = 0.5 * b0 * grid.yin.r3 * np.sin(grid.yin.theta3)
+        m_plus = dipole_moment_axis(grid.yin, s, params)
+        s.aph *= -1.0
+        m_minus = dipole_moment_axis(grid.yin, s, params)
+        assert m_plus > 0.0
+        assert m_minus == pytest.approx(-m_plus, rel=1e-10)
+
+
+class TestSaturationDetector:
+    def test_flat_series_saturated(self):
+        t = np.arange(30.0)
+        e = np.ones(30)
+        assert saturation_detector((t, e))
+
+    def test_growing_series_not_saturated(self):
+        t = np.arange(30.0)
+        e = np.exp(t / 3.0)
+        assert not saturation_detector((t, e))
+
+    def test_needs_enough_samples(self):
+        t = np.arange(3.0)
+        assert not saturation_detector((t, np.ones(3)), window=10)
+
+    def test_zero_energy_series(self):
+        t = np.arange(20.0)
+        assert saturation_detector((t, np.zeros(20)))

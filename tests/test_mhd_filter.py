@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.mhd.filter import (
+    apply_shapiro,
+    filter_state,
+    nyquist_damping_factor,
+    shapiro_increment,
+)
+from repro.mhd.state import MHDState
+
+
+class TestIncrement:
+    def test_zero_on_constants(self):
+        f = np.full((6, 7, 8), 3.7)
+        np.testing.assert_allclose(shapiro_increment(f), 0.0, atol=1e-14)
+
+    def test_zero_on_linear_fields(self):
+        i, j, k = np.meshgrid(*[np.arange(n) for n in (6, 7, 8)], indexing="ij")
+        f = 1.0 + 2.0 * i - 3.0 * j + 0.5 * k
+        np.testing.assert_allclose(shapiro_increment(f), 0.0, atol=1e-12)
+
+    def test_negative_on_local_maximum(self):
+        f = np.zeros((5, 5, 5))
+        f[2, 2, 2] = 1.0
+        inc = shapiro_increment(f)
+        assert inc[1, 1, 1] < 0  # the spike at interior index (2,2,2)
+
+    def test_shape(self):
+        inc = shapiro_increment(np.zeros((6, 7, 8)))
+        assert inc.shape == (4, 5, 6)
+
+
+class TestApply:
+    def test_boundaries_untouched(self):
+        rng = np.random.default_rng(0)
+        f = rng.normal(size=(6, 7, 8))
+        before = f.copy()
+        apply_shapiro(f, 0.2)
+        np.testing.assert_array_equal(f[0], before[0])
+        np.testing.assert_array_equal(f[-1], before[-1])
+        np.testing.assert_array_equal(f[:, 0], before[:, 0])
+        np.testing.assert_array_equal(f[:, :, -1], before[:, :, -1])
+
+    def test_zero_strength_noop(self):
+        rng = np.random.default_rng(1)
+        f = rng.normal(size=(5, 5, 5))
+        before = f.copy()
+        apply_shapiro(f, 0.0)
+        np.testing.assert_array_equal(f, before)
+
+    def test_strength_validation(self):
+        with pytest.raises(ValueError):
+            apply_shapiro(np.zeros((5, 5, 5)), 0.6)
+        with pytest.raises(ValueError):
+            apply_shapiro(np.zeros((5, 5, 5)), -0.1)
+
+    def test_sawtooth_damped_at_predicted_rate(self):
+        """A single-axis Nyquist mode decays by 1 - 2s/3 per pass."""
+        n = 17
+        s = 0.3
+        f = np.ones((5, n, 5)) * (-1.0) ** np.arange(n)[None, :, None]
+        amp0 = np.abs(f[2, 8, 2])
+        apply_shapiro(f, s)
+        factor = abs(f[2, 8, 2]) / amp0
+        assert factor == pytest.approx(nyquist_damping_factor(s, 1), abs=1e-12)
+
+    def test_smooth_mode_barely_touched(self):
+        """A long-wavelength mode changes at O(s k^2 h^2) << sawtooth."""
+        n = 64
+        s = 0.3
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        f = np.ones((5, 5, n)) * np.sin(x)[None, None, :]
+        g = f.copy()
+        apply_shapiro(g, s)
+        change = np.abs(g - f)[2, 2, 2:-2].max()
+        assert change < 0.01  # vs O(0.2) for the sawtooth
+
+
+class TestStateFilter:
+    def test_all_fields_filtered(self):
+        rng = np.random.default_rng(2)
+        state = MHDState(*(rng.normal(size=(6, 6, 6)) for _ in range(8)))
+        before = [a.copy() for a in state.arrays()]
+        filter_state(state, 0.2)
+        for a, b in zip(state.arrays(), before):
+            assert not np.array_equal(a, b)
+
+    def test_zero_strength_noop(self):
+        rng = np.random.default_rng(3)
+        state = MHDState(*(rng.normal(size=(5, 5, 5)) for _ in range(8)))
+        before = [a.copy() for a in state.arrays()]
+        filter_state(state, 0.0)
+        for a, b in zip(state.arrays(), before):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestSolverIntegration:
+    def test_filtered_run_stays_physical(self):
+        """The motivating case: a convection run that outlives the
+        unfiltered scheme's stability at this resolution."""
+        from repro.core import RunConfig, YinYangDynamo
+        from repro.mhd.parameters import MHDParameters
+
+        params = MHDParameters.laptop_demo()
+        cfg = RunConfig(
+            nr=9, nth=14, nph=42, params=params, amp_temperature=5e-2,
+            filter_strength=0.05, seed=1,
+        )
+        dyn = YinYangDynamo(cfg)
+        dyn.run(30, record_every=0)
+        assert dyn.is_physical()
+
+    def test_parallel_filter_matches_serial(self):
+        from repro.core import RunConfig, YinYangDynamo
+        from repro.grids.component import Panel
+        from repro.mhd.parameters import MHDParameters
+        from repro.parallel.parallel_solver import run_parallel_dynamo
+
+        params = MHDParameters.laptop_demo()
+        cfg = RunConfig(nr=7, nth=12, nph=36, params=params, dt=1e-3,
+                        amp_temperature=2e-2, filter_strength=0.1)
+        ser = YinYangDynamo(cfg)
+        for _ in range(4):
+            ser.step()
+        par = run_parallel_dynamo(cfg, 2, 2, 4)
+        for panel in (Panel.YIN, Panel.YANG):
+            for a, b in zip(par.states[panel].arrays(), ser.state[panel].arrays()):
+                assert np.abs(a - b).max() < 1e-12

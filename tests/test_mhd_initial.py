@@ -1,0 +1,164 @@
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.grids.component import ComponentGrid
+from repro.mhd.initial import (
+    conduction_state,
+    conduction_temperature,
+    hydrostatic_profiles,
+    perturb_mode,
+    perturb_state,
+)
+from repro.mhd.parameters import MHDParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MHDParameters.laptop_demo()
+
+
+class TestConductionProfile:
+    def test_boundary_values(self, params):
+        assert conduction_temperature(params.ri, params) == pytest.approx(
+            params.t_inner
+        )
+        assert conduction_temperature(params.ro, params) == pytest.approx(1.0)
+
+    def test_harmonic(self, params):
+        """T = a + b/r solves Laplace's equation: r^2 T' is constant."""
+        r = np.linspace(params.ri, params.ro, 50)
+        temp = conduction_temperature(r, params)
+        flux = r[:-1] ** 2 * np.diff(temp) / np.diff(r)
+        assert np.std(flux) / abs(np.mean(flux)) < 1e-2
+
+    def test_monotone_decreasing(self, params):
+        r = np.linspace(params.ri, params.ro, 20)
+        assert np.all(np.diff(conduction_temperature(r, params)) < 0)
+
+
+class TestHydrostaticProfiles:
+    def test_normalisation_at_outer_wall(self, params):
+        temp, p, rho = hydrostatic_profiles(np.array([params.ro]), params)
+        assert temp[0] == pytest.approx(1.0)
+        assert p[0] == pytest.approx(1.0)
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_ideal_gas_relation(self, params):
+        r = np.linspace(params.ri, params.ro, 30)
+        temp, p, rho = hydrostatic_profiles(r, params)
+        np.testing.assert_allclose(p, rho * temp, rtol=1e-12)
+
+    def test_exact_hydrostatic_balance_vs_ode(self, params):
+        """The closed form p = T^(g0/b) must match a numerical
+        integration of dp/dr = -(p/T) g0 / r^2."""
+        def rhs(r, p):
+            t = conduction_temperature(r, params)
+            return [-p[0] / t * params.g0 / r**2]
+
+        r_eval = np.linspace(params.ro, params.ri, 40)
+        sol = solve_ivp(
+            rhs, (params.ro, params.ri), [1.0], t_eval=r_eval, rtol=1e-10, atol=1e-12
+        )
+        _, p_closed, _ = hydrostatic_profiles(r_eval, params)
+        np.testing.assert_allclose(sol.y[0], p_closed, rtol=1e-7)
+
+    def test_isothermal_limit_is_barometric(self):
+        p = MHDParameters(t_inner=1.0 + 1e-13, g0=2.0)
+        # b ~ 0: effectively isothermal
+        r = np.linspace(p.ri, p.ro, 10)
+        _, pr, _ = hydrostatic_profiles(r, p)
+        barometric = np.exp(p.g0 * (1.0 / r - 1.0 / p.ro))
+        np.testing.assert_allclose(pr, barometric, rtol=1e-6)
+
+    def test_stratification_increases_inward(self, params):
+        r = np.linspace(params.ri, params.ro, 20)
+        _, p, rho = hydrostatic_profiles(r, params)
+        assert np.all(np.diff(p) < 0)
+        assert np.all(np.diff(rho) < 0)
+
+
+class TestConductionState:
+    def test_motionless_and_unmagnetised(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        s = conduction_state(g, params)
+        for c in s.f + s.a:
+            assert np.all(c == 0.0)
+        assert s.is_physical()
+
+    def test_spherically_symmetric(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        s = conduction_state(g, params)
+        assert np.ptp(s.p, axis=(1, 2)).max() == 0.0
+
+
+class TestPerturbation:
+    def test_reproducible_with_seed(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        s1 = perturb_state(conduction_state(g, params), rng=np.random.default_rng(5))
+        s2 = perturb_state(conduction_state(g, params), rng=np.random.default_rng(5))
+        for a, b in zip(s1.arrays(), s2.arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_amplitudes_respected(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        base = conduction_state(g, params)
+        s = perturb_state(
+            base.copy(), amp_temperature=1e-4, amp_seed_field=1e-8,
+            rng=np.random.default_rng(6),
+        )
+        dT = (s.p - base.p) / base.rho
+        assert 0 < np.abs(dT).max() <= 1e-4
+        assert 0 < max(np.abs(c).max() for c in s.a) <= 1e-8
+
+    def test_pressure_perturbation_zero_on_walls(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        base = conduction_state(g, params)
+        s = perturb_state(base.copy(), rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(s.p[0], base.p[0])
+        np.testing.assert_array_equal(s.p[-1], base.p[-1])
+
+    def test_velocity_untouched(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        s = perturb_state(conduction_state(g, params), rng=np.random.default_rng(8))
+        for c in s.f:
+            assert np.all(c == 0.0)
+
+
+class TestPerturbMode:
+    def test_mode_number_validation(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        with pytest.raises(ValueError, match="mode number"):
+            perturb_mode(conduction_state(g, params), g, 0)
+
+    def test_zero_at_walls(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        base = conduction_state(g, params)
+        s = perturb_mode(base.copy(), g, 4, amplitude=1e-2)
+        np.testing.assert_array_equal(s.p[0], base.p[0])
+        np.testing.assert_array_equal(s.p[-1], base.p[-1])
+
+    def test_azimuthal_structure(self, params):
+        """The seeded temperature carries exactly the requested mode."""
+        g = ComponentGrid.build(7, 10, 30)
+        base = conduction_state(g, params)
+        m = 3
+        s = perturb_mode(base.copy(), g, m, amplitude=1e-2)
+        dT = ((s.p - base.p) / base.rho)[3, 4]  # one (r, theta) row
+        spec = np.abs(np.fft.rfft(dT))
+        # the panel spans 270(+) degrees, so mode m appears near
+        # m * (span / 2 pi) in the panel-sample spectrum; just check the
+        # signal is a single oscillation with the right zero count
+        signs = np.sign(dT[np.abs(dT) > 0.2 * np.abs(dT).max()])
+        changes = int(np.sum(signs[1:] != signs[:-1]))
+        assert 2 * m - 2 <= changes <= 2 * m + 2
+        assert spec[0] < spec.max()  # not a constant offset
+
+    def test_amplitude_scaling(self, params):
+        g = ComponentGrid.build(7, 10, 30)
+        base = conduction_state(g, params)
+        s1 = perturb_mode(base.copy(), g, 4, amplitude=1e-3)
+        s2 = perturb_mode(base.copy(), g, 4, amplitude=2e-3)
+        d1 = np.abs(s1.p - base.p).max()
+        d2 = np.abs(s2.p - base.p).max()
+        assert d2 == pytest.approx(2 * d1, rel=1e-10)

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.mhd.linear import GrowthMeasurement, critical_rayleigh, measure_growth_rate
+
+
+class TestGrowthRate:
+    def test_subcritical_decays(self):
+        g = measure_growth_rate(1e3, 2e-3)
+        assert not g.growing
+        assert g.rate < -0.5
+
+    def test_supercritical_grows(self):
+        g = measure_growth_rate(5e4, 2e-3)
+        assert g.growing
+        assert g.rate > 0.3
+
+    def test_rate_monotone_in_rayleigh(self):
+        r1 = measure_growth_rate(1e3, 2e-3).rate
+        r2 = measure_growth_rate(1e4, 2e-3).rate
+        r3 = measure_growth_rate(5e4, 2e-3).rate
+        assert r1 < r2 < r3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_growth_rate(-1.0, 2e-3)
+        with pytest.raises(ValueError):
+            measure_growth_rate(1e4, 2e-3, mode=0)
+
+    def test_measurement_record(self):
+        g = measure_growth_rate(1e3, 2e-3)
+        assert isinstance(g, GrowthMeasurement)
+        assert g.rayleigh == 1e3 and g.ekman == 2e-3
+        assert g.kinetic_final > 0.0
+
+
+@pytest.mark.slow
+class TestCriticalRayleigh:
+    def test_onset_bracketed(self):
+        """Ra_c at Ek = 2e-3 on the coarse test grid sits between the
+        clearly-decaying and clearly-growing probes (~1e4)."""
+        ra_c, (lo, hi) = critical_rayleigh(
+            2e-3, bracket=(1e3, 5e4), iterations=3
+        )
+        assert 2e3 < ra_c < 4e4
+        assert lo < ra_c < hi
+
+    def test_bad_bracket_rejected(self):
+        with pytest.raises(ValueError, match="already convects"):
+            critical_rayleigh(2e-3, bracket=(5e4, 1e5), iterations=1)

@@ -1,0 +1,80 @@
+import pytest
+
+from repro.mhd.parameters import MHDParameters
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = MHDParameters()
+        assert p.gamma == pytest.approx(5.0 / 3.0)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ValueError, match="gamma"):
+            MHDParameters(gamma=0.9)
+
+    def test_rejects_negative_dissipation(self):
+        with pytest.raises(ValueError):
+            MHDParameters(mu=-1e-3)
+
+    def test_rejects_inverted_shell(self):
+        with pytest.raises(ValueError, match="ro must exceed ri"):
+            MHDParameters(ri=1.0, ro=0.35)
+
+    def test_rejects_cold_inner_wall(self):
+        with pytest.raises(ValueError, match="inner wall"):
+            MHDParameters(t_inner=0.5)
+
+
+class TestNondimensionalNumbers:
+    def test_paper_headline_numbers(self):
+        """Section III: Rayleigh 3e6, Ekman 2e-5 for the flagship run."""
+        p = MHDParameters.paper_run()
+        assert p.rayleigh == pytest.approx(3e6, rel=1e-6)
+        assert p.ekman == pytest.approx(2e-5, rel=1e-6)
+
+    def test_dissipation_scaling_story(self):
+        """'we set each of them 10 times smaller': Re x10 means Ra x100
+        and Ekman /10 relative to the previous (reversal) runs."""
+        prev = MHDParameters.previous_run()
+        new = prev.with_dissipation_scaled(0.1)
+        assert new.rayleigh == pytest.approx(100 * prev.rayleigh)
+        assert new.ekman == pytest.approx(prev.ekman / 10)
+        assert new.prandtl == pytest.approx(prev.prandtl)
+        assert new.magnetic_prandtl == pytest.approx(prev.magnetic_prandtl)
+
+    def test_from_nondimensional_round_trip(self):
+        p = MHDParameters.from_nondimensional(
+            rayleigh=5e4, ekman=1e-3, prandtl=0.7, magnetic_prandtl=2.0
+        )
+        assert p.rayleigh == pytest.approx(5e4)
+        assert p.ekman == pytest.approx(1e-3)
+        assert p.prandtl == pytest.approx(0.7)
+        assert p.magnetic_prandtl == pytest.approx(2.0)
+
+    def test_taylor_vs_ekman(self):
+        p = MHDParameters.laptop_demo()
+        assert p.taylor == pytest.approx((2.0 / p.ekman) ** 2)
+
+    def test_zero_rotation_limits(self):
+        p = MHDParameters(omega=0.0)
+        assert p.ekman == float("inf")
+        assert p.taylor == 0.0
+
+    def test_decay_time_formula(self):
+        p = MHDParameters(eta=2e-3)
+        import numpy as np
+
+        assert p.magnetic_decay_time == pytest.approx(
+            p.shell_depth**2 / (np.pi**2 * 2e-3)
+        )
+
+    def test_shell_depth(self):
+        assert MHDParameters().shell_depth == pytest.approx(0.65)
+
+    def test_scaling_requires_positive_factor(self):
+        with pytest.raises(ValueError):
+            MHDParameters().with_dissipation_scaled(0.0)
+
+    def test_from_nondimensional_needs_hot_inner(self):
+        with pytest.raises(ValueError, match="t_inner"):
+            MHDParameters.from_nondimensional(1e4, 1e-3, t_inner=1.0)

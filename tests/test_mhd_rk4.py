@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.mhd.rk4 import rk4_scalar, rk4_step
+
+
+class ScalarSystem:
+    """dy/dt = lambda y on a 'state' that is a plain float in a box."""
+
+    def __init__(self, lam):
+        self.lam = lam
+        self.enforced = 0
+
+    def rhs(self, y):
+        return self.lam * y
+
+    def enforce(self, y):
+        self.enforced += 1
+
+    @staticmethod
+    def axpy(y, a, k):
+        return y + a * k
+
+
+class TestOrder:
+    def test_fourth_order_convergence(self):
+        """Global error of exp-growth integration shrinks ~ 16x per
+        halving of dt."""
+        lam = -1.3
+        errs = []
+        for n in (20, 40):
+            sys = ScalarSystem(lam)
+            y, dt = 1.0, 1.0 / n
+            for _ in range(n):
+                y = rk4_step(sys, y, dt)
+            errs.append(abs(y - np.exp(lam)))
+        assert errs[0] / errs[1] > 12.0
+
+    def test_scalar_helper_matches_closed_form_coefficients(self):
+        """One RK4 step on y' = y from 1 equals the quartic Taylor
+        polynomial of exp(dt)."""
+        dt = 0.3
+        y = rk4_scalar(lambda t, v: v, 0.0, 1.0, dt)
+        taylor = 1 + dt + dt**2 / 2 + dt**3 / 6 + dt**4 / 24
+        assert y == pytest.approx(taylor, rel=1e-14)
+
+    def test_time_dependent_rhs(self):
+        """y' = t integrates exactly (polynomial of degree 1 in t)."""
+        y, t, dt = 0.0, 0.0, 0.1
+        for _ in range(10):
+            y = rk4_scalar(lambda tt, vv: tt, t, y, dt)
+            t += dt
+        assert y == pytest.approx(0.5, rel=1e-12)
+
+
+class TestEnforcement:
+    def test_bc_applied_each_stage_and_result(self):
+        sys = ScalarSystem(0.0)
+        rk4_step(sys, 1.0, 0.1)
+        # initial + 3 stage states + final
+        assert sys.enforced == 5
+
+    def test_linearity(self):
+        """RK4 is linear: step(a y) = a step(y) for linear systems."""
+        sys = ScalarSystem(0.7)
+        y1 = rk4_step(sys, 1.0, 0.05)
+        y3 = rk4_step(sys, 3.0, 0.05)
+        assert y3 == pytest.approx(3.0 * y1, rel=1e-14)
+
+
+class TestStateIntegration:
+    def test_mhd_state_decay(self):
+        """Integrate du/dt = -u on every field of an MHDState."""
+        from repro.mhd.state import MHDState
+
+        class Decay:
+            def rhs(self, s):
+                out = s.copy()
+                return out.scale(-1.0)
+
+            def enforce(self, s):
+                pass
+
+            @staticmethod
+            def axpy(s, a, k):
+                return s.axpy(a, k)
+
+        rng = np.random.default_rng(0)
+        s = MHDState(*(rng.normal(size=(3, 3, 3)) for _ in range(8)))
+        s0 = s.copy()
+        sys = Decay()
+        dt, n = 0.05, 20
+        for _ in range(n):
+            s = rk4_step(sys, s, dt)
+        factor = np.exp(-dt * n)
+        for a, b in zip(s.arrays(), s0.arrays()):
+            np.testing.assert_allclose(a, b * factor, rtol=1e-7)

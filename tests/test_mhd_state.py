@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mhd.state import FIELD_NAMES, MHDState
+
+
+def random_state(shape=(4, 5, 6), seed=0):
+    rng = np.random.default_rng(seed)
+    s = MHDState(*(rng.normal(size=shape) for _ in FIELD_NAMES))
+    s.rho = np.abs(s.rho) + 0.5
+    s.p = np.abs(s.p) + 0.5
+    return s
+
+
+class TestConstruction:
+    def test_zeros(self):
+        s = MHDState.zeros((3, 4, 5))
+        assert s.shape == (3, 4, 5)
+        assert all(np.all(a == 0) for a in s.arrays())
+
+    def test_shape_mismatch_rejected(self):
+        arrays = [np.zeros((2, 2, 2))] * 7 + [np.zeros((3, 2, 2))]
+        with pytest.raises(ValueError, match="aph"):
+            MHDState(*arrays)
+
+    def test_copy_is_deep(self):
+        s = random_state()
+        c = s.copy()
+        c.rho += 1.0
+        assert not np.allclose(c.rho, s.rho)
+
+    def test_field_order(self):
+        s = MHDState.zeros((2, 2, 2))
+        assert [n for n, _ in s.named_arrays()] == list(FIELD_NAMES)
+
+
+class TestViews:
+    def test_f_and_a_tuples_are_views(self):
+        s = random_state()
+        s.f[0][0, 0, 0] = 42.0
+        assert s.fr[0, 0, 0] == 42.0
+        s.a[2][0, 0, 0] = -42.0
+        assert s.aph[0, 0, 0] == -42.0
+
+    def test_velocity_definition(self):
+        s = random_state()
+        v = s.velocity()
+        np.testing.assert_allclose(v[1], s.fth / s.rho)
+
+    def test_temperature_definition(self):
+        s = random_state()
+        np.testing.assert_allclose(s.temperature(), s.p / s.rho)
+
+
+class TestAlgebra:
+    @given(st.floats(-3, 3))
+    def test_axpy(self, a):
+        s = random_state(seed=1)
+        k = random_state(seed=2)
+        out = s.axpy(a, k)
+        np.testing.assert_allclose(out.p, s.p + a * k.p, atol=1e-12)
+        # original untouched
+        assert out is not s
+
+    @given(st.floats(-3, 3))
+    def test_iadd_scaled_matches_axpy(self, a):
+        s1 = random_state(seed=3)
+        s2 = s1.copy()
+        k = random_state(seed=4)
+        out = s1.axpy(a, k)
+        s2.iadd_scaled(a, k)
+        for x, y in zip(out.arrays(), s2.arrays()):
+            np.testing.assert_allclose(x, y, atol=1e-12)
+
+    def test_scale(self):
+        s = random_state(seed=5)
+        p0 = s.p.copy()
+        s.scale(2.0)
+        np.testing.assert_allclose(s.p, 2.0 * p0)
+
+
+class TestSanity:
+    def test_physical_state(self):
+        assert random_state().is_physical()
+
+    def test_negative_density_flagged(self):
+        s = random_state()
+        s.rho[0, 0, 0] = -1.0
+        assert not s.is_physical()
+
+    def test_nan_flagged(self):
+        s = random_state()
+        s.aph[1, 1, 1] = np.nan
+        assert not s.is_physical()
+
+    def test_max_abs_keys(self):
+        s = random_state()
+        m = s.max_abs()
+        assert set(m) == set(FIELD_NAMES)
+        assert m["rho"] == pytest.approx(np.abs(s.rho).max())

@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.decomposition import (
+    HALO,
+    PanelDecomposition,
+    Subdomain,
+    split_indices,
+)
+
+
+class TestSplitIndices:
+    @given(st.integers(4, 200), st.integers(1, 8))
+    def test_partition_exact(self, n, parts):
+        if n < parts:
+            return
+        blocks = split_indices(n, parts)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == n
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+            assert b > a
+
+    @given(st.integers(8, 200), st.integers(1, 8))
+    def test_balanced(self, n, parts):
+        if n < parts:
+            return
+        sizes = [b - a for a, b in split_indices(n, parts)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            split_indices(2, 3)
+        with pytest.raises(ValueError):
+            split_indices(5, 0)
+
+
+class TestSubdomain:
+    def test_halo_widths_at_edges(self):
+        sub = Subdomain(nth=12, nph=36, th0=0, th1=6, ph0=18, ph1=36)
+        assert sub.halo_n == 0  # at panel edge
+        assert sub.halo_s == HALO
+        assert sub.halo_w == HALO
+        assert sub.halo_e == 0
+
+    def test_local_shape(self):
+        sub = Subdomain(nth=12, nph=36, th0=6, th1=12, ph0=0, ph1=18)
+        assert sub.owned_shape == (6, 18)
+        assert sub.local_shape == (6 + HALO, 18 + HALO)
+
+    def test_index_round_trip(self):
+        sub = Subdomain(nth=12, nph=36, th0=6, th1=12, ph0=18, ph1=36)
+        gi = np.array([7, 11])
+        gj = np.array([20, 35])
+        li, lj = sub.to_local(gi, gj)
+        assert np.all(gi == li + sub.gth0)
+        assert np.all(gj == lj + sub.gph0)
+
+    def test_owned_local_matches_global(self):
+        sub = Subdomain(nth=12, nph=36, th0=6, th1=12, ph0=18, ph1=36)
+        oth, oph = sub.owned_local()
+        gth, gph = sub.global_slices()
+        assert oth.stop - oth.start == gth.stop - gth.start
+        assert oph.stop - oph.start == gph.stop - gph.start
+
+    def test_owns(self):
+        sub = Subdomain(nth=12, nph=36, th0=6, th1=12, ph0=0, ph1=18)
+        assert sub.owns(6, 0)
+        assert not sub.owns(5, 0)
+        assert not sub.owns(6, 18)
+
+
+class TestPanelDecomposition:
+    @given(st.integers(1, 3), st.integers(1, 4))
+    def test_tiles_partition_index_space(self, pth, pph):
+        d = PanelDecomposition(14, 40, pth, pph)
+        seen = np.zeros((14, 40), dtype=int)
+        for sub in d.all_subdomains():
+            sl = sub.global_slices()
+            seen[sl] += 1
+        assert np.all(seen == 1)
+
+    def test_owner_of_matches_subdomains(self):
+        d = PanelDecomposition(14, 40, 2, 3)
+        for rank, sub in enumerate(d.all_subdomains()):
+            gi, gj = np.meshgrid(
+                np.arange(sub.th0, sub.th1), np.arange(sub.ph0, sub.ph1),
+                indexing="ij",
+            )
+            np.testing.assert_array_equal(d.owner_of(gi, gj), rank)
+
+    def test_owner_of_rejects_outside(self):
+        d = PanelDecomposition(14, 40, 2, 2)
+        with pytest.raises(ValueError):
+            d.owner_of(np.array([14]), np.array([0]))
+
+    def test_rank_layout_row_major(self):
+        """Rank (i, j) = i * pph + j matches CartComm coordinates."""
+        d = PanelDecomposition(14, 40, 2, 3)
+        sub_1_2 = d.subdomain(1 * 3 + 2)
+        assert sub_1_2.th0 == d.th_blocks[1][0]
+        assert sub_1_2.ph0 == d.ph_blocks[2][0]
+
+    def test_rejects_too_thin_blocks(self):
+        with pytest.raises(ValueError, match="thinner than halo"):
+            PanelDecomposition(5, 40, 4, 1)
+
+    def test_nranks(self):
+        assert PanelDecomposition(14, 40, 2, 3).nranks == 6

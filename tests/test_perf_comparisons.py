@@ -1,0 +1,68 @@
+import pytest
+
+from repro.perf.comparisons import (
+    PAPER_DERIVED,
+    TABLE3_ENTRIES,
+    format_table3,
+    table3_rows,
+)
+
+
+class TestEntries:
+    def test_five_codes(self):
+        assert len(TABLE3_ENTRIES) == 5
+        labels = [e.label for e in TABLE3_ENTRIES]
+        assert labels[-1] == "Kageyama et al."
+
+    def test_this_papers_row(self):
+        k = TABLE3_ENTRIES[-1]
+        assert k.tflops == 15.2
+        assert k.nodes == 512
+        assert k.method == "finite difference"
+        assert k.parallelisation == "flat MPI"
+
+
+class TestDerivedColumns:
+    """Recompute the derived rows and compare to the paper's printing."""
+
+    @pytest.mark.parametrize("entry", TABLE3_ENTRIES, ids=lambda e: e.label)
+    def test_points_per_ap(self, entry):
+        paper = PAPER_DERIVED[entry.label]["points_per_ap"]
+        assert entry.points_per_ap == pytest.approx(paper, rel=0.08)
+
+    @pytest.mark.parametrize("entry", TABLE3_ENTRIES, ids=lambda e: e.label)
+    def test_flops_per_gridpoint(self, entry):
+        paper = PAPER_DERIVED[entry.label]["flops_per_gridpoint"]
+        assert entry.flops_per_gridpoint == pytest.approx(paper, rel=0.08)
+
+    @pytest.mark.parametrize("entry", TABLE3_ENTRIES, ids=lambda e: e.label)
+    def test_published_efficiency_consistent_with_peak(self, entry):
+        """TFlops / (nodes x 64 GFlops) must reproduce the printed
+        efficiency column."""
+        assert entry.peak_fraction_check == pytest.approx(
+            entry.efficiency, abs=0.035
+        )
+
+    def test_yycore_needs_fewest_points_among_flat_mpi(self):
+        """Section IV's argument: yycore reaches ~15 TFlops with 20-50x
+        fewer grid points per AP than the other flat-MPI codes."""
+        flat = [e for e in TABLE3_ENTRIES if "flat" in e.parallelisation.lower()]
+        yy = [e for e in flat if e.label == "Kageyama et al."][0]
+        for other in flat:
+            if other is yy:
+                continue
+            assert yy.points_per_ap < other.points_per_ap / 10
+
+
+class TestFormatting:
+    def test_rows_have_all_columns(self):
+        rows = table3_rows()
+        assert len(rows) == 5
+        assert "Flops/g.p." in rows[0]
+        assert rows[-1]["Method"] == "finite difference"
+
+    def test_format_aligned(self):
+        text = format_table3()
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert len({len(l) for l in lines}) <= 2  # consistent width

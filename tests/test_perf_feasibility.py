@@ -1,0 +1,55 @@
+import pytest
+
+from repro.machine.specs import EARTH_SIMULATOR, EarthSimulatorSpec
+from repro.perf.feasibility import (
+    check_feasibility,
+    max_grid_on_machine,
+)
+from repro.perf.model import PerformanceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+class TestFlagshipFeasibility:
+    def test_flagship_fits(self, model):
+        """The paper's actual run obviously fit the machine."""
+        pred = model.predict(511, 514, 1538, 4096)
+        rep = check_feasibility(pred, EARTH_SIMULATOR)
+        assert rep.feasible
+        assert rep.nodes_used == 512
+        assert rep.problems() == []
+
+    def test_memory_per_process_near_list1(self, model):
+        """List 1: ~1.1 GB per process (fields + runtime overhead)."""
+        pred = model.predict(511, 514, 1538, 4096)
+        rep = check_feasibility(pred, EARTH_SIMULATOR)
+        assert 0.9 < rep.memory_per_process_gb < 1.3
+
+    def test_oversubscription_detected(self, model):
+        pred = model.predict(511, 514, 1538, 5120)
+        small = EarthSimulatorSpec(total_nodes=320)  # half machine
+        rep = check_feasibility(pred, small)
+        assert not rep.fits_processors
+        assert "more processes" in rep.problems()[0]
+
+    def test_memory_wall_detected(self, model):
+        tiny = EarthSimulatorSpec(node_memory_gb=1.0)
+        pred = model.predict(511, 514, 1538, 4096)
+        rep = check_feasibility(pred, tiny)
+        assert not rep.fits_memory
+
+
+class TestCapacityEnvelope:
+    def test_max_grid_exceeds_flagship(self):
+        """The 10 TB machine could hold grids far beyond 514 angular
+        points at nr = 511 — the paper's run was compute-, not
+        memory-bound."""
+        nth_max = max_grid_on_machine(EARTH_SIMULATOR)
+        assert nth_max > 514
+
+    def test_scales_with_node_memory(self):
+        big = EarthSimulatorSpec(node_memory_gb=64.0)
+        assert max_grid_on_machine(big) > max_grid_on_machine(EARTH_SIMULATOR)

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.perf.flopcount_array import CountingArray, count_flops, wrap
+
+
+class TestCounting:
+    def test_simple_expression(self):
+        a = wrap(np.ones(100))
+        b = wrap(np.ones(100))
+        with count_flops() as fc:
+            _ = a * b + a
+        assert fc.flops == 200
+
+    def test_counts_by_output_size(self):
+        a = wrap(np.ones((10, 1)))
+        b = wrap(np.ones((1, 20)))
+        with count_flops() as fc:
+            _ = a * b  # broadcasts to 200 elements
+        assert fc.flops == 200
+
+    def test_mixed_plain_and_wrapped(self):
+        a = wrap(np.ones(50))
+        plain = np.ones(50)
+        with count_flops() as fc:
+            _ = a + plain
+        assert fc.flops == 50
+
+    def test_scalar_operand(self):
+        a = wrap(np.ones(30))
+        with count_flops() as fc:
+            _ = 2.0 * a
+        assert fc.flops == 30
+
+    def test_inactive_outside_context(self):
+        a = wrap(np.ones(10))
+        _ = a + a
+        with count_flops() as fc:
+            pass
+        assert fc.flops == 0
+
+    def test_nested_context_restores(self):
+        a = wrap(np.ones(10))
+        with count_flops() as outer:
+            _ = a + a
+            with count_flops() as inner:
+                _ = a * a
+            _ = a - a
+        assert inner.flops == 10
+        assert outer.flops == 20  # inner tally excluded from outer
+
+    def test_transcendentals_cost_more(self):
+        a = wrap(np.ones(10))
+        with count_flops() as fc:
+            _ = np.sin(a)
+        assert fc.flops == 40  # 4 flops/element
+
+    def test_reduce_counts_input_size(self):
+        a = wrap(np.ones((5, 6)))
+        with count_flops() as fc:
+            _ = np.add.reduce(a, axis=0)
+        assert fc.flops == 30
+
+    def test_by_ufunc_breakdown(self):
+        a = wrap(np.ones(10))
+        with count_flops() as fc:
+            _ = a * a
+            _ = a + a
+            _ = a + a
+        assert fc.by_ufunc["multiply"] == 10
+        assert fc.by_ufunc["add"] == 20
+
+    def test_comparison_not_counted(self):
+        a = wrap(np.ones(10))
+        with count_flops() as fc:
+            _ = a > 0.5
+        assert fc.flops == 0
+
+    def test_result_type_propagates(self):
+        a = wrap(np.ones(5))
+        out = a + 1.0
+        assert isinstance(out, CountingArray)
+
+    def test_view_does_not_copy(self):
+        base = np.ones(5)
+        a = wrap(base)
+        a[0] = 7.0
+        assert base[0] == 7.0
+
+    def test_inplace_ops_counted(self):
+        a = wrap(np.ones(20))
+        with count_flops() as fc:
+            a += 1.0
+            a *= 2.0
+        assert fc.flops == 40

@@ -1,0 +1,52 @@
+import pytest
+
+from repro.perf.flops import (
+    DEFAULT_STEP_FLOPS_PER_POINT,
+    measure_rhs_flops_per_point,
+    measure_step_flops_per_point,
+)
+
+
+@pytest.fixture(scope="module")
+def step_work():
+    return measure_step_flops_per_point()
+
+
+class TestMeasurement:
+    def test_rhs_work_in_plausible_range(self):
+        """The RHS evaluates ~60 stencil derivatives plus metric algebra:
+        a few hundred flops per point, well below 1e4."""
+        w = measure_rhs_flops_per_point()
+        assert 100 < w.rhs_flops_per_point < 5000
+
+    def test_step_is_about_four_rhs(self, step_work):
+        """RK4 = 4 RHS evaluations + state combinations."""
+        ratio = step_work.step_flops_per_point / step_work.rhs_flops_per_point
+        assert 3.8 < ratio < 5.0
+
+    def test_rk4_overhead_positive(self, step_work):
+        assert step_work.rk4_overhead > 0.0
+
+    def test_resolution_independent_per_point(self):
+        """W is per-point: two grid sizes agree within edge effects."""
+        a = measure_step_flops_per_point(10, 12, 36)
+        b = measure_step_flops_per_point(14, 16, 48)
+        assert a.step_flops_per_point == pytest.approx(
+            b.step_flops_per_point, rel=0.05
+        )
+
+    def test_default_constant_within_factor_two(self, step_work):
+        """The recorded fallback must track the live measurement."""
+        assert (
+            0.05
+            < step_work.step_flops_per_point / DEFAULT_STEP_FLOPS_PER_POINT
+            < 2.0
+        )
+
+    def test_breakdown_dominated_by_basic_arithmetic(self, step_work):
+        total = sum(step_work.by_ufunc.values())
+        basic = sum(
+            step_work.by_ufunc.get(k, 0)
+            for k in ("add", "subtract", "multiply", "divide", "true_divide")
+        )
+        assert basic / total > 0.9

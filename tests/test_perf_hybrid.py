@@ -1,0 +1,52 @@
+import pytest
+
+from repro.perf.hybrid import HybridPerformanceModel, problem_size_sweep
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = HybridPerformanceModel()
+    m.calibrate_kernel_efficiency()
+    return m
+
+
+class TestHybridPrediction:
+    def test_process_count_is_nodes(self, model):
+        p = model.predict_hybrid(511, 514, 1538, 4096)
+        # 4096 APs -> 512 MPI processes, 256 per panel
+        assert p.process_grid[0] * p.process_grid[1] == 256
+
+    def test_whole_node_requirement(self, model):
+        with pytest.raises(ValueError, match="whole, even"):
+            model.predict_hybrid(511, 514, 1538, 4100)
+
+    def test_efficiency_in_range(self, model):
+        p = model.predict_hybrid(511, 514, 1538, 4096)
+        assert 0.0 < p.efficiency < 1.0
+
+    def test_comparison_structure(self, model):
+        cmp = model.compare(255, 514, 1538, 2560)
+        assert cmp.flat.n_processors == cmp.hybrid.n_processors
+        assert cmp.hybrid_advantage > 0.0
+
+
+class TestNakajimaObservation:
+    """Section IV: flat MPI needs larger problems to match hybrid."""
+
+    def test_hybrid_wins_at_small_problems(self, model):
+        sweep = problem_size_sweep(model, 4096, radial_sizes=(63, 511))
+        small, large = sweep[0], sweep[-1]
+        # hybrid's relative advantage shrinks as the problem grows
+        assert small.hybrid_advantage > large.hybrid_advantage
+
+    def test_flat_mpi_competitive_at_flagship_size(self, model):
+        """The paper's point: yycore's flat MPI already performs well at
+        its (relatively modest) 8e8-point problem."""
+        cmp = model.compare(511, 514, 1538, 4096)
+        assert cmp.flat.efficiency > 0.4
+        assert cmp.hybrid_advantage < 1.3
+
+    def test_advantage_monotone_over_sweep(self, model):
+        sweep = problem_size_sweep(model, 4096)
+        advantages = [c.hybrid_advantage for c in sweep]
+        assert advantages == sorted(advantages, reverse=True)

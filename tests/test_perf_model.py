@@ -1,0 +1,117 @@
+import pytest
+
+from repro.perf.model import PerformanceModel, choose_process_grid
+from repro.perf.sweep import TABLE2_MEASURED, run_table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table2()
+
+
+class TestProcessGrid:
+    def test_tiles_exactly(self):
+        pth, pph = choose_process_grid(2048, 514, 1538)
+        assert pth * pph == 2048
+
+    def test_prefers_phi_heavy_layouts(self):
+        """The panel is 3x wider in phi: more processes along phi."""
+        pth, pph = choose_process_grid(2048, 514, 1538)
+        assert pph > pth
+
+    def test_prime_counts_fall_back_to_strips(self):
+        pth, pph = choose_process_grid(7, 514, 1538)
+        assert pth * pph == 7
+
+
+class TestPredictionBasics:
+    def test_efficiency_in_unit_interval(self):
+        m = PerformanceModel()
+        p = m.predict(511, 514, 1538, 4096)
+        assert 0.0 < p.efficiency < 1.0
+        assert p.comm_fraction < 1.0
+
+    def test_grid_points_factor_two(self):
+        m = PerformanceModel()
+        p = m.predict(511, 514, 1538, 4096)
+        assert p.grid_points == 511 * 514 * 1538 * 2
+
+    def test_odd_process_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            PerformanceModel().predict(511, 514, 1538, 4095)
+
+    def test_flops_per_gridpoint_rate_matches_table3(self):
+        """Table III row: 15.2 TFlops over 8.1e8 points ~ 19K flops/g.p."""
+        m = PerformanceModel()
+        m.calibrate_kernel_efficiency()
+        p = m.predict(511, 514, 1538, 4096)
+        assert p.flops_per_gridpoint_rate == pytest.approx(19e3, rel=0.05)
+
+
+class TestTable2Reproduction:
+    """The headline reproduction: the shape of Table II."""
+
+    def test_anchor_point_exact(self, rows):
+        anchor = rows[0]
+        assert anchor.n_processors == 4096
+        assert anchor.model.tflops == pytest.approx(15.2, rel=0.005)
+        assert anchor.model.efficiency == pytest.approx(0.46, abs=0.01)
+
+    def test_all_rows_within_a_few_points_of_paper(self, rows):
+        for r in rows:
+            err = abs(r.model.efficiency - r.paper_efficiency)
+            assert err < 0.05, (r.n_processors, r.grid)
+
+    def test_efficiency_rises_with_points_per_processor(self, rows):
+        """Within each radial size, fewer processors -> higher
+        efficiency (more work to amortise overheads)."""
+        by_nr = {}
+        for r in rows:
+            by_nr.setdefault(r.grid[0], []).append(r)
+        for group in by_nr.values():
+            group.sort(key=lambda r: r.model.points_per_ap)
+            effs = [r.model.efficiency for r in group]
+            assert effs == sorted(effs)
+
+    def test_radial_255_below_511_at_same_nproc(self, rows):
+        """Table II: at 3888 and 2560 processors the 255-radial grid is
+        less efficient than the 511 one."""
+        table = {(r.n_processors, r.grid[0]): r.model.efficiency for r in rows}
+        assert table[(3888, 255)] < table[(3888, 511)]
+        assert table[(2560, 255)] < table[(2560, 511)]
+
+    def test_best_efficiency_at_1200(self, rows):
+        best = max(rows, key=lambda r: r.model.efficiency)
+        assert best.n_processors == 1200
+
+    def test_communication_near_ten_percent(self, rows):
+        """'minimize the communication time (10%)'."""
+        anchor = rows[0]
+        assert 0.05 < anchor.model.comm_fraction < 0.22
+
+    def test_avl_matches_list1(self, rows):
+        assert rows[0].model.avl == pytest.approx(251.6, abs=0.5)
+
+    def test_sustained_tflops_track_paper(self, rows):
+        for r in rows:
+            assert r.tflops_ratio == pytest.approx(1.0, abs=0.12)
+
+    def test_paper_rows_recorded_verbatim(self):
+        flag = TABLE2_MEASURED[0]
+        assert flag == (4096, (511, 514, 1538), 15.2, 0.46)
+        assert len(TABLE2_MEASURED) == 6
+
+
+class TestCalibration:
+    def test_calibration_is_stable(self):
+        m = PerformanceModel()
+        k1 = m.calibrate_kernel_efficiency()
+        k2 = m.calibrate_kernel_efficiency()
+        assert k1 == pytest.approx(k2, rel=1e-6)
+        assert 0.3 < k1 <= 1.0
+
+    def test_format_helpers(self, rows):
+        from repro.perf.sweep import format_table2
+
+        text = format_table2(rows)
+        assert "4096" in text and "15.20" in text

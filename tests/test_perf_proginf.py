@@ -1,0 +1,78 @@
+import re
+
+import pytest
+
+from repro.perf.model import PerformanceModel
+from repro.perf.proginf import format_mpiproginf, list1_report, proginf_for_run
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = PerformanceModel()
+    m.calibrate_kernel_efficiency()
+    return m
+
+
+@pytest.fixture(scope="module")
+def counters(model):
+    pred = model.predict(511, 514, 1538, 4096)
+    # synthesising 4096 processes is cheap but pointless for assertions:
+    # use a representative subset size via the same prediction
+    return proginf_for_run(pred, real_time=453.0)
+
+
+class TestCounters(object):
+    def test_process_count(self, counters):
+        assert len(counters) == 4096
+
+    def test_gflops_reproduces_paper_number(self, counters):
+        """Total FLOP / total user time x nprocs ~ 15.2 TFlops."""
+        flop_total = sum(c.flop_count for c in counters)
+        user_total = sum(c.user_time for c in counters)
+        gflops = flop_total / user_total / 1e9 * len(counters)
+        assert gflops == pytest.approx(15181.8, rel=0.02)
+
+    def test_avl_mean_near_list1(self, counters):
+        import numpy as np
+
+        avls = np.array([c.average_vector_length for c in counters])
+        assert avls.mean() == pytest.approx(251.6, rel=0.01)
+
+    def test_vector_ratio_99(self, counters):
+        import numpy as np
+
+        ratios = np.array([c.vector_operation_ratio for c in counters])
+        assert ratios.mean() == pytest.approx(99.0, abs=0.15)
+
+    def test_memory_near_one_gb(self, counters):
+        import numpy as np
+
+        mem = np.array([c.memory_mb for c in counters])
+        assert 900 < mem.mean() < 1300  # List 1: ~1.1 GB per process
+
+
+class TestReportFormat(object):
+    def test_layout_headers(self, counters):
+        text = format_mpiproginf(counters[:64])
+        assert text.startswith("MPI Program Information:")
+        assert "Global Data of 64 processes" in text
+        assert "Overall Data:" in text
+        for label in (
+            "Real Time (sec)", "Vector Time (sec)", "FLOP Count",
+            "MFLOPS", "Average Vector Length", "Vector Operation Ratio (%)",
+            "GFLOPS (rel. to User Time)", "Memory size used (GB)",
+        ):
+            assert label in text
+
+    def test_min_max_rank_brackets(self, counters):
+        text = format_mpiproginf(counters[:16])
+        # every per-process row carries [universe, rank] tags
+        assert len(re.findall(r"\[0,\d+\]", text)) >= 26
+
+    def test_full_list1_report(self):
+        text = list1_report()
+        m = re.search(r"GFLOPS \(rel\. to User Time\)\s*:\s*([0-9.]+)", text)
+        assert m, text
+        gflops = float(m.group(1))
+        # the paper's highlighted 15.2 TFlops
+        assert gflops == pytest.approx(15181.8, rel=0.03)

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.perf.report import Comparison, ReproductionReport, generate_report
+
+
+class TestComparison:
+    def test_rel_error(self):
+        c = Comparison("T", "q", paper=10.0, reproduced=10.5, tolerance=0.1)
+        assert c.rel_error == pytest.approx(0.05)
+        assert c.matches
+
+    def test_mismatch(self):
+        c = Comparison("T", "q", paper=10.0, reproduced=15.0, tolerance=0.1)
+        assert not c.matches
+
+    def test_zero_paper_value(self):
+        c = Comparison("T", "q", paper=0.0, reproduced=0.0, tolerance=0.1)
+        assert c.matches
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_every_quantity_matches(self, report):
+        """The headline assertion of the reproduction: every recorded
+        paper quantity is regenerated within its tolerance."""
+        failing = [c for c in report.items if not c.matches]
+        assert failing == [], [
+            (c.artefact, c.quantity, c.paper, c.reproduced) for c in failing
+        ]
+
+    def test_covers_all_artefacts(self, report):
+        artefacts = {c.artefact for c in report.items}
+        assert artefacts == {"Table I", "Table II", "Table III", "Fig. 1",
+                             "List 1", "Section V"}
+
+    def test_at_least_twenty_quantities(self, report):
+        assert len(report.items) >= 20
+
+    def test_markdown_rendering(self, report):
+        md = report.to_markdown()
+        assert md.startswith("| artefact |")
+        assert "within tolerance" in md
+        assert "NO" not in md.replace("| NO |", "")  # no failing rows
+
+    def test_rollup(self, report):
+        assert report.all_match
+        assert report.n_matching == len(report.items)

@@ -1,0 +1,136 @@
+"""System-wide randomised invariants (hypothesis).
+
+Cross-cutting properties that individual module tests don't pin down:
+grid construction over random resolutions, idempotence of the full
+boundary enforcement, interpolation bounds on random smooth fields, and
+physical-frame consistency of panel-pair fields.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.grids.component import Panel
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.parameters import MHDParameters
+
+
+grid_sizes = st.tuples(
+    st.integers(5, 9),        # nr
+    st.integers(12, 22),      # nth
+    st.integers(36, 66),      # nph
+)
+
+
+class TestGridConstruction:
+    @settings(max_examples=10, deadline=None)
+    @given(grid_sizes)
+    def test_random_resolutions_build_and_cover(self, size):
+        nr, nth, nph = size
+        g = YinYangGrid(nr, nth, nph)
+        assert g.coverage_check(2000) == 1.0
+        assert g.yin.n_ring == 2 * nph + 2 * (nth - 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(grid_sizes, st.integers(0, 10))
+    def test_overset_bounded_by_donor_range(self, size, seed):
+        """Bilinear interpolation cannot overshoot the donor's range."""
+        nr, nth, nph = size
+        g = YinYangGrid(nr, nth, nph)
+        rng = np.random.default_rng(seed)
+        fy = rng.uniform(-1.0, 2.0, g.shape)
+        fe = rng.uniform(-1.0, 2.0, g.shape)
+        lo = min(fy.min(), fe.min())
+        hi = max(fy.max(), fe.max())
+        g.apply_overset_scalar(fy, fe)
+        assert fy.min() >= lo - 1e-12 and fy.max() <= hi + 1e-12
+        assert fe.min() >= lo - 1e-12 and fe.max() <= hi + 1e-12
+
+
+class TestEnforcementIdempotence:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 100))
+    def test_enforce_twice_equals_once(self, seed):
+        """The combined overset + wall enforcement is a projection."""
+        cfg = RunConfig(
+            nr=7, nth=12, nph=36, params=MHDParameters.laptop_demo(),
+            amp_temperature=2e-2, seed=seed,
+        )
+        dyn = YinYangDynamo(cfg)
+        dyn.step(1e-3)
+        dyn.enforce(dyn.state)
+        snap = {
+            p: [a.copy() for a in s.arrays()] for p, s in dyn.state.items()
+        }
+        dyn.enforce(dyn.state)
+        for p, s in dyn.state.items():
+            for a, b in zip(s.arrays(), snap[p]):
+                np.testing.assert_array_equal(a, b)
+
+
+class TestFrameConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.floats(0.3, np.pi - 0.3), st.floats(-3.0, 3.0),
+        st.tuples(st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2)),
+    )
+    def test_global_vector_same_from_either_panel(self, th, ph, vec):
+        """A physical vector sampled at a physical point has the same
+        global Cartesian components whether stored via Yin or Yang."""
+        from repro.coords.spherical import cart_vector_to_sph, sph_vector_to_cart
+        from repro.coords.transforms import other_panel_angles, yinyang_vector_map
+
+        vx, vy, vz = vec
+        # route 1: direct (Yin frame = global)
+        vr1, vth1, vph1 = cart_vector_to_sph(vx, vy, vz, th, ph)
+        back1 = sph_vector_to_cart(vr1, vth1, vph1, th, ph)
+        # route 2: through the Yang frame
+        th_e, ph_e = other_panel_angles(th, ph)
+        wx, wy, wz = yinyang_vector_map(vx, vy, vz)
+        vr2, vth2, vph2 = cart_vector_to_sph(wx, wy, wz, th_e, ph_e)
+        we = sph_vector_to_cart(vr2, vth2, vph2, th_e, ph_e)
+        back2 = yinyang_vector_map(*we)
+        np.testing.assert_allclose(back1, (vx, vy, vz), atol=1e-10)
+        np.testing.assert_allclose(
+            [float(c) for c in back2], (vx, vy, vz), atol=1e-10
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(1, 7))
+    def test_synthetic_columns_mode_always_recovered(self, m):
+        from repro.viz.columns import column_profile, synthetic_columns
+
+        grid = YinYangGrid(7, 20, 58)
+        states = synthetic_columns(grid, m=m)
+        census = column_profile(grid, states, nphi=max(128, 32 * m))
+        assert census.n_cyclonic == m
+        assert census.n_anticyclonic == m
+
+
+class TestSolverInvariants:
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 50), st.floats(5e-4, 2e-3))
+    def test_short_runs_stay_physical(self, seed, dt):
+        cfg = RunConfig(
+            nr=7, nth=12, nph=36, params=MHDParameters.laptop_demo(),
+            amp_temperature=1e-2, seed=seed, dt=float(dt),
+        )
+        dyn = YinYangDynamo(cfg)
+        dyn.run(5, record_every=0)
+        assert dyn.is_physical()
+        e = dyn.energies()
+        assert e.thermal > 0 and e.mass > 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 50))
+    def test_mass_drift_tiny_over_short_runs(self, seed):
+        cfg = RunConfig(
+            nr=9, nth=12, nph=36, params=MHDParameters.laptop_demo(),
+            amp_temperature=1e-2, seed=seed, dt=1e-3,
+        )
+        dyn = YinYangDynamo(cfg)
+        m0 = dyn.energies().mass
+        dyn.run(10, record_every=0)
+        assert abs(dyn.energies().mass - m0) / m0 < 5e-3

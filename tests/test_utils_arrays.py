@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.arrays import (
+    as_float_array,
+    assert_shape,
+    ghost_interior,
+    interior_slices,
+    pad_ghost,
+    periodic_wrap,
+    rel_linf,
+)
+
+
+class TestAsFloatArray:
+    def test_converts_lists(self):
+        a = as_float_array([1, 2, 3])
+        assert a.dtype == np.float64
+        assert a.flags["C_CONTIGUOUS"]
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="not interpretable"):
+            as_float_array("nope", name="field")
+
+
+class TestShapes:
+    def test_assert_shape_ok(self):
+        assert_shape(np.zeros((2, 3)), (2, 3))
+
+    def test_assert_shape_raises(self):
+        with pytest.raises(ValueError, match="expected"):
+            assert_shape(np.zeros((2, 3)), (3, 2), name="field")
+
+
+class TestGhosts:
+    def test_pad_then_interior_roundtrip(self):
+        inner = np.arange(24.0).reshape(2, 3, 4)
+        padded = pad_ghost(inner)
+        assert padded.shape == (4, 5, 6)
+        np.testing.assert_array_equal(ghost_interior(padded), inner)
+
+    def test_pad_fill_value(self):
+        padded = pad_ghost(np.ones((2, 2)), fill=-7.0)
+        assert padded[0, 0] == -7.0
+
+    def test_interior_slices_ndim(self):
+        sl = interior_slices(3, ng=2)
+        assert sl == (slice(2, -2),) * 3
+
+
+class TestRelLinf:
+    def test_zero_for_equal(self):
+        a = np.ones(5)
+        assert rel_linf(a, a) == 0.0
+
+    def test_relative_normalisation(self):
+        a = np.array([1000.0])
+        b = np.array([1001.0])
+        assert rel_linf(a, b) == pytest.approx(1.0 / 1001.0)
+
+    def test_empty_arrays(self):
+        assert rel_linf(np.array([]), np.array([])) == 0.0
+
+
+class TestPeriodicWrap:
+    @given(st.integers(-100, 100), st.integers(1, 17))
+    def test_always_in_range(self, idx, n):
+        w = periodic_wrap(np.array([idx]), n)[0]
+        assert 0 <= w < n
+
+    @given(st.integers(-100, 100), st.integers(1, 17))
+    def test_congruent(self, idx, n):
+        w = periodic_wrap(np.array([idx]), n)[0]
+        assert (w - idx) % n == 0

@@ -1,0 +1,75 @@
+import time
+
+import pytest
+
+from repro.utils.timer import Timer, TimerRegistry
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.01)
+        dt = t.stop()
+        assert dt > 0.0
+        assert t.total == pytest.approx(dt)
+        assert t.count == 1
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer().stop()
+
+    def test_mean_of_zero_intervals(self):
+        assert Timer().mean == 0.0
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestTimerRegistry:
+    def test_context_manager_times(self):
+        reg = TimerRegistry()
+        with reg.timing("phase"):
+            time.sleep(0.005)
+        assert reg.timers["phase"].total > 0.0
+
+    def test_same_name_accumulates(self):
+        reg = TimerRegistry()
+        for _ in range(3):
+            with reg.timing("x"):
+                pass
+        assert reg.timers["x"].count == 3
+
+    def test_fraction_sums_to_one(self):
+        reg = TimerRegistry()
+        with reg.timing("a"):
+            time.sleep(0.004)
+        with reg.timing("b"):
+            time.sleep(0.004)
+        assert reg.fraction("a") + reg.fraction("b") == pytest.approx(1.0)
+
+    def test_fraction_empty_registry(self):
+        assert TimerRegistry().fraction("missing") == 0.0
+
+    def test_report_contains_names(self):
+        reg = TimerRegistry()
+        with reg.timing("rhs"):
+            pass
+        assert "rhs" in reg.report()
+
+    def test_totals_mapping(self):
+        reg = TimerRegistry()
+        with reg.timing("io"):
+            pass
+        assert set(reg.totals()) == {"io"}

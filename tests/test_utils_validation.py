@@ -1,0 +1,67 @@
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_odd,
+    check_positive,
+    check_type,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestCheckPositive:
+    def test_returns_value(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -1e-300])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_ok(self):
+        assert check_in_range("y", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("y", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range("y", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="y must satisfy"):
+            check_in_range("y", 3.0, 1.0, 2.0)
+
+
+class TestCheckOdd:
+    def test_accepts_odd(self):
+        assert check_odd("n", 7) == 7
+
+    @pytest.mark.parametrize("bad", [0, -3, 4])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_odd("n", bad)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_odd("n", True)
+        with pytest.raises(TypeError):
+            check_odd("n", 3.0)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("s", "abc", str) == "abc"
+
+    def test_rejects(self):
+        with pytest.raises(TypeError, match="s must be str"):
+            check_type("s", 3, str)

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.grids.yinyang import YinYangGrid
+from repro.viz.columns import (
+    ColumnCensus,
+    column_profile,
+    count_columns,
+    equatorial_vorticity,
+    synthetic_columns,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return YinYangGrid(9, 20, 58)
+
+
+class TestCountColumns:
+    def test_pure_sinusoid(self):
+        phi = np.linspace(-np.pi, np.pi, 256, endpoint=False)
+        census = count_columns(phi, np.sin(6 * phi))
+        assert census.n_cyclonic == 6
+        assert census.n_anticyclonic == 6
+        assert census.balanced
+
+    def test_wrap_around_seam_not_double_counted(self):
+        """cos(m phi) peaks exactly at the +-pi seam."""
+        phi = np.linspace(-np.pi, np.pi, 256, endpoint=False)
+        census = count_columns(phi, np.cos(4 * phi))
+        assert census.n_cyclonic == 4
+        assert census.n_anticyclonic == 4
+
+    def test_zero_field(self):
+        phi = np.linspace(-np.pi, np.pi, 64, endpoint=False)
+        census = count_columns(phi, np.zeros(64))
+        assert census.n_columns == 0
+
+    def test_threshold_filters_weak_ripples(self):
+        phi = np.linspace(-np.pi, np.pi, 512, endpoint=False)
+        w = np.sin(2 * phi) + 0.05 * np.sin(40 * phi)
+        census = count_columns(phi, w, threshold_frac=0.3)
+        assert census.n_cyclonic == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            count_columns(np.zeros(10), np.zeros((2, 5)))
+
+    def test_single_sign_blob(self):
+        phi = np.linspace(-np.pi, np.pi, 128, endpoint=False)
+        w = np.exp(-((phi - 0.5) ** 2) / 0.05)
+        census = count_columns(phi, w)
+        assert census.n_cyclonic == 1
+        assert census.n_anticyclonic == 0
+        assert not census.balanced or census.n_columns == 1
+
+
+class TestSyntheticColumns:
+    @pytest.mark.parametrize("m", [4, 6, 8])
+    def test_census_recovers_mode_number(self, grid, m):
+        """Fig. 2's alternating cyclones: m pairs in, m pairs out."""
+        states = synthetic_columns(grid, m=m)
+        census = column_profile(grid, states, nphi=512)
+        assert census.n_cyclonic == m
+        assert census.n_anticyclonic == m
+        assert census.balanced
+
+    def test_vorticity_slice_shapes(self, grid):
+        states = synthetic_columns(grid, m=5)
+        phi, wz = equatorial_vorticity(grid, states, nphi=128)
+        assert wz.shape == (grid.yin.nr, 128)
+        assert phi.shape == (128,)
+
+    def test_panels_agree_across_seam(self, grid):
+        """The vorticity slice merges both panels; the synthetic flow is
+        globally defined so the merged slice must be smooth."""
+        states = synthetic_columns(grid, m=6)
+        _, wz = equatorial_vorticity(grid, states, nphi=512)
+        mid = wz[wz.shape[0] // 2]
+        scale = np.abs(mid).max()
+        jumps = np.abs(np.diff(mid)).max()
+        assert jumps < 0.5 * scale
+
+    def test_radius_recorded(self, grid):
+        states = synthetic_columns(grid, m=4)
+        census = column_profile(grid, states, radius_frac=0.5)
+        assert grid.yin.ri < census.radius < grid.yin.ro
+
+
+class TestCensusDataclass:
+    def test_totals(self):
+        c = ColumnCensus(n_cyclonic=3, n_anticyclonic=4, radius=0.5, threshold=0.1)
+        assert c.n_columns == 7
+        assert c.balanced

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.grids.dissection import overlap_fraction
+from repro.viz.mercator import (
+    ascii_sphere_map,
+    coverage_fractions,
+    mercator_rectangle,
+    overlap_map,
+    panel_mask_lonlat,
+)
+
+
+class TestMasks:
+    def test_shapes(self):
+        yin, yang = panel_mask_lonlat(30, 60)
+        assert yin.shape == yang.shape == (30, 60)
+
+    def test_yin_is_equatorial_band(self):
+        yin, _ = panel_mask_lonlat(90, 180)
+        # equatorial row fully inside the longitude span
+        eq = yin[45]
+        assert eq.sum() == pytest.approx(0.75 * 180, abs=2)
+        # polar rows not in Yin at all
+        assert not yin[0].any() and not yin[-1].any()
+
+    def test_yang_covers_poles(self):
+        _, yang = panel_mask_lonlat(90, 180)
+        assert yang[0].all()
+        assert yang[-1].all()
+
+
+class TestOverlap:
+    def test_every_cell_covered(self):
+        cover = overlap_map(60, 120)
+        assert cover.min() >= 1
+
+    def test_double_coverage_exists(self):
+        cover = overlap_map(60, 120)
+        assert (cover == 2).any()
+
+    def test_area_fractions_match_analytic(self):
+        covered, doubled = coverage_fractions(360, 720)
+        assert covered == pytest.approx(1.0)
+        assert doubled == pytest.approx(overlap_fraction(), abs=0.002)
+
+
+class TestAsciiMap:
+    def test_characters(self):
+        art = ascii_sphere_map(12, 36)
+        assert set(art) <= set("ne#\n")
+        assert "#" in art  # overlap visible
+
+    def test_no_uncovered_cells(self):
+        assert "?" not in ascii_sphere_map(20, 60)
+
+    def test_dimensions(self):
+        art = ascii_sphere_map(10, 40)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+
+class TestRectangle:
+    def test_paper_extents(self):
+        """Section II: 90 deg around the equator, 270 deg in longitude."""
+        lon0, lon1, lat0, lat1 = mercator_rectangle()
+        assert lon1 - lon0 == pytest.approx(270.0)
+        assert lat1 - lat0 == pytest.approx(90.0)
+        assert lat1 == pytest.approx(45.0)

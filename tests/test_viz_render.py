@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.viz.render import (
+    equatorial_disk_image,
+    normalise,
+    read_pnm,
+    write_pgm,
+    write_signed_ppm,
+)
+
+
+class TestNormalise:
+    def test_range(self):
+        v = normalise(np.array([[1.0, 3.0], [5.0, 9.0]]))
+        assert v.min() == 0.0 and v.max() == 1.0
+
+    def test_constant_field(self):
+        v = normalise(np.full((3, 3), 7.0))
+        assert np.all(v == 0.5)
+
+    def test_symmetric_pins_zero(self):
+        v = normalise(np.array([[-2.0, 0.0, 1.0]]), symmetric=True)
+        assert v[0, 1] == 0.5
+        assert v[0, 0] == 0.0
+
+
+class TestPGM:
+    def test_round_trip(self, tmp_path):
+        field = np.linspace(0, 1, 12).reshape(3, 4)
+        path = write_pgm(tmp_path / "f.pgm", field)
+        magic, data = read_pnm(path)
+        assert magic == "P5"
+        assert data.shape == (3, 4)
+        assert data[0, 0] == 0 and data[-1, -1] == 255
+
+    def test_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 2)))
+
+
+class TestPPM:
+    def test_two_colour_convention(self, tmp_path):
+        """Positive -> red channel saturated, negative -> blue."""
+        field = np.array([[1.0, -1.0, 0.0]])
+        path = write_signed_ppm(tmp_path / "f.ppm", field)
+        magic, rgb = read_pnm(path)
+        assert magic == "P6"
+        r_pos, b_pos = rgb[0, 0, 0], rgb[0, 0, 2]
+        r_neg, b_neg = rgb[0, 1, 0], rgb[0, 1, 2]
+        assert r_pos == 255 and b_pos == 0
+        assert r_neg == 0 and b_neg == 255
+        assert tuple(rgb[0, 2]) == (255, 255, 255)  # zero is white
+
+    def test_zero_field(self, tmp_path):
+        path = write_signed_ppm(tmp_path / "z.ppm", np.zeros((2, 2)))
+        _, rgb = read_pnm(path)
+        assert np.all(rgb == 255)
+
+
+class TestDiskImage:
+    def test_annulus_geometry(self):
+        phi = np.linspace(-np.pi, np.pi, 64, endpoint=False)
+        values = np.outer(np.arange(5.0), np.ones(64))
+        img = equatorial_disk_image(phi, values, size=101, r_inner_frac=0.35)
+        c = 50
+        assert np.isnan(img[c, c])  # inside the inner core
+        assert np.isnan(img[0, 0])  # outside the shell (corner)
+        assert not np.isnan(img[c, 95])  # inside the annulus
+
+    def test_radial_ordering(self):
+        """Values increase outward when the slice does."""
+        phi = np.linspace(-np.pi, np.pi, 64, endpoint=False)
+        values = np.outer(np.arange(5.0), np.ones(64))
+        img = equatorial_disk_image(phi, values, size=101)
+        c = 50
+        assert img[c, 98] > img[c, 70]
+
+    def test_azimuthal_structure_survives(self):
+        phi = np.linspace(-np.pi, np.pi, 128, endpoint=False)
+        values = np.ones((4, 128)) * np.sign(np.sin(3 * phi))[None, :]
+        img = equatorial_disk_image(phi, values, size=120)
+        vals = img[np.isfinite(img)]
+        assert set(np.unique(vals)) <= {-1.0, 0.0, 1.0}
+        assert (vals > 0).any() and (vals < 0).any()

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.grids.yinyang import YinYangGrid
+from repro.viz.columns import synthetic_columns
+from repro.viz.spectrum import (
+    azimuthal_spectrum,
+    dominant_mode,
+    spectral_slope,
+    vorticity_mode_spectrum,
+)
+
+
+class TestSpectrum:
+    def test_single_mode(self):
+        phi = np.linspace(0, 2 * np.pi, 128, endpoint=False)
+        power = azimuthal_spectrum(3.0 * np.sin(5 * phi))
+        assert np.argmax(power) == 5
+        # Parseval: sum of power = mean square
+        assert power.sum() == pytest.approx(np.mean((3.0 * np.sin(5 * phi)) ** 2))
+
+    def test_mean_goes_to_m0(self):
+        power = azimuthal_spectrum(np.full(64, 2.0))
+        assert power[0] == pytest.approx(4.0)
+        assert power[1:].max() < 1e-20
+
+    def test_parseval_random(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=256)
+        power = azimuthal_spectrum(w)
+        assert power.sum() == pytest.approx(np.mean(w**2), rel=1e-10)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            azimuthal_spectrum(np.zeros((4, 4)))
+
+
+class TestDominantMode:
+    def test_ignores_mean(self):
+        phi = np.linspace(0, 2 * np.pi, 128, endpoint=False)
+        w = 10.0 + 0.5 * np.sin(7 * phi)
+        assert dominant_mode(w) == 7
+
+    def test_m_min_respected(self):
+        phi = np.linspace(0, 2 * np.pi, 128, endpoint=False)
+        w = 5.0 * np.sin(2 * phi) + 1.0 * np.sin(9 * phi)
+        assert dominant_mode(w, m_min=3) == 9
+
+
+class TestVorticitySpectrum:
+    def test_matches_column_census(self):
+        """Fourier and physical-space column counts must agree on the
+        manufactured columnar flow."""
+        grid = YinYangGrid(9, 20, 58)
+        states = synthetic_columns(grid, m=6)
+        power, m = vorticity_mode_spectrum(grid, states, nphi=256)
+        assert m == 6
+        assert power[6] > 10 * np.delete(power[1:], 5).max()
+
+
+class TestSlope:
+    def test_power_law_recovered(self):
+        m = np.arange(64, dtype=float)
+        power = np.zeros(64)
+        power[1:] = m[1:] ** -3.0
+        assert spectral_slope(power, 2, 30) == pytest.approx(-3.0, abs=1e-10)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            spectral_slope(np.ones(10), 5, 5)
+        with pytest.raises(ValueError):
+            spectral_slope(np.zeros(10), 1, 5)
