@@ -1,0 +1,178 @@
+"""E-K1 — throughput of the derivative-cached RHS kernel layer.
+
+The paper's hand-fused kernel (List 1) evaluates all eight prognostic
+derivatives in one sweep, touching every operand once.  This benchmark
+measures how much of that discipline the NumPy port recovers: the
+fused path (:class:`~repro.fd.kernels.DerivativeCache` +
+:class:`~repro.fd.kernels.BufferPool` + folded stencil coefficients)
+against the reference per-operator path, on the 32x64x128 panel named
+by the PR acceptance criterion.
+
+Methodology: wall-clock on a shared machine drifts by tens of percent
+over seconds, so back-to-back block timings of the two paths measure
+the drift as much as the code.  Instead each round times one reference
+call and one fused call *adjacent* in time and takes their ratio; the
+reported speedup is the median of the per-round ratios, which cancels
+machine-speed drift to first order.  Allocation and stencil-execution
+counts are reported alongside — they are deterministic and CI-stable.
+
+Run standalone to (re)generate ``BENCH_rhs_kernels.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_rhs_kernels.py
+
+or under pytest-benchmark (small panel, quick)::
+
+    pytest benchmarks/bench_rhs_kernels.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+from typing import Dict
+
+import numpy as np
+
+from repro.fd.stencils import reset_stencil_counts, stencil_counts
+from repro.grids.yinyang import YinYangGrid
+from repro.mhd.equations import PanelEquations
+from repro.mhd.initial import conduction_state
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+
+#: Panel size of the acceptance criterion (and roughly the per-process
+#: block size of the paper's 4096-process run).
+BENCH_SHAPE = (32, 64, 128)
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_rhs_kernels.json"
+
+
+def build_case(nr: int = 32, nth: int = 64, nph: int = 128):
+    """A Yin panel with a perturbed conduction state and both RHS paths."""
+    params = MHDParameters.laptop_demo()
+    grid = YinYangGrid(nr, nth, nph, ri=params.ri, ro=params.ro)
+    patch = grid.yin
+    state = conduction_state(patch, params)
+    rng = np.random.default_rng(2004)
+    perturbed = MHDState(
+        **{
+            name: getattr(state, name) + 0.05 * rng.standard_normal(state.rho.shape)
+            for name in ("rho", "fr", "fth", "fph", "p", "ar", "ath", "aph")
+        }
+    )
+    omega = (0.0, 0.0, params.omega)
+    fused = PanelEquations(patch, params, omega, fused=True)
+    reference = PanelEquations(patch, params, omega, fused=False)
+    return patch, perturbed, fused, reference
+
+
+def count_stencils(eq: PanelEquations, state: MHDState) -> Dict[str, int]:
+    """Stencil-kernel executions of one RHS evaluation."""
+    reset_stencil_counts()
+    eq.rhs(state)
+    return stencil_counts()
+
+
+def measure(rounds: int = 13, warmup: int = 3) -> Dict:
+    """Paired-ratio throughput measurement plus deterministic counters."""
+    _, state, fused, reference = build_case(*BENCH_SHAPE)
+    for _ in range(warmup):
+        reference.rhs(state)
+        fused.rhs(state)
+
+    ratios, ref_times, fused_times = [], [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        reference.rhs(state)
+        t1 = time.perf_counter()
+        fused.rhs(state)
+        t2 = time.perf_counter()
+        ref_times.append(t1 - t0)
+        fused_times.append(t2 - t1)
+        ratios.append((t1 - t0) / (t2 - t1))
+
+    fused.pool.allocated = fused.pool.reused = 0
+    fused.cache.reset_stats()
+    fused.rhs(state)
+    pool = fused.pool.stats()
+    cache = fused.cache.stats()
+    sc_fused = count_stencils(fused, state)
+    sc_ref = count_stencils(reference, state)
+
+    ref_s = median(ref_times)
+    fused_s = median(fused_times)
+    return {
+        "panel_shape": list(BENCH_SHAPE),
+        "rounds": rounds,
+        "methodology": "median over paired (reference, fused) call-time ratios",
+        "reference": {
+            "median_s_per_call": ref_s,
+            "calls_per_sec": 1.0 / ref_s,
+            "stencil_counts": sc_ref,
+        },
+        "fused": {
+            "median_s_per_call": fused_s,
+            "calls_per_sec": 1.0 / fused_s,
+            "stencil_counts": sc_fused,
+            "pool_stats_steady_state": pool,
+            "cache_stats": cache,
+        },
+        "speedup_median_of_ratios": median(ratios),
+        "speedup_min": min(ratios),
+        "speedup_max": max(ratios),
+    }
+
+
+def emit_json(path: Path = JSON_PATH, **kwargs) -> Dict:
+    report = measure(**kwargs)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# ---- pytest-benchmark entry points -------------------------------------------
+
+
+def test_rhs_fused_throughput(benchmark, rhs_kernel_case):
+    _, state, fused, _ = rhs_kernel_case
+    fused.rhs(state)  # warm the pool
+    result = benchmark.pedantic(fused.rhs, args=(state,), rounds=5, iterations=1)
+    assert np.all(np.isfinite(result.rho))
+
+
+def test_rhs_reference_throughput(benchmark, rhs_kernel_case):
+    _, state, _, reference = rhs_kernel_case
+    result = benchmark.pedantic(reference.rhs, args=(state,), rounds=5, iterations=1)
+    assert np.all(np.isfinite(result.rho))
+
+
+def test_speedup_report(rhs_kernel_case):
+    """The fused path must beat the reference; the full paired-ratio
+    report (acceptance: >= 1.5x) is what ``__main__`` persists to
+    ``BENCH_rhs_kernels.json`` — here a reduced-round run guards against
+    regressions without burning benchmark time."""
+    report = measure(rounds=5, warmup=2)
+    print(
+        "\n[RHS kernels] fused %.1f calls/s vs reference %.1f calls/s "
+        "(median speedup %.2fx)"
+        % (
+            report["fused"]["calls_per_sec"],
+            report["reference"]["calls_per_sec"],
+            report["speedup_median_of_ratios"],
+        )
+    )
+    assert report["speedup_median_of_ratios"] > 1.0
+    fused_work = report["fused"]["stencil_counts"]
+    ref_work = report["reference"]["stencil_counts"]
+    assert sum(fused_work.values()) < sum(ref_work.values())
+
+
+if __name__ == "__main__":
+    rep = emit_json()
+    print(json.dumps(rep, indent=2))
+    print(
+        "\nspeedup (median of paired ratios): %.3fx  ->  %s"
+        % (rep["speedup_median_of_ratios"], JSON_PATH)
+    )

@@ -80,6 +80,11 @@ class LatLonDynamo:
     def axpy(state: MHDState, a: float, k: MHDState) -> MHDState:
         return state.axpy(a, k)
 
+    @staticmethod
+    def axpy_into(state: MHDState, a: float, k: MHDState, out: MHDState) -> MHDState:
+        """``state + a*k`` written over the dead stage state ``out``."""
+        return state.axpy_into(a, k, out)
+
     # ---- time stepping ---------------------------------------------------------------
 
     def estimate_dt(self) -> float:

@@ -134,6 +134,18 @@ class YinYangDynamo:
     def axpy(pair: PairState, a: float, k: PairState) -> PairState:
         return {p: s.axpy(a, k[p]) for p, s in pair.items()}
 
+    @staticmethod
+    def axpy_into(pair: PairState, a: float, k: PairState, out: PairState) -> PairState:
+        """``pair + a*k`` written over the dead stage pair ``out``."""
+        return {p: s.axpy_into(a, k[p], out[p]) for p, s in pair.items()}
+
+    @staticmethod
+    def iadd_scaled(pair: PairState, a: float, k: PairState) -> PairState:
+        """In-place ``pair += a*k`` for the RK4 accumulation."""
+        for p, s in pair.items():
+            s.iadd_scaled(a, k[p])
+        return pair
+
     # ---- time stepping ---------------------------------------------------------------
 
     def estimate_dt(self) -> float:

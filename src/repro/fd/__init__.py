@@ -4,21 +4,42 @@ The paper discretises all spatial derivatives with second-order central
 differences in ``(r, theta, phi)`` (Section III).  This package provides
 
 * :mod:`~repro.fd.stencils` — axis-wise first/second derivatives on
-  uniform meshes (central interior, one-sided second-order at edges);
+  uniform meshes (central interior, one-sided second-order at edges),
+  with optional ``out=`` buffers and execution counters;
 * :mod:`~repro.fd.operators` — the vector-calculus operators (gradient,
   divergence, curl, Laplacians, advection) with the spherical metric
   terms, built on a :class:`~repro.grids.base.PatchMetric`;
+* :mod:`~repro.fd.kernels` — the operand-reuse layer for the RHS hot
+  path: a :class:`~repro.fd.kernels.DerivativeCache` memoizing primitive
+  derivatives within one evaluation and a
+  :class:`~repro.fd.kernels.BufferPool` recycling the scratch arrays
+  (see ``docs/PERF.md``);
 * :mod:`~repro.fd.strain` — the rate-of-strain tensor and the viscous
   dissipation function of eq. (6).
 """
 
-from repro.fd.stencils import diff, diff2
+from repro.fd.stencils import (
+    diff,
+    diff2,
+    diff2_raw,
+    diff_raw,
+    reset_stencil_counts,
+    stencil_counts,
+)
+from repro.fd.kernels import BufferPool, DerivativeCache, StencilCoefficients
 from repro.fd.operators import SphericalOperators
 from repro.fd.strain import strain_tensor, viscous_dissipation
 
 __all__ = [
     "diff",
     "diff2",
+    "diff_raw",
+    "diff2_raw",
+    "stencil_counts",
+    "reset_stencil_counts",
+    "BufferPool",
+    "DerivativeCache",
+    "StencilCoefficients",
     "SphericalOperators",
     "strain_tensor",
     "viscous_dissipation",

@@ -11,11 +11,20 @@ operators and keeps the discretisation mutually consistent.
 All methods take and return plain ndarrays of the patch's field shape;
 vector fields are triples ``(v_r, v_theta, v_phi)`` of such arrays in
 the patch's local spherical basis.
+
+An optional :class:`~repro.fd.kernels.DerivativeCache` makes the
+composite operators share primitive derivatives: with a cache attached,
+``vector_laplacian``, ``div_tensor_vf`` and the strain tensor all draw
+``diff``/``diff2`` results from one memo instead of re-deriving them.
+The cache changes *which call* computes a derivative, never its value,
+so cached and uncached evaluations are bitwise identical.  Callers own
+the cache lifecycle (reset once per RHS evaluation — see
+:mod:`repro.fd.kernels`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,22 +38,39 @@ Vec = Tuple[Array, Array, Array]
 class SphericalOperators:
     """Finite-difference spherical vector calculus on one patch."""
 
-    def __init__(self, patch: SphericalPatch):
+    def __init__(self, patch: SphericalPatch, cache: Optional["DerivativeCache"] = None):
         self.patch = patch
         self.m = patch.metric
         self.dr = patch.dr
         self.dth = patch.dtheta
         self.dph = patch.dphi
+        self.cache = cache
+
+    # ---- primitive derivatives (cache-aware) ------------------------------
+
+    def _diff(self, f: Array, h: float, axis: int) -> Array:
+        if self.cache is not None:
+            return self.cache.diff(f, h, axis)
+        return diff(f, h, axis)
+
+    def _diff2(self, f: Array, h: float, axis: int) -> Array:
+        if self.cache is not None:
+            return self.cache.diff2(f, h, axis)
+        return diff2(f, h, axis)
 
     # ---- scalar operators -------------------------------------------------
 
     def grad(self, s: Array) -> Vec:
-        """Gradient of a scalar: ``(d_r s, d_th s / r, d_ph s / (r sin))``."""
+        """Gradient of a scalar: ``(d_r s, d_th s / r, d_ph s / (r sin))``.
+
+        With a cache attached the radial component *is* the memoized
+        derivative array — treat it as read-only, valid until reset.
+        """
         m = self.m
         return (
-            diff(s, self.dr, AXIS_R),
-            m.inv_r * diff(s, self.dth, AXIS_TH),
-            m.inv_r_sin * diff(s, self.dph, AXIS_PH),
+            self._diff(s, self.dr, AXIS_R),
+            m.inv_r * self._diff(s, self.dth, AXIS_TH),
+            m.inv_r_sin * self._diff(s, self.dph, AXIS_PH),
         )
 
     def laplacian(self, s: Array) -> Array:
@@ -57,22 +83,22 @@ class SphericalOperators:
         derivative uses the compact 3-point stencil.
         """
         m = self.m
-        ds_r = diff(s, self.dr, AXIS_R)
-        ds_th = diff(s, self.dth, AXIS_TH)
+        ds_r = self._diff(s, self.dr, AXIS_R)
+        ds_th = self._diff(s, self.dth, AXIS_TH)
         return (
-            diff2(s, self.dr, AXIS_R)
-            + 2.0 * m.inv_r * ds_r
-            + m.inv_r2 * (diff2(s, self.dth, AXIS_TH) + m.cot_th * ds_th)
-            + m.inv_r2 / (m.sin_th**2) * diff2(s, self.dph, AXIS_PH)
+            self._diff2(s, self.dr, AXIS_R)
+            + m.two_inv_r * ds_r
+            + m.inv_r2 * (self._diff2(s, self.dth, AXIS_TH) + m.cot_th * ds_th)
+            + m.inv_r2_sin2 * self._diff2(s, self.dph, AXIS_PH)
         )
 
     def advect_scalar(self, v: Vec, s: Array) -> Array:
         """Directional derivative ``(v . grad) s``."""
         m = self.m
         return (
-            v[0] * diff(s, self.dr, AXIS_R)
-            + v[1] * m.inv_r * diff(s, self.dth, AXIS_TH)
-            + v[2] * m.inv_r_sin * diff(s, self.dph, AXIS_PH)
+            v[0] * self._diff(s, self.dr, AXIS_R)
+            + v[1] * m.inv_r * self._diff(s, self.dth, AXIS_TH)
+            + v[2] * m.inv_r_sin * self._diff(s, self.dph, AXIS_PH)
         )
 
     # ---- vector operators ---------------------------------------------------
@@ -90,10 +116,10 @@ class SphericalOperators:
         m = self.m
         vr, vth, vph = v
         return (
-            diff(vr, self.dr, AXIS_R)
-            + 2.0 * m.inv_r * vr
-            + m.inv_r * (diff(vth, self.dth, AXIS_TH) + m.cot_th * vth)
-            + m.inv_r_sin * diff(vph, self.dph, AXIS_PH)
+            self._diff(vr, self.dr, AXIS_R)
+            + m.two_inv_r * vr
+            + m.inv_r * (self._diff(vth, self.dth, AXIS_TH) + m.cot_th * vth)
+            + m.inv_r_sin * self._diff(vph, self.dph, AXIS_PH)
         )
 
     def curl(self, v: Vec) -> Vec:
@@ -101,12 +127,12 @@ class SphericalOperators:
         m = self.m
         vr, vth, vph = v
         cr = m.inv_r * (
-            diff(vph, self.dth, AXIS_TH) + m.cot_th * vph
-        ) - m.inv_r_sin * diff(vth, self.dph, AXIS_PH)
-        cth = m.inv_r_sin * diff(vr, self.dph, AXIS_PH) - (
-            diff(vph, self.dr, AXIS_R) + m.inv_r * vph
+            self._diff(vph, self.dth, AXIS_TH) + m.cot_th * vph
+        ) - m.inv_r_sin * self._diff(vth, self.dph, AXIS_PH)
+        cth = m.inv_r_sin * self._diff(vr, self.dph, AXIS_PH) - (
+            self._diff(vph, self.dr, AXIS_R) + m.inv_r * vph
         )
-        cph = diff(vth, self.dr, AXIS_R) + m.inv_r * vth - m.inv_r * diff(
+        cph = self._diff(vth, self.dr, AXIS_R) + m.inv_r * vth - m.inv_r * self._diff(
             vr, self.dth, AXIS_TH
         )
         return cr, cth, cph

@@ -15,7 +15,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.fd.stencils import AXIS_PH, AXIS_R, AXIS_TH, diff
+from repro.fd.stencils import AXIS_PH, AXIS_R, AXIS_TH
 from repro.fd.operators import SphericalOperators
 
 Array = np.ndarray
@@ -39,21 +39,22 @@ def strain_tensor(ops: SphericalOperators, v: Vec) -> Dict[str, Array]:
     m = ops.m
     dr, dth, dph = ops.dr, ops.dth, ops.dph
     vr, vth, vph = v
-    e_rr = diff(vr, dr, AXIS_R)
-    e_tt = m.inv_r * diff(vth, dth, AXIS_TH) + m.inv_r * vr
+    d = ops._diff  # cache-aware: shares derivatives with the other operators
+    e_rr = d(vr, dr, AXIS_R)
+    e_tt = m.inv_r * d(vth, dth, AXIS_TH) + m.inv_r * vr
     e_pp = (
-        m.inv_r_sin * diff(vph, dph, AXIS_PH)
+        m.inv_r_sin * d(vph, dph, AXIS_PH)
         + m.inv_r * vr
-        + m.inv_r * m.cot_th * vth
+        + m.inv_r_cot * vth
     )
-    e_rt = 0.5 * (m.inv_r * diff(vr, dth, AXIS_TH) + diff(vth, dr, AXIS_R) - m.inv_r * vth)
+    e_rt = 0.5 * (m.inv_r * d(vr, dth, AXIS_TH) + d(vth, dr, AXIS_R) - m.inv_r * vth)
     e_rp = 0.5 * (
-        m.inv_r_sin * diff(vr, dph, AXIS_PH) + diff(vph, dr, AXIS_R) - m.inv_r * vph
+        m.inv_r_sin * d(vr, dph, AXIS_PH) + d(vph, dr, AXIS_R) - m.inv_r * vph
     )
     e_tp = 0.5 * (
-        m.inv_r_sin * diff(vth, dph, AXIS_PH)
-        + m.inv_r * diff(vph, dth, AXIS_TH)
-        - m.inv_r * m.cot_th * vph
+        m.inv_r_sin * d(vth, dph, AXIS_PH)
+        + m.inv_r * d(vph, dth, AXIS_TH)
+        - m.inv_r_cot * vph
     )
     return {"rr": e_rr, "tt": e_tt, "pp": e_pp, "rt": e_rt, "rp": e_rp, "tp": e_tp}
 

@@ -210,6 +210,11 @@ class PatchMetric:
         self.inv_r2 = self.inv_r**2
         self.inv_r_sin = self.inv_r / self.sin_th
         self.r2 = r3**2
+        # products that recur in the operator kernels, hoisted so the
+        # RHS hot path never forms them per call
+        self.two_inv_r = 2.0 * self.inv_r
+        self.inv_r_cot = self.inv_r * self.cot_th
+        self.inv_r2_sin2 = self.inv_r2 / self.sin_th**2
 
     @property
     def shape(self) -> Tuple[int, int, int]:

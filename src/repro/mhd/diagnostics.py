@@ -23,6 +23,7 @@ from repro.mhd.parameters import MHDParameters
 from repro.mhd.state import MHDState
 
 Array = np.ndarray
+Vec = Tuple[Array, Array, Array]
 
 
 @dataclass(frozen=True)
@@ -56,17 +57,22 @@ def panel_energies(
     state: MHDState,
     params: MHDParameters,
     weights: Array | None = None,
+    b: Vec | None = None,
 ) -> EnergyReport:
     """Energies on one patch with optional custom quadrature weights.
 
     * kinetic: ``rho v^2 / 2 = |f|^2 / (2 rho)``
     * magnetic: ``|B|^2 / 2`` with ``B = curl A``
     * thermal (internal): ``p / (gamma - 1)``
+
+    A precomputed magnetic field ``b`` (e.g. from
+    :meth:`~repro.mhd.equations.PanelEquations.subsidiary_fields`)
+    skips the curl.
     """
     w = patch.volume_weights() if weights is None else weights
     ke_density = 0.5 * (state.fr**2 + state.fth**2 + state.fph**2) / state.rho
-    ops = SphericalOperators(patch)
-    b = ops.curl(state.a)
+    if b is None:
+        b = SphericalOperators(patch).curl(state.a)
     me_density = 0.5 * (b[0] ** 2 + b[1] ** 2 + b[2] ** 2)
     te_density = state.p / (params.gamma - 1.0)
     return EnergyReport(
@@ -151,17 +157,21 @@ def yinyang_total_energy(
 
 
 def dipole_moment_axis(
-    patch: SphericalPatch, state: MHDState, params: MHDParameters
+    patch: SphericalPatch,
+    state: MHDState,
+    params: MHDParameters,
+    b: Vec | None = None,
 ) -> float:
     """Axial magnetic dipole moment proxy ``integral of B . zhat dV`` on one
     panel, with z the *panel-local* axis.
 
     For the Yin panel (whose frame is global) this tracks the quantity
     whose sign flips mark the dipole reversals of the paper's Section V
-    references.  B_z = B_r cos(theta) - B_theta sin(theta).
+    references.  B_z = B_r cos(theta) - B_theta sin(theta).  A
+    precomputed ``b`` skips the curl.
     """
-    ops = SphericalOperators(patch)
-    b = ops.curl(state.a)
+    if b is None:
+        b = SphericalOperators(patch).curl(state.a)
     st = np.sin(patch.theta)[None, :, None]
     ct = np.cos(patch.theta)[None, :, None]
     bz = b[0] * ct - b[1] * st

@@ -36,6 +36,11 @@ def rk4_step(system: TimeDependentSystem, y: S, dt: float) -> S:
     Boundary conditions are re-imposed on every stage state before its
     derivative is evaluated, and on the final result — the standard
     method-of-lines treatment for Dirichlet-type conditions.
+
+    Systems exposing ``axpy_into(y, a, k, out)`` get their dead stage
+    states recycled: once a stage's derivative is taken, its storage
+    becomes the next stage's output buffer, so a step allocates one
+    stage state instead of four.
     """
     system.enforce(y)
     k1 = system.rhs(y)
@@ -44,15 +49,15 @@ def rk4_step(system: TimeDependentSystem, y: S, dt: float) -> S:
     system.enforce(y2)
     k2 = system.rhs(y2)
 
-    y3 = system.axpy(y, dt / 2.0, k2)
+    y3 = _stage(system, y, dt / 2.0, k2, y2)
     system.enforce(y3)
     k3 = system.rhs(y3)
 
-    y4 = system.axpy(y, dt, k3)
+    y4 = _stage(system, y, dt, k3, y3)
     system.enforce(y4)
     k4 = system.rhs(y4)
 
-    out = system.axpy(y, dt / 6.0, k1)
+    out = _stage(system, y, dt / 6.0, k1, y4)
     out = _accumulate(system, out, dt / 3.0, k2)
     out = _accumulate(system, out, dt / 3.0, k3)
     out = _accumulate(system, out, dt / 6.0, k4)
@@ -60,11 +65,23 @@ def rk4_step(system: TimeDependentSystem, y: S, dt: float) -> S:
     return out
 
 
+def _stage(system, y, a, k, dead):
+    """``y + a*k``, written over the no-longer-needed state ``dead``
+    when the system supports in-place stage construction."""
+    into = getattr(system, "axpy_into", None)
+    if into is not None:
+        return into(y, a, k, dead)
+    return system.axpy(y, a, k)
+
+
 def _accumulate(system, y, a, k):
     """``y + a*k`` preferring an in-place path when the state supports it."""
     iadd = getattr(y, "iadd_scaled", None)
     if iadd is not None:
         return iadd(a, k)
+    iadd = getattr(system, "iadd_scaled", None)
+    if iadd is not None:
+        return iadd(y, a, k)
     return system.axpy(y, a, k)
 
 

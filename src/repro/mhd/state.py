@@ -93,6 +93,18 @@ class MHDState:
             *(x + a * y for x, y in zip(self.arrays(), other.arrays()))
         )
 
+    def axpy_into(self, a: float, other: "MHDState", out: "MHDState") -> "MHDState":
+        """``self + a * other`` written into ``out``'s arrays; returns ``out``.
+
+        Lets the RK4 stepper recycle dead stage states instead of
+        allocating eight fresh fields per stage.  ``out`` may not alias
+        ``self`` or ``other``.
+        """
+        for x, y, o in zip(self.arrays(), other.arrays(), out.arrays()):
+            np.multiply(y, a, out=o)
+            o += x
+        return out
+
     def iadd_scaled(self, a: float, other: "MHDState") -> "MHDState":
         """In-place ``self += a * other``; returns self."""
         for x, y in zip(self.arrays(), other.arrays()):

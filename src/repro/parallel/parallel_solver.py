@@ -167,6 +167,11 @@ class ParallelYinYangDynamo:
     def axpy(state: MHDState, a: float, k: MHDState) -> MHDState:
         return state.axpy(a, k)
 
+    @staticmethod
+    def axpy_into(state: MHDState, a: float, k: MHDState, out: MHDState) -> MHDState:
+        """``state + a*k`` written over the dead stage state ``out``."""
+        return state.axpy_into(a, k, out)
+
     # ---- stepping ----------------------------------------------------------------
 
     def estimate_dt(self) -> float:

@@ -1,0 +1,178 @@
+"""Unit tests for the RHS kernel layer: ``out=`` stencils,
+:class:`~repro.fd.kernels.BufferPool` and
+:class:`~repro.fd.kernels.DerivativeCache`."""
+
+import numpy as np
+import pytest
+
+from repro.fd.kernels import BufferPool, DerivativeCache, StencilCoefficients
+from repro.fd.stencils import (
+    AXIS_PH,
+    AXIS_R,
+    AXIS_TH,
+    diff,
+    diff2,
+    diff2_raw,
+    diff_raw,
+)
+from repro.grids.component import ComponentGrid
+
+
+@pytest.fixture()
+def field():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((6, 7, 9))
+
+
+class TestOutParameter:
+    @pytest.mark.parametrize("op", [diff, diff2])
+    @pytest.mark.parametrize("axis", [AXIS_R, AXIS_TH, AXIS_PH])
+    def test_out_matches_allocating_path(self, field, op, axis):
+        buf = np.empty_like(field)
+        got = op(field, 0.1, axis, out=buf)
+        assert got is buf
+        np.testing.assert_array_equal(got, op(field, 0.1, axis))
+
+    @pytest.mark.parametrize("op", [diff_raw, diff2_raw])
+    @pytest.mark.parametrize("axis", [AXIS_R, AXIS_TH, AXIS_PH])
+    def test_raw_out_matches_allocating_path(self, field, op, axis):
+        buf = np.empty_like(field)
+        got = op(field, axis, out=buf)
+        assert got is buf
+        np.testing.assert_array_equal(got, op(field, axis))
+
+    @pytest.mark.parametrize("op", [diff, diff2])
+    def test_aliased_out_raises(self, field, op):
+        with pytest.raises(ValueError, match="alias"):
+            op(field, 0.1, AXIS_R, out=field)
+
+    @pytest.mark.parametrize("op", [diff_raw, diff2_raw])
+    def test_raw_aliased_out_raises(self, field, op):
+        with pytest.raises(ValueError, match="alias"):
+            op(field, AXIS_R, out=field)
+
+    def test_overlapping_view_raises(self, field):
+        with pytest.raises(ValueError, match="alias"):
+            diff(field[1:], 0.1, AXIS_R, out=field[:-1])
+
+    def test_shape_mismatch_raises(self, field):
+        with pytest.raises(ValueError, match="shape"):
+            diff(field, 0.1, AXIS_R, out=np.empty((3, 3, 3)))
+
+
+class TestRawNumerators:
+    """`diff_raw`/`diff2_raw` are the spacing-free numerators: the
+    normalised stencils recover from them by one scalar multiply."""
+
+    @pytest.mark.parametrize("axis", [AXIS_R, AXIS_TH, AXIS_PH])
+    def test_diff_raw_scaling(self, field, axis):
+        h = 0.37
+        np.testing.assert_allclose(
+            diff_raw(field, axis) / (2.0 * h), diff(field, h, axis), rtol=1e-13
+        )
+
+    @pytest.mark.parametrize("axis", [AXIS_R, AXIS_TH, AXIS_PH])
+    def test_diff2_raw_scaling(self, field, axis):
+        h = 0.37
+        np.testing.assert_allclose(
+            diff2_raw(field, axis) / h**2, diff2(field, h, axis), rtol=1e-13
+        )
+
+    @pytest.mark.parametrize("op", [diff_raw, diff2_raw])
+    def test_last_axis_noncontiguous_fallback(self, op):
+        """The flattened-view fast path requires C-contiguity; strided
+        inputs must take the slice path and agree exactly."""
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((6, 7, 18))
+        strided = base[:, :, ::2]
+        assert not strided.flags.c_contiguous
+        out = np.empty(strided.shape)
+        np.testing.assert_array_equal(
+            op(strided, AXIS_PH, out=out), op(np.ascontiguousarray(strided), AXIS_PH)
+        )
+
+
+class TestBufferPool:
+    def test_take_allocates_then_reuses(self):
+        pool = BufferPool()
+        a = pool.take((4, 5))
+        assert pool.stats() == {"allocated": 1, "reused": 0, "free": 0}
+        pool.give(a)
+        b = pool.take((4, 5))
+        assert b is a
+        assert pool.stats() == {"allocated": 1, "reused": 1, "free": 0}
+
+    def test_distinct_shapes_do_not_mix(self):
+        pool = BufferPool()
+        a = pool.take((4, 5))
+        pool.give(a)
+        b = pool.take((5, 4))
+        assert b is not a
+        assert pool.allocated == 2
+
+    def test_dtype_keys_do_not_mix(self):
+        pool = BufferPool()
+        a = pool.take((3,), dtype=np.float64)
+        pool.give(a)
+        b = pool.take((3,), dtype=np.float32)
+        assert b.dtype == np.float32
+        assert b is not a
+
+
+class TestDerivativeCache:
+    def test_hit_miss_accounting(self, field):
+        cache = DerivativeCache()
+        d_first = cache.diff(field, 0.1, AXIS_R)
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1}
+        d_again = cache.diff(field, 0.1, AXIS_R)
+        assert d_again is d_first
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        # different axis / order / field are distinct entries
+        cache.diff(field, 0.1, AXIS_TH)
+        cache.diff2(field, 0.1, AXIS_R)
+        cache.diff_raw(field, AXIS_R)
+        cache.diff2_raw(field, AXIS_R)
+        assert cache.stats() == {"hits": 1, "misses": 5, "entries": 5}
+
+    def test_raw_and_normalised_are_distinct_entries(self, field):
+        cache = DerivativeCache()
+        d_norm = cache.diff(field, 0.5, AXIS_R)
+        d_raw = cache.diff_raw(field, AXIS_R)
+        assert cache.misses == 2
+        np.testing.assert_allclose(d_raw, d_norm, rtol=1e-13)  # h = 0.5: 2h = 1
+
+    def test_reset_clears_entries_and_recycles(self, field):
+        pool = BufferPool()
+        cache = DerivativeCache(pool=pool)
+        d = cache.diff_raw(field, AXIS_R)
+        assert pool.allocated == 1 and pool.free_count == 0
+        cache.reset()
+        assert cache.size == 0
+        assert pool.free_count == 1
+        # same request after reset is a fresh miss into the same buffer
+        d2 = cache.diff_raw(field, AXIS_R)
+        assert d2 is d
+        assert cache.stats()["misses"] == 2
+
+    def test_identity_keyed_fields(self, field):
+        cache = DerivativeCache()
+        copy = field.copy()
+        cache.diff_raw(field, AXIS_R)
+        cache.diff_raw(copy, AXIS_R)
+        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+
+class TestStencilCoefficients:
+    def test_folded_factors(self):
+        patch = ComponentGrid.build(6, 8, 10)
+        c = StencilCoefficients(patch)
+        m = patch.metric
+        assert c.sr == pytest.approx(1.0 / (2.0 * patch.dr))
+        np.testing.assert_allclose(c.grad_th, m.inv_r / (2.0 * patch.dtheta))
+        np.testing.assert_allclose(c.grad_ph, m.inv_r_sin / (2.0 * patch.dphi))
+        np.testing.assert_allclose(c.lap_r1, m.two_inv_r / (2.0 * patch.dr))
+        np.testing.assert_allclose(c.lap_th2, m.inv_r2 / patch.dtheta**2)
+        np.testing.assert_allclose(
+            c.lap_th1, m.inv_r2 * m.cot_th / (2.0 * patch.dtheta)
+        )
+        np.testing.assert_allclose(c.lap_ph2, m.inv_r2_sin2 / patch.dphi**2)
