@@ -10,7 +10,6 @@ validation outright.
 """
 
 import numpy as np
-import pytest
 
 from repro.grids.component import Panel
 from repro.grids.dissection import extended_overlap_fraction

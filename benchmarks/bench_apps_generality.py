@@ -6,8 +6,6 @@ times the three in-repo applications' validation problems and asserts
 their quantitative targets (the numbers EXPERIMENTS.md records).
 """
 
-import numpy as np
-import pytest
 
 from repro.apps.heat import HeatSolver, radial_mode_decay_rate
 from repro.apps.shallow_water import williamson2_drift

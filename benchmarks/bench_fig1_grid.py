@@ -5,7 +5,6 @@ with the ~6 % overlap, plus the construction cost of the overset
 interpolation stencils at a production-shaped (scaled) resolution.
 """
 
-import numpy as np
 import pytest
 
 from repro.grids.dissection import covered_fraction_monte_carlo, overlap_fraction

@@ -10,8 +10,6 @@ Two parts:
   the laptop-scale analogue of the paper's 3888-processor run.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import RunConfig, YinYangDynamo
 from repro.grids.yinyang import YinYangGrid
@@ -46,7 +44,7 @@ def test_fig2_step_throughput(benchmark):
     dyn = YinYangDynamo(cfg)
     dyn.step()  # warm the caches / JIT-free but first-touch allocations
 
-    result = benchmark(dyn.step, 5e-4)
+    benchmark(dyn.step, 5e-4)
     assert dyn.is_physical()
     points = dyn.grid.npoints
     per_point = benchmark.stats.stats.mean / points

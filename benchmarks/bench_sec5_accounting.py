@@ -7,7 +7,7 @@
 
 import pytest
 
-from repro.io.volume import DataVolumeModel, paper_run_volume
+from repro.io.volume import paper_run_volume
 from repro.mhd.parameters import MHDParameters
 
 

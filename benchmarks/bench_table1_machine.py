@@ -5,7 +5,6 @@ the vector-pipeline evaluation that every performance prediction leans
 on.
 """
 
-import pytest
 
 from repro.machine.specs import EARTH_SIMULATOR
 from repro.machine.vector import VectorPipeline

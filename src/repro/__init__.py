@@ -26,6 +26,16 @@ Quickstart::
 """
 
 from repro.core import LatLonDynamo, RunConfig, YinYangDynamo
+from repro.engine import (
+    CadenceController,
+    CheckpointObserver,
+    HealthGuard,
+    HistoryRecorder,
+    Integrator,
+    StepObserver,
+    TimeTargetController,
+    TimerObserver,
+)
 from repro.grids import ComponentGrid, LatLonGrid, Panel, YinYangGrid
 from repro.machine import EARTH_SIMULATOR, EarthSimulatorSpec
 from repro.mhd import MHDParameters, MHDState
@@ -37,6 +47,14 @@ __all__ = [
     "YinYangDynamo",
     "LatLonDynamo",
     "RunConfig",
+    "Integrator",
+    "StepObserver",
+    "CadenceController",
+    "TimeTargetController",
+    "HistoryRecorder",
+    "HealthGuard",
+    "CheckpointObserver",
+    "TimerObserver",
     "YinYangGrid",
     "ComponentGrid",
     "LatLonGrid",

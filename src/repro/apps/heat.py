@@ -26,6 +26,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.engine import Integrator, TimeTargetController
 from repro.fd.operators import SphericalOperators
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
@@ -62,6 +63,8 @@ class HeatSolver:
         self.kappa = kappa
         self.ops = {p: SphericalOperators(grid.panel(p)) for p in (Panel.YIN, Panel.YANG)}
         self.time = 0.0
+        self.step_count = 0
+        self.state: PairField | None = None
 
     # ---- TimeDependentSystem interface ---------------------------------------
 
@@ -89,14 +92,23 @@ class HeatSolver:
     def step(self, temp: PairField, dt: float) -> PairField:
         out = rk4_step(self, temp, dt)
         self.time += dt
+        self.step_count += 1
         return out
 
-    def run(self, temp: PairField, t_end: float, *, cfl: float = 0.2) -> PairField:
-        dt = self.stable_dt(cfl)
-        while self.time < t_end - 1e-15:
-            step_dt = min(dt, t_end - self.time)
-            temp = self.step(temp, step_dt)
-        return temp
+    def advance(self, dt: float) -> float:
+        """:class:`~repro.engine.system.IntegrableDriver` hook."""
+        assert self.state is not None, "advance() requires state set by run()"
+        self.state = self.step(self.state, dt)
+        return dt
+
+    def run(self, temp: PairField, t_end: float, *, cfl: float = 0.2,
+            observers=()) -> PairField:
+        """Integrate to ``t_end`` through the shared engine, shortening
+        the final step to land exactly on the target."""
+        self.state = temp
+        controller = TimeTargetController(t_end, self.stable_dt(cfl), eps=1e-15)
+        Integrator(self, controller, observers).run()
+        return self.state
 
     # ---- diagnostics -----------------------------------------------------------
 

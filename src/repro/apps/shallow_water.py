@@ -32,6 +32,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.coords.transforms import other_panel_angles
+from repro.engine import Integrator, TimeTargetController
 from repro.fd.stencils import AXIS_PH, AXIS_TH, diff
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
@@ -64,6 +65,8 @@ class ShallowWaterSolver:
         self.omega = omega
         self.a = radius
         self.time = 0.0
+        self.step_count = 0
+        self.state: SWState | None = None
         # per-panel geometry (2-D, broadcast over the dummy radial axis)
         self._geom = {}
         for gpanel in grid.panels:
@@ -164,13 +167,24 @@ class ShallowWaterSolver:
     def step(self, state: SWState, dt: float) -> SWState:
         out = rk4_step(self, state, dt)
         self.time += dt
+        self.step_count += 1
         return out
 
-    def run(self, state: SWState, t_end: float, *, cfl: float = 0.25) -> SWState:
-        dt = self.stable_dt(state, cfl)
-        while self.time < t_end - 1e-9:
-            state = self.step(state, min(dt, t_end - self.time))
-        return state
+    def advance(self, dt: float) -> float:
+        """:class:`~repro.engine.system.IntegrableDriver` hook."""
+        assert self.state is not None, "advance() requires state set by run()"
+        self.state = self.step(self.state, dt)
+        return dt
+
+    def run(self, state: SWState, t_end: float, *, cfl: float = 0.25,
+            observers=()) -> SWState:
+        """Integrate to ``t_end`` through the shared engine."""
+        self.state = state
+        controller = TimeTargetController(
+            t_end, self.stable_dt(state, cfl), eps=1e-9
+        )
+        Integrator(self, controller, observers).run()
+        return self.state
 
 
 def williamson2_state(solver: ShallowWaterSolver, *, u0: float = 38.61, h0: float = 2998.0) -> SWState:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.coords.spherical import cart_vector_to_sph, sph_to_cart
 from repro.coords.transforms import other_panel_angles, yinyang_vector_map
+from repro.engine import Integrator, TimeTargetController
 from repro.fd.operators import SphericalOperators
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
@@ -103,6 +104,8 @@ class TransportSolver:
         self.kappa = kappa
         self.ops = {p: SphericalOperators(grid.panel(p)) for p in (Panel.YIN, Panel.YANG)}
         self.time = 0.0
+        self.step_count = 0
+        self.state: PairField | None = None
 
     def rhs(self, c: PairField) -> PairField:
         out: PairField = {}
@@ -143,13 +146,22 @@ class TransportSolver:
     def step(self, c: PairField, dt: float) -> PairField:
         out = rk4_step(self, c, dt)
         self.time += dt
+        self.step_count += 1
         return out
 
-    def run(self, c: PairField, t_end: float, *, cfl: float = 0.3) -> PairField:
-        dt = self.stable_dt(cfl)
-        while self.time < t_end - 1e-14:
-            c = self.step(c, min(dt, t_end - self.time))
-        return c
+    def advance(self, dt: float) -> float:
+        """:class:`~repro.engine.system.IntegrableDriver` hook."""
+        assert self.state is not None, "advance() requires state set by run()"
+        self.state = self.step(self.state, dt)
+        return dt
+
+    def run(self, c: PairField, t_end: float, *, cfl: float = 0.3,
+            observers=()) -> PairField:
+        """Integrate to ``t_end`` through the shared engine."""
+        self.state = c
+        controller = TimeTargetController(t_end, self.stable_dt(cfl), eps=1e-14)
+        Integrator(self, controller, observers).run()
+        return self.state
 
 
 def revolution_error(

@@ -88,18 +88,41 @@ def _cmd_report(args) -> None:
 
 def _cmd_run(args) -> None:
     from repro import MHDParameters, RunConfig, YinYangDynamo
+    from repro.core.guard import SolverDivergence
+    from repro.engine import CheckpointObserver, HealthGuard, TimerObserver
 
     params = MHDParameters.laptop_demo()
     dyn = YinYangDynamo(
         RunConfig(nr=args.nr, nth=args.nth, nph=args.nph, params=params,
                   amp_temperature=2e-2, filter_strength=0.05)
     )
+    observers = [TimerObserver()]
+    if args.guard:
+        observers.append(HealthGuard())
+    checkpointer = None
+    if args.checkpoint_every:
+        checkpointer = CheckpointObserver(
+            args.checkpoint_dir, args.checkpoint_every, restart=args.restart
+        )
+        observers.append(checkpointer)
+    elif args.restart:
+        dyn.restore_checkpoint(args.restart)
+    if args.restart:
+        print(f"restarting from {args.restart} ...")
     print(f"running {args.steps} steps on {dyn.grid!r} ...")
-    dyn.run(args.steps, record_every=max(1, args.steps // 8))
+    try:
+        dyn.run(args.steps, record_every=max(1, args.steps // 8),
+                observers=observers)
+    except SolverDivergence as exc:
+        print(f"GUARD: {exc}")
+        raise SystemExit(2)
     for rec in dyn.history:
         e = rec.energies
-        print(f"  step {rec.step:>5}  t = {rec.time:8.4f}  "
+        print(f"  step {rec.step:>5}  t = {rec.time:8.4f}  dt = {rec.dt:8.2e}  "
               f"KE = {e.kinetic:10.4e}  ME = {e.magnetic:10.4e}")
+    if checkpointer is not None and checkpointer.paths:
+        print(f"checkpoints: {len(checkpointer.paths)} saved under "
+              f"{checkpointer.directory}")
     print("final:", {k: f"{v:.4g}" for k, v in dyn.energies().as_dict().items()})
 
 
@@ -133,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nth", type=int, default=14)
     p.add_argument("--nph", type=int, default=42)
     p.add_argument("--steps", type=int, default=40)
+    p.add_argument("--guard", action="store_true",
+                   help="watch for divergence; exit 2 with a diagnosis "
+                        "instead of printing NaN energies")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="save a checkpoint every N steps (0 = off)")
+    p.add_argument("--checkpoint-dir", default="checkpoints",
+                   help="directory for --checkpoint-every archives")
+    p.add_argument("--restart", default=None, metavar="PATH",
+                   help="resume from a checkpoint archive before stepping")
     p.set_defaults(fn=_cmd_run)
     return parser
 

@@ -11,7 +11,12 @@ from repro.core.config import RunConfig
 from repro.core.yycore import YinYangDynamo
 from repro.core.latlon_core import LatLonDynamo
 from repro.core.checkpoint import save_checkpoint, load_checkpoint
-from repro.core.guard import SolverDivergence, assert_healthy, check_state
+from repro.core.guard import (
+    HealthReport,
+    SolverDivergence,
+    assert_healthy,
+    check_state,
+)
 
 __all__ = [
     "RunConfig",
@@ -19,6 +24,7 @@ __all__ = [
     "LatLonDynamo",
     "save_checkpoint",
     "load_checkpoint",
+    "HealthReport",
     "SolverDivergence",
     "assert_healthy",
     "check_state",

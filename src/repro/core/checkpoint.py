@@ -3,65 +3,87 @@
 The production run in the paper saved three-dimensional data 127 times
 over a six-hour run; this module provides the (laptop-scale) analogue,
 storing the prognostic fields per panel plus the run clock.
+
+Format version 2 records the state *layout* explicitly: a Yin-Yang
+panel pair is stored under the panel names, a single (lat-lon) state
+under a dedicated ``single`` layout — earlier versions silently filed a
+single state under ``Panel.YIN``, which a restore could mis-reconstruct
+as half of a panel pair.  Version-1 archives are still readable (their
+single-state saves come back as a Yin-keyed dict, as they always did).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
 from repro.grids.component import Panel
 from repro.mhd.state import FIELD_NAMES, MHDState
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: key prefix of a single (non-panel) state in the archive
+_SINGLE = "single"
+
+CheckpointStates = Union[Dict[Panel, MHDState], MHDState]
 
 
 def save_checkpoint(
     path: str | Path,
-    states: Dict[Panel, MHDState] | MHDState,
+    states: CheckpointStates,
     *,
     time: float = 0.0,
     step: int = 0,
 ) -> Path:
     """Write a checkpoint archive.
 
-    Accepts either a Yin-Yang panel pair or a single (lat-lon) state.
-    Returns the path written.
+    Accepts either a Yin-Yang panel pair or a single (lat-lon) state;
+    the layout is recorded so :func:`load_checkpoint` reconstructs the
+    same shape.  Returns the path written.
     """
     path = Path(path)
-    if isinstance(states, MHDState):
-        states = {Panel.YIN: states}
     payload: Dict[str, np.ndarray] = {
         "_version": np.array(_FORMAT_VERSION),
         "_time": np.array(time),
         "_step": np.array(step),
-        "_panels": np.array([p.value for p in states], dtype="U8"),
     }
-    for panel, state in states.items():
-        for name, arr in state.named_arrays():
-            payload[f"{panel.value}:{name}"] = arr
+    if isinstance(states, MHDState):
+        payload["_layout"] = np.array(_SINGLE)
+        for name, arr in states.named_arrays():
+            payload[f"{_SINGLE}:{name}"] = arr
+    else:
+        payload["_layout"] = np.array("panels")
+        payload["_panels"] = np.array([p.value for p in states], dtype="U8")
+        for panel, state in states.items():
+            for name, arr in state.named_arrays():
+                payload[f"{panel.value}:{name}"] = arr
     np.savez_compressed(path, **payload)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_checkpoint(path: str | Path):
+def load_checkpoint(path: str | Path) -> Tuple[CheckpointStates, float, int]:
     """Read a checkpoint archive.
 
-    Returns ``(states, time, step)`` where ``states`` maps
-    :class:`Panel` to :class:`MHDState` (single-state saves come back
-    under ``Panel.YIN``).
+    Returns ``(states, time, step)``: ``states`` is a
+    ``Panel -> MHDState`` mapping for panel-pair saves and a bare
+    :class:`MHDState` for single-state saves (version-1 archives keep
+    the legacy behaviour of a Yin-keyed dict).
     """
     path = Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
     with np.load(path) as data:
         version = int(data["_version"])
-        if version != _FORMAT_VERSION:
+        if version not in (1, _FORMAT_VERSION):
             raise ValueError(f"unsupported checkpoint version {version}")
         time = float(data["_time"])
         step = int(data["_step"])
+        layout = str(data["_layout"]) if "_layout" in data else "panels"
+        if layout == _SINGLE:
+            arrays = [np.array(data[f"{_SINGLE}:{n}"]) for n in FIELD_NAMES]
+            return MHDState(*arrays), time, step
         states: Dict[Panel, MHDState] = {}
         for pv in data["_panels"]:
             panel = Panel(str(pv))

@@ -10,13 +10,15 @@ longitudinal grid convergence towards the poles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from pathlib import Path
 from typing import List
 
 import numpy as np
 
 from repro.core.config import RunConfig
+from repro.core.guard import HealthReport, assert_healthy
 from repro.core.yycore import HistoryRecord
+from repro.engine import CadenceController, HistoryRecorder, Integrator
 from repro.grids.latlon import LatLonGrid
 from repro.mhd.boundary import WallBC
 from repro.mhd.cfl import estimate_dt
@@ -40,6 +42,7 @@ class LatLonDynamo:
         self.timers = TimerRegistry()
         self.time = 0.0
         self.step_count = 0
+        self._last_dt = float("nan")
         self.history: List[HistoryRecord] = []
         self._base_rhs: MHDState | None = None
         if c.subtract_base_rhs:
@@ -97,6 +100,7 @@ class LatLonDynamo:
         self.state = rk4_step(self, self.state, dt)
         self.time += dt
         self.step_count += 1
+        self._last_dt = dt
         c = self.config
         if c.filter_strength > 0.0 and self.step_count % c.filter_every == 0:
             from repro.mhd.filter import filter_state
@@ -105,26 +109,64 @@ class LatLonDynamo:
             self.enforce(self.state)
         return dt
 
-    def run(self, n_steps: int, *, record_every: int = 1) -> List[HistoryRecord]:
-        c = self.config
-        dt = c.dt or self.estimate_dt()
-        for k in range(n_steps):
-            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
-                dt = self.estimate_dt()
-            self.step(dt)
-            if record_every and (self.step_count % record_every == 0):
-                self.record()
+    def advance(self, dt: float) -> float:
+        """:class:`~repro.engine.system.IntegrableDriver` hook."""
+        return self.step(dt)
+
+    def run(self, n_steps: int, *, record_every: int = 1,
+            observers=()) -> List[HistoryRecord]:
+        """Advance ``n_steps`` steps through the shared engine (same
+        policy and observers as the Yin-Yang driver)."""
+        obs = list(observers)
+        if record_every:
+            obs.insert(0, HistoryRecorder(record_every))
+        controller = CadenceController.from_config(self.config, n_steps)
+        Integrator(self, controller, obs).run()
         return self.history
 
-    def record(self) -> HistoryRecord:
+    def record(self, dt: float | None = None) -> HistoryRecord:
+        """Append an energy sample; ``dt`` defaults to the last step's."""
         rec = HistoryRecord(
             step=self.step_count,
             time=self.time,
-            dt=self.config.dt or float("nan"),
+            dt=self._last_dt if dt is None else dt,
             energies=self.energies(),
         )
         self.history.append(rec)
         return rec
+
+    # ---- engine capabilities (guard / checkpoint) -------------------------------
+
+    def check_health(self, *, step: int | None = None,
+                     max_grid_reynolds: float = 20.0) -> HealthReport:
+        """Guard hook — raises :class:`~repro.core.guard.SolverDivergence`
+        with a diagnosis when the state left the physical regime."""
+        return assert_healthy(
+            self.grid, self.state, self.config.params,
+            step=step, max_grid_reynolds=max_grid_reynolds,
+        )
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Checkpoint hook: archive the single state (explicitly marked
+        as such — a restore cannot mistake it for half a panel pair)."""
+        from repro.core.checkpoint import save_checkpoint
+
+        return save_checkpoint(path, self.state, time=self.time,
+                               step=self.step_count)
+
+    def restore_checkpoint(self, path: str | Path) -> None:
+        """Resume from a single-state checkpoint."""
+        from repro.core.checkpoint import load_checkpoint
+
+        states, t, step = load_checkpoint(path)
+        if not isinstance(states, MHDState):
+            raise ValueError(
+                f"{path}: not a single-state checkpoint (got a panel "
+                f"mapping; use YinYangDynamo to restore it)"
+            )
+        self.state = states
+        self.time = t
+        self.step_count = step
 
     # ---- diagnostics --------------------------------------------------------------
 

@@ -17,12 +17,15 @@ driver's fields exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List
 
 import numpy as np
 
 from repro.core.config import RunConfig
+from repro.core.guard import HealthReport, assert_healthy
+from repro.engine import CadenceController, HistoryRecorder, Integrator
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
 from repro.mhd.boundary import WallBC
@@ -68,6 +71,7 @@ class YinYangDynamo:
         self.timers = TimerRegistry()
         self.time = 0.0
         self.step_count = 0
+        self._last_dt = float("nan")
         self.history: List[HistoryRecord] = []
         self._base_rhs: PairState | None = None
         if c.subtract_base_rhs:
@@ -164,6 +168,7 @@ class YinYangDynamo:
         self.state = rk4_step(self, self.state, dt)
         self.time += dt
         self.step_count += 1
+        self._last_dt = dt
         c = self.config
         if c.filter_strength > 0.0 and self.step_count % c.filter_every == 0:
             from repro.mhd.filter import filter_state
@@ -173,31 +178,79 @@ class YinYangDynamo:
             self.enforce(self.state)
         return dt
 
-    def run(self, n_steps: int, *, record_every: int = 1) -> List[HistoryRecord]:
-        """Advance ``n_steps`` steps, recording energy diagnostics.
+    def advance(self, dt: float) -> float:
+        """:class:`~repro.engine.system.IntegrableDriver` hook."""
+        return self.step(dt)
+
+    def run(self, n_steps: int, *, record_every: int = 1,
+            observers=()) -> List[HistoryRecord]:
+        """Advance ``n_steps`` steps through the shared engine.
 
         The time step is re-estimated every ``dt_recompute_every`` steps
-        when not fixed in the configuration.
+        when not fixed in the configuration; energies are recorded every
+        ``record_every`` steps (0 disables).  Extra engine observers
+        (guard, checkpoints, timers) ride along via ``observers``.
         """
-        c = self.config
-        dt = c.dt or self.estimate_dt()
-        for k in range(n_steps):
-            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
-                dt = self.estimate_dt()
-            self.step(dt)
-            if record_every and (self.step_count % record_every == 0):
-                self.record()
+        obs = list(observers)
+        if record_every:
+            obs.insert(0, HistoryRecorder(record_every))
+        controller = CadenceController.from_config(self.config, n_steps)
+        Integrator(self, controller, obs).run()
         return self.history
 
-    def record(self) -> HistoryRecord:
+    def record(self, dt: float | None = None) -> HistoryRecord:
+        """Append an energy sample; ``dt`` defaults to the last step's."""
         rec = HistoryRecord(
             step=self.step_count,
             time=self.time,
-            dt=self.config.dt or float("nan"),
+            dt=self._last_dt if dt is None else dt,
             energies=self.energies(),
         )
         self.history.append(rec)
         return rec
+
+    # ---- engine capabilities (guard / checkpoint) -------------------------------
+
+    def check_health(self, *, step: int | None = None,
+                     max_grid_reynolds: float = 20.0) -> HealthReport:
+        """Guard hook: per-panel health check, worst report returned.
+
+        Raises :class:`~repro.core.guard.SolverDivergence` with a
+        diagnosis when either panel left the physical regime.
+        """
+        worst: HealthReport | None = None
+        for p, s in self.state.items():
+            rep = assert_healthy(
+                self.grid.panel(p), s, self.config.params,
+                step=step, max_grid_reynolds=max_grid_reynolds,
+            )
+            if worst is None or rep.grid_reynolds > worst.grid_reynolds:
+                worst = rep
+        assert worst is not None
+        return worst
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Checkpoint hook: archive the panel pair plus the run clock."""
+        from repro.core.checkpoint import save_checkpoint
+
+        return save_checkpoint(path, self.state, time=self.time,
+                               step=self.step_count)
+
+    def restore_checkpoint(self, path: str | Path) -> None:
+        """Resume from a panel-pair checkpoint (exact continuation: the
+        restored fields enter the next RK4 step precisely as the
+        original run's fields would have)."""
+        from repro.core.checkpoint import load_checkpoint
+
+        states, t, step = load_checkpoint(path)
+        if not isinstance(states, dict) or set(states) != {Panel.YIN, Panel.YANG}:
+            raise ValueError(
+                f"{path}: not a Yin-Yang panel-pair checkpoint "
+                f"(got {type(states).__name__})"
+            )
+        self.state = states
+        self.time = t
+        self.step_count = step
 
     # ---- diagnostics --------------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Unified time-integration engine.
+
+One run loop (:class:`~repro.engine.integrator.Integrator`) drives all
+six solver drivers in the repository — the serial Yin-Yang dynamo, the
+lat-lon baseline, each rank of the flat-MPI solver, and the heat /
+shallow-water / transport applications — through a pluggable
+:class:`~repro.engine.controller.StepController` dt policy and
+:class:`~repro.engine.observers.StepObserver` hooks for diagnostics,
+divergence guarding, checkpointing and timing.  See
+``docs/ARCHITECTURE.md`` for the contracts and which solver uses which
+policy.
+"""
+
+from repro.engine.controller import (
+    CadenceController,
+    StepController,
+    TimeTargetController,
+)
+from repro.engine.integrator import IntegrationResult, Integrator, StepEvent, integrate
+from repro.engine.observers import (
+    CheckpointObserver,
+    HealthGuard,
+    HistoryRecorder,
+    StepObserver,
+    TimerObserver,
+)
+from repro.engine.system import (
+    IntegrableDriver,
+    SupportsCheckpoint,
+    SupportsDtEstimate,
+    SupportsHealthCheck,
+    TimeDependentSystem,
+)
+
+__all__ = [
+    "Integrator",
+    "IntegrationResult",
+    "StepEvent",
+    "integrate",
+    "StepController",
+    "CadenceController",
+    "TimeTargetController",
+    "StepObserver",
+    "HistoryRecorder",
+    "HealthGuard",
+    "CheckpointObserver",
+    "TimerObserver",
+    "TimeDependentSystem",
+    "IntegrableDriver",
+    "SupportsDtEstimate",
+    "SupportsCheckpoint",
+    "SupportsHealthCheck",
+]

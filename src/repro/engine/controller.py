@@ -1,0 +1,96 @@
+"""Step controllers: the dt / stopping policy of a run.
+
+A :class:`StepController` answers one question per loop iteration:
+*what dt should step* ``k`` *take, or are we done?*  Two policies cover
+every driver in the repository:
+
+* :class:`CadenceController` — a fixed number of steps with either a
+  fixed dt or a CFL estimate refreshed every ``recompute_every`` steps.
+  This is the dynamo drivers' policy (serial, lat-lon and parallel);
+  the refresh cadence matches the paper's production loop, where the
+  CFL reduction is collective and therefore amortised.
+
+* :class:`TimeTargetController` — integrate to ``t_end`` with a
+  precomputed stable dt, shortening the final step to land on the
+  target.  This is the apps' (heat / shallow-water / transport) policy.
+
+The controller owns *when* dt changes; it never steps the driver
+itself, so the bitwise-sensitive pieces (reduction association in
+``estimate_dt``, enforce ordering inside ``advance``) stay with the
+driver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.validation import check_positive, require
+
+
+class StepController:
+    """Base dt policy: subclasses implement :meth:`next_dt`."""
+
+    def next_dt(self, driver, k: int) -> Optional[float]:
+        """dt for loop iteration ``k`` (0-based), or ``None`` to stop."""
+        raise NotImplementedError
+
+
+class CadenceController(StepController):
+    """Run ``n_steps`` steps at fixed dt or a periodically refreshed CFL
+    estimate.
+
+    With ``dt=None`` the driver's ``estimate_dt()`` is called before the
+    first step and again every ``recompute_every`` steps — the same
+    cadence (and therefore the same float sequence) as the historical
+    per-solver loops, which the serial/parallel bitwise-equivalence test
+    pins down.
+    """
+
+    def __init__(self, n_steps: int, *, dt: Optional[float] = None,
+                 recompute_every: int = 10):
+        require(n_steps >= 0, f"n_steps must be >= 0, got {n_steps}")
+        require(recompute_every >= 1, "recompute_every must be >= 1")
+        if dt is not None:
+            check_positive("dt", dt)
+        self.n_steps = n_steps
+        self.dt = dt
+        self.recompute_every = recompute_every
+        self._estimated: Optional[float] = None
+
+    @classmethod
+    def from_config(cls, config, n_steps: int) -> "CadenceController":
+        """The policy encoded in a :class:`~repro.core.config.RunConfig`."""
+        return cls(n_steps, dt=config.dt,
+                   recompute_every=config.dt_recompute_every)
+
+    def next_dt(self, driver, k: int) -> Optional[float]:
+        if k >= self.n_steps:
+            return None
+        if self.dt is not None:
+            return self.dt
+        if self._estimated is None or k % self.recompute_every == 0:
+            self._estimated = driver.estimate_dt()
+        return self._estimated
+
+
+class TimeTargetController(StepController):
+    """Integrate until ``driver.time`` reaches ``t_end``.
+
+    Every step takes ``min(dt, t_end - time)`` so the run lands exactly
+    on the target; ``eps`` guards against a zero-length final step from
+    float round-off (the apps historically used per-solver epsilons —
+    pass the same value to preserve their step sequences bitwise).
+    """
+
+    def __init__(self, t_end: float, dt: float, *, eps: float = 1e-12):
+        check_positive("dt", dt)
+        require(eps >= 0.0, "eps must be >= 0")
+        self.t_end = t_end
+        self.dt = dt
+        self.eps = eps
+
+    def next_dt(self, driver, k: int) -> Optional[float]:
+        remaining = self.t_end - driver.time
+        if remaining <= self.eps:
+            return None
+        return min(self.dt, remaining)

@@ -1,0 +1,189 @@
+"""Pluggable step observers: diagnostics, guarding, checkpoints, timing.
+
+An observer receives three hooks from :class:`~repro.engine.integrator.
+Integrator`: ``on_start(driver)`` before the first step, ``after_step
+(event)`` once per completed step, and ``on_finish(driver)`` when the
+loop ends (including when it ends by an observer raising — the guard's
+:class:`~repro.core.guard.SolverDivergence` still runs the finishers,
+so timers and checkpoints are not lost to a blow-up).
+
+Capabilities are driver-provided: ``HistoryRecorder`` needs
+``record(dt=...)``, ``HealthGuard`` needs ``check_health(...)``,
+``CheckpointObserver`` needs ``save_checkpoint`` / ``restore_checkpoint``.
+Observers verify the capability in ``on_start`` and fail fast with a
+clear message rather than mid-run.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.utils.timer import TimerRegistry
+from repro.utils.validation import require
+
+
+class StepObserver:
+    """Base observer: every hook is a no-op."""
+
+    def on_start(self, driver) -> None:
+        pass
+
+    def after_step(self, event) -> None:
+        pass
+
+    def on_finish(self, driver) -> None:
+        pass
+
+
+def _require_capability(driver, names, who: str) -> None:
+    missing = [n for n in names if not callable(getattr(driver, n, None))]
+    if missing:
+        raise TypeError(
+            f"{who} needs driver methods {missing}; "
+            f"{type(driver).__name__} does not provide them"
+        )
+
+
+class HistoryRecorder(StepObserver):
+    """Record energy diagnostics every ``record_every`` steps.
+
+    Calls ``driver.record(dt=event.dt)`` so the history logs the dt
+    *actually used* for the step — adaptive runs record the live CFL
+    estimate, not ``config.dt or nan``.
+    """
+
+    def __init__(self, record_every: int = 1):
+        require(record_every >= 1, "record_every must be >= 1")
+        self.record_every = record_every
+
+    def on_start(self, driver) -> None:
+        _require_capability(driver, ["record"], "HistoryRecorder")
+
+    def after_step(self, event) -> None:
+        if event.step % self.record_every == 0:
+            event.driver.record(dt=event.dt)
+
+
+class HealthGuard(StepObserver):
+    """Watch the run's numerical health; raise instead of propagating NaNs.
+
+    Every ``every`` steps the driver's ``check_health`` is invoked,
+    which raises :class:`~repro.core.guard.SolverDivergence` (carrying a
+    populated :class:`~repro.core.guard.HealthReport`) when the state
+    left the physical regime or the grid Reynolds number exceeds
+    ``max_grid_reynolds``.  The last clean report is kept on
+    ``last_report`` for post-run inspection.
+    """
+
+    def __init__(self, *, every: int = 1, max_grid_reynolds: float = 20.0):
+        require(every >= 1, "every must be >= 1")
+        self.every = every
+        self.max_grid_reynolds = max_grid_reynolds
+        self.last_report = None
+        self.checks = 0
+
+    def on_start(self, driver) -> None:
+        _require_capability(driver, ["check_health"], "HealthGuard")
+
+    def after_step(self, event) -> None:
+        if event.step % self.every == 0:
+            self.last_report = event.driver.check_health(
+                step=event.step, max_grid_reynolds=self.max_grid_reynolds
+            )
+            self.checks += 1
+
+
+class CheckpointObserver(StepObserver):
+    """Periodic checkpoint saves (the paper's 127-snapshot campaign
+    pattern), plus optional restart before the first step.
+
+    Writes ``<directory>/<basename>_<step>.npz`` every ``every`` steps
+    via the driver's ``save_checkpoint``.  With ``restart`` set, the
+    driver's ``restore_checkpoint`` is applied in ``on_start`` — before
+    any dt estimate — so a restored run continues the original step
+    sequence exactly.
+    """
+
+    def __init__(self, directory, every: int, *, basename: str = "checkpoint",
+                 restart=None, save_final: bool = False):
+        require(every >= 1, "every must be >= 1")
+        self.directory = Path(directory)
+        self.every = every
+        self.basename = basename
+        self.restart = restart
+        self.save_final = save_final
+        self.paths: List[Path] = []
+        self._last_saved_step: Optional[int] = None
+
+    def on_start(self, driver) -> None:
+        _require_capability(
+            driver, ["save_checkpoint", "restore_checkpoint"], "CheckpointObserver"
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.restart is not None:
+            driver.restore_checkpoint(self.restart)
+
+    def _save(self, driver, step: int) -> None:
+        path = driver.save_checkpoint(
+            self.directory / f"{self.basename}_{step:06d}.npz"
+        )
+        self.paths.append(Path(path))
+        self._last_saved_step = step
+
+    def after_step(self, event) -> None:
+        if event.step % self.every == 0:
+            self._save(event.driver, event.step)
+
+    def on_finish(self, driver) -> None:
+        step = getattr(driver, "step_count", None)
+        if self.save_final and step is not None and step != self._last_saved_step:
+            self._save(driver, step)
+
+
+class TimerObserver(StepObserver):
+    """Attribute wall-clock time to the run loop, mirroring the paper's
+    per-phase MPIPROGINF accounting.
+
+    Accumulates a ``step`` phase (one interval per completed step) in
+    the driver's own :class:`~repro.utils.timer.TimerRegistry` when it
+    has one, or a private registry otherwise.  In the parallel case a
+    comm trace (any object with ``n_messages`` / ``total_bytes``, e.g.
+    :class:`~repro.parallel.tracing.CommTrace`) can be attached; the
+    messages and bytes the run generated are exposed as
+    ``comm_messages`` / ``comm_bytes`` after ``on_finish``.
+    """
+
+    def __init__(self, registry: Optional[TimerRegistry] = None,
+                 *, name: str = "step", comm_trace=None):
+        self.registry = registry
+        self.name = name
+        self.comm_trace = comm_trace
+        self.comm_messages: Optional[int] = None
+        self.comm_bytes: Optional[int] = None
+        self._mark: Optional[float] = None
+        self._msgs0 = 0
+        self._bytes0 = 0
+
+    def on_start(self, driver) -> None:
+        if self.registry is None:
+            registry = getattr(driver, "timers", None)
+            self.registry = registry if isinstance(registry, TimerRegistry) \
+                else TimerRegistry()
+        if self.comm_trace is not None:
+            self._msgs0 = self.comm_trace.n_messages
+            self._bytes0 = self.comm_trace.total_bytes
+        self._mark = _time.perf_counter()
+
+    def after_step(self, event) -> None:
+        now = _time.perf_counter()
+        timer = self.registry.timer(self.name)
+        timer.total += now - (self._mark if self._mark is not None else now)
+        timer.count += 1
+        self._mark = now
+
+    def on_finish(self, driver) -> None:
+        if self.comm_trace is not None:
+            self.comm_messages = self.comm_trace.n_messages - self._msgs0
+            self.comm_bytes = self.comm_trace.total_bytes - self._bytes0

@@ -15,7 +15,7 @@ columns of the performance model map onto the paper's layout.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Tuple
 

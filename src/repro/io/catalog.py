@@ -23,7 +23,6 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.config import RunConfig

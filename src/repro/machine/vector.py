@@ -17,7 +17,6 @@ effects the paper leans on:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.machine.specs import EarthSimulatorSpec

@@ -13,21 +13,13 @@ test suite.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, TypeVar
+from typing import Callable, TypeVar
+
+from repro.engine.system import TimeDependentSystem
 
 S = TypeVar("S")
 
-
-class TimeDependentSystem(Protocol[S]):
-    """The interface :func:`rk4_step` integrates."""
-
-    def rhs(self, state: S) -> S: ...
-
-    def enforce(self, state: S) -> None: ...
-
-    def axpy(self, y: S, a: float, k: S) -> S:
-        """Return ``y + a * k`` as a new state."""
-        ...
+__all__ = ["TimeDependentSystem", "rk4_step", "rk4_scalar"]
 
 
 def rk4_step(system: TimeDependentSystem, y: S, dt: float) -> S:

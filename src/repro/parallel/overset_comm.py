@@ -16,7 +16,7 @@ vectors, the basis rotation) on the receptor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

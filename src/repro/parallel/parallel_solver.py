@@ -22,11 +22,14 @@ equivalence is asserted by the integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import RunConfig
+from repro.core.guard import HealthReport, assert_healthy
+from repro.engine import CadenceController, IntegrationResult, Integrator
 from repro.grids.base import SphericalPatch
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
@@ -97,6 +100,7 @@ class ParallelYinYangDynamo:
 
         self.time = 0.0
         self.step_count = 0
+        self._last_dt = float("nan")
 
         self._base_rhs: Optional[MHDState] = None
         if c.subtract_base_rhs:
@@ -212,6 +216,7 @@ class ParallelYinYangDynamo:
         self.state = rk4_step(self, self.state, dt)
         self.time += dt
         self.step_count += 1
+        self._last_dt = dt
         c = self.config
         if c.filter_strength > 0.0 and self.step_count % c.filter_every == 0:
             self._filter_local(self.state, c.filter_strength)
@@ -247,13 +252,58 @@ class ParallelYinYangDynamo:
             ) / 6.0
             f[1:-1, lt, lp] += strength * inc
 
-    def run(self, n_steps: int) -> None:
-        c = self.config
-        dt = c.dt or self.estimate_dt()
-        for k in range(n_steps):
-            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
-                dt = self.estimate_dt()
-            self.step(dt)
+    def advance(self, dt: float) -> float:
+        """:class:`~repro.engine.system.IntegrableDriver` hook."""
+        return self.step(dt)
+
+    def run(self, n_steps: int, *, observers=()) -> IntegrationResult:
+        """Advance ``n_steps`` steps through the shared engine.
+
+        Every rank runs the identical loop; the controller's dt requests
+        hit the collective ``estimate_dt`` at the same iterations on all
+        ranks, so the engine preserves the bitwise serial equivalence
+        (same reduction association, same enforce ordering).
+        """
+        controller = CadenceController.from_config(self.config, n_steps)
+        return Integrator(self, controller, observers).run()
+
+    # ---- engine capabilities (guard / checkpoint) -------------------------------
+
+    def check_health(self, *, step: Optional[int] = None,
+                     max_grid_reynolds: float = 20.0) -> HealthReport:
+        """Guard hook on this rank's tile.  A divergence raises inside
+        the rank thread and SimMPI re-raises it in the launcher."""
+        return assert_healthy(
+            self.local_patch, self.state, self.config.params,
+            step=step, max_grid_reynolds=max_grid_reynolds,
+        )
+
+    def _rank_path(self, path) -> Path:
+        path = Path(path)
+        suffix = path.suffix or ".npz"
+        return path.with_name(f"{path.stem}_rank{self.world.rank:03d}{suffix}")
+
+    def save_checkpoint(self, path) -> Path:
+        """Checkpoint hook: per-rank archive (``..._rankNNN.npz``) of the
+        local tile — the flat-MPI analogue of the paper's per-process
+        I/O; a global save goes through ``gather_state`` on rank 0."""
+        from repro.core.checkpoint import save_checkpoint
+
+        return save_checkpoint(self._rank_path(path), self.state,
+                               time=self.time, step=self.step_count)
+
+    def restore_checkpoint(self, path) -> None:
+        """Resume this rank from its per-rank archive."""
+        from repro.core.checkpoint import load_checkpoint
+
+        states, t, step = load_checkpoint(self._rank_path(path))
+        if not isinstance(states, MHDState):
+            raise ValueError(
+                f"{self._rank_path(path)}: expected a single-tile checkpoint"
+            )
+        self.state = states
+        self.time = t
+        self.step_count = step
 
     # ---- gathering -----------------------------------------------------------------
 
@@ -310,19 +360,12 @@ def run_parallel_dynamo(
 
     def program(world: Communicator):
         solver = ParallelYinYangDynamo(world, config, pth, pph)
-        dts: List[float] = []
-        c = config
-        dt = c.dt or solver.estimate_dt()
-        for k in range(n_steps):
-            if c.dt is None and k > 0 and k % c.dt_recompute_every == 0:
-                dt = solver.estimate_dt()
-            solver.step(dt)
-            dts.append(dt)
+        result = solver.run(n_steps)
         gathered = solver.gather_state()
         if world.rank == 0:
             return ParallelRunResult(
                 states=gathered, time=solver.time, steps=solver.step_count,
-                dt_history=dts,
+                dt_history=result.dt_history,
             )
         return None
 

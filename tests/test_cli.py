@@ -48,6 +48,22 @@ class TestCommands:
         assert "KE =" in out
         assert "final:" in out
 
+    def test_run_guarded_checkpointing_and_restart(self, capsys, tmp_path):
+        ckdir = tmp_path / "cks"
+        base = ["run", "--nr", "9", "--nth", "12", "--nph", "36"]
+        assert main(base + ["--steps", "4", "--guard",
+                            "--checkpoint-every", "2",
+                            "--checkpoint-dir", str(ckdir)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints: 2 saved" in out
+        saved = sorted(ckdir.glob("*.npz"))
+        assert len(saved) == 2
+        # resume from the last checkpoint and keep going
+        assert main(base + ["--steps", "6", "--restart", str(saved[-1])]) == 0
+        out = capsys.readouterr().out
+        assert "restarting from" in out
+        assert "step    10" in out  # 4 checkpointed + 6 more
+
     @pytest.mark.slow
     def test_table2(self, capsys):
         assert main(["table2"]) == 0

@@ -5,7 +5,7 @@ from repro.core import RunConfig, YinYangDynamo
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.grids.component import Panel
 from repro.mhd.parameters import MHDParameters
-from repro.mhd.state import MHDState
+from repro.mhd.state import FIELD_NAMES, MHDState
 
 
 @pytest.fixture()
@@ -30,17 +30,50 @@ class TestRoundTrip:
                 np.testing.assert_array_equal(a, b)
 
     def test_single_state_round_trip(self, pair, tmp_path):
+        """A lat-lon single state comes back as a bare MHDState, not
+        disguised as a Yin panel (the layout is recorded explicitly)."""
         path = tmp_path / "single.npz"
         save_checkpoint(path, pair[Panel.YIN])
         states, t, step = load_checkpoint(path)
-        assert list(states) == [Panel.YIN]
+        assert isinstance(states, MHDState)
         assert (t, step) == (0.0, 0)
+        for a, b in zip(states.arrays(), pair[Panel.YIN].arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_single_state_never_a_panel_dict(self, pair, tmp_path):
+        """Restore cannot mis-reconstruct a single state as half a
+        panel pair."""
+        path = save_checkpoint(tmp_path / "single", pair[Panel.YIN])
+        states, _, _ = load_checkpoint(path)
+        assert not isinstance(states, dict)
 
     def test_suffix_added_when_missing(self, pair, tmp_path):
         path = tmp_path / "noext"
         save_checkpoint(path, pair)
         states, _, _ = load_checkpoint(tmp_path / "noext")
         assert Panel.YANG in states
+
+    def test_legacy_v1_single_loads_as_yin_dict(self, pair, tmp_path):
+        """Version-1 archives (single state filed under Panel.YIN) keep
+        their historical load behaviour."""
+        state = pair[Panel.YIN]
+        payload = {
+            "_version": np.array(1),
+            "_time": np.array(0.5),
+            "_step": np.array(3),
+            "_panels": np.array(["yin"], dtype="U8"),
+        }
+        for name, arr in state.named_arrays():
+            payload[f"yin:{name}"] = arr
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **payload)
+        states, t, step = load_checkpoint(path)
+        assert list(states) == [Panel.YIN]
+        assert (t, step) == (0.5, 3)
+        for n in FIELD_NAMES:
+            np.testing.assert_array_equal(
+                getattr(states[Panel.YIN], n), getattr(state, n)
+            )
 
 
 class TestResume:
@@ -54,22 +87,24 @@ class TestResume:
 
         staged = YinYangDynamo(cfg)
         staged.run(3, record_every=0)
-        path = save_checkpoint(tmp_path / "mid", staged.state,
-                               time=staged.time, step=staged.step_count)
+        path = staged.save_checkpoint(tmp_path / "mid")
         resumed = YinYangDynamo(cfg)
-        states, t, step = load_checkpoint(path)
-        resumed.state = states
-        resumed.time = t
-        resumed.step_count = step
+        resumed.restore_checkpoint(path)
+        assert resumed.step_count == 3
         resumed.run(3, record_every=0)
 
         for panel in (Panel.YIN, Panel.YANG):
             for a, b in zip(resumed.state[panel].arrays(), direct.state[panel].arrays()):
                 np.testing.assert_array_equal(a, b)
 
-    def test_version_guard(self, pair, tmp_path):
-        import numpy as np
+    def test_restore_rejects_single_state(self, pair, tmp_path):
+        params = MHDParameters.laptop_demo()
+        path = save_checkpoint(tmp_path / "single", pair[Panel.YIN])
+        dyn = YinYangDynamo(RunConfig(nr=7, nth=12, nph=36, params=params))
+        with pytest.raises(ValueError, match="panel-pair"):
+            dyn.restore_checkpoint(path)
 
+    def test_version_guard(self, pair, tmp_path):
         path = save_checkpoint(tmp_path / "v", pair)
         # corrupt the version
         data = dict(np.load(path))

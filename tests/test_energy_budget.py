@@ -1,7 +1,6 @@
 """Energy-budget consistency of the discretised equations (2)-(5)."""
 
 import numpy as np
-import pytest
 
 from repro.core import RunConfig, YinYangDynamo
 from repro.mhd.diagnostics import yinyang_total_energy

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.fd.operators import SphericalOperators
 from repro.grids.component import ComponentGrid

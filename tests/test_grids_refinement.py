@@ -10,7 +10,6 @@ from repro.grids.refinement import (
     refine,
 )
 from repro.grids.yinyang import YinYangGrid
-from repro.mhd.initial import conduction_state
 from repro.mhd.parameters import MHDParameters
 
 

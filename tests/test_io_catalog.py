@@ -4,7 +4,6 @@ import pytest
 from repro.core import RunConfig, YinYangDynamo
 from repro.grids.component import Panel
 from repro.io.catalog import RunCatalog, record_run
-from repro.io.series import TimeSeriesRecorder
 from repro.mhd.parameters import MHDParameters
 
 

@@ -13,7 +13,6 @@ from repro.mhd.diagnostics import (
 )
 from repro.mhd.initial import conduction_state
 from repro.mhd.parameters import MHDParameters
-from repro.mhd.state import MHDState
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 import numpy as np
 import pytest
 
-from repro.coords.transforms import other_panel_angles
 from repro.grids.component import ComponentGrid, Panel
 from repro.mhd.equations import PanelEquations, rotation_vector_field
 from repro.mhd.initial import conduction_state

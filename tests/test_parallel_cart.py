@@ -1,6 +1,6 @@
 import pytest
 
-from repro.parallel.cart import PROC_NULL, CartComm, create_cart
+from repro.parallel.cart import PROC_NULL, create_cart
 from repro.parallel.simmpi import SimMPI
 
 

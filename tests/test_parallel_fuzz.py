@@ -8,7 +8,6 @@ pattern deadlocks (buffered sends + matched receives).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.parallel.cart import create_cart
 from repro.parallel.decomposition import PanelDecomposition

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.perf.flopcount_array import CountingArray, count_flops, wrap
 

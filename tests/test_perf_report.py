@@ -1,6 +1,6 @@
 import pytest
 
-from repro.perf.report import Comparison, ReproductionReport, generate_report
+from repro.perf.report import Comparison, generate_report
 
 
 class TestComparison:

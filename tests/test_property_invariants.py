@@ -7,12 +7,10 @@ physical-frame consistency of panel-pair fields.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import RunConfig, YinYangDynamo
-from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
 from repro.mhd.parameters import MHDParameters
 

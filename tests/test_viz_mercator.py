@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.grids.dissection import overlap_fraction
