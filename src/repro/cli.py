@@ -86,10 +86,60 @@ def _cmd_report(args) -> None:
         raise SystemExit(1)
 
 
+def _ranks_to_layout(ranks: int):
+    """Near-square ``(pth, pph)`` factorisation of a world size.
+
+    The world holds two panels, so ``ranks`` must be even; the per-panel
+    process count ``ranks // 2`` is split into the most-square
+    ``pth x pph`` process array (pth <= pph), the paper's 2-D topology.
+    """
+    if ranks < 2 or ranks % 2:
+        raise SystemExit(f"--ranks must be a positive even number, got {ranks}")
+    nper = ranks // 2
+    pth = 1
+    for d in range(int(nper**0.5), 0, -1):
+        if nper % d == 0:
+            pth = d
+            break
+    return pth, nper // pth
+
+
+def _cmd_run_parallel(args) -> None:
+    from repro import MHDParameters, RunConfig
+    from repro.mhd.diagnostics import yinyang_energies
+    from repro.grids.yinyang import YinYangGrid
+    from repro.parallel.parallel_solver import run_parallel_dynamo
+
+    params = MHDParameters.laptop_demo()
+    config = RunConfig(nr=args.nr, nth=args.nth, nph=args.nph, params=params,
+                       amp_temperature=2e-2, filter_strength=0.05)
+    pth, pph = _ranks_to_layout(args.ranks)
+    print(f"running {args.steps} steps on {args.ranks} {args.backend} ranks "
+          f"(2 panels x {pth} x {pph}) ...")
+    res = run_parallel_dynamo(config, pth, pph, args.steps, backend=args.backend)
+    grid = YinYangGrid(config.nr, config.nth, config.nph,
+                       ri=params.ri, ro=params.ro,
+                       extra_theta=config.extra_theta, extra_phi=config.extra_phi)
+    for rank, sec in enumerate(res.rank_step_seconds):
+        rate = res.steps / sec if sec > 0 else float("inf")
+        print(f"  rank {rank:>3}  step loop {sec:8.3f} s  ({rate:8.2f} steps/s)")
+    e = yinyang_energies(grid, res.states, params)
+    print(f"t = {res.time:.4f} after {res.steps} steps")
+    print("final:", {k: f"{v:.4g}" for k, v in e.as_dict().items()})
+
+
 def _cmd_run(args) -> None:
     from repro import MHDParameters, RunConfig, YinYangDynamo
     from repro.core.guard import SolverDivergence
     from repro.engine import CheckpointObserver, HealthGuard, TimerObserver
+
+    if args.backend != "serial":
+        if args.guard or args.checkpoint_every or args.restart:
+            raise SystemExit(
+                "--guard/--checkpoint-every/--restart are serial-only options"
+            )
+        _cmd_run_parallel(args)
+        return
 
     params = MHDParameters.laptop_demo()
     dyn = YinYangDynamo(
@@ -165,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for --checkpoint-every archives")
     p.add_argument("--restart", default=None, metavar="PATH",
                    help="resume from a checkpoint archive before stepping")
+    p.add_argument("--backend", default="serial",
+                   choices=["serial", "thread", "process"],
+                   help="serial solver, or a SimMPI backend for the "
+                        "flat-MPI parallel solver")
+    p.add_argument("--ranks", type=int, default=4, metavar="N",
+                   help="total ranks for a parallel backend (even; "
+                        "2 panels x near-square process array)")
     p.set_defaults(fn=_cmd_run)
     return parser
 

@@ -187,3 +187,22 @@ class TimerObserver(StepObserver):
         if self.comm_trace is not None:
             self.comm_messages = self.comm_trace.n_messages - self._msgs0
             self.comm_bytes = self.comm_trace.total_bytes - self._bytes0
+
+    @property
+    def total_seconds(self) -> float:
+        """Accumulated wall seconds of the observed phase so far.
+
+        Used for per-rank timing in the parallel runner: each rank
+        allgathers this after its loop ends, giving the load-balance
+        picture the paper reads off MPIPROGINF.
+        """
+        if self.registry is None:
+            return 0.0
+        return float(self.registry.timer(self.name).total)
+
+    @property
+    def steps_timed(self) -> int:
+        """Number of step intervals accumulated so far."""
+        if self.registry is None:
+            return 0
+        return int(self.registry.timer(self.name).count)

@@ -7,23 +7,34 @@ a 2-D process array within each panel, halo exchange uses
 overset interpolation communicates under the world communicator.
 
 mpi4py is unavailable in this environment, so the same program structure
-runs on :mod:`repro.parallel.simmpi` — an in-process, thread-based
-runtime with MPI semantics (communicators, split, cartesian topologies,
-point-to-point and collective operations).  The parallel solver is
-verified to reproduce the serial yycore fields exactly.
+runs on interchangeable SimMPI backends (:mod:`repro.parallel.backends`):
+the thread-based :class:`~repro.parallel.simmpi.SimMPI` runtime
+(in-process mailboxes, the correctness substrate) or the process-based
+:class:`~repro.parallel.procmpi.ProcMPI` runtime (one OS process per
+rank over ``multiprocessing.shared_memory`` — real multi-core
+execution).  The parallel solver is verified to reproduce the serial
+yycore fields exactly on both.
 """
 
-from repro.parallel.simmpi import SimMPI, Communicator, ANY_SOURCE, ANY_TAG
+from repro.parallel.simmpi import (
+    SimMPI, Communicator, CommunicatorBase, ANY_SOURCE, ANY_TAG,
+)
+from repro.parallel.backends import available_backends, get_backend
 from repro.parallel.cart import CartComm, create_cart
 from repro.parallel.decomposition import PanelDecomposition, Subdomain, split_indices
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.overset_comm import OversetExchanger
 from repro.parallel.parallel_solver import ParallelYinYangDynamo, run_parallel_dynamo
+from repro.parallel.procmpi import ProcMPI
 from repro.parallel.tracing import CommTrace, TracedCommunicator
 
 __all__ = [
     "SimMPI",
+    "ProcMPI",
     "Communicator",
+    "CommunicatorBase",
+    "available_backends",
+    "get_backend",
     "ANY_SOURCE",
     "ANY_TAG",
     "CartComm",

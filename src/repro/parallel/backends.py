@@ -1,0 +1,43 @@
+"""Backend registry for the SimMPI rank runtimes (the factory seam).
+
+Every backend is a *launcher* with the same entry point::
+
+    launcher.run(nprocs, fn, *args, timeout=..., **kwargs) -> [per-rank results]
+
+where ``fn(comm, ...)`` receives a communicator implementing
+:class:`~repro.parallel.simmpi.CommunicatorBase`.  The solver, the
+:class:`~repro.parallel.halo.HaloExchanger` and the
+:class:`~repro.parallel.overset_comm.OversetExchanger` are written
+against that interface only, so they run unmodified on either backend:
+
+``thread``
+    :class:`~repro.parallel.simmpi.SimMPI` — one thread per rank,
+    in-process mailboxes.  Correctness substrate; closures allowed.
+``process``
+    :class:`~repro.parallel.procmpi.ProcMPI` — one OS process per rank,
+    shared-memory message transport.  Real multi-core execution; the
+    rank function must be picklable (module-level).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def available_backends() -> List[str]:
+    return ["thread", "process"]
+
+
+def get_backend(name: str):
+    """Resolve a backend name to its launcher (imports lazily)."""
+    if name == "thread":
+        from repro.parallel.simmpi import SimMPI
+
+        return SimMPI
+    if name == "process":
+        from repro.parallel.procmpi import ProcMPI
+
+        return ProcMPI
+    raise ValueError(
+        f"unknown SimMPI backend {name!r}; available: {available_backends()}"
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.parallel.simmpi import Communicator
+from repro.parallel.simmpi import CommunicatorBase
 from repro.utils.validation import require
 
 #: Marker for "no neighbour in that direction" (MPI_PROC_NULL).
@@ -27,7 +27,7 @@ class CartComm:
     default ordering.
     """
 
-    comm: Communicator
+    comm: CommunicatorBase
     dims: Tuple[int, int]
     periods: Tuple[bool, bool] = (False, False)
 
@@ -89,7 +89,7 @@ class CartComm:
 
 
 def create_cart(
-    comm: Communicator, dims: Tuple[int, int], periods: Tuple[bool, bool] = (False, False)
+    comm: CommunicatorBase, dims: Tuple[int, int], periods: Tuple[bool, bool] = (False, False)
 ) -> CartComm:
     """Build a cartesian topology over ``comm`` (collective, like MPI)."""
     comm.barrier()  # mirror the collective nature of MPI_CART_CREATE

@@ -4,6 +4,16 @@ Each process exchanges ``HALO``-wide strips of owned data with its four
 cartesian neighbours using ``Send`` / ``Irecv`` pairs, exactly the
 communication pattern of Section IV.  Fields are ``(nr, lth, lph)``
 local arrays; the radial axis travels whole (it is never decomposed).
+
+By default all fields travelling together are *packed* into one
+contiguous ``(nfields, nr, ...)`` buffer per neighbour per phase — one
+message instead of ``nfields`` — and handed to the communicator with
+``move=True`` (the buffer is freshly allocated and never reused, so
+the thread backend skips its eager copy and the process backend
+memcpys straight into shared memory).  ``packed=False`` restores the
+legacy one-message-per-field path with its ``_TAG_STRIDE`` tag layout.
+Packing only changes *how* bytes travel: the values written into each
+halo slice are bit-identical on both paths.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from repro.parallel.decomposition import HALO, Subdomain
 Array = np.ndarray
 
 # tag base per direction so concurrent exchanges of several fields can
-# share the communicator without cross-talk
+# share the communicator without cross-talk (legacy per-field path)
 _TAG_STRIDE = 8
 _DIR_TAGS = {"north": 0, "south": 1, "west": 2, "east": 3}
 
@@ -26,9 +36,10 @@ _DIR_TAGS = {"north": 0, "south": 1, "west": 2, "east": 3}
 class HaloExchanger:
     """Exchanges halo strips of local fields over a cartesian topology."""
 
-    def __init__(self, cart: CartComm, sub: Subdomain):
+    def __init__(self, cart: CartComm, sub: Subdomain, *, packed: bool = True):
         self.cart = cart
         self.sub = sub
+        self.packed = packed
         self.nbr = cart.neighbours()
         # sanity: neighbour existence must match the subdomain's halo widths
         pairs = (
@@ -81,7 +92,7 @@ class HaloExchanger:
             direction
         ]
 
-    def _phase(self, fields: Sequence[Array], directions, tag_base: int) -> None:
+    def _phase_legacy(self, fields: Sequence[Array], directions, tag_base: int) -> None:
         recvs: List[tuple] = []
         for k, f in enumerate(fields):
             for direction in directions:
@@ -106,12 +117,48 @@ class HaloExchanger:
             payload = req.wait()
             f[sl] = payload
 
+    def _phase_packed(self, fields: Sequence[Array], directions, tag_base: int) -> None:
+        recvs: List[tuple] = []
+        for direction in directions:
+            nbr = self.nbr[direction]
+            if nbr == PROC_NULL:
+                continue
+            tag = tag_base + _DIR_TAGS[direction]
+            req = self.cart.comm.Irecv(source=nbr, tag=tag)
+            recvs.append((req, direction))
+        for direction in directions:
+            nbr = self.nbr[direction]
+            if nbr == PROC_NULL:
+                continue
+            tag = tag_base + _DIR_TAGS[self._opposite(direction)]
+            sl = self._send_slice(direction)
+            strip_shape = fields[0][sl].shape
+            buf = np.empty((len(fields),) + strip_shape, dtype=fields[0].dtype)
+            for k, f in enumerate(fields):
+                buf[k] = f[sl]
+            # freshly allocated, never touched again on this side: move it
+            self.cart.comm.Send(buf, dest=nbr, tag=tag, move=True)
+        for req, direction in recvs:
+            payload = req.wait()
+            sl = self._recv_slice(direction)
+            for k, f in enumerate(fields):
+                f[sl] = payload[k]
+
+    def _phase(self, fields: Sequence[Array], directions, tag_base: int) -> None:
+        if self.packed:
+            self._phase_packed(fields, directions, tag_base)
+        else:
+            self._phase_legacy(fields, directions, tag_base)
+
     def exchange(self, fields: Sequence[Array], tag_base: int = 0) -> None:
         """Exchange halos of several fields, in place.
 
         Two phases — phi direction, then theta with full-width strips —
         deliver edge and corner halo data in the paper's
-        ``MPI_SEND`` / ``MPI_IRECV`` nearest-neighbour pattern.
+        ``MPI_SEND`` / ``MPI_IRECV`` nearest-neighbour pattern.  With
+        ``packed=True`` (the default) each phase sends one coalesced
+        buffer per neighbour; the legacy path sends one message per
+        field with ``_TAG_STRIDE``-spaced tags.
         """
         self._phase(fields, ("west", "east"), tag_base)
         self._phase(fields, ("north", "south"), tag_base + 4)

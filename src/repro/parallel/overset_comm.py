@@ -11,19 +11,26 @@ only on grid geometry and decomposition, so it is built once, on every
 rank identically (deterministic), and each exchange is a set of
 ``(nr, m)`` column messages followed by the weighted combine (and, for
 vectors, the basis rotation) on the receptor.
+
+With ``packed=True`` (the default) every donor->receptor pair sends a
+single ``(nfields, nr, m)`` buffer per exchange instead of one message
+per field, and :meth:`OversetExchanger.exchange_state` batches *all*
+prognostic fields of a state into that one message (rotating the two
+vector triples on the receptor).  The per-field combine and rotation
+arithmetic is untouched, so packing is bitwise-neutral.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro.grids.interpolation import OversetInterpolator
 from repro.grids.yinyang import YinYangGrid
 from repro.parallel.decomposition import PanelDecomposition, Subdomain
-from repro.parallel.simmpi import Communicator
+from repro.parallel.simmpi import CommunicatorBase
 
 Array = np.ndarray
 
@@ -124,17 +131,24 @@ class OversetExchanger:
         0 for Yin, 1 for Yang — my panel.
     panel_rank:
         My rank within the panel group.
+    packed:
+        When true (default) each donor->receptor pair sends one
+        ``(nfields, nr, m)`` message per exchange; when false, the
+        legacy one-message-per-field wire format is used.
     """
 
     def __init__(
         self,
         grid: YinYangGrid,
         decomp: PanelDecomposition,
-        world: Communicator,
+        world: CommunicatorBase,
         panel_index: int,
         panel_rank: int,
+        *,
+        packed: bool = True,
     ):
         self.world = world
+        self.packed = packed
         self.decomp = decomp
         self.panel_index = panel_index
         self.panel_rank = panel_rank
@@ -170,11 +184,124 @@ class OversetExchanger:
         nf = len(fields)
         if vector and nf != 3:
             raise ValueError("vector exchange needs exactly 3 components")
+        if self.packed:
+            self._exchange_packed(fields, ((0, 1, 2),) if vector else (), tag0)
+        else:
+            self._exchange_legacy(fields, vector, tag0)
+
+    def exchange_state(
+        self,
+        state,
+        tag0: int = 0,
+        rotate_groups: Tuple[Tuple[int, int, int], ...] = ((1, 2, 3), (5, 6, 7)),
+    ) -> None:
+        """Exchange *all* prognostic fields of a state at once, in place.
+
+        ``state`` is an :class:`~repro.mhd.state.MHDState` (anything with
+        ``.arrays()``) or a plain sequence of fields.  ``rotate_groups``
+        names the index triples that are spherical vector components and
+        get the donor->receptor basis rotation; the defaults match the
+        prognostic layout ``(rho, fr, fth, fph, p, ar, ath, aph)``.  On
+        the packed path this is ONE message per donor->receptor pair for
+        the whole state; on the legacy path it decomposes into the
+        historical per-scalar / per-vector exchanges (8 tags apart).
+        """
+        fields = tuple(state.arrays()) if hasattr(state, "arrays") else tuple(state)
+        if self.packed:
+            self._exchange_packed(fields, rotate_groups, tag0)
+            return
+        starts = {g[0]: g for g in rotate_groups}
+        consumed = {i for g in rotate_groups for i in g}
+        block = 0
+        for k in range(len(fields)):
+            if k in starts:
+                g = starts[k]
+                self._exchange_legacy(
+                    tuple(fields[i] for i in g), True, tag0 + 8 * block
+                )
+            elif k not in consumed:
+                self._exchange_legacy((fields[k],), False, tag0 + 8 * block)
+            else:
+                continue
+            block += 1
+
+    def _post_plan(self):
         my_receptor_dir = self.panel_index
         my_donor_dir = 1 - self.panel_index
         _, receptor = self.plans[my_receptor_dir]
         donor, _ = self.plans[my_donor_dir]
         assert receptor is not None and donor is not None
+        return donor, receptor
+
+    def _combine(self, receptor: _ReceptorSide, corner_vals: Array,
+                 rotate_groups, fields: Sequence[Array]) -> None:
+        """Weighted combine + rotation + ring write-back (shared by both
+        wire formats — this is where bitwise equivalence lives)."""
+        nf = len(fields)
+        # bilinear combine, accumulated corner-by-corner in the same
+        # (left-associated) order as the serial interpolator so the
+        # parallel solver reproduces serial floats bitwise
+        w = receptor.weights
+        vals = []
+        for k in range(nf):
+            acc = corner_vals[k, 0] * w[0]
+            for cc in range(1, 4):
+                acc = acc + corner_vals[k, cc] * w[cc]
+            vals.append(acc)
+
+        R = receptor.rotation  # (n_loc, 3, 3)
+        for (a, b, c) in rotate_groups:
+            vr = R[:, 0, 0] * vals[a] + R[:, 0, 1] * vals[b] + R[:, 0, 2] * vals[c]
+            vth = R[:, 1, 0] * vals[a] + R[:, 1, 1] * vals[b] + R[:, 1, 2] * vals[c]
+            vph = R[:, 2, 0] * vals[a] + R[:, 2, 1] * vals[b] + R[:, 2, 2] * vals[c]
+            vals[a], vals[b], vals[c] = vr, vth, vph
+
+        i, j = receptor.ring_lith, receptor.ring_liph
+        for k in range(nf):
+            fields[k][:, i, j] = vals[k]
+
+    def _exchange_packed(self, fields: Sequence[Array], rotate_groups,
+                         tag0: int) -> None:
+        """One ``(nfields, nr, m)`` message per donor->receptor pair."""
+        nf = len(fields)
+        donor, receptor = self._post_plan()
+        nr = fields[0].shape[0]
+
+        # post receives for my ring data: one message per donor rank
+        recvs = []
+        for d, (slot_c, slot_j) in receptor.sources.items():
+            src = self._world_rank(1 - self.panel_index, d)
+            tag = _TAG_BASE + tag0 + 4 * self.panel_index
+            recvs.append((self.world.Irecv(source=src, tag=tag), slot_c, slot_j))
+
+        # send my donor columns for the opposite ring, all fields packed
+        for r, (lith, liph) in donor.targets.items():
+            dest = self._world_rank(1 - self.panel_index, r)
+            tag = _TAG_BASE + tag0 + 4 * (1 - self.panel_index)
+            buf = np.empty((nf, nr, lith.size), dtype=fields[0].dtype)
+            for k in range(nf):
+                buf[k] = fields[k][:, lith, liph]
+            # freshly packed, never reused here: zero-copy handoff
+            self.world.Send(buf, dest=dest, tag=tag, move=True)
+
+        if receptor.n_loc == 0:
+            for req, *_ in recvs:
+                req.wait()
+            return
+
+        corner_vals = np.zeros((nf, 4, nr, receptor.n_loc))
+        for req, slot_c, slot_j in recvs:
+            payload = req.wait()
+            for k in range(nf):
+                corner_vals[k, slot_c, :, slot_j] = payload[k].T
+
+        self._combine(receptor, corner_vals, rotate_groups, fields)
+
+    def _exchange_legacy(self, fields: Sequence[Array], vector: bool,
+                         tag0: int) -> None:
+        """Historical wire format: one message per (pair, field)."""
+        nf = len(fields)
+        donor, receptor = self._post_plan()
 
         # post receives for my ring data
         recvs = []
@@ -203,27 +330,8 @@ class OversetExchanger:
             payload = req.wait()
             corner_vals[k, slot_c, :, slot_j] = payload.T
 
-        # bilinear combine, accumulated corner-by-corner in the same
-        # (left-associated) order as the serial interpolator so the
-        # parallel solver reproduces serial floats bitwise
-        w = receptor.weights
-        vals = []
-        for k in range(nf):
-            acc = corner_vals[k, 0] * w[0]
-            for cc in range(1, 4):
-                acc = acc + corner_vals[k, cc] * w[cc]
-            vals.append(acc)
-
-        if vector:
-            R = receptor.rotation  # (n_loc, 3, 3)
-            vr = R[:, 0, 0] * vals[0] + R[:, 0, 1] * vals[1] + R[:, 0, 2] * vals[2]
-            vth = R[:, 1, 0] * vals[0] + R[:, 1, 1] * vals[1] + R[:, 1, 2] * vals[2]
-            vph = R[:, 2, 0] * vals[0] + R[:, 2, 1] * vals[1] + R[:, 2, 2] * vals[2]
-            vals = [vr, vth, vph]
-
-        i, j = receptor.ring_lith, receptor.ring_liph
-        for k in range(nf):
-            fields[k][:, i, j] = vals[k]
+        self._combine(receptor, corner_vals, ((0, 1, 2),) if vector else (),
+                      fields)
 
     def exchange_scalar(self, f: Array, tag0: int = 0) -> None:
         self.exchange((f,), vector=False, tag0=tag0)

@@ -21,7 +21,7 @@ equivalence is asserted by the integration tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.config import RunConfig
 from repro.core.guard import HealthReport, assert_healthy
 from repro.engine import CadenceController, IntegrationResult, Integrator
+from repro.engine.observers import TimerObserver
 from repro.grids.base import SphericalPatch
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
@@ -41,9 +42,10 @@ from repro.mhd.rk4 import rk4_step
 from repro.mhd.state import FIELD_NAMES, MHDState
 from repro.parallel.cart import create_cart
 from repro.parallel.decomposition import PanelDecomposition
+from repro.parallel.backends import get_backend
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.overset_comm import OversetExchanger
-from repro.parallel.simmpi import Communicator, SimMPI
+from repro.parallel.simmpi import CommunicatorBase
 
 Array = np.ndarray
 
@@ -55,13 +57,19 @@ def _restrict(global_field: Array, sl: Tuple[slice, slice]) -> Array:
 class ParallelYinYangDynamo:
     """One rank's view of the parallel dynamo.
 
-    Construct inside a SimMPI program; ``world.size`` must equal
-    ``2 * pth * pph`` (the paper notes the total process count is even).
+    Construct inside a SimMPI program (either backend); ``world.size``
+    must equal ``2 * pth * pph`` (the paper notes the total process
+    count is even).  ``packed=True`` (the default) coalesces halo and
+    overset traffic into one message per neighbour / per donor pair;
+    ``packed=False`` keeps the legacy one-message-per-field wire format.
+    Both produce bitwise-identical fields.
     """
 
-    def __init__(self, world: Communicator, config: RunConfig, pth: int, pph: int):
+    def __init__(self, world: CommunicatorBase, config: RunConfig, pth: int,
+                 pph: int, *, packed: bool = True):
         self.world = world
         self.config = config
+        self.packed = packed
         nper = pth * pph
         if world.size != 2 * nper:
             raise ValueError(
@@ -93,9 +101,10 @@ class ParallelYinYangDynamo:
         omega_cart = (0.0, 0.0, omega) if self.panel is Panel.YIN else (0.0, omega, 0.0)
         self.equations = PanelEquations(self.local_patch, c.params, omega_cart)
         self.wall_bc = WallBC(c.params, magnetic=c.magnetic_bc)
-        self.halo = HaloExchanger(self.cart, self.sub)
+        self.halo = HaloExchanger(self.cart, self.sub, packed=packed)
         self.overset = OversetExchanger(
-            self.grid, self.decomp, world, self.panel_index, self.panel_comm.rank
+            self.grid, self.decomp, world, self.panel_index,
+            self.panel_comm.rank, packed=packed,
         )
 
         self.time = 0.0
@@ -160,10 +169,14 @@ class ParallelYinYangDynamo:
         """Overset exchange, halo exchange, wall conditions — in that
         order, so ring updates reach neighbouring halos before the local
         stencils read them."""
-        self.overset.exchange_scalar(state.rho, tag0=0)
-        self.overset.exchange_scalar(state.p, tag0=8)
-        self.overset.exchange_vector(state.f, tag0=16)
-        self.overset.exchange_vector(state.a, tag0=24)
+        if self.packed:
+            # all 8 prognostic fields in ONE message per donor pair
+            self.overset.exchange_state(state, tag0=0)
+        else:
+            self.overset.exchange_scalar(state.rho, tag0=0)
+            self.overset.exchange_scalar(state.p, tag0=8)
+            self.overset.exchange_vector(state.f, tag0=16)
+            self.overset.exchange_vector(state.a, tag0=24)
         self.halo.exchange(list(state.arrays()))
         self.wall_bc.apply(state)
 
@@ -345,6 +358,29 @@ class ParallelRunResult:
     time: float
     steps: int
     dt_history: List[float]
+    #: per-world-rank wall seconds spent inside the step loop (TimerObserver)
+    rank_step_seconds: List[float] = field(default_factory=list)
+
+
+def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
+                      pph: int, n_steps: int, packed: bool = True):
+    """One rank's whole program: build, run, gather.
+
+    Module-level (not a closure) so the process backend can pickle it
+    for ``spawn``; both backends call it with identical arguments.
+    """
+    solver = ParallelYinYangDynamo(world, config, pth, pph, packed=packed)
+    timer = TimerObserver()
+    result = solver.run(n_steps, observers=(timer,))
+    rank_seconds = world.allgather(float(timer.total_seconds))
+    gathered = solver.gather_state()
+    if world.rank == 0:
+        return ParallelRunResult(
+            states=gathered, time=solver.time, steps=solver.step_count,
+            dt_history=result.dt_history,
+            rank_step_seconds=[float(s) for s in rank_seconds],
+        )
+    return None
 
 
 def run_parallel_dynamo(
@@ -354,22 +390,17 @@ def run_parallel_dynamo(
     n_steps: int,
     *,
     timeout: float = 300.0,
+    backend: str = "thread",
+    packed: bool = True,
 ) -> ParallelRunResult:
-    """Launch a SimMPI world of ``2 * pth * pph`` ranks, run ``n_steps``
-    and return the gathered result."""
-
-    def program(world: Communicator):
-        solver = ParallelYinYangDynamo(world, config, pth, pph)
-        result = solver.run(n_steps)
-        gathered = solver.gather_state()
-        if world.rank == 0:
-            return ParallelRunResult(
-                states=gathered, time=solver.time, steps=solver.step_count,
-                dt_history=result.dt_history,
-            )
-        return None
-
-    results = SimMPI.run(2 * pth * pph, program, timeout=timeout)
+    """Launch a world of ``2 * pth * pph`` ranks on the chosen backend
+    (``"thread"`` or ``"process"``), run ``n_steps`` and return the
+    gathered result."""
+    launcher = get_backend(backend)
+    results = launcher.run(
+        2 * pth * pph, _parallel_program, config, pth, pph, n_steps, packed,
+        timeout=timeout,
+    )
     out = results[0]
     assert out is not None
     return out

@@ -1,0 +1,454 @@
+"""ProcMPI — the process-backed SimMPI: real multi-core rank execution.
+
+One OS **process** per rank (spawn-safe: the rank function and its
+arguments travel by pickle, so they must be defined at module level),
+with NumPy message payloads carried through a single
+``multiprocessing.shared_memory`` arena:
+
+* the launcher creates one shared segment divided into fixed-size
+  *slots* (``REPRO_PROCMPI_SLOTS`` x ``REPRO_PROCMPI_SLOT_BYTES``,
+  default 128 x 1 MiB) plus a free-slot queue;
+* ``Send`` of an ndarray acquires as many slots as the payload needs,
+  memcpys the bytes in, and posts a tiny descriptor — ``(comm, source,
+  tag, slots, shape, dtype)`` — to the receiver's inbox queue.  Halo
+  strips and overset columns therefore move by two memcpys through
+  shared pages instead of being pickled through a pipe;
+* the receiver copies out and returns the slots to the free queue.
+  Non-array payloads (and arrays too large for half the arena) fall
+  back to pickling through the descriptor queue.
+
+Collectives run the *same* rank-ordered algorithms as the thread
+backend (:class:`~repro.parallel.simmpi.CommunicatorBase`); the
+rendezvous is a gather-to-root + rebroadcast over the slot transport,
+so reductions associate identically on both backends and the parallel
+solver stays bitwise-equal to the serial one under either.
+
+Environment
+-----------
+``REPRO_PROCMPI_SLOTS`` / ``REPRO_PROCMPI_SLOT_BYTES``
+    Arena geometry (slot count / slot size in bytes).
+``REPRO_PROCMPI_START``
+    ``multiprocessing`` start method (default ``spawn``; ``fork`` is
+    faster to launch on Linux but unsafe with threads in the parent).
+``REPRO_SIMMPI_TIMEOUT``
+    Blocking-operation guard, shared with the thread backend.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue
+import time as _time
+import traceback
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DEFAULT_TIMEOUT,
+    CommunicatorBase,
+    DeadlockTimeout,
+    SimMPIError,
+)
+
+__all__ = ["ProcMPI", "ProcCommunicator", "ProcWorkerError"]
+
+#: Descriptor payload kinds.
+_KIND_SLOTS = 0  # ndarray in arena slots: meta = (slots, shape, dtype, nbytes)
+_KIND_PICKLE = 1  # anything else: meta = the object itself (queue pickles it)
+
+#: Collective traffic shares the rank inboxes with point-to-point
+#: messages; its channel key is the comm id plus this suffix, so
+#: collective tags (sequence numbers) can never collide with user tags.
+_COLL = "\x00coll"
+
+
+def _arena_geometry() -> Tuple[int, int]:
+    slots = int(os.environ.get("REPRO_PROCMPI_SLOTS", "128"))
+    slot_bytes = int(os.environ.get("REPRO_PROCMPI_SLOT_BYTES", str(1 << 20)))
+    if slots < 2 or slot_bytes < 4096:
+        raise SimMPIError(
+            f"arena geometry {slots} x {slot_bytes} B too small "
+            "(need >= 2 slots of >= 4096 B)"
+        )
+    return slots, slot_bytes
+
+
+class ProcWorkerError(SimMPIError):
+    """A rank process failed with an exception that could not be
+    re-raised directly (unpicklable); carries the formatted traceback."""
+
+
+class _ProcRuntime:
+    """One rank process's view of the shared transport."""
+
+    def __init__(self, world_rank: int, nprocs: int, arena_name: str,
+                 slot_bytes: int, n_slots: int, free_q, inboxes, timeout: float):
+        self.world_rank = world_rank
+        self.nprocs = nprocs
+        self.slot_bytes = slot_bytes
+        self.n_slots = n_slots
+        #: refuse to occupy more than half the arena with one message —
+        #: two such senders could otherwise deadlock on slot acquisition
+        self.max_slots_per_msg = max(1, n_slots // 2)
+        self.free_q = free_q
+        self.inboxes = inboxes
+        self.timeout = timeout
+        # NB: attaching re-registers the name with the resource tracker,
+        # but rank processes share the launcher's tracker (spawned
+        # children inherit it), whose cache is a set — the launcher's
+        # single unlink() cleans the one entry up.
+        self.arena = shared_memory.SharedMemory(name=arena_name)
+        #: descriptors popped from my inbox but not yet matched
+        self.pending: List[tuple] = []
+
+    # ---- slot management ------------------------------------------------------
+
+    def _acquire_slots(self, n: int) -> List[int]:
+        slots: List[int] = []
+        try:
+            for _ in range(n):
+                slots.append(self.free_q.get(timeout=self.timeout))
+        except _queue.Empty:
+            for s in slots:
+                self.free_q.put(s)
+            raise DeadlockTimeout(
+                f"shared-memory arena exhausted: rank {self.world_rank} waited "
+                f"{self.timeout}s for {n} slot(s); raise REPRO_PROCMPI_SLOTS "
+                f"(= {self.n_slots}) or REPRO_PROCMPI_SLOT_BYTES"
+            ) from None
+        return slots
+
+    def _write_slots(self, arr: np.ndarray, slots: List[int]) -> None:
+        flat = arr.reshape(-1).view(np.uint8)
+        pos = 0
+        for s in slots:
+            n = min(self.slot_bytes, arr.nbytes - pos)
+            dst = np.frombuffer(self.arena.buf, dtype=np.uint8, count=n,
+                                offset=s * self.slot_bytes)
+            dst[:] = flat[pos:pos + n]
+            pos += n
+
+    def _read_slots(self, meta) -> np.ndarray:
+        slots, shape, dtype_str, nbytes = meta
+        out = np.empty(shape, dtype=np.dtype(dtype_str))
+        flat = out.reshape(-1).view(np.uint8)
+        pos = 0
+        for s in slots:
+            n = min(self.slot_bytes, nbytes - pos)
+            src = np.frombuffer(self.arena.buf, dtype=np.uint8, count=n,
+                                offset=s * self.slot_bytes)
+            flat[pos:pos + n] = src
+            pos += n
+            self.free_q.put(s)
+        return out
+
+    # ---- transport ------------------------------------------------------------
+
+    def send(self, dest_world: int, chan: str, src_rank: int, tag: int,
+             payload: Any) -> int:
+        """Post one message; returns the payload byte count (accounting)."""
+        nbytes = 0
+        if isinstance(payload, np.ndarray) and payload.nbytes > 0:
+            arr = payload if payload.flags.c_contiguous else np.ascontiguousarray(payload)
+            nbytes = arr.nbytes
+            n_chunks = -(-arr.nbytes // self.slot_bytes)
+            if n_chunks <= self.max_slots_per_msg:
+                slots = self._acquire_slots(n_chunks)
+                self._write_slots(arr, slots)
+                desc = (chan, src_rank, tag, _KIND_SLOTS,
+                        (tuple(slots), arr.shape, arr.dtype.str, arr.nbytes))
+            else:  # larger than half the arena: pickle through the queue
+                desc = (chan, src_rank, tag, _KIND_PICKLE, arr)
+        else:
+            desc = (chan, src_rank, tag, _KIND_PICKLE, payload)
+        self.inboxes[dest_world].put(desc)
+        return nbytes
+
+    def _materialise(self, desc) -> Any:
+        kind, meta = desc[3], desc[4]
+        if kind == _KIND_SLOTS:
+            return self._read_slots(meta)
+        return meta
+
+    def recv(self, chan: str, source: int, tag: int) -> Tuple[int, Any]:
+        """Match and return ``(source_rank, payload)``."""
+        def match_idx() -> Optional[int]:
+            for i, d in enumerate(self.pending):
+                if d[0] != chan:
+                    continue
+                if (source == ANY_SOURCE or d[1] == source) and (
+                    tag == ANY_TAG or d[2] == tag
+                ):
+                    return i
+            return None
+
+        deadline = _time.monotonic() + self.timeout
+        while True:
+            idx = match_idx()
+            if idx is not None:
+                desc = self.pending.pop(idx)
+                return desc[1], self._materialise(desc)
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise DeadlockTimeout(
+                    f"Recv(chan={chan!r}, source={source}, tag={tag}) timed out "
+                    f"after {self.timeout}s on world rank {self.world_rank}"
+                )
+            try:
+                self.pending.append(
+                    self.inboxes[self.world_rank].get(timeout=remaining)
+                )
+            except _queue.Empty:
+                pass  # loop re-checks the deadline
+
+    def close(self) -> None:
+        self.pending.clear()
+        try:
+            self.arena.close()
+        except BufferError:  # a stray view pins the mmap; leak it quietly
+            pass
+
+
+class ProcCommunicator(CommunicatorBase):
+    """MPI-style communicator where every rank is an OS process.
+
+    Point-to-point payloads travel through the shared-memory arena;
+    collectives come from :class:`CommunicatorBase`, running over a
+    gather-to-root rendezvous (``gather``/``bcast`` are specialised to
+    avoid shipping the full payload dict to every member)."""
+
+    def __init__(self, runtime: _ProcRuntime, comm_id: str,
+                 members: Sequence[int], world_rank: int):
+        self._rt = runtime
+        self._init_base(comm_id, members, world_rank)
+
+    # ---- point-to-point -------------------------------------------------------
+
+    def Send(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> None:
+        """Blocking standard send: memcpy into shared slots and post the
+        descriptor.  The transfer itself decouples sender and receiver,
+        so ``move=True`` needs no special handling here."""
+        if not 0 <= dest < self.size:
+            raise SimMPIError(f"dest {dest} out of range for comm of size {self.size}")
+        nbytes = self._rt.send(self.members[dest], self.id, self.rank, tag, data)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+
+    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Any:
+        _, payload = self._rt.recv(self.id, source, tag)
+        if buf is not None:
+            arr = np.asarray(payload)
+            if buf.shape != arr.shape:
+                raise SimMPIError(
+                    f"Recv buffer shape {buf.shape} != message shape {arr.shape}"
+                )
+            buf[...] = arr
+        return payload
+
+    # ---- collective rendezvous ------------------------------------------------
+
+    def _isolate(self, data: Any) -> Any:
+        return data  # the transport serialises/copies; no eager copy needed
+
+    def _exchange(self, seq: int, payload: Any) -> Dict[int, Any]:
+        chan = self.id + _COLL
+        rt = self._rt
+        if self.rank == 0:
+            slot: Dict[int, Any] = {0: payload}
+            for _ in range(self.size - 1):
+                src, p = rt.recv(chan, ANY_SOURCE, seq)
+                slot[src] = p
+            for r in range(1, self.size):
+                rt.send(self.members[r], chan, 0, seq, slot)
+            return slot
+        rt.send(self.members[0], chan, self.rank, seq, payload)
+        _, result = rt.recv(chan, 0, seq)
+        return result
+
+    def gather(self, data: Any, root: int = 0) -> Optional[List[Any]]:
+        """Root-only collection — the payloads are shipped to ``root``
+        once instead of rebroadcast to every member (this is the path
+        the end-of-run state gather takes, with multi-MB blocks)."""
+        seq = self._next_seq()
+        chan = self.id + _COLL
+        if self.rank == root:
+            slot: Dict[int, Any] = {root: data}
+            for _ in range(self.size - 1):
+                src, p = self._rt.recv(chan, ANY_SOURCE, seq)
+                slot[src] = p
+            return [slot[r] for r in range(self.size)]
+        self._rt.send(self.members[root], chan, self.rank, seq, data)
+        return None
+
+    def bcast(self, data: Any, root: int = 0) -> Any:
+        seq = self._next_seq()
+        chan = self.id + _COLL
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._rt.send(self.members[r], chan, root, seq, data)
+            return data
+        _, payload = self._rt.recv(chan, root, seq)
+        return payload
+
+    def _make_child(self, comm_id: str, members: Sequence[int]) -> "ProcCommunicator":
+        return ProcCommunicator(self._rt, comm_id, members, self.world_rank)
+
+
+# ---- worker bootstrap ------------------------------------------------------------
+
+
+def _pack_result(value: Any) -> Tuple[str, bytes]:
+    try:
+        return "pickle", pickle.dumps(value)
+    except Exception as exc:  # unpicklable return value
+        return "text", repr(value).encode() + b" (unpicklable: " + repr(exc).encode() + b")"
+
+
+def _pack_exception(exc: BaseException) -> Tuple[str, Any]:
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        return "exc", (pickle.dumps(exc), tb)
+    except Exception:
+        return "text", f"{type(exc).__name__}: {exc}\n{tb}"
+
+
+def _worker_main(rank: int, nprocs: int, arena_name: str, slot_bytes: int,
+                 n_slots: int, free_q, inboxes, result_q, timeout: float,
+                 fn: Callable[..., Any], fn_args: tuple, fn_kwargs: dict) -> None:
+    """Entry point of one rank process (module-level: spawn-picklable)."""
+    try:
+        runtime = _ProcRuntime(rank, nprocs, arena_name, slot_bytes, n_slots,
+                               free_q, inboxes, timeout)
+    except BaseException as exc:  # noqa: BLE001 - reported to launcher
+        result_q.put(("err", rank, _pack_exception(exc)))
+        return
+    try:
+        comm = ProcCommunicator(runtime, "world", list(range(nprocs)), rank)
+        value = fn(comm, *fn_args, **fn_kwargs)
+        result_q.put(("ok", rank, _pack_result(value)))
+    except BaseException as exc:  # noqa: BLE001 - reported to launcher
+        result_q.put(("err", rank, _pack_exception(exc)))
+    finally:
+        runtime.close()
+
+
+class ProcMPI:
+    """Launcher: run an SPMD function with one OS process per rank.
+
+    Mirrors :meth:`repro.parallel.simmpi.SimMPI.run`, but ``fn``,
+    ``args`` and ``kwargs`` must be picklable (spawn start method) and
+    the per-rank return values are shipped back through a result queue.
+    """
+
+    name = "process"
+
+    @staticmethod
+    def run(
+        nprocs: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: float = None,
+        start_method: Optional[str] = None,
+        **kwargs: Any,
+    ) -> List[Any]:
+        import multiprocessing as mp
+
+        if timeout is None:
+            timeout = DEFAULT_TIMEOUT
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        method = start_method or os.environ.get("REPRO_PROCMPI_START", "spawn")
+        ctx = mp.get_context(method)
+        n_slots, slot_bytes = _arena_geometry()
+        arena = shared_memory.SharedMemory(create=True, size=n_slots * slot_bytes)
+        free_q = ctx.Queue()
+        for i in range(n_slots):
+            free_q.put(i)
+        inboxes = [ctx.Queue() for _ in range(nprocs)]
+        result_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(r, nprocs, arena.name, slot_bytes, n_slots, free_q,
+                      inboxes, result_q, timeout, fn, args, kwargs),
+                name=f"procmpi-rank-{r}",
+                daemon=True,
+            )
+            for r in range(nprocs)
+        ]
+        results: List[Any] = [None] * nprocs
+        error: Optional[BaseException] = None
+        try:
+            for p in procs:
+                p.start()
+            # spawn re-imports the interpreter per rank; allow generous
+            # startup slack on top of the run-time guard
+            deadline = _time.monotonic() + 2 * timeout + 60.0 * nprocs
+            reported = [False] * nprocs
+            for _ in range(nprocs):
+                while True:
+                    try:
+                        kind, rank, packed = result_q.get(timeout=0.2)
+                        break
+                    except _queue.Empty:
+                        dead = [
+                            r for r, p in enumerate(procs)
+                            if not reported[r] and p.exitcode not in (None, 0)
+                        ]
+                        if dead:
+                            error = ProcWorkerError(
+                                f"rank process(es) {dead} died (exit codes "
+                                f"{[procs[r].exitcode for r in dead]}) without "
+                                "reporting a result — startup crash?"
+                            )
+                        elif _time.monotonic() < deadline:
+                            continue
+                        else:
+                            error = DeadlockTimeout(
+                                f"process world of {nprocs} did not report within "
+                                f"{2 * timeout:.0f}s run guard (deadlock or crash?)"
+                            )
+                        break
+                if error is not None:
+                    break
+                reported[rank] = True
+                if kind == "ok":
+                    how, blob = packed
+                    results[rank] = pickle.loads(blob) if how == "pickle" else blob
+                else:
+                    how, payload = packed
+                    if how == "exc":
+                        blob, tb = payload
+                        try:
+                            error = pickle.loads(blob)
+                        except Exception:
+                            error = ProcWorkerError(f"rank {rank} failed:\n{tb}")
+                    else:
+                        error = ProcWorkerError(f"rank {rank} failed:\n{payload}")
+                    break
+        finally:
+            grace = 1.0 if error is not None else timeout
+            for p in procs:
+                p.join(timeout=grace)
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5.0)
+            for q in [*inboxes, free_q, result_q]:
+                q.close()
+                q.cancel_join_thread()
+            arena.close()
+            try:
+                arena.unlink()
+            except FileNotFoundError:
+                pass
+        if error is not None:
+            raise error
+        return results

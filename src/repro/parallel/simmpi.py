@@ -1,7 +1,7 @@
-"""SimMPI — an in-process, thread-based MPI look-alike.
+"""SimMPI — an MPI look-alike with interchangeable rank backends.
 
-Runs an SPMD rank function on one thread per rank and provides the MPI
-subset yycore needs (paper Section IV):
+Runs an SPMD rank function on one *worker per rank* and provides the
+MPI subset yycore needs (paper Section IV):
 
 * point-to-point: ``Send`` / ``Isend`` / ``Recv`` / ``Irecv`` with
   ``(source, tag)`` matching, NumPy-buffer payloads copied eagerly
@@ -11,6 +11,17 @@ subset yycore needs (paper Section IV):
 * communicator management: ``split`` (the paper's ``MPI_COMM_SPLIT``
   dividing the world into the Yin and Yang panel groups) and ``dup``.
 
+Two backends share this API (select with ``SimMPI.run(..., backend=)``
+or :func:`repro.parallel.backends.get_backend`):
+
+* ``"thread"`` (this module) — one thread per rank, in-process
+  mailboxes.  A *correctness* substrate: the GIL serialises
+  NumPy-light work, so it performs no real parallel speedup.
+* ``"process"`` (:mod:`repro.parallel.procmpi`) — one OS process per
+  rank; message payloads travel through a ``multiprocessing.
+  shared_memory`` arena by memcpy, so the ranks genuinely use
+  multiple cores.
+
 Semantics notes
 ---------------
 * SPMD discipline: all members of a communicator must call collectives
@@ -18,13 +29,24 @@ Semantics notes
   calls by a per-communicator sequence number.
 * Message ordering between a fixed (sender, receiver, tag) pair is FIFO,
   as MPI guarantees.
-* This is a *correctness* substrate: it deliberately performs no real
-  parallel speedup (the GIL serialises NumPy-light work); performance is
-  the business of :mod:`repro.machine` / :mod:`repro.perf`.
+* ``Send(..., move=True)`` is a zero-copy handoff: the sender promises
+  never to touch the buffer again, so the thread backend may enqueue
+  the array itself instead of paying the eager copy.  Use it only for
+  freshly packed buffers (the halo/overset packed paths qualify); the
+  process backend always copies into shared memory and ignores the
+  flag.
+
+Environment
+-----------
+``REPRO_SIMMPI_TIMEOUT`` overrides :data:`DEFAULT_TIMEOUT` (seconds),
+the wall-clock guard on blocking receives and collectives.  Raise it on
+slow or heavily shared CI machines where the default could misreport a
+busy world as a :class:`DeadlockTimeout`.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -34,9 +56,21 @@ import numpy as np
 ANY_SOURCE = -2
 ANY_TAG = -1
 
+
+def _timeout_from_env(default: float = 120.0) -> float:
+    """``REPRO_SIMMPI_TIMEOUT`` (seconds), or ``default`` when unset/bad."""
+    raw = os.environ.get("REPRO_SIMMPI_TIMEOUT", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
 #: Default wall-clock guard for blocking operations; a deadlocked test
-#: fails fast instead of hanging the suite.
-DEFAULT_TIMEOUT = 120.0
+#: fails fast instead of hanging the suite.  Overridable through the
+#: ``REPRO_SIMMPI_TIMEOUT`` environment variable (read at import).
+DEFAULT_TIMEOUT = _timeout_from_env()
 
 
 class SimMPIError(RuntimeError):
@@ -164,11 +198,26 @@ def _copy_payload(data: Any) -> Any:
     return data
 
 
-class Communicator:
-    """An MPI-style communicator over a subset of world ranks."""
+class CommunicatorBase:
+    """The backend-independent communicator contract.
 
-    def __init__(self, runtime: _Runtime, comm_id: str, members: Sequence[int], world_rank: int):
-        self._runtime = runtime
+    Subclasses provide the transport — ``Send`` / ``Recv`` / ``Irecv``,
+    the collective rendezvous ``_exchange(seq, payload) -> {rank:
+    payload}`` and the child factory ``_make_child(comm_id, members)``.
+    Everything above that (the collectives, ``split``/``dup``, the
+    non-blocking wrappers) is shared here, so both the thread and the
+    process backend run the *same* collective algorithms: reductions
+    associate in rank order, which keeps results bit-reproducible and
+    identical across backends.
+    """
+
+    id: str
+    members: List[int]
+    rank: int
+    world_rank: int
+    size: int
+
+    def _init_base(self, comm_id: str, members: Sequence[int], world_rank: int) -> None:
         self.id = comm_id
         self.members = list(members)
         try:
@@ -185,50 +234,46 @@ class Communicator:
         self.bytes_sent = 0
         self.messages_sent = 0
 
-    # ---- point-to-point -------------------------------------------------------
+    # ---- transport hooks (backend-specific) -----------------------------------
 
-    def Send(self, data: Any, dest: int, tag: int = 0) -> None:
-        """Blocking standard send (buffered: copies and returns)."""
-        if not 0 <= dest < self.size:
-            raise SimMPIError(f"dest {dest} out of range for comm of size {self.size}")
-        payload = _copy_payload(data)
-        if isinstance(payload, np.ndarray):
-            self.bytes_sent += payload.nbytes
-        self.messages_sent += 1
-        box = self._runtime.mailbox(self.id, dest)
-        box.put(_Message(source=self.rank, tag=tag, payload=payload))
+    def Send(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> None:
+        raise NotImplementedError
 
-    def Isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Any:
+        raise NotImplementedError
+
+    def _exchange(self, seq: int, payload: Any) -> Dict[int, Any]:
+        raise NotImplementedError
+
+    def _make_child(self, comm_id: str, members: Sequence[int]) -> "CommunicatorBase":
+        raise NotImplementedError
+
+    def _isolate(self, data: Any) -> Any:
+        """Decouple a collective payload from the caller's buffer.  The
+        thread backend must copy (shared address space); transports that
+        serialise anyway override this with the identity."""
+        return _copy_payload(data)
+
+    # ---- point-to-point wrappers ----------------------------------------------
+
+    def Isend(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> Request:
         """Non-blocking send; completes immediately (buffered)."""
-        self.Send(data, dest, tag)
+        self.Send(data, dest, tag, move=move)
         return Request(_complete=lambda: None, _done=True)
 
-    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        """Blocking receive.  With an ndarray ``buf`` the payload is copied
-        into it (mpi4py upper-case convention); the payload is returned
-        either way."""
-        msg = self._runtime.mailbox(self.id, self.rank).get(
-            source, tag, self._runtime.timeout
-        )
-        if buf is not None:
-            arr = np.asarray(msg.payload)
-            if buf.shape != arr.shape:
-                raise SimMPIError(
-                    f"Recv buffer shape {buf.shape} != message shape {arr.shape}"
-                )
-            buf[...] = arr
-        return msg.payload
-
-    def Irecv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+    def Irecv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; the transfer happens in ``wait()``."""
         return Request(_complete=lambda: self.Recv(buf, source, tag))
 
-    def Sendrecv(self, senddata: Any, dest: int, recvsource: int, sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+    def Sendrecv(self, senddata: Any, dest: int, recvsource: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
         req = self.Irecv(source=recvsource, tag=recvtag)
         self.Send(senddata, dest, sendtag)
         return req.wait()
 
-    # ---- collectives -------------------------------------------------------------
+    # ---- collectives ----------------------------------------------------------
 
     def _next_seq(self) -> int:
         s = self._seq
@@ -236,22 +281,22 @@ class Communicator:
         return s
 
     def barrier(self) -> None:
-        self._runtime.exchange(self, self._next_seq(), None)
+        self._exchange(self._next_seq(), None)
 
     def bcast(self, data: Any, root: int = 0) -> Any:
-        all_data = self._runtime.exchange(
-            self, self._next_seq(), _copy_payload(data) if self.rank == root else None
+        all_data = self._exchange(
+            self._next_seq(), self._isolate(data) if self.rank == root else None
         )
         return all_data[root]
 
     def gather(self, data: Any, root: int = 0) -> Optional[List[Any]]:
-        all_data = self._runtime.exchange(self, self._next_seq(), _copy_payload(data))
+        all_data = self._exchange(self._next_seq(), self._isolate(data))
         if self.rank == root:
             return [all_data[r] for r in range(self.size)]
         return None
 
     def allgather(self, data: Any) -> List[Any]:
-        all_data = self._runtime.exchange(self, self._next_seq(), _copy_payload(data))
+        all_data = self._exchange(self._next_seq(), self._isolate(data))
         return [all_data[r] for r in range(self.size)]
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
@@ -274,18 +319,20 @@ class Communicator:
     def alltoall(self, data: Sequence[Any]) -> List[Any]:
         if len(data) != self.size:
             raise SimMPIError(f"alltoall needs {self.size} items, got {len(data)}")
-        matrix = self._runtime.exchange(self, self._next_seq(), [_copy_payload(d) for d in data])
+        matrix = self._exchange(
+            self._next_seq(), [self._isolate(d) for d in data]
+        )
         return [matrix[r][self.rank] for r in range(self.size)]
 
-    # ---- communicator management ----------------------------------------------------
+    # ---- communicator management ----------------------------------------------
 
-    def split(self, color: int, key: int | None = None) -> "Communicator":
+    def split(self, color: int, key: int | None = None) -> "CommunicatorBase":
         """``MPI_COMM_SPLIT``: partition members by ``color``, order each
         group by ``(key, old rank)``.  The paper splits the world into the
         Yin group and the Yang group this way."""
         if key is None:
             key = self.rank
-        pairs = self._runtime.exchange(self, self._next_seq(), (color, key))
+        pairs = self._exchange(self._next_seq(), (color, key))
         self._child_count += 1
         group = sorted(
             (r for r in range(self.size) if pairs[r][0] == color),
@@ -293,14 +340,64 @@ class Communicator:
         )
         members = [self.members[r] for r in group]
         child_id = f"{self.id}/s{self._child_count}c{color}"
-        return Communicator(self._runtime, child_id, members, self.world_rank)
+        return self._make_child(child_id, members)
 
-    def dup(self) -> "Communicator":
+    def dup(self) -> "CommunicatorBase":
         self.barrier()
         self._child_count += 1
-        return Communicator(
-            self._runtime, f"{self.id}/d{self._child_count}", self.members, self.world_rank
+        return self._make_child(f"{self.id}/d{self._child_count}", self.members)
+
+
+class Communicator(CommunicatorBase):
+    """The thread-backend communicator over a subset of world ranks."""
+
+    def __init__(self, runtime: _Runtime, comm_id: str, members: Sequence[int],
+                 world_rank: int):
+        self._runtime = runtime
+        self._init_base(comm_id, members, world_rank)
+
+    # ---- point-to-point -------------------------------------------------------
+
+    def Send(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> None:
+        """Blocking standard send (buffered: copies and returns).
+
+        With ``move=True`` the payload is enqueued without the eager
+        copy — the caller promises never to reuse the buffer (zero-copy
+        handoff for freshly packed messages).
+        """
+        if not 0 <= dest < self.size:
+            raise SimMPIError(f"dest {dest} out of range for comm of size {self.size}")
+        payload = data if move else _copy_payload(data)
+        if isinstance(payload, np.ndarray):
+            self.bytes_sent += payload.nbytes
+        self.messages_sent += 1
+        box = self._runtime.mailbox(self.id, dest)
+        box.put(_Message(source=self.rank, tag=tag, payload=payload))
+
+    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Any:
+        """Blocking receive.  With an ndarray ``buf`` the payload is copied
+        into it (mpi4py upper-case convention); the payload is returned
+        either way."""
+        msg = self._runtime.mailbox(self.id, self.rank).get(
+            source, tag, self._runtime.timeout
         )
+        if buf is not None:
+            arr = np.asarray(msg.payload)
+            if buf.shape != arr.shape:
+                raise SimMPIError(
+                    f"Recv buffer shape {buf.shape} != message shape {arr.shape}"
+                )
+            buf[...] = arr
+        return msg.payload
+
+    # ---- collective rendezvous / children -------------------------------------
+
+    def _exchange(self, seq: int, payload: Any) -> Dict[int, Any]:
+        return self._runtime.exchange(self, seq, payload)
+
+    def _make_child(self, comm_id: str, members: Sequence[int]) -> "Communicator":
+        return Communicator(self._runtime, comm_id, members, self.world_rank)
 
 
 class SimMPI:
@@ -310,6 +407,12 @@ class SimMPI:
     ...     return comm.allreduce(comm.rank)
     >>> SimMPI.run(4, program)
     [6, 6, 6, 6]
+
+    ``backend="thread"`` (default) runs one thread per rank in this
+    process; ``backend="process"`` delegates to
+    :class:`repro.parallel.procmpi.ProcMPI` — one OS process per rank
+    with shared-memory message transport (the rank function and its
+    arguments must then be picklable, i.e. defined at module level).
     """
 
     @staticmethod
@@ -317,12 +420,21 @@ class SimMPI:
         nprocs: int,
         fn: Callable[..., Any],
         *args: Any,
-        timeout: float = DEFAULT_TIMEOUT,
+        timeout: float = None,
+        backend: str = "thread",
         **kwargs: Any,
     ) -> List[Any]:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank; returns the
         per-rank return values in rank order.  Any rank exception aborts
         the world and is re-raised (with all failures noted)."""
+        if timeout is None:
+            timeout = DEFAULT_TIMEOUT
+        if backend != "thread":
+            from repro.parallel.backends import get_backend
+
+            return get_backend(backend).run(
+                nprocs, fn, *args, timeout=timeout, **kwargs
+            )
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         runtime = _Runtime(nprocs, timeout)

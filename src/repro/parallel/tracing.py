@@ -16,7 +16,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.parallel.simmpi import Communicator
+from repro.parallel.simmpi import CommunicatorBase
 
 Array = np.ndarray
 
@@ -69,7 +69,7 @@ class CommTrace:
 
 
 class TracedCommunicator:
-    """Wraps a :class:`Communicator`, recording every ``Send``.
+    """Wraps a :class:`CommunicatorBase`, recording every ``Send``.
 
     All other attributes delegate to the wrapped communicator, so a
     traced communicator drops into HaloExchanger / OversetExchanger
@@ -77,11 +77,11 @@ class TracedCommunicator:
     the GIL for list appends), giving the global message log.
     """
 
-    def __init__(self, comm: Communicator, trace: CommTrace):
+    def __init__(self, comm: CommunicatorBase, trace: CommTrace):
         self._comm = comm
         self.trace = trace
 
-    def Send(self, data, dest: int, tag: int = 0) -> None:
+    def Send(self, data, dest: int, tag: int = 0, *, move: bool = False) -> None:
         nbytes = data.nbytes if isinstance(data, np.ndarray) else 0
         self.trace.add(
             MessageRecord(
@@ -89,10 +89,10 @@ class TracedCommunicator:
                 nbytes=int(nbytes), timestamp=time.perf_counter(),
             )
         )
-        self._comm.Send(data, dest, tag)
+        self._comm.Send(data, dest, tag, move=move)
 
-    def Isend(self, data, dest: int, tag: int = 0):
-        self.Send(data, dest, tag)
+    def Isend(self, data, dest: int, tag: int = 0, *, move: bool = False):
+        self.Send(data, dest, tag, move=move)
         from repro.parallel.simmpi import Request
 
         return Request(_complete=lambda: None, _done=True)

@@ -272,3 +272,51 @@ class TestSplit:
         out = SimMPI.run(2, prog)
         assert out[0] == (800, 1)
         assert out[1] == (0, 0)
+
+
+class TestMoveSemantics:
+    def test_moved_buffer_is_senders_object(self):
+        """Strongest form of zero-copy: identity is preserved."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.arange(8.0)
+                comm.Send(arr, dest=1, move=True)
+                return id(arr)
+            got = comm.Recv(source=0)
+            return id(got)
+
+        sender_id, receiver_id = SimMPI.run(2, prog)
+        assert sender_id == receiver_id
+
+    def test_default_send_still_copies(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.zeros(4)
+                comm.Send(arr, dest=1)
+                arr[:] = 99.0  # must not corrupt the in-flight message
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.Recv(source=0)
+
+        got = SimMPI.run(2, prog)[1]
+        np.testing.assert_array_equal(got, np.zeros(4))
+
+
+class TestTimeoutEnv:
+    def test_env_override(self, monkeypatch):
+        from repro.parallel.simmpi import _timeout_from_env
+
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "7.5")
+        assert _timeout_from_env() == 7.5
+
+    def test_bad_or_missing_values_fall_back(self, monkeypatch):
+        from repro.parallel.simmpi import _timeout_from_env
+
+        monkeypatch.delenv("REPRO_SIMMPI_TIMEOUT", raising=False)
+        assert _timeout_from_env(default=33.0) == 33.0
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "not-a-number")
+        assert _timeout_from_env(default=33.0) == 33.0
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "-5")
+        assert _timeout_from_env(default=33.0) == 33.0

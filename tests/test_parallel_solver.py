@@ -74,3 +74,43 @@ class TestGather:
         par = run_parallel_dynamo(config, 1, 2, 3)
         assert len(par.dt_history) == 3
         assert all(dt == pytest.approx(1e-3) for dt in par.dt_history)
+
+
+class TestBackendsAndWireFormats:
+    """The packed wire format (default) and the process backend must
+    both reproduce the serial solver bitwise."""
+
+    def test_process_backend_matches_serial(self, config, serial_run):
+        par = run_parallel_dynamo(config, 1, 2, 4, backend="process",
+                                  timeout=240.0)
+        assert par.steps == 4
+        for panel in (Panel.YIN, Panel.YANG):
+            for (name, a), b in zip(
+                par.states[panel].named_arrays(), serial_run.state[panel].arrays()
+            ):
+                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+
+    def test_legacy_wire_format_matches_packed(self, config, serial_run):
+        """Same layout, both wire formats: the fields must agree to the
+        bit — packing is pure message coalescing."""
+        packed = run_parallel_dynamo(config, 2, 1, 4, packed=True)
+        legacy = run_parallel_dynamo(config, 2, 1, 4, packed=False)
+        for panel in (Panel.YIN, Panel.YANG):
+            for (name, a), (_, b) in zip(
+                packed.states[panel].named_arrays(),
+                legacy.states[panel].named_arrays(),
+            ):
+                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+        # and both stay within the seed suite's serial tolerance
+        for panel in (Panel.YIN, Panel.YANG):
+            for (name, a), b in zip(
+                legacy.states[panel].named_arrays(),
+                serial_run.state[panel].arrays(),
+            ):
+                scale = max(1.0, float(np.abs(b).max()))
+                assert np.abs(a - b).max() < 1e-12 * scale, (panel, name)
+
+    def test_per_rank_step_seconds_reported(self, config):
+        par = run_parallel_dynamo(config, 1, 2, 2)
+        assert len(par.rank_step_seconds) == 4  # 2 panels x 1 x 2
+        assert all(s > 0.0 for s in par.rank_step_seconds)
