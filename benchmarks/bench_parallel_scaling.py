@@ -36,7 +36,6 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List
 
 import numpy as np
 
@@ -54,12 +53,12 @@ BENCH_GRID = dict(nr=16, nth=32, nph=96)
 SMOKE_GRID = dict(nr=7, nth=12, nph=36)
 
 
-def bench_config(grid: Dict[str, int]) -> RunConfig:
+def bench_config(grid: dict[str, int]) -> RunConfig:
     return RunConfig(params=MHDParameters.laptop_demo(), dt=1e-3,
                      amp_temperature=1e-2, **grid)
 
 
-def machine_metadata() -> Dict:
+def machine_metadata() -> dict:
     try:
         affinity = len(os.sched_getaffinity(0))
     except AttributeError:  # non-Linux
@@ -74,7 +73,7 @@ def machine_metadata() -> Dict:
     }
 
 
-def measure_serial(config: RunConfig, n_steps: int) -> Dict:
+def measure_serial(config: RunConfig, n_steps: int) -> dict:
     dyn = YinYangDynamo(config)
     timer = TimerObserver()
     dyn.run(n_steps, record_every=0, observers=[timer])
@@ -86,7 +85,7 @@ def measure_serial(config: RunConfig, n_steps: int) -> Dict:
 
 
 def measure_parallel(config: RunConfig, backend: str, ranks: int,
-                     n_steps: int) -> Dict:
+                     n_steps: int) -> dict:
     pth, pph = RANK_LAYOUTS[ranks]
     res = run_parallel_dynamo(config, pth, pph, n_steps, backend=backend,
                               timeout=600.0)
@@ -100,12 +99,12 @@ def measure_parallel(config: RunConfig, backend: str, ranks: int,
     }
 
 
-def measure(n_steps: int = 6, rank_counts: List[int] = (2, 4, 8),
-            grid: Dict[str, int] = None) -> Dict:
+def measure(n_steps: int = 6, rank_counts: list[int] = (2, 4, 8),
+            grid: dict[str, int] = None) -> dict:
     grid = dict(BENCH_GRID if grid is None else grid)
     config = bench_config(grid)
     serial = measure_serial(config, n_steps)
-    backends: Dict[str, List[Dict]] = {}
+    backends: dict[str, list[dict]] = {}
     for backend in ("thread", "process"):
         curve = []
         for ranks in rank_counts:
@@ -131,13 +130,13 @@ def measure(n_steps: int = 6, rank_counts: List[int] = (2, 4, 8),
     }
 
 
-def emit_json(path: Path = JSON_PATH, **kwargs) -> Dict:
+def emit_json(path: Path = JSON_PATH, **kwargs) -> dict:
     report = measure(**kwargs)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
-def _print_summary(rep: Dict) -> None:
+def _print_summary(rep: dict) -> None:
     meta = rep["machine"]
     print(f"machine: {meta['cpu_count']} cpus "
           f"(affinity {meta['sched_affinity_cpus']}), numpy {meta['numpy']}")

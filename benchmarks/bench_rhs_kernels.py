@@ -32,7 +32,6 @@ import json
 import time
 from pathlib import Path
 from statistics import median
-from typing import Dict
 
 import numpy as np
 
@@ -69,14 +68,14 @@ def build_case(nr: int = 32, nth: int = 64, nph: int = 128):
     return patch, perturbed, fused, reference
 
 
-def count_stencils(eq: PanelEquations, state: MHDState) -> Dict[str, int]:
+def count_stencils(eq: PanelEquations, state: MHDState) -> dict[str, int]:
     """Stencil-kernel executions of one RHS evaluation."""
     reset_stencil_counts()
     eq.rhs(state)
     return stencil_counts()
 
 
-def measure(rounds: int = 13, warmup: int = 3) -> Dict:
+def measure(rounds: int = 13, warmup: int = 3) -> dict:
     """Paired-ratio throughput measurement plus deterministic counters."""
     _, state, fused, reference = build_case(*BENCH_SHAPE)
     for _ in range(warmup):
@@ -126,7 +125,7 @@ def measure(rounds: int = 13, warmup: int = 3) -> Dict:
     }
 
 
-def emit_json(path: Path = JSON_PATH, **kwargs) -> Dict:
+def emit_json(path: Path = JSON_PATH, **kwargs) -> dict:
     report = measure(**kwargs)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -155,13 +154,9 @@ def test_speedup_report(rhs_kernel_case):
     regressions without burning benchmark time."""
     report = measure(rounds=5, warmup=2)
     print(
-        "\n[RHS kernels] fused %.1f calls/s vs reference %.1f calls/s "
-        "(median speedup %.2fx)"
-        % (
-            report["fused"]["calls_per_sec"],
-            report["reference"]["calls_per_sec"],
-            report["speedup_median_of_ratios"],
-        )
+        f"\n[RHS kernels] fused {report['fused']['calls_per_sec']:.1f} calls/s "
+        f"vs reference {report['reference']['calls_per_sec']:.1f} calls/s "
+        f"(median speedup {report['speedup_median_of_ratios']:.2f}x)"
     )
     assert report["speedup_median_of_ratios"] > 1.0
     fused_work = report["fused"]["stencil_counts"]
@@ -173,6 +168,6 @@ if __name__ == "__main__":
     rep = emit_json()
     print(json.dumps(rep, indent=2))
     print(
-        "\nspeedup (median of paired ratios): %.3fx  ->  %s"
-        % (rep["speedup_median_of_ratios"], JSON_PATH)
+        f"\nspeedup (median of paired ratios): "
+        f"{rep['speedup_median_of_ratios']:.3f}x  ->  {JSON_PATH}"
     )

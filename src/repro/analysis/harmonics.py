@@ -27,7 +27,6 @@ orthonormal normalisation, which we keep orthonormal and document).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 from scipy.special import lpmv
@@ -68,13 +67,13 @@ def real_sph_harm(l: int, m: int, theta, phi) -> Array:
     return np.sqrt(2.0) * n * leg * np.sin(am * phi)
 
 
-def surface_quadrature(grid: YinYangGrid) -> Dict[Panel, Array]:
+def surface_quadrature(grid: YinYangGrid) -> dict[Panel, Array]:
     """Solid-angle weights per panel with overlap points halved.
 
     Sums to ``4 pi`` over both panels (tested), so surface integrals of
     smooth fields are second-order accurate.
     """
-    out: Dict[Panel, Array] = {}
+    out: dict[Panel, Array] = {}
     for g in grid.panels:
         w = g.cell_solid_angle()
         factor = np.where(grid.overlap_mask[g.panel], 0.5, 1.0)
@@ -82,7 +81,7 @@ def surface_quadrature(grid: YinYangGrid) -> Dict[Panel, Array]:
     return out
 
 
-def _panel_global_angles(grid: YinYangGrid, panel: Panel) -> Tuple[Array, Array]:
+def _panel_global_angles(grid: YinYangGrid, panel: Panel) -> tuple[Array, Array]:
     from repro.coords.transforms import other_panel_angles
 
     g = grid.panel(panel)
@@ -93,8 +92,8 @@ def _panel_global_angles(grid: YinYangGrid, panel: Panel) -> Tuple[Array, Array]
 
 
 def surface_expand(
-    grid: YinYangGrid, fields: Dict[Panel, Array], lmax: int
-) -> Dict[Tuple[int, int], float]:
+    grid: YinYangGrid, fields: dict[Panel, Array], lmax: int
+) -> dict[tuple[int, int], float]:
     """Expansion coefficients ``c_lm = integral f Y_lm dOmega`` of a
     surface field given as per-panel ``(nth, nph)`` arrays.
 
@@ -102,7 +101,7 @@ def surface_expand(
     """
     require(lmax >= 0, "lmax must be >= 0")
     weights = surface_quadrature(grid)
-    coeffs: Dict[Tuple[int, int], float] = {}
+    coeffs: dict[tuple[int, int], float] = {}
     angles = {p: _panel_global_angles(grid, p) for p in (Panel.YIN, Panel.YANG)}
     for l in range(lmax + 1):
         for m in range(-l, l + 1):
@@ -117,17 +116,17 @@ def surface_expand(
 
 def gauss_coefficients(
     grid: YinYangGrid,
-    states: Dict[Panel, MHDState],
+    states: dict[Panel, MHDState],
     *,
     lmax: int = 4,
-) -> Dict[Tuple[int, int], float]:
+) -> dict[tuple[int, int], float]:
     """Gauss coefficients (orthonormal normalisation) of the potential
     field matching ``B_r`` on the outer boundary.
 
     ``g[(1, 0)]`` is the axial dipole; its sign is the polarity whose
     flip-flops the reversal studies track.
     """
-    br: Dict[Panel, Array] = {}
+    br: dict[Panel, Array] = {}
     for p, state in states.items():
         g = grid.panel(p)
         ops = SphericalOperators(g)
@@ -137,7 +136,7 @@ def gauss_coefficients(
     return {(l, m): v / (l + 1) for (l, m), v in c.items() if l >= 1}
 
 
-def dipole_tilt(g: Dict[Tuple[int, int], float]) -> float:
+def dipole_tilt(g: dict[tuple[int, int], float]) -> float:
     """Angle (radians) between the dipole axis and the rotation axis.
 
     From the three l = 1 Gauss coefficients; 0 for an axial dipole,

@@ -12,7 +12,6 @@ reversal showers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -39,7 +38,7 @@ def detect_reversals(
     dipole: Array,
     *,
     hysteresis_frac: float = 0.25,
-) -> Tuple[List[float], List[PolarityChron]]:
+) -> tuple[list[float], list[PolarityChron]]:
     """Find reversal epochs and polarity chrons in a dipole series.
 
     A reversal is recorded when the dipole, having exceeded
@@ -61,8 +60,8 @@ def detect_reversals(
         return [], []
     thr = hysteresis_frac * scale
 
-    reversals: List[float] = []
-    chrons: List[PolarityChron] = []
+    reversals: list[float] = []
+    chrons: list[PolarityChron] = []
     state = 0  # current confirmed polarity; 0 = undetermined
     chron_start = times[0]
     for t, d in zip(times, dipole):
@@ -83,7 +82,7 @@ def detect_reversals(
     return reversals, chrons
 
 
-def polarity_fractions(chrons: List[PolarityChron]) -> Tuple[float, float]:
+def polarity_fractions(chrons: list[PolarityChron]) -> tuple[float, float]:
     """(fraction of time normal, fraction reversed) over the chrons."""
     total = sum(c.duration for c in chrons)
     if total == 0.0:
@@ -92,7 +91,7 @@ def polarity_fractions(chrons: List[PolarityChron]) -> Tuple[float, float]:
     return normal / total, (total - normal) / total
 
 
-def reversal_rate(reversals: List[float], t_span: float) -> float:
+def reversal_rate(reversals: list[float], t_span: float) -> float:
     """Reversals per unit time over an observation span."""
     check_positive("t_span", t_span)
     return len(reversals) / t_span
@@ -104,7 +103,7 @@ def synthetic_reversing_dipole(
     *,
     noise: float = 0.15,
     seed: int = 0,
-) -> Tuple[Array, Array]:
+) -> tuple[Array, Array]:
     """A synthetic flip-flopping dipole series (for tests and demos),
     patterned on the square-wave-plus-noise character of the reversal
     runs in [Li, Sato & Kageyama 2002]."""

@@ -22,7 +22,6 @@ structure: per-panel kernels + overset ring exchange + wall rows).
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -34,7 +33,7 @@ from repro.mhd.rk4 import rk4_step
 from repro.utils.validation import check_positive
 
 Array = np.ndarray
-PairField = Dict[Panel, Array]
+PairField = dict[Panel, Array]
 
 
 def radial_mode(grid: YinYangGrid, k: int = 1) -> PairField:

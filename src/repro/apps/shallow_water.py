@@ -27,7 +27,6 @@ its grid.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -42,8 +41,8 @@ from repro.utils.validation import check_positive, require
 Array = np.ndarray
 
 #: State per panel: (h, u_theta, u_phi), each shaped (1, nth, nph).
-PanelState = Tuple[Array, Array, Array]
-SWState = Dict[Panel, PanelState]
+PanelState = tuple[Array, Array, Array]
+SWState = dict[Panel, PanelState]
 
 
 class ShallowWaterSolver:
@@ -90,7 +89,7 @@ class ShallowWaterSolver:
 
     # ---- horizontal operators (surface of the sphere) ----------------------
 
-    def _grad(self, p: Panel, s: Array) -> Tuple[Array, Array]:
+    def _grad(self, p: Panel, s: Array) -> tuple[Array, Array]:
         m = self._geom[p]
         return (
             diff(s, m["dth"], AXIS_TH) / self.a,
@@ -103,7 +102,7 @@ class ShallowWaterSolver:
             diff(uth, m["dth"], AXIS_TH) + m["cot"] * uth
         ) / self.a + diff(uph, m["dph"], AXIS_PH) / (self.a * m["sin"])
 
-    def _advect(self, p: Panel, uth, uph, sth, sph) -> Tuple[Array, Array]:
+    def _advect(self, p: Panel, uth, uph, sth, sph) -> tuple[Array, Array]:
         """(u . grad) s for the tangential vector s with curvature terms."""
         m = self._geom[p]
 
@@ -199,10 +198,8 @@ def williamson2_state(solver: ShallowWaterSolver, *, u0: float = 38.61, h0: floa
     grid = solver.grid
     for gpanel in grid.panels:
         th, ph = np.meshgrid(gpanel.theta, gpanel.phi, indexing="ij")
-        if gpanel.panel is Panel.YANG:
-            th_g, ph_g = other_panel_angles(th, ph)
-        else:
-            th_g, ph_g = th, ph
+        is_yang = gpanel.panel is Panel.YANG
+        th_g, ph_g = other_panel_angles(th, ph) if is_yang else (th, ph)
         cos_g = np.cos(th_g)
         gh = solver.g * h0 - (solver.a * solver.omega * u0 + 0.5 * u0**2) * cos_g**2
         h = (gh / solver.g)[None]

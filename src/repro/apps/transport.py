@@ -17,7 +17,6 @@ interesting case where the blob crosses panel borders).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -31,11 +30,11 @@ from repro.mhd.rk4 import rk4_step
 from repro.utils.validation import check_positive, require
 
 Array = np.ndarray
-PairField = Dict[Panel, Array]
-Vec3 = Tuple[float, float, float]
+PairField = dict[Panel, Array]
+Vec3 = tuple[float, float, float]
 
 
-def rotation_velocity(grid: YinYangGrid, axis: Vec3, omega: float) -> Dict[Panel, tuple]:
+def rotation_velocity(grid: YinYangGrid, axis: Vec3, omega: float) -> dict[Panel, tuple]:
     """Spherical components of ``v = omega axis_hat x r`` on both panels.
 
     ``axis`` is given in the *global* frame; each panel receives the
@@ -49,10 +48,8 @@ def rotation_velocity(grid: YinYangGrid, axis: Vec3, omega: float) -> Dict[Panel
     out = {}
     for g in grid.panels:
         th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
-        if g.panel is Panel.YANG:
-            th_g, ph_g = other_panel_angles(th, ph)
-        else:
-            th_g, ph_g = th, ph
+        is_yang = g.panel is Panel.YANG
+        th_g, ph_g = other_panel_angles(th, ph) if is_yang else (th, ph)
         x, y, z = sph_to_cart(1.0, th_g, ph_g)
         vx = omega * (ax[1] * z - ax[2] * y)
         vy = omega * (ax[2] * x - ax[0] * z)
@@ -68,7 +65,7 @@ def rotation_velocity(grid: YinYangGrid, axis: Vec3, omega: float) -> Dict[Panel
 
 
 def gaussian_blob(
-    grid: YinYangGrid, center: Tuple[float, float], width: float = 0.35
+    grid: YinYangGrid, center: tuple[float, float], width: float = 0.35
 ) -> PairField:
     """A Gaussian tracer blob centred at global angles ``(theta0, phi0)``,
     constant in radius (the transport tests are horizontal)."""
@@ -94,7 +91,7 @@ class TransportSolver:
     def __init__(
         self,
         grid: YinYangGrid,
-        velocity: Dict[Panel, tuple],
+        velocity: dict[Panel, tuple],
         *,
         kappa: float = 0.0,
     ):
@@ -111,10 +108,8 @@ class TransportSolver:
         out: PairField = {}
         for p, f in c.items():
             adv = self.ops[p].advect_scalar(self.velocity[p], f)
-            if self.kappa > 0.0:
-                out[p] = -adv + self.kappa * self.ops[p].laplacian(f)
-            else:
-                out[p] = -adv
+            diffusion = self.kappa > 0.0
+            out[p] = -adv + self.kappa * self.ops[p].laplacian(f) if diffusion else -adv
         return out
 
     def enforce(self, c: PairField) -> None:
@@ -168,7 +163,7 @@ def revolution_error(
     grid: YinYangGrid,
     *,
     axis: Vec3 = (0.0, 0.0, 1.0),
-    center: Tuple[float, float] = (np.pi / 2, 0.0),
+    center: tuple[float, float] = (np.pi / 2, 0.0),
     width: float = 0.4,
     cfl: float = 0.3,
 ) -> float:

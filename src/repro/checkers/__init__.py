@@ -1,0 +1,44 @@
+"""Machine-checked invariants for the paper's hand-enforced discipline.
+
+The 46%-of-peak number in the source paper rests on rules the original
+authors enforced by hand: allocation-free inner kernels (List 1's
+vectorized stencils) and an exactly matched halo/overset message
+protocol.  This package makes those rules checkable:
+
+:mod:`repro.checkers.hotpath`
+    The ``@hot_path`` marker decorating allocation-free kernels.
+:mod:`repro.checkers.linter`
+    AST lint pass (``repro-paper lint``) with the codebase-specific
+    rules REP001-REP004 — hot-path allocations, ``move=True`` buffer
+    ownership, send/receive tag-shape matching, rank-dependent
+    collectives.
+:mod:`repro.checkers.sanitize`
+    Runtime sanitizers behind ``REPRO_SANITIZE=1`` — NaN-poisoned
+    buffer releases, read-only move-handoff payloads, and the
+    message-protocol recorder (unmatched sends, tag collisions,
+    collective-sequence divergence).
+"""
+
+from repro.checkers.hotpath import hot_path
+from repro.checkers.linter import Violation, lint_paths, lint_source
+from repro.checkers.sanitize import (
+    DoubleRelease,
+    ProtocolReport,
+    ProtocolViolation,
+    SanitizerError,
+    last_protocol_report,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "DoubleRelease",
+    "ProtocolReport",
+    "ProtocolViolation",
+    "SanitizerError",
+    "Violation",
+    "hot_path",
+    "last_protocol_report",
+    "lint_paths",
+    "lint_source",
+    "sanitize_enabled",
+]

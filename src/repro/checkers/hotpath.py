@@ -1,0 +1,33 @@
+"""The ``@hot_path`` marker for allocation-free inner kernels.
+
+The paper's List-1 kernels never allocate inside the vectorized sweep;
+our NumPy rendition encodes the same discipline in the fused RHS, the
+stencil fast paths and the halo/overset pack routines.  Decorating such
+a function with :func:`hot_path` declares that discipline, and the
+REP001 lint rule (:mod:`repro.checkers.linter`) then rejects
+array-allocating calls and loop-carried operator temporaries inside it.
+
+The decorator itself is free: it tags the function object and returns
+it unchanged — no wrapper, no per-call overhead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute set on functions marked as hot paths.
+HOT_PATH_ATTR = "__repro_hot_path__"
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as an allocation-free hot-path kernel (zero overhead)."""
+    setattr(fn, HOT_PATH_ATTR, True)
+    return fn
+
+
+def is_hot_path(fn: Callable) -> bool:
+    """Whether ``fn`` carries the hot-path marker."""
+    return bool(getattr(fn, HOT_PATH_ATTR, False))

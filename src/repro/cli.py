@@ -12,6 +12,7 @@ script) prints the reproduced tables and figures:
 ``fig2``       column census of a manufactured columnar flow
 ``volume``     Section V's 500 GB / 127-save accounting
 ``run``        a small live dynamo run with energy history
+``lint``       REP001-REP004 invariant lint over the source tree
 =============  =====================================================
 """
 
@@ -19,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
 
 
 def _cmd_table1(args) -> None:
@@ -128,6 +128,33 @@ def _cmd_run_parallel(args) -> None:
     print("final:", {k: f"{v:.4g}" for k, v in e.as_dict().items()})
 
 
+def _cmd_lint(args) -> None:
+    from repro.checkers.linter import RULES, lint_paths, to_json
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            raise SystemExit(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULES))}"
+            )
+    violations, n_files = lint_paths(args.paths, rules=rules)
+    if args.format == "json":
+        print(to_json(violations, n_files))
+    else:
+        for v in violations:
+            print(v.format())
+        print(
+            f"{len(violations)} violation(s) in {n_files} file(s)"
+            if violations
+            else f"clean: {n_files} file(s), 0 violations"
+        )
+    if violations:
+        raise SystemExit(1)
+
+
 def _cmd_run(args) -> None:
     from repro import MHDParameters, RunConfig, YinYangDynamo
     from repro.core.guard import SolverDivergence
@@ -165,7 +192,7 @@ def _cmd_run(args) -> None:
                 observers=observers)
     except SolverDivergence as exc:
         print(f"GUARD: {exc}")
-        raise SystemExit(2)
+        raise SystemExit(2) from exc
     for rec in dyn.history:
         e = rec.energies
         print(f"  step {rec.step:>5}  t = {rec.time:8.4f}  dt = {rec.dt:8.2e}  "
@@ -223,10 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total ranks for a parallel backend (even; "
                         "2 panels x near-square process array)")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "lint",
+        help="check the REP001-REP004 invariants (hot-path allocations, "
+             "move=True ownership, tag matching, rank-dependent collectives)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format")
+    p.add_argument("--rules", default=None, metavar="REP001,REP002,...",
+                   help="comma-separated rule subset (default: all)")
+    p.set_defaults(fn=_cmd_lint)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     args.fn(args)

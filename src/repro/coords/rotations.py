@@ -12,7 +12,6 @@ is shared (``v_r`` is invariant), so the matrix is block
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -27,7 +26,7 @@ Array = np.ndarray
 
 def rotate_sph_vector_between_panels(
     vr, vth, vph, theta, phi
-) -> Tuple[Array, Array, Array]:
+) -> tuple[Array, Array, Array]:
     """Re-express spherical vector components in the other panel's basis.
 
     Parameters

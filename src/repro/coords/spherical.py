@@ -12,14 +12,13 @@ together, and the outputs have the broadcast shape.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
 Array = np.ndarray
 
 
-def sph_to_cart(r, theta, phi) -> Tuple[Array, Array, Array]:
+def sph_to_cart(r, theta, phi) -> tuple[Array, Array, Array]:
     """Spherical position ``(r, theta, phi)`` to Cartesian ``(x, y, z)``."""
     r = np.asarray(r, dtype=np.float64)
     theta = np.asarray(theta, dtype=np.float64)
@@ -31,7 +30,7 @@ def sph_to_cart(r, theta, phi) -> Tuple[Array, Array, Array]:
     return x, y, z
 
 
-def cart_to_sph(x, y, z) -> Tuple[Array, Array, Array]:
+def cart_to_sph(x, y, z) -> tuple[Array, Array, Array]:
     """Cartesian position to spherical ``(r, theta, phi)``.
 
     ``theta`` is returned in ``[0, pi]`` and ``phi`` in ``(-pi, pi]``.
@@ -50,7 +49,7 @@ def cart_to_sph(x, y, z) -> Tuple[Array, Array, Array]:
     return r, theta, phi
 
 
-def unit_vectors(theta, phi) -> Tuple[Array, Array, Array]:
+def unit_vectors(theta, phi) -> tuple[Array, Array, Array]:
     """Local spherical unit vectors ``(rhat, thhat, phhat)`` in Cartesian.
 
     Each returned array has shape ``broadcast(theta, phi).shape + (3,)``,
@@ -76,7 +75,7 @@ def unit_vectors(theta, phi) -> Tuple[Array, Array, Array]:
     return rhat, thhat, phhat
 
 
-def sph_vector_to_cart(vr, vth, vph, theta, phi) -> Tuple[Array, Array, Array]:
+def sph_vector_to_cart(vr, vth, vph, theta, phi) -> tuple[Array, Array, Array]:
     """Spherical vector components to Cartesian components at (theta, phi)."""
     vr = np.asarray(vr, dtype=np.float64)
     vth = np.asarray(vth, dtype=np.float64)
@@ -89,7 +88,7 @@ def sph_vector_to_cart(vr, vth, vph, theta, phi) -> Tuple[Array, Array, Array]:
     return vx, vy, vz
 
 
-def cart_vector_to_sph(vx, vy, vz, theta, phi) -> Tuple[Array, Array, Array]:
+def cart_vector_to_sph(vx, vy, vz, theta, phi) -> tuple[Array, Array, Array]:
     """Cartesian vector components to spherical components at (theta, phi)."""
     vx = np.asarray(vx, dtype=np.float64)
     vy = np.asarray(vy, dtype=np.float64)

@@ -16,7 +16,6 @@ paper exploits to share all subroutines between the two panels.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -34,7 +33,7 @@ YINYANG_MATRIX = np.array(
 )
 
 
-def yin_to_yang_cart(x, y, z) -> Tuple[Array, Array, Array]:
+def yin_to_yang_cart(x, y, z) -> tuple[Array, Array, Array]:
     """Map Yin-frame Cartesian coordinates into the Yang frame."""
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
@@ -42,7 +41,7 @@ def yin_to_yang_cart(x, y, z) -> Tuple[Array, Array, Array]:
     return -x, z, y
 
 
-def yang_to_yin_cart(x, y, z) -> Tuple[Array, Array, Array]:
+def yang_to_yin_cart(x, y, z) -> tuple[Array, Array, Array]:
     """Map Yang-frame Cartesian coordinates into the Yin frame.
 
     Identical in form to :func:`yin_to_yang_cart` — eq. (1)'s symmetry.
@@ -50,7 +49,7 @@ def yang_to_yin_cart(x, y, z) -> Tuple[Array, Array, Array]:
     return yin_to_yang_cart(x, y, z)
 
 
-def yin_to_yang_sph(r, theta, phi) -> Tuple[Array, Array, Array]:
+def yin_to_yang_sph(r, theta, phi) -> tuple[Array, Array, Array]:
     """Map spherical coordinates measured in the Yin frame to Yang-frame
     spherical coordinates of the same physical point."""
     x, y, z = sph_to_cart(r, theta, phi)
@@ -58,12 +57,12 @@ def yin_to_yang_sph(r, theta, phi) -> Tuple[Array, Array, Array]:
     return cart_to_sph(xe, ye, ze)
 
 
-def yang_to_yin_sph(r, theta, phi) -> Tuple[Array, Array, Array]:
+def yang_to_yin_sph(r, theta, phi) -> tuple[Array, Array, Array]:
     """Map Yang-frame spherical coordinates to Yin-frame ones."""
     return yin_to_yang_sph(r, theta, phi)
 
 
-def other_panel_angles(theta, phi) -> Tuple[Array, Array]:
+def other_panel_angles(theta, phi) -> tuple[Array, Array]:
     """Angles of the same physical point expressed in the *other* panel.
 
     A radius-free version of :func:`yin_to_yang_sph` used by the overset
@@ -82,7 +81,7 @@ def other_panel_angles(theta, phi) -> Tuple[Array, Array]:
     return theta_o, phi_o
 
 
-def yinyang_vector_map(vx, vy, vz) -> Tuple[Array, Array, Array]:
+def yinyang_vector_map(vx, vy, vz) -> tuple[Array, Array, Array]:
     """Apply the eq.-(1) linear map to Cartesian *vector* components.
 
     Vectors transform with the same orthogonal matrix as positions (the

@@ -15,7 +15,6 @@ single-state saves come back as a Yin-keyed dict, as they always did).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -27,7 +26,7 @@ _FORMAT_VERSION = 2
 #: key prefix of a single (non-panel) state in the archive
 _SINGLE = "single"
 
-CheckpointStates = Union[Dict[Panel, MHDState], MHDState]
+CheckpointStates = dict[Panel, MHDState] | MHDState
 
 
 def save_checkpoint(
@@ -44,7 +43,7 @@ def save_checkpoint(
     same shape.  Returns the path written.
     """
     path = Path(path)
-    payload: Dict[str, np.ndarray] = {
+    payload: dict[str, np.ndarray] = {
         "_version": np.array(_FORMAT_VERSION),
         "_time": np.array(time),
         "_step": np.array(step),
@@ -63,7 +62,7 @@ def save_checkpoint(
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_checkpoint(path: str | Path) -> Tuple[CheckpointStates, float, int]:
+def load_checkpoint(path: str | Path) -> tuple[CheckpointStates, float, int]:
     """Read a checkpoint archive.
 
     Returns ``(states, time, step)``: ``states`` is a
@@ -84,7 +83,7 @@ def load_checkpoint(path: str | Path) -> Tuple[CheckpointStates, float, int]:
         if layout == _SINGLE:
             arrays = [np.array(data[f"{_SINGLE}:{n}"]) for n in FIELD_NAMES]
             return MHDState(*arrays), time, step
-        states: Dict[Panel, MHDState] = {}
+        states: dict[Panel, MHDState] = {}
         for pv in data["_panels"]:
             panel = Panel(str(pv))
             arrays = [np.array(data[f"{panel.value}:{n}"]) for n in FIELD_NAMES]

@@ -75,13 +75,13 @@ class RunConfig:
         require(self.filter_every >= 1, "filter_every must be >= 1")
 
     @staticmethod
-    def paper_headline() -> "RunConfig":
+    def paper_headline() -> RunConfig:
         """The flagship configuration of the paper (not runnable on a
         laptop — used by the performance model and accounting benches):
         511 x 514 x 1538 x 2 grid points, paper parameters."""
         return RunConfig(nr=511, nth=514, nph=1538, params=MHDParameters.paper_run())
 
     @staticmethod
-    def paper_mid() -> "RunConfig":
+    def paper_mid() -> RunConfig:
         """The 255-radial-point configuration of Table II / Section V."""
         return RunConfig(nr=255, nth=514, nph=1538, params=MHDParameters.paper_run())

@@ -12,7 +12,6 @@ downstream analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +24,7 @@ from repro.mhd.state import MHDState
 class SolverDivergence(RuntimeError):
     """The solver state left the physical regime."""
 
-    def __init__(self, message: str, report: "HealthReport"):
+    def __init__(self, message: str, report: HealthReport):
         super().__init__(message)
         self.report = report
 
@@ -40,7 +39,7 @@ class HealthReport:
     min_density: float
     min_pressure: float
     worst_field: str
-    worst_index: Tuple[int, int, int]
+    worst_index: tuple[int, int, int]
 
     @property
     def marginal(self) -> bool:
@@ -83,7 +82,7 @@ def assert_healthy(
     state: MHDState,
     params: MHDParameters,
     *,
-    step: Optional[int] = None,
+    step: int | None = None,
     max_grid_reynolds: float = 20.0,
 ) -> HealthReport:
     """Raise :class:`SolverDivergence` if the state diverged (or is far

@@ -11,7 +11,6 @@ longitudinal grid convergence towards the poles.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List
 
 import numpy as np
 
@@ -43,7 +42,7 @@ class LatLonDynamo:
         self.time = 0.0
         self.step_count = 0
         self._last_dt = float("nan")
-        self.history: List[HistoryRecord] = []
+        self.history: list[HistoryRecord] = []
         self._base_rhs: MHDState | None = None
         if c.subtract_base_rhs:
             base = conduction_state(self.grid, c.params)
@@ -114,7 +113,7 @@ class LatLonDynamo:
         return self.step(dt)
 
     def run(self, n_steps: int, *, record_every: int = 1,
-            observers=()) -> List[HistoryRecord]:
+            observers=()) -> list[HistoryRecord]:
         """Advance ``n_steps`` steps through the shared engine (same
         policy and observers as the Yin-Yang driver)."""
         obs = list(observers)

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List
 
 import numpy as np
 
@@ -37,7 +36,7 @@ from repro.mhd.rk4 import rk4_step
 from repro.mhd.state import MHDState
 from repro.utils.timer import TimerRegistry
 
-PairState = Dict[Panel, MHDState]
+PairState = dict[Panel, MHDState]
 
 
 @dataclass
@@ -63,7 +62,7 @@ class YinYangDynamo:
         )
         omega = c.params.omega
         # global +z axis: Yin-local (0,0,omega); Yang-local (0,omega,0) - eq. (1)
-        self.equations: Dict[Panel, PanelEquations] = {
+        self.equations: dict[Panel, PanelEquations] = {
             Panel.YIN: PanelEquations(self.grid.yin, c.params, (0.0, 0.0, omega)),
             Panel.YANG: PanelEquations(self.grid.yang, c.params, (0.0, omega, 0.0)),
         }
@@ -72,7 +71,7 @@ class YinYangDynamo:
         self.time = 0.0
         self.step_count = 0
         self._last_dt = float("nan")
-        self.history: List[HistoryRecord] = []
+        self.history: list[HistoryRecord] = []
         self._base_rhs: PairState | None = None
         if c.subtract_base_rhs:
             base = {
@@ -183,7 +182,7 @@ class YinYangDynamo:
         return self.step(dt)
 
     def run(self, n_steps: int, *, record_every: int = 1,
-            observers=()) -> List[HistoryRecord]:
+            observers=()) -> list[HistoryRecord]:
         """Advance ``n_steps`` steps through the shared engine.
 
         The time step is re-estimated every ``dt_recompute_every`` steps

@@ -22,7 +22,6 @@ driver.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.utils.validation import check_positive, require
 
@@ -30,7 +29,7 @@ from repro.utils.validation import check_positive, require
 class StepController:
     """Base dt policy: subclasses implement :meth:`next_dt`."""
 
-    def next_dt(self, driver, k: int) -> Optional[float]:
+    def next_dt(self, driver, k: int) -> float | None:
         """dt for loop iteration ``k`` (0-based), or ``None`` to stop."""
         raise NotImplementedError
 
@@ -46,7 +45,7 @@ class CadenceController(StepController):
     pins down.
     """
 
-    def __init__(self, n_steps: int, *, dt: Optional[float] = None,
+    def __init__(self, n_steps: int, *, dt: float | None = None,
                  recompute_every: int = 10):
         require(n_steps >= 0, f"n_steps must be >= 0, got {n_steps}")
         require(recompute_every >= 1, "recompute_every must be >= 1")
@@ -55,15 +54,15 @@ class CadenceController(StepController):
         self.n_steps = n_steps
         self.dt = dt
         self.recompute_every = recompute_every
-        self._estimated: Optional[float] = None
+        self._estimated: float | None = None
 
     @classmethod
-    def from_config(cls, config, n_steps: int) -> "CadenceController":
+    def from_config(cls, config, n_steps: int) -> CadenceController:
         """The policy encoded in a :class:`~repro.core.config.RunConfig`."""
         return cls(n_steps, dt=config.dt,
                    recompute_every=config.dt_recompute_every)
 
-    def next_dt(self, driver, k: int) -> Optional[float]:
+    def next_dt(self, driver, k: int) -> float | None:
         if k >= self.n_steps:
             return None
         if self.dt is not None:
@@ -89,7 +88,7 @@ class TimeTargetController(StepController):
         self.dt = dt
         self.eps = eps
 
-    def next_dt(self, driver, k: int) -> Optional[float]:
+    def next_dt(self, driver, k: int) -> float | None:
         remaining = self.t_end - driver.time
         if remaining <= self.eps:
             return None

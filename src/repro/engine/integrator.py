@@ -22,7 +22,7 @@ calls, and pinned below 2 % by ``benchmarks/bench_engine_overhead.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from collections.abc import Sequence
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,7 @@ class IntegrationResult:
 
     steps: int = 0
     time: float = 0.0
-    dt_history: List[float] = field(default_factory=list)
+    dt_history: list[float] = field(default_factory=list)
 
 
 class Integrator:

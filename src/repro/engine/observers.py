@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import time as _time
 from pathlib import Path
-from typing import List, Optional
 
 from repro.utils.timer import TimerRegistry
 from repro.utils.validation import require
@@ -114,8 +113,8 @@ class CheckpointObserver(StepObserver):
         self.basename = basename
         self.restart = restart
         self.save_final = save_final
-        self.paths: List[Path] = []
-        self._last_saved_step: Optional[int] = None
+        self.paths: list[Path] = []
+        self._last_saved_step: int | None = None
 
     def on_start(self, driver) -> None:
         _require_capability(
@@ -155,14 +154,14 @@ class TimerObserver(StepObserver):
     ``comm_messages`` / ``comm_bytes`` after ``on_finish``.
     """
 
-    def __init__(self, registry: Optional[TimerRegistry] = None,
+    def __init__(self, registry: TimerRegistry | None = None,
                  *, name: str = "step", comm_trace=None):
         self.registry = registry
         self.name = name
         self.comm_trace = comm_trace
-        self.comm_messages: Optional[int] = None
-        self.comm_bytes: Optional[int] = None
-        self._mark: Optional[float] = None
+        self.comm_messages: int | None = None
+        self.comm_bytes: int | None = None
+        self._mark: float | None = None
         self._msgs0 = 0
         self._bytes0 = 0
 

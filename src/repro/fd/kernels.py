@@ -37,10 +37,10 @@ array back to the pool.  Consequences:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.checkers.sanitize import DoubleRelease, poison_buffer, sanitize_enabled
 from repro.fd import stencils
 
 Array = np.ndarray
@@ -52,31 +52,49 @@ class BufferPool:
     ``take`` pops a free buffer (or allocates when none is available);
     ``give`` returns one for reuse.  Counters expose how many
     allocations the pool absorbed — the benchmark reports them.
+
+    With ``REPRO_SANITIZE=1`` (checked at construction) the pool also
+    enforces its ownership contract: ``give`` poisons the buffer with
+    NaN — a caller that kept reading it sees the NaN propagate instead
+    of silently consuming stale data — and giving the same array twice
+    raises :class:`~repro.checkers.sanitize.DoubleRelease`.
     """
 
     def __init__(self):
-        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[Array]] = {}
+        self._free: dict[tuple[tuple[int, ...], np.dtype], list[Array]] = {}
         self.allocated = 0
         self.reused = 0
+        self._sanitize = sanitize_enabled()
+        self._free_ids: set[int] = set()
 
-    def take(self, shape: Tuple[int, ...], dtype=np.float64) -> Array:
+    def take(self, shape: tuple[int, ...], dtype=np.float64) -> Array:
         """A writable buffer of the requested shape (contents arbitrary)."""
         stack = self._free.get((tuple(shape), np.dtype(dtype)))
         if stack:
             self.reused += 1
-            return stack.pop()
+            arr = stack.pop()
+            self._free_ids.discard(id(arr))
+            return arr
         self.allocated += 1
         return np.empty(shape, dtype=dtype)
 
     def give(self, arr: Array) -> None:
         """Return a buffer to the pool.  The caller must drop its reference."""
+        if self._sanitize:
+            if id(arr) in self._free_ids:
+                raise DoubleRelease(
+                    f"buffer {arr.shape} {arr.dtype} given back to the pool "
+                    f"twice (id={id(arr):#x})"
+                )
+            self._free_ids.add(id(arr))
+            poison_buffer(arr)
         self._free.setdefault((arr.shape, arr.dtype), []).append(arr)
 
     @property
     def free_count(self) -> int:
         return sum(len(v) for v in self._free.values())
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         return {
             "allocated": self.allocated,
             "reused": self.reused,
@@ -93,9 +111,9 @@ class DerivativeCache:
     (see the module docstring for the full invalidation contract).
     """
 
-    def __init__(self, pool: Optional[BufferPool] = None):
+    def __init__(self, pool: BufferPool | None = None):
         self.pool = pool
-        self._entries: Dict[Tuple[int, int, int], Tuple[Array, Array]] = {}
+        self._entries: dict[tuple[int, int, int], tuple[Array, Array]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -116,7 +134,7 @@ class DerivativeCache:
         """Memoized :func:`repro.fd.stencils.diff2_raw` (spacing-free)."""
         return self._get(f, None, axis, self._RAW2)
 
-    def _get(self, f: Array, h: Optional[float], axis: int, order: int) -> Array:
+    def _get(self, f: Array, h: float | None, axis: int, order: int) -> Array:
         key = (id(f), axis, order)
         entry = self._entries.get(key)
         if entry is not None and entry[0] is f:
@@ -153,7 +171,7 @@ class DerivativeCache:
     def size(self) -> int:
         return len(self._entries)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "entries": self.size}
 
 

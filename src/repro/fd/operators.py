@@ -24,7 +24,6 @@ the cache lifecycle (reset once per RHS evaluation — see
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,13 +31,13 @@ from repro.fd.stencils import AXIS_PH, AXIS_R, AXIS_TH, diff, diff2
 from repro.grids.base import SphericalPatch
 
 Array = np.ndarray
-Vec = Tuple[Array, Array, Array]
+Vec = tuple[Array, Array, Array]
 
 
 class SphericalOperators:
     """Finite-difference spherical vector calculus on one patch."""
 
-    def __init__(self, patch: SphericalPatch, cache: Optional["DerivativeCache"] = None):
+    def __init__(self, patch: SphericalPatch, cache: DerivativeCache | None = None):
         self.patch = patch
         self.m = patch.metric
         self.dr = patch.dr

@@ -13,19 +13,20 @@ grid points — per the vectorisation guidance for this project.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
+
+from repro.checkers.hotpath import hot_path
 
 Array = np.ndarray
 
 #: Running tally of stencil-kernel executions since the last reset.
 #: The perf smoke test compares these between the cached and reference
 #: RHS paths — a deterministic, CI-stable proxy for the work saved.
-_COUNTS: Dict[str, int] = {"diff": 0, "diff2": 0}
+_COUNTS: dict[str, int] = {"diff": 0, "diff2": 0}
 
 
-def stencil_counts() -> Dict[str, int]:
+def stencil_counts() -> dict[str, int]:
     """Snapshot of how many times each stencil kernel has executed."""
     return dict(_COUNTS)
 
@@ -42,7 +43,7 @@ def _axslice(ndim: int, axis: int, sl: slice) -> tuple:
     return tuple(out)
 
 
-def _resolve_out(f: Array, out: Optional[Array]) -> Array:
+def _resolve_out(f: Array, out: Array | None) -> Array:
     """Validate a caller-supplied output buffer (or allocate a fresh one).
 
     ``out`` must not alias ``f``: the edge-plane stencils read points
@@ -58,7 +59,8 @@ def _resolve_out(f: Array, out: Optional[Array]) -> Array:
     return out
 
 
-def diff(f: Array, h: float, axis: int, out: Optional[Array] = None) -> Array:
+@hot_path
+def diff(f: Array, h: float, axis: int, out: Array | None = None) -> Array:
     """First derivative along ``axis`` with uniform spacing ``h``.
 
     Central second order in the interior; one-sided second order
@@ -93,7 +95,8 @@ def diff(f: Array, h: float, axis: int, out: Optional[Array] = None) -> Array:
     return out
 
 
-def diff2(f: Array, h: float, axis: int, out: Optional[Array] = None) -> Array:
+@hot_path
+def diff2(f: Array, h: float, axis: int, out: Array | None = None) -> Array:
     """Second derivative along ``axis`` with uniform spacing ``h``.
 
     Central second order in the interior; at the edge planes the
@@ -146,7 +149,8 @@ def _flat_last_axis(f: Array, out: Array, axis: int) -> bool:
     )
 
 
-def diff_raw(f: Array, axis: int, out: Optional[Array] = None) -> Array:
+@hot_path
+def diff_raw(f: Array, axis: int, out: Array | None = None) -> Array:
     """Spacing-free first-difference numerator: ``2 h * diff(f, h, axis)``.
 
     Same stencils as :func:`diff` with the ``1/(2h)`` normalisation left
@@ -188,7 +192,8 @@ def diff_raw(f: Array, axis: int, out: Optional[Array] = None) -> Array:
     return out
 
 
-def diff2_raw(f: Array, axis: int, out: Optional[Array] = None) -> Array:
+@hot_path
+def diff2_raw(f: Array, axis: int, out: Array | None = None) -> Array:
     """Spacing-free second-difference numerator: ``h^2 * diff2(f, h, axis)``.
 
     Interior ``f[i+1] - 2 f[i] + f[i-1]``; edge planes use the one-sided

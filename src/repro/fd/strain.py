@@ -11,7 +11,6 @@ rate-of-strain tensor in spherical coordinates.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -19,10 +18,10 @@ from repro.fd.stencils import AXIS_PH, AXIS_R, AXIS_TH
 from repro.fd.operators import SphericalOperators
 
 Array = np.ndarray
-Vec = Tuple[Array, Array, Array]
+Vec = tuple[Array, Array, Array]
 
 
-def strain_tensor(ops: SphericalOperators, v: Vec) -> Dict[str, Array]:
+def strain_tensor(ops: SphericalOperators, v: Vec) -> dict[str, Array]:
     """The six independent components of ``e_ij`` in spherical coordinates.
 
     Returns a dict with keys ``rr, tt, pp, rt, rp, tp`` (``t`` = theta,
@@ -59,7 +58,7 @@ def strain_tensor(ops: SphericalOperators, v: Vec) -> Dict[str, Array]:
     return {"rr": e_rr, "tt": e_tt, "pp": e_pp, "rt": e_rt, "rp": e_rp, "tp": e_tp}
 
 
-def strain_double_contraction(e: Dict[str, Array]) -> Array:
+def strain_double_contraction(e: dict[str, Array]) -> Array:
     """``e_ij e_ij`` with off-diagonal components counted twice."""
     return (
         e["rr"] ** 2

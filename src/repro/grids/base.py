@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Tuple
 
 import numpy as np
 
@@ -87,7 +86,7 @@ class SphericalPatch:
         return self.phi.size
 
     @property
-    def shape(self) -> Tuple[int, int, int]:
+    def shape(self) -> tuple[int, int, int]:
         """Shape of field arrays on this patch."""
         return (self.nr, self.nth, self.nph)
 
@@ -135,12 +134,12 @@ class SphericalPatch:
         return self.phi[None, None, :]
 
     @cached_property
-    def metric(self) -> "PatchMetric":
+    def metric(self) -> PatchMetric:
         return PatchMetric(self)
 
     # ---- geometry helpers ---------------------------------------------------
 
-    def angles_mesh(self) -> Tuple[Array, Array]:
+    def angles_mesh(self) -> tuple[Array, Array]:
         """2-D meshgrid ``(theta, phi)`` arrays, shape ``(nth, nph)``."""
         return np.meshgrid(self.theta, self.phi, indexing="ij")
 
@@ -217,5 +216,5 @@ class PatchMetric:
         self.inv_r2_sin2 = self.inv_r2 / self.sin_th**2
 
     @property
-    def shape(self) -> Tuple[int, int, int]:
+    def shape(self) -> tuple[int, int, int]:
         return self.patch.shape

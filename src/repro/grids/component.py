@@ -15,7 +15,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Tuple
 
 import numpy as np
 
@@ -43,7 +42,7 @@ class Panel(enum.Enum):
     YANG = "yang"
 
     @property
-    def other(self) -> "Panel":
+    def other(self) -> Panel:
         return Panel.YANG if self is Panel.YIN else Panel.YIN
 
     @property
@@ -87,7 +86,7 @@ class ComponentGrid(SphericalPatch):
         panel: Panel = Panel.YIN,
         extra_theta: int = 1,
         extra_phi: int = 2,
-    ) -> "ComponentGrid":
+    ) -> ComponentGrid:
         """Build a panel with ``nth x nph`` angular points (including the
         extension rows and the overset boundary ring) and ``nr`` radii
         (including the two wall points).
@@ -117,7 +116,7 @@ class ComponentGrid(SphericalPatch):
             panel=panel, extra_theta=extra_theta, extra_phi=extra_phi,
         )
 
-    def twin(self) -> "ComponentGrid":
+    def twin(self) -> ComponentGrid:
         """The geometrically identical panel in the other frame."""
         return ComponentGrid(
             r=self.r, theta=self.theta, phi=self.phi,
@@ -128,7 +127,7 @@ class ComponentGrid(SphericalPatch):
     # ---- overset boundary ring ---------------------------------------------
 
     @cached_property
-    def ring_indices(self) -> Tuple[Array, Array]:
+    def ring_indices(self) -> tuple[Array, Array]:
         """Angular indices ``(ith, iph)`` of the overset boundary ring.
 
         The ring is the perimeter of the ``nth x nph`` angular index
@@ -152,7 +151,7 @@ class ComponentGrid(SphericalPatch):
         return 2 * self.nph + 2 * (self.nth - 2)
 
     @cached_property
-    def ring_angles(self) -> Tuple[Array, Array]:
+    def ring_angles(self) -> tuple[Array, Array]:
         """Panel-frame ``(theta, phi)`` of each overset ring point."""
         ith, iph = self.ring_indices
         return self.theta[ith], self.phi[iph]
@@ -165,7 +164,7 @@ class ComponentGrid(SphericalPatch):
         mask[ith, iph] = False
         return mask
 
-    def interior_cell_box(self) -> Tuple[float, float, float, float]:
+    def interior_cell_box(self) -> tuple[float, float, float, float]:
         """``(theta_lo, theta_hi, phi_lo, phi_hi)`` bounding the region in
         which a bilinear donor cell may be anchored so that all four of
         its corners are finite-difference points of *this* panel."""

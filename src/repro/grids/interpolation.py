@@ -17,7 +17,6 @@ the receptor's basis with the pointwise orthogonal matrices from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -58,7 +57,7 @@ class BilinearStencil:
     def n(self) -> int:
         return self.ith.size
 
-    def corner_weights(self) -> Tuple[Tuple[Array, Array, Array], ...]:
+    def corner_weights(self) -> tuple[tuple[Array, Array, Array], ...]:
         """The 4 (index_th, index_ph, weight) corner triples."""
         a, b = self.wth, self.wph
         return (
@@ -184,8 +183,8 @@ class OversetInterpolator:
 
     def fill_vector(
         self,
-        donor_components: Tuple[Array, Array, Array],
-        receptor_components: Tuple[Array, Array, Array],
+        donor_components: tuple[Array, Array, Array],
+        receptor_components: tuple[Array, Array, Array],
     ) -> None:
         """Overwrite the receptor's ring values of a vector field in place."""
         wr, wth, wph = self.interp_vector(*donor_components)

@@ -46,7 +46,7 @@ class LatLonGrid(SphericalPatch):
     @staticmethod
     def build(
         nr: int, nth_interior: int, nph_interior: int, *, ri: float = 0.35, ro: float = 1.0
-    ) -> "LatLonGrid":
+    ) -> LatLonGrid:
         """Build a grid with the given number of *interior* angular points.
 
         ``nph_interior`` must be even so that the across-pole copy lands

@@ -13,7 +13,6 @@ mismatch, normalised by the field scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
@@ -58,7 +57,7 @@ def overlap_points(grid: YinYangGrid, receptor: Panel) -> tuple:
 
 
 def double_solution_mismatch(
-    grid: YinYangGrid, fields: Dict[Panel, Array], *, receptor: Panel = Panel.YIN
+    grid: YinYangGrid, fields: dict[Panel, Array], *, receptor: Panel = Panel.YIN
 ) -> OverlapMismatch:
     """Compare the receptor's own values against the donor's solution
     interpolated to the same physical points."""
@@ -79,7 +78,7 @@ def double_solution_mismatch(
     )
 
 
-def state_mismatch_report(grid: YinYangGrid, states) -> Dict[str, OverlapMismatch]:
+def state_mismatch_report(grid: YinYangGrid, states) -> dict[str, OverlapMismatch]:
     """Double-solution mismatch of every prognostic field of a solver
     state pair (scalars compared directly; vector components compared
     after rotating the donor's components into the receptor basis would

@@ -12,7 +12,6 @@ margins allow.
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -70,15 +69,15 @@ def _radial_interp(src_r: Array, dst_r: Array, field: Array) -> Array:
 
 
 def prolong_scalar(
-    src: YinYangGrid, dst: YinYangGrid, fields: Dict[Panel, Array]
-) -> Dict[Panel, Array]:
+    src: YinYangGrid, dst: YinYangGrid, fields: dict[Panel, Array]
+) -> dict[Panel, Array]:
     """Transfer a per-panel scalar field to another Yin-Yang grid.
 
     Trilinear: bilinear in the panel angles (same panel — the frames
     coincide), linear in radius.  Works for refinement, coarsening and
     general resampling alike.
     """
-    out: Dict[Panel, Array] = {}
+    out: dict[Panel, Array] = {}
     for panel in (Panel.YIN, Panel.YANG):
         sg, dg = src.panel(panel), dst.panel(panel)
         th, ph = np.meshgrid(dg.theta, dg.phi, indexing="ij")
@@ -93,14 +92,14 @@ def prolong_scalar(
 
 
 def prolong_state(
-    src: YinYangGrid, dst: YinYangGrid, states: Dict[Panel, MHDState]
-) -> Dict[Panel, MHDState]:
+    src: YinYangGrid, dst: YinYangGrid, states: dict[Panel, MHDState]
+) -> dict[Panel, MHDState]:
     """Transfer a full solver state pair between Yin-Yang grids.
 
     Component fields transfer like scalars: panel bases coincide between
     the two grids (same frames), so no rotation is needed.
     """
-    out: Dict[Panel, MHDState] = {}
+    out: dict[Panel, MHDState] = {}
     per_field = {
         name: prolong_scalar(
             src, dst, {p: getattr(s, name) for p, s in states.items()}

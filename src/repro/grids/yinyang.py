@@ -10,7 +10,6 @@ the internal boundary condition.
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -64,14 +63,14 @@ class YinYangGrid:
     # ---- basic properties ----------------------------------------------------
 
     @property
-    def panels(self) -> Tuple[ComponentGrid, ComponentGrid]:
+    def panels(self) -> tuple[ComponentGrid, ComponentGrid]:
         return (self.yin, self.yang)
 
     def panel(self, which: Panel) -> ComponentGrid:
         return self.yin if which is Panel.YIN else self.yang
 
     @property
-    def shape(self) -> Tuple[int, int, int]:
+    def shape(self) -> tuple[int, int, int]:
         """Per-panel field shape ``(nr, nth, nph)``."""
         return self.yin.shape
 
@@ -103,8 +102,8 @@ class YinYangGrid:
 
     def apply_overset_vector(
         self,
-        yin_components: Tuple[Array, Array, Array],
-        yang_components: Tuple[Array, Array, Array],
+        yin_components: tuple[Array, Array, Array],
+        yang_components: tuple[Array, Array, Array],
     ) -> None:
         """Fill both panels' boundary rings of a vector field, in place,
         rotating spherical components between the panel bases."""
@@ -119,7 +118,7 @@ class YinYangGrid:
 
     # ---- global sampling ------------------------------------------------------
 
-    def sample_scalar(self, fn) -> Dict[Panel, Array]:
+    def sample_scalar(self, fn) -> dict[Panel, Array]:
         """Sample ``fn(r, theta_global, phi_global)`` on both panels.
 
         ``fn`` receives *global-frame* (= Yin-frame) coordinates even for
@@ -127,7 +126,7 @@ class YinYangGrid:
         sphere; broadcasting shapes are ``(nr,1,1), (nth,1), (nth,nph)``-
         compatible.
         """
-        out: Dict[Panel, Array] = {}
+        out: dict[Panel, Array] = {}
         for g in self.panels:
             th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
             if g.panel is Panel.YANG:
@@ -137,11 +136,11 @@ class YinYangGrid:
         return out
 
     @cached_property
-    def overlap_mask(self) -> Dict[Panel, Array]:
+    def overlap_mask(self) -> dict[Panel, Array]:
         """Boolean ``(nth, nph)`` masks of angular points that also lie
         inside the *other* panel's angular domain (the double-solution
         region, ~6 % of the sphere for the minimal grid)."""
-        out: Dict[Panel, Array] = {}
+        out: dict[Panel, Array] = {}
         for g in self.panels:
             th, ph = np.meshgrid(g.theta, g.phi, indexing="ij")
             th_o, ph_o = other_panel_angles(th, ph)

@@ -21,7 +21,6 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional
 
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
@@ -34,7 +33,7 @@ from repro.utils.validation import require
 MANIFEST_VERSION = 1
 
 
-def _config_to_jsonable(config: RunConfig) -> Dict:
+def _config_to_jsonable(config: RunConfig) -> dict:
     d = asdict(config)
     d["magnetic_bc"] = config.magnetic_bc.value
     return d
@@ -65,7 +64,7 @@ class RunCatalog:
         }
         self.manifest_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
-    def read_manifest(self) -> Dict:
+    def read_manifest(self) -> dict:
         require(self.manifest_path.exists(), f"no manifest in {self.root}")
         data = json.loads(self.manifest_path.read_text())
         if data.get("manifest_version") != MANIFEST_VERSION:
@@ -90,13 +89,13 @@ class RunCatalog:
     def save_checkpoint(self, states, *, time: float, step: int) -> Path:
         return save_checkpoint(self.checkpoint_path(step), states, time=time, step=step)
 
-    def list_checkpoints(self) -> List[int]:
+    def list_checkpoints(self) -> list[int]:
         out = []
         for p in sorted((self.root / "checkpoints").glob("step_*.npz")):
             out.append(int(p.stem.split("_")[1]))
         return out
 
-    def load_checkpoint(self, step: Optional[int] = None):
+    def load_checkpoint(self, step: int | None = None):
         """Load a checkpoint (default: the latest)."""
         steps = self.list_checkpoints()
         require(bool(steps), f"no checkpoints under {self.root}")
@@ -113,7 +112,7 @@ class RunCatalog:
     def save_snapshot(self, snap: Snapshot) -> Path:
         return save_snapshot(self.snapshot_path(snap.panel, snap.step), snap)
 
-    def list_snapshots(self) -> List[tuple]:
+    def list_snapshots(self) -> list[tuple]:
         out = []
         for p in sorted((self.root / "snapshots").glob("*_step_*.npz")):
             panel, _, step = p.stem.partition("_step_")
@@ -128,7 +127,7 @@ class RunCatalog:
     def total_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())
 
-    def summary(self) -> Dict:
+    def summary(self) -> dict:
         return {
             "root": str(self.root),
             "has_manifest": self.manifest_path.exists(),

@@ -9,7 +9,7 @@ a small append-only store with named channels and ``.npz`` persistence.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,8 +23,8 @@ class TimeSeriesRecorder:
         if len(set(channels)) != len(channels):
             raise ValueError("channel names must be unique")
         self.channels = tuple(channels)
-        self._t: List[float] = []
-        self._data: Dict[str, List[float]] = {c: [] for c in self.channels}
+        self._t: list[float] = []
+        self._data: dict[str, list[float]] = {c: [] for c in self.channels}
 
     def append(self, t: float, **values: float) -> None:
         """Record one sample; every channel must be supplied."""
@@ -52,7 +52,7 @@ class TimeSeriesRecorder:
             raise KeyError(f"no channel {name!r}; have {self.channels}")
         return np.array(self._data[name])
 
-    def last(self) -> Dict[str, float]:
+    def last(self) -> dict[str, float]:
         """Most recent sample as ``{'time': t, channel: value, ...}``."""
         if not self._t:
             raise IndexError("recorder is empty")
@@ -83,7 +83,7 @@ class TimeSeriesRecorder:
         return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
     @staticmethod
-    def load(path: str | Path) -> "TimeSeriesRecorder":
+    def load(path: str | Path) -> TimeSeriesRecorder:
         path = Path(path)
         if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
             path = path.with_suffix(path.suffix + ".npz")

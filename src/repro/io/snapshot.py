@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -39,10 +38,10 @@ class Snapshot:
     panel: Panel
     time: float
     step: int
-    fields: Dict[str, Array]
+    fields: dict[str, Array]
 
     @property
-    def shape(self) -> Tuple[int, int, int]:
+    def shape(self) -> tuple[int, int, int]:
         return self.fields["temperature"].shape
 
     def nbytes(self, itemsize: int = 4) -> int:
@@ -52,7 +51,7 @@ class Snapshot:
         return n * itemsize
 
 
-def _to_global_cart(patch: SphericalPatch, panel: Panel, vec) -> Tuple[Array, Array, Array]:
+def _to_global_cart(patch: SphericalPatch, panel: Panel, vec) -> tuple[Array, Array, Array]:
     """Spherical components on a panel -> global-frame Cartesian fields."""
     th = patch.theta3
     ph = patch.phi3

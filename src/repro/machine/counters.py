@@ -13,7 +13,6 @@ the spreads visible in List 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields as dc_fields
-from typing import List
 
 import numpy as np
 
@@ -73,7 +72,7 @@ def synthesize_counters(
     field_memory_mb: float = 50.0,
     jitter: float = 0.006,
     seed: int = 15,
-) -> List[HardwareCounters]:
+) -> list[HardwareCounters]:
     """Build a deterministic population of per-process counters.
 
     ``flops_per_vector_element`` converts element counts to FLOPs (not
@@ -82,7 +81,7 @@ def synthesize_counters(
     ``jitter`` reproduces the percent-level min/max spread of List 1.
     """
     rng = np.random.default_rng(seed)
-    out: List[HardwareCounters] = []
+    out: list[HardwareCounters] = []
     for _ in range(n_processes):
         j = 1.0 + jitter * rng.standard_normal()
 
@@ -112,7 +111,7 @@ def synthesize_counters(
     return out
 
 
-def aggregate(counters: List[HardwareCounters]):
+def aggregate(counters: list[HardwareCounters]):
     """Global min/max/average rows exactly as MPIPROGINF aggregates them.
 
     Returns ``{field: (min, argmin, max, argmax, mean)}`` over the plain

@@ -12,7 +12,6 @@ closed-form prediction (tested to agree within a few per cent).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -113,7 +112,7 @@ def validate_against_closed_form(
 
 def per_rank_flop_rates(
     model: PerformanceModel, sim: StepSimulation, nr: int, nth: int, nph: int
-) -> List[float]:
+) -> list[float]:
     """Per-rank sustained GFlop/s over the simulated step, for the
     MPIPROGINF min/max spread."""
     n = sim.compute_times.size

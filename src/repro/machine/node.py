@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.machine.specs import EarthSimulatorSpec
 from repro.utils.validation import check_positive, require
@@ -25,7 +24,7 @@ class ProcessorNode:
         return bytes_per_process * processes <= self.spec.node_memory_gb * 2**30
 
 
-def placement(n_processes: int, spec: EarthSimulatorSpec) -> List[Tuple[int, int]]:
+def placement(n_processes: int, spec: EarthSimulatorSpec) -> list[tuple[int, int]]:
     """Flat-MPI rank placement: ``rank -> (node, slot)``, 8 per node.
 
     MPI on the ES fills nodes with consecutive ranks; the performance

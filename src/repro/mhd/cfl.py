@@ -11,7 +11,7 @@ panel it stays within a factor sqrt(2) of the equatorial width.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -11,7 +11,6 @@ halve the contribution of points covered by both panels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -23,7 +22,7 @@ from repro.mhd.parameters import MHDParameters
 from repro.mhd.state import MHDState
 
 Array = np.ndarray
-Vec = Tuple[Array, Array, Array]
+Vec = tuple[Array, Array, Array]
 
 
 @dataclass(frozen=True)
@@ -35,7 +34,7 @@ class EnergyReport:
     thermal: float
     mass: float
 
-    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+    def __add__(self, other: EnergyReport) -> EnergyReport:
         return EnergyReport(
             kinetic=self.kinetic + other.kinetic,
             magnetic=self.magnetic + other.magnetic,
@@ -43,7 +42,7 @@ class EnergyReport:
             mass=self.mass + other.mass,
         )
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "kinetic": self.kinetic,
             "magnetic": self.magnetic,
@@ -83,14 +82,14 @@ def panel_energies(
     )
 
 
-def yinyang_quadrature_weights(grid: YinYangGrid) -> Dict[Panel, Array]:
+def yinyang_quadrature_weights(grid: YinYangGrid) -> dict[Panel, Array]:
     """Per-panel volume weights with overlap points down-weighted by 1/2.
 
     Points whose angular position also lies inside the other panel are
     covered twice; halving both copies makes global integrals count the
     shell exactly once (to quadrature accuracy).
     """
-    out: Dict[Panel, Array] = {}
+    out: dict[Panel, Array] = {}
     for g in grid.panels:
         w = g.volume_weights()
         mask = grid.overlap_mask[g.panel]
@@ -101,7 +100,7 @@ def yinyang_quadrature_weights(grid: YinYangGrid) -> Dict[Panel, Array]:
 
 def yinyang_energies(
     grid: YinYangGrid,
-    states: Dict[Panel, MHDState],
+    states: dict[Panel, MHDState],
     params: MHDParameters,
 ) -> EnergyReport:
     """Overlap-corrected global energies of a Yin-Yang state pair."""
@@ -146,7 +145,7 @@ def total_energy(
 
 def yinyang_total_energy(
     grid: YinYangGrid,
-    states: Dict[Panel, MHDState],
+    states: dict[Panel, MHDState],
     params: MHDParameters,
 ) -> float:
     """Overlap-corrected global total energy of a panel pair."""
@@ -179,7 +178,7 @@ def dipole_moment_axis(
 
 
 def saturation_detector(
-    series: Tuple[np.ndarray, np.ndarray], window: int = 10, tol: float = 0.05
+    series: tuple[np.ndarray, np.ndarray], window: int = 10, tol: float = 0.05
 ) -> bool:
     """Detects the saturated/balanced stage of an energy time series.
 

@@ -26,10 +26,10 @@ property tests pin agreement at 1e-13.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.checkers.hotpath import hot_path
 from repro.coords.spherical import cart_vector_to_sph
 from repro.fd.kernels import BufferPool, DerivativeCache, StencilCoefficients
 from repro.fd.operators import SphericalOperators
@@ -40,10 +40,10 @@ from repro.mhd.parameters import MHDParameters
 from repro.mhd.state import MHDState
 
 Array = np.ndarray
-Vec = Tuple[Array, Array, Array]
+Vec = tuple[Array, Array, Array]
 
 
-def rotation_vector_field(patch: SphericalPatch, omega_cart: Tuple[float, float, float]) -> Vec:
+def rotation_vector_field(patch: SphericalPatch, omega_cart: tuple[float, float, float]) -> Vec:
     """Local spherical components of a constant Cartesian vector.
 
     A constant vector (the rotation axis) has position-dependent
@@ -83,7 +83,7 @@ class PanelEquations:
         self,
         patch: SphericalPatch,
         params: MHDParameters,
-        omega_cart: Tuple[float, float, float],
+        omega_cart: tuple[float, float, float],
         *,
         fused: bool = True,
     ):
@@ -127,7 +127,7 @@ class PanelEquations:
         """``j = curl B``."""
         return self.ops.curl(b)
 
-    def subsidiary_fields(self, state: MHDState) -> Tuple[Vec, Vec]:
+    def subsidiary_fields(self, state: MHDState) -> tuple[Vec, Vec]:
         """``(B, j)`` computed once — feed these to the diagnostics so a
         post-step pass does not re-curl the state per quantity."""
         b = self.magnetic_field(state)
@@ -208,6 +208,7 @@ class PanelEquations:
             ar=da[0], ath=da[1], aph=da[2],
         )
 
+    @hot_path
     def rhs_fused(self, state: MHDState) -> MHDState:
         """The hand-fused kernel: each unit of work exactly once.
 
@@ -505,7 +506,7 @@ class PanelEquations:
     # ---- energy sources (diagnostics) ----------------------------------------------
 
     def lorentz_work(
-        self, state: MHDState, b: Optional[Vec] = None, j: Optional[Vec] = None
+        self, state: MHDState, b: Vec | None = None, j: Vec | None = None
     ) -> Array:
         """``v . (j x B)`` — rate of magnetic-to-kinetic energy transfer.
 
@@ -520,7 +521,7 @@ class PanelEquations:
         return self.ops.dot(v, self.ops.cross(j, b))
 
     def ohmic_heating(
-        self, state: MHDState, b: Optional[Vec] = None, j: Optional[Vec] = None
+        self, state: MHDState, b: Vec | None = None, j: Vec | None = None
     ) -> Array:
         """``eta j^2`` — Joule dissipation density.
 

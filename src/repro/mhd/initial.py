@@ -20,7 +20,6 @@ normalised so ``p(ro) = rho(ro) = T(ro) = 1``.  (For an isothermal shell,
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -39,18 +38,20 @@ def conduction_temperature(r: Array, params: MHDParameters) -> Array:
     return a + b / np.asarray(r, dtype=np.float64)
 
 
-def hydrostatic_profiles(r: Array, params: MHDParameters) -> Tuple[Array, Array, Array]:
+def hydrostatic_profiles(r: Array, params: MHDParameters) -> tuple[Array, Array, Array]:
     """``(T, p, rho)`` of the hydrostatic conduction state at radii ``r``."""
     r = np.asarray(r, dtype=np.float64)
     ri, ro, ti = params.ri, params.ro, params.t_inner
     temp = conduction_temperature(r, params)
     b = (ti - 1.0) * ri * ro / (ro - ri)
-    if b < 1e-8:
-        # (near-)isothermal shell: T**(g0/b) loses all precision as
-        # b -> 0; use the analytic barometric limit instead
-        p = np.exp(params.g0 * (1.0 / r - 1.0 / ro))
-    else:
-        p = temp ** (params.g0 / b)
+    # (near-)isothermal shell: T**(g0/b) loses all precision as b -> 0;
+    # use the analytic barometric limit there instead
+    isothermal = b < 1e-8
+    p = (
+        np.exp(params.g0 * (1.0 / r - 1.0 / ro))
+        if isothermal
+        else temp ** (params.g0 / b)
+    )
     rho = p / temp
     return temp, p, rho
 

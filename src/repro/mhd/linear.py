@@ -13,7 +13,6 @@ the critical Rayleigh number ``Ra_c(Ekman)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -50,7 +49,7 @@ def measure_growth_rate(
     nph: int = 42,
     n_steps: int = 160,
     amplitude: float = 1e-6,
-    seed_window: Tuple[float, float] = (0.4, 1.0),
+    seed_window: tuple[float, float] = (0.4, 1.0),
 ) -> GrowthMeasurement:
     """Kinetic-energy growth rate of a seeded mode at one (Ra, Ek).
 
@@ -109,10 +108,10 @@ def critical_rayleigh(
     ekman: float,
     *,
     mode: int = 4,
-    bracket: Tuple[float, float] = (5e2, 1e5),
+    bracket: tuple[float, float] = (5e2, 1e5),
     iterations: int = 6,
     **run_kwargs,
-) -> Tuple[float, Tuple[float, float]]:
+) -> tuple[float, tuple[float, float]]:
     """Bisect the Rayleigh number of marginal stability at one Ekman
     number; returns ``(Ra_c estimate, final bracket)``.
 

@@ -98,7 +98,7 @@ class MHDParameters:
 
     # ---- presets ---------------------------------------------------------------
 
-    def with_dissipation_scaled(self, factor: float) -> "MHDParameters":
+    def with_dissipation_scaled(self, factor: float) -> MHDParameters:
         """Scale all three dissipation constants by ``factor``.
 
         The paper's run is the previous run with ``factor = 1/10``:
@@ -121,7 +121,7 @@ class MHDParameters:
         gamma: float = 5.0 / 3.0,
         ri: float = 0.35,
         ro: float = 1.0,
-    ) -> "MHDParameters":
+    ) -> MHDParameters:
         """Build a parameter set from target nondimensional numbers.
 
         The compressible normalisation fixes the sound speed near 1, so a
@@ -150,20 +150,20 @@ class MHDParameters:
         )
 
     @staticmethod
-    def previous_run() -> "MHDParameters":
+    def previous_run() -> MHDParameters:
         """Parameters patterned on the earlier reversal runs [Li et al.
         2002], chosen so the paper's quoted numbers emerge after the /10
         dissipation scaling: Rayleigh 3e4 -> 3e6, Ekman 2e-4 -> 2e-5."""
         return MHDParameters.from_nondimensional(rayleigh=3e4, ekman=2e-4)
 
     @staticmethod
-    def paper_run() -> "MHDParameters":
+    def paper_run() -> MHDParameters:
         """The SC 2004 headline parameters: previous run, dissipation / 10
         (Rayleigh = 3e6, Ekman = 2e-5)."""
         return MHDParameters.previous_run().with_dissipation_scaled(0.1)
 
     @staticmethod
-    def laptop_demo(rayleigh: float = 1e4, ekman: float = 2e-3) -> "MHDParameters":
+    def laptop_demo(rayleigh: float = 1e4, ekman: float = 2e-3) -> MHDParameters:
         """Moderate parameters that convect on coarse meshes in seconds:
         supercritical but laminar — a handful of convection columns,
         resolvable with ~20 points per dimension."""

@@ -13,7 +13,8 @@ test suite.
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 from repro.engine.system import TimeDependentSystem
 

@@ -21,10 +21,9 @@ against that interface only, so they run unmodified on either backend:
 
 from __future__ import annotations
 
-from typing import List
 
 
-def available_backends() -> List[str]:
+def available_backends() -> list[str]:
     return ["thread", "process"]
 
 

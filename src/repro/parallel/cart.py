@@ -10,7 +10,6 @@ top of plain communicators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from repro.parallel.simmpi import CommunicatorBase
 from repro.utils.validation import require
@@ -28,8 +27,8 @@ class CartComm:
     """
 
     comm: CommunicatorBase
-    dims: Tuple[int, int]
-    periods: Tuple[bool, bool] = (False, False)
+    dims: tuple[int, int]
+    periods: tuple[bool, bool] = (False, False)
 
     def __post_init__(self):
         require(
@@ -45,12 +44,12 @@ class CartComm:
     def size(self) -> int:
         return self.comm.size
 
-    def coords(self, rank: Optional[int] = None) -> Tuple[int, int]:
+    def coords(self, rank: int | None = None) -> tuple[int, int]:
         """Cartesian coordinates of ``rank`` (default: my rank)."""
         r = self.comm.rank if rank is None else rank
         return divmod(r, self.dims[1])
 
-    def rank_of(self, coord: Tuple[int, int]) -> int:
+    def rank_of(self, coord: tuple[int, int]) -> int:
         """Rank at cartesian coordinates (must be in range / wrapped)."""
         i, j = coord
         ni, nj = self.dims
@@ -61,7 +60,7 @@ class CartComm:
         require(0 <= i < ni and 0 <= j < nj, f"coordinate {coord} outside {self.dims}")
         return i * nj + j
 
-    def shift(self, direction: int, disp: int = 1) -> Tuple[int, int]:
+    def shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
         """``MPI_CART_SHIFT``: ``(source, dest)`` ranks for a shift of
         ``disp`` along ``direction`` (0 = theta rows, 1 = phi columns);
         ``PROC_NULL`` where the topology ends."""
@@ -89,7 +88,7 @@ class CartComm:
 
 
 def create_cart(
-    comm: CommunicatorBase, dims: Tuple[int, int], periods: Tuple[bool, bool] = (False, False)
+    comm: CommunicatorBase, dims: tuple[int, int], periods: tuple[bool, bool] = (False, False)
 ) -> CartComm:
     """Build a cartesian topology over ``comm`` (collective, like MPI)."""
     comm.barrier()  # mirror the collective nature of MPI_CART_CREATE

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List, Tuple
 
 import numpy as np
 
@@ -27,7 +26,7 @@ from repro.utils.validation import require
 HALO = 2
 
 
-def split_indices(n: int, parts: int) -> List[Tuple[int, int]]:
+def split_indices(n: int, parts: int) -> list[tuple[int, int]]:
     """Balanced contiguous block distribution of ``range(n)``.
 
     The first ``n % parts`` blocks get one extra element (MPI-style).
@@ -80,11 +79,11 @@ class Subdomain:
     # ---- local layout ---------------------------------------------------------
 
     @property
-    def owned_shape(self) -> Tuple[int, int]:
+    def owned_shape(self) -> tuple[int, int]:
         return (self.th1 - self.th0, self.ph1 - self.ph0)
 
     @property
-    def local_shape(self) -> Tuple[int, int]:
+    def local_shape(self) -> tuple[int, int]:
         """Angular shape of local arrays (owned + present halos)."""
         return (
             self.owned_shape[0] + self.halo_n + self.halo_s,
@@ -101,7 +100,7 @@ class Subdomain:
         """Global phi index of local column 0."""
         return self.ph0 - self.halo_w
 
-    def owned_local(self) -> Tuple[slice, slice]:
+    def owned_local(self) -> tuple[slice, slice]:
         """Local-array slices of the owned block."""
         oth, oph = self.owned_shape
         return (
@@ -109,16 +108,16 @@ class Subdomain:
             slice(self.halo_w, self.halo_w + oph),
         )
 
-    def global_slices(self) -> Tuple[slice, slice]:
+    def global_slices(self) -> tuple[slice, slice]:
         """Global-array slices of the owned block."""
         return (slice(self.th0, self.th1), slice(self.ph0, self.ph1))
 
-    def local_extent_global(self) -> Tuple[slice, slice]:
+    def local_extent_global(self) -> tuple[slice, slice]:
         """Global-array slices covering owned + halos (for restriction)."""
         lth, lph = self.local_shape
         return (slice(self.gth0, self.gth0 + lth), slice(self.gph0, self.gph0 + lph))
 
-    def to_local(self, ith: np.ndarray, iph: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def to_local(self, ith: np.ndarray, iph: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Convert global angular indices to local ones (no range check)."""
         return ith - self.gth0, iph - self.gph0
 
@@ -182,5 +181,5 @@ class PanelDecomposition:
         bj = np.searchsorted(self._ph_bounds, iph, side="right") - 1
         return bi * self.pph + bj
 
-    def all_subdomains(self) -> List[Subdomain]:
+    def all_subdomains(self) -> list[Subdomain]:
         return [self.subdomain(r) for r in range(self.nranks)]

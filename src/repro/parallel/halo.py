@@ -18,10 +18,11 @@ halo slice are bit-identical on both paths.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
+from repro.checkers.hotpath import hot_path
 from repro.parallel.cart import PROC_NULL, CartComm
 from repro.parallel.decomposition import HALO, Subdomain
 
@@ -92,8 +93,9 @@ class HaloExchanger:
             direction
         ]
 
+    @hot_path
     def _phase_legacy(self, fields: Sequence[Array], directions, tag_base: int) -> None:
-        recvs: List[tuple] = []
+        recvs: list[tuple] = []
         for k, f in enumerate(fields):
             for direction in directions:
                 nbr = self.nbr[direction]
@@ -111,14 +113,18 @@ class HaloExchanger:
                 # facing me, so it carries the tag of the *opposite*
                 # direction as seen by the receiver
                 tag = tag_base + _TAG_STRIDE * k + _DIR_TAGS[self._opposite(direction)]
-                strip = np.ascontiguousarray(f[self._send_slice(direction)])
-                self.cart.comm.Send(strip, dest=nbr, tag=tag)
+                # the strip view goes to Send uncopied: the buffered send
+                # copies it (contiguously) anyway, and the process
+                # transport compacts non-contiguous payloads itself —
+                # an ascontiguousarray here would be a second full copy
+                self.cart.comm.Send(f[self._send_slice(direction)], dest=nbr, tag=tag)
         for req, f, sl in recvs:
             payload = req.wait()
             f[sl] = payload
 
+    @hot_path
     def _phase_packed(self, fields: Sequence[Array], directions, tag_base: int) -> None:
-        recvs: List[tuple] = []
+        recvs: list[tuple] = []
         for direction in directions:
             nbr = self.nbr[direction]
             if nbr == PROC_NULL:
@@ -133,7 +139,8 @@ class HaloExchanger:
             tag = tag_base + _DIR_TAGS[self._opposite(direction)]
             sl = self._send_slice(direction)
             strip_shape = fields[0][sl].shape
-            buf = np.empty((len(fields),) + strip_shape, dtype=fields[0].dtype)
+            # the message buffer itself: ownership moves to the comm layer
+            buf = np.empty((len(fields),) + strip_shape, dtype=fields[0].dtype)  # repro: noqa-REP001
             for k, f in enumerate(fields):
                 buf[k] = f[sl]
             # freshly allocated, never touched again on this side: move it

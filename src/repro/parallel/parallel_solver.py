@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +49,7 @@ from repro.parallel.simmpi import CommunicatorBase
 Array = np.ndarray
 
 
-def _restrict(global_field: Array, sl: Tuple[slice, slice]) -> Array:
+def _restrict(global_field: Array, sl: tuple[slice, slice]) -> Array:
     return np.ascontiguousarray(global_field[:, sl[0], sl[1]])
 
 
@@ -111,7 +110,7 @@ class ParallelYinYangDynamo:
         self.step_count = 0
         self._last_dt = float("nan")
 
-        self._base_rhs: Optional[MHDState] = None
+        self._base_rhs: MHDState | None = None
         if c.subtract_base_rhs:
             base = self._restrict_state(self._serial_enforced_conduction())
             self._base_rhs = self.equations.rhs(base)
@@ -119,7 +118,7 @@ class ParallelYinYangDynamo:
 
     # ---- state setup -----------------------------------------------------------
 
-    def _serial_enforced_conduction(self) -> Dict[Panel, MHDState]:
+    def _serial_enforced_conduction(self) -> dict[Panel, MHDState]:
         """The serial driver's enforced conduction pair (global arrays)."""
         pair = {
             p: conduction_state(self.grid.panel(p), self.config.params)
@@ -128,7 +127,7 @@ class ParallelYinYangDynamo:
         self._serial_enforce(pair)
         return pair
 
-    def _serial_enforce(self, pair: Dict[Panel, MHDState]) -> None:
+    def _serial_enforce(self, pair: dict[Panel, MHDState]) -> None:
         yin, yang = pair[Panel.YIN], pair[Panel.YANG]
         self.grid.apply_overset_scalar(yin.rho, yang.rho)
         self.grid.apply_overset_scalar(yin.p, yang.p)
@@ -137,7 +136,7 @@ class ParallelYinYangDynamo:
         self.wall_bc.apply(yin)
         self.wall_bc.apply(yang)
 
-    def _restrict_state(self, pair: Dict[Panel, MHDState]) -> MHDState:
+    def _restrict_state(self, pair: dict[Panel, MHDState]) -> MHDState:
         sl = self.sub.local_extent_global()
         g = pair[self.panel]
         return MHDState(*(_restrict(arr, sl) for arr in g.arrays()))
@@ -145,7 +144,7 @@ class ParallelYinYangDynamo:
     def _initial_state(self) -> MHDState:
         """Replicate the serial initial state deterministically, restrict."""
         c = self.config
-        pair: Dict[Panel, MHDState] = {}
+        pair: dict[Panel, MHDState] = {}
         for k, p in enumerate((Panel.YIN, Panel.YANG)):
             s = conduction_state(self.grid.panel(p), c.params)
             rng = np.random.default_rng(c.seed + k)
@@ -223,7 +222,7 @@ class ParallelYinYangDynamo:
                        cfl * h * h / (2.0 * d_max))
         return float(self.world.allreduce(dt_panel, op=min))
 
-    def step(self, dt: Optional[float] = None) -> float:
+    def step(self, dt: float | None = None) -> float:
         if dt is None:
             dt = self.config.dt or self.estimate_dt()
         self.state = rk4_step(self, self.state, dt)
@@ -282,7 +281,7 @@ class ParallelYinYangDynamo:
 
     # ---- engine capabilities (guard / checkpoint) -------------------------------
 
-    def check_health(self, *, step: Optional[int] = None,
+    def check_health(self, *, step: int | None = None,
                      max_grid_reynolds: float = 20.0) -> HealthReport:
         """Guard hook on this rank's tile.  A divergence raises inside
         the rank thread and SimMPI re-raises it in the launcher."""
@@ -320,7 +319,7 @@ class ParallelYinYangDynamo:
 
     # ---- gathering -----------------------------------------------------------------
 
-    def gather_state(self) -> Optional[Dict[Panel, MHDState]]:
+    def gather_state(self) -> dict[Panel, MHDState] | None:
         """Assemble the global panel pair on world rank 0 (None elsewhere)."""
         oth, oph = self.sub.owned_local()
         blocks = {
@@ -328,7 +327,7 @@ class ParallelYinYangDynamo:
             for n, arr in self.state.named_arrays()
         }
         gathered = self.panel_comm.gather((self.panel_comm.rank, blocks), root=0)
-        panel_state: Optional[MHDState] = None
+        panel_state: MHDState | None = None
         if self.panel_comm.rank == 0:
             shape = self.grid.panel(self.panel).shape
             panel_state = MHDState.zeros(shape)
@@ -354,12 +353,12 @@ class ParallelYinYangDynamo:
 class ParallelRunResult:
     """Outcome of :func:`run_parallel_dynamo` (from world rank 0)."""
 
-    states: Dict[Panel, MHDState]
+    states: dict[Panel, MHDState]
     time: float
     steps: int
-    dt_history: List[float]
+    dt_history: list[float]
     #: per-world-rank wall seconds spent inside the step loop (TimerObserver)
-    rank_step_seconds: List[float] = field(default_factory=list)
+    rank_step_seconds: list[float] = field(default_factory=list)
 
 
 def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,

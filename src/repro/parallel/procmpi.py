@@ -36,16 +36,25 @@ Environment
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import queue as _queue
 import time as _time
 import traceback
 from multiprocessing import shared_memory
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
+from repro.checkers.sanitize import (
+    ProtocolRecorder,
+    ProtocolViolation,
+    freeze_payload,
+    sanitize_enabled,
+    set_last_protocol_report,
+)
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -67,7 +76,7 @@ _KIND_PICKLE = 1  # anything else: meta = the object itself (queue pickles it)
 _COLL = "\x00coll"
 
 
-def _arena_geometry() -> Tuple[int, int]:
+def _arena_geometry() -> tuple[int, int]:
     slots = int(os.environ.get("REPRO_PROCMPI_SLOTS", "128"))
     slot_bytes = int(os.environ.get("REPRO_PROCMPI_SLOT_BYTES", str(1 << 20)))
     if slots < 2 or slot_bytes < 4096:
@@ -104,12 +113,12 @@ class _ProcRuntime:
         # single unlink() cleans the one entry up.
         self.arena = shared_memory.SharedMemory(name=arena_name)
         #: descriptors popped from my inbox but not yet matched
-        self.pending: List[tuple] = []
+        self.pending: list[tuple] = []
 
     # ---- slot management ------------------------------------------------------
 
-    def _acquire_slots(self, n: int) -> List[int]:
-        slots: List[int] = []
+    def _acquire_slots(self, n: int) -> list[int]:
+        slots: list[int] = []
         try:
             for _ in range(n):
                 slots.append(self.free_q.get(timeout=self.timeout))
@@ -123,7 +132,7 @@ class _ProcRuntime:
             ) from None
         return slots
 
-    def _write_slots(self, arr: np.ndarray, slots: List[int]) -> None:
+    def _write_slots(self, arr: np.ndarray, slots: list[int]) -> None:
         flat = arr.reshape(-1).view(np.uint8)
         pos = 0
         for s in slots:
@@ -175,9 +184,9 @@ class _ProcRuntime:
             return self._read_slots(meta)
         return meta
 
-    def recv(self, chan: str, source: int, tag: int) -> Tuple[int, Any]:
-        """Match and return ``(source_rank, payload)``."""
-        def match_idx() -> Optional[int]:
+    def recv(self, chan: str, source: int, tag: int) -> tuple[int, int, Any]:
+        """Match and return ``(source_rank, matched_tag, payload)``."""
+        def match_idx() -> int | None:
             for i, d in enumerate(self.pending):
                 if d[0] != chan:
                     continue
@@ -192,26 +201,55 @@ class _ProcRuntime:
             idx = match_idx()
             if idx is not None:
                 desc = self.pending.pop(idx)
-                return desc[1], self._materialise(desc)
+                return desc[1], desc[2], self._materialise(desc)
             remaining = deadline - _time.monotonic()
             if remaining <= 0:
                 raise DeadlockTimeout(
                     f"Recv(chan={chan!r}, source={source}, tag={tag}) timed out "
                     f"after {self.timeout}s on world rank {self.world_rank}"
                 )
-            try:
+            with contextlib.suppress(_queue.Empty):  # loop re-checks the deadline
                 self.pending.append(
                     self.inboxes[self.world_rank].get(timeout=remaining)
                 )
-            except _queue.Empty:
-                pass  # loop re-checks the deadline
 
     def close(self) -> None:
         self.pending.clear()
-        try:
+        # a stray view can pin the mmap; leak it quietly in that case
+        with contextlib.suppress(BufferError):
             self.arena.close()
-        except BufferError:  # a stray view pins the mmap; leak it quietly
-            pass
+
+
+#: One recorder per rank *process* (REPRO_SANITIZE=1).  Unlike the
+#: thread backend it only sees this rank's half of each message, so the
+#: cross-rank checks happen at finalize by exchanging snapshots (see
+#: :func:`_verify_protocol`).
+_RECORDER: ProtocolRecorder | None = None
+
+
+def _process_recorder() -> ProtocolRecorder | None:
+    global _RECORDER
+    if _RECORDER is None and sanitize_enabled():
+        _RECORDER = ProtocolRecorder()
+    return _RECORDER
+
+
+def _verify_protocol(world: ProcCommunicator, rec: ProtocolRecorder) -> None:
+    """Allgather per-rank recorder snapshots and check the merged protocol.
+
+    Runs on every rank after the rank function returns; each rank
+    computes the identical merged report, so a violation raises the same
+    :class:`ProtocolViolation` everywhere.  Ordering across processes is
+    unknown, so only the order-free checks (send/recv matching and
+    collective lockstep) apply — in-flight tag collisions are a
+    thread-backend check.
+    """
+    snapshots = world._exchange(world._next_seq(), rec.snapshot())
+    merged = ProtocolRecorder.merged([snapshots[r] for r in range(world.size)])
+    report = merged.report()
+    set_last_protocol_report(report)
+    if not report.ok:
+        raise ProtocolViolation(report.summary())
 
 
 class ProcCommunicator(CommunicatorBase):
@@ -226,6 +264,7 @@ class ProcCommunicator(CommunicatorBase):
                  members: Sequence[int], world_rank: int):
         self._rt = runtime
         self._init_base(comm_id, members, world_rank)
+        self._recorder = _process_recorder()
 
     # ---- point-to-point -------------------------------------------------------
 
@@ -238,10 +277,19 @@ class ProcCommunicator(CommunicatorBase):
         nbytes = self._rt.send(self.members[dest], self.id, self.rank, tag, data)
         self.bytes_sent += nbytes
         self.messages_sent += 1
+        if self._recorder is not None:
+            self._recorder.note_send(self.id, self.rank, dest, tag)
+            if move:
+                # the bytes are already in shared memory; freezing the
+                # caller's buffer still catches sender-side reuse, with
+                # the same semantics as the thread backend
+                freeze_payload(data)
 
-    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+    def Recv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
              tag: int = ANY_TAG) -> Any:
-        _, payload = self._rt.recv(self.id, source, tag)
+        src, matched_tag, payload = self._rt.recv(self.id, source, tag)
+        if self._recorder is not None:
+            self._recorder.note_recv(self.id, src, self.rank, matched_tag)
         if buf is not None:
             arr = np.asarray(payload)
             if buf.shape != arr.shape:
@@ -256,37 +304,39 @@ class ProcCommunicator(CommunicatorBase):
     def _isolate(self, data: Any) -> Any:
         return data  # the transport serialises/copies; no eager copy needed
 
-    def _exchange(self, seq: int, payload: Any) -> Dict[int, Any]:
+    def _exchange(self, seq: int, payload: Any) -> dict[int, Any]:
         chan = self.id + _COLL
         rt = self._rt
         if self.rank == 0:
-            slot: Dict[int, Any] = {0: payload}
+            slot: dict[int, Any] = {0: payload}
             for _ in range(self.size - 1):
-                src, p = rt.recv(chan, ANY_SOURCE, seq)
+                src, _, p = rt.recv(chan, ANY_SOURCE, seq)
                 slot[src] = p
             for r in range(1, self.size):
                 rt.send(self.members[r], chan, 0, seq, slot)
             return slot
         rt.send(self.members[0], chan, self.rank, seq, payload)
-        _, result = rt.recv(chan, 0, seq)
+        _, _, result = rt.recv(chan, 0, seq)
         return result
 
-    def gather(self, data: Any, root: int = 0) -> Optional[List[Any]]:
+    def gather(self, data: Any, root: int = 0) -> list[Any] | None:
         """Root-only collection — the payloads are shipped to ``root``
         once instead of rebroadcast to every member (this is the path
         the end-of-run state gather takes, with multi-MB blocks)."""
+        self._note_collective("gather")
         seq = self._next_seq()
         chan = self.id + _COLL
         if self.rank == root:
-            slot: Dict[int, Any] = {root: data}
+            slot: dict[int, Any] = {root: data}
             for _ in range(self.size - 1):
-                src, p = self._rt.recv(chan, ANY_SOURCE, seq)
+                src, _, p = self._rt.recv(chan, ANY_SOURCE, seq)
                 slot[src] = p
             return [slot[r] for r in range(self.size)]
         self._rt.send(self.members[root], chan, self.rank, seq, data)
         return None
 
     def bcast(self, data: Any, root: int = 0) -> Any:
+        self._note_collective("bcast")
         seq = self._next_seq()
         chan = self.id + _COLL
         if self.rank == root:
@@ -294,24 +344,24 @@ class ProcCommunicator(CommunicatorBase):
                 if r != root:
                     self._rt.send(self.members[r], chan, root, seq, data)
             return data
-        _, payload = self._rt.recv(chan, root, seq)
+        _, _, payload = self._rt.recv(chan, root, seq)
         return payload
 
-    def _make_child(self, comm_id: str, members: Sequence[int]) -> "ProcCommunicator":
+    def _make_child(self, comm_id: str, members: Sequence[int]) -> ProcCommunicator:
         return ProcCommunicator(self._rt, comm_id, members, self.world_rank)
 
 
 # ---- worker bootstrap ------------------------------------------------------------
 
 
-def _pack_result(value: Any) -> Tuple[str, bytes]:
+def _pack_result(value: Any) -> tuple[str, bytes]:
     try:
         return "pickle", pickle.dumps(value)
     except Exception as exc:  # unpicklable return value
         return "text", repr(value).encode() + b" (unpicklable: " + repr(exc).encode() + b")"
 
 
-def _pack_exception(exc: BaseException) -> Tuple[str, Any]:
+def _pack_exception(exc: BaseException) -> tuple[str, Any]:
     tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
     try:
         return "exc", (pickle.dumps(exc), tb)
@@ -332,6 +382,9 @@ def _worker_main(rank: int, nprocs: int, arena_name: str, slot_bytes: int,
     try:
         comm = ProcCommunicator(runtime, "world", list(range(nprocs)), rank)
         value = fn(comm, *fn_args, **fn_kwargs)
+        rec = _process_recorder()
+        if rec is not None:
+            _verify_protocol(comm, rec)
         result_q.put(("ok", rank, _pack_result(value)))
     except BaseException as exc:  # noqa: BLE001 - reported to launcher
         result_q.put(("err", rank, _pack_exception(exc)))
@@ -355,9 +408,9 @@ class ProcMPI:
         fn: Callable[..., Any],
         *args: Any,
         timeout: float = None,
-        start_method: Optional[str] = None,
+        start_method: str | None = None,
         **kwargs: Any,
-    ) -> List[Any]:
+    ) -> list[Any]:
         import multiprocessing as mp
 
         if timeout is None:
@@ -383,8 +436,8 @@ class ProcMPI:
             )
             for r in range(nprocs)
         ]
-        results: List[Any] = [None] * nprocs
-        error: Optional[BaseException] = None
+        results: list[Any] = [None] * nprocs
+        error: BaseException | None = None
         try:
             for p in procs:
                 p.start()
@@ -445,10 +498,8 @@ class ProcMPI:
                 q.close()
                 q.cancel_join_thread()
             arena.close()
-            try:
+            with contextlib.suppress(FileNotFoundError):
                 arena.unlink()
-            except FileNotFoundError:
-                pass
         if error is not None:
             raise error
         return results

@@ -49,9 +49,18 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
+
+from repro.checkers.sanitize import (
+    ProtocolRecorder,
+    ProtocolViolation,
+    freeze_payload,
+    sanitize_enabled,
+    set_last_protocol_report,
+)
 
 ANY_SOURCE = -2
 ANY_TAG = -1
@@ -94,7 +103,7 @@ class _MailBox:
     def __init__(self):
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._messages: List[_Message] = []
+        self._messages: list[_Message] = []
 
     def put(self, msg: _Message) -> None:
         with self._cond:
@@ -127,13 +136,18 @@ class _Runtime:
     def __init__(self, nprocs: int, timeout: float):
         self.nprocs = nprocs
         self.timeout = timeout
-        self._boxes: Dict[Tuple[str, int], _MailBox] = {}
+        self._boxes: dict[tuple[str, int], _MailBox] = {}
         self._boxes_lock = threading.Lock()
         self._coll_lock = threading.Lock()
         self._coll_cond = threading.Condition(self._coll_lock)
-        self._coll_slots: Dict[Tuple[str, int], Dict[int, Any]] = {}
-        self._coll_done: Dict[Tuple[str, int], Dict[int, Any]] = {}
-        self.failures: List[BaseException] = []
+        self._coll_slots: dict[tuple[str, int], dict[int, Any]] = {}
+        self._coll_done: dict[tuple[str, int], dict[int, Any]] = {}
+        self.failures: list[BaseException] = []
+        #: shared across ranks (threads), so the protocol recorder sees
+        #: the global message flow — full collision detection
+        self.recorder: ProtocolRecorder | None = (
+            ProtocolRecorder() if sanitize_enabled() else None
+        )
 
     def mailbox(self, comm_id: str, rank: int) -> _MailBox:
         key = (comm_id, rank)
@@ -143,8 +157,8 @@ class _Runtime:
             return self._boxes[key]
 
     def exchange(
-        self, comm: "Communicator", seq: int, payload: Any
-    ) -> Dict[int, Any]:
+        self, comm: Communicator, seq: int, payload: Any
+    ) -> dict[int, Any]:
         """Deposit ``payload`` and wait until every member of ``comm`` has
         deposited for the same sequence number; returns all payloads."""
         key = (comm.id, seq)
@@ -212,7 +226,7 @@ class CommunicatorBase:
     """
 
     id: str
-    members: List[int]
+    members: list[int]
     rank: int
     world_rank: int
     size: int
@@ -233,20 +247,26 @@ class CommunicatorBase:
         # communication accounting (used by tests and the perf model hooks)
         self.bytes_sent = 0
         self.messages_sent = 0
+        #: protocol recorder (REPRO_SANITIZE=1), installed by the backend
+        self._recorder: ProtocolRecorder | None = None
+
+    def _note_collective(self, op: str) -> None:
+        if self._recorder is not None:
+            self._recorder.note_collective(self.id, self.rank, op)
 
     # ---- transport hooks (backend-specific) -----------------------------------
 
     def Send(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> None:
         raise NotImplementedError
 
-    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+    def Recv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
              tag: int = ANY_TAG) -> Any:
         raise NotImplementedError
 
-    def _exchange(self, seq: int, payload: Any) -> Dict[int, Any]:
+    def _exchange(self, seq: int, payload: Any) -> dict[int, Any]:
         raise NotImplementedError
 
-    def _make_child(self, comm_id: str, members: Sequence[int]) -> "CommunicatorBase":
+    def _make_child(self, comm_id: str, members: Sequence[int]) -> CommunicatorBase:
         raise NotImplementedError
 
     def _isolate(self, data: Any) -> Any:
@@ -262,7 +282,7 @@ class CommunicatorBase:
         self.Send(data, dest, tag, move=move)
         return Request(_complete=lambda: None, _done=True)
 
-    def Irecv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+    def Irecv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
               tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; the transfer happens in ``wait()``."""
         return Request(_complete=lambda: self.Recv(buf, source, tag))
@@ -281,21 +301,25 @@ class CommunicatorBase:
         return s
 
     def barrier(self) -> None:
+        self._note_collective("barrier")
         self._exchange(self._next_seq(), None)
 
     def bcast(self, data: Any, root: int = 0) -> Any:
+        self._note_collective("bcast")
         all_data = self._exchange(
             self._next_seq(), self._isolate(data) if self.rank == root else None
         )
         return all_data[root]
 
-    def gather(self, data: Any, root: int = 0) -> Optional[List[Any]]:
+    def gather(self, data: Any, root: int = 0) -> list[Any] | None:
+        self._note_collective("gather")
         all_data = self._exchange(self._next_seq(), self._isolate(data))
         if self.rank == root:
             return [all_data[r] for r in range(self.size)]
         return None
 
-    def allgather(self, data: Any) -> List[Any]:
+    def allgather(self, data: Any) -> list[Any]:
+        self._note_collective("allgather")
         all_data = self._exchange(self._next_seq(), self._isolate(data))
         return [all_data[r] for r in range(self.size)]
 
@@ -316,7 +340,8 @@ class CommunicatorBase:
             acc = op(acc, p)
         return acc
 
-    def alltoall(self, data: Sequence[Any]) -> List[Any]:
+    def alltoall(self, data: Sequence[Any]) -> list[Any]:
+        self._note_collective("alltoall")
         if len(data) != self.size:
             raise SimMPIError(f"alltoall needs {self.size} items, got {len(data)}")
         matrix = self._exchange(
@@ -326,12 +351,13 @@ class CommunicatorBase:
 
     # ---- communicator management ----------------------------------------------
 
-    def split(self, color: int, key: int | None = None) -> "CommunicatorBase":
+    def split(self, color: int, key: int | None = None) -> CommunicatorBase:
         """``MPI_COMM_SPLIT``: partition members by ``color``, order each
         group by ``(key, old rank)``.  The paper splits the world into the
         Yin group and the Yang group this way."""
         if key is None:
             key = self.rank
+        self._note_collective("split")
         pairs = self._exchange(self._next_seq(), (color, key))
         self._child_count += 1
         group = sorted(
@@ -342,7 +368,8 @@ class CommunicatorBase:
         child_id = f"{self.id}/s{self._child_count}c{color}"
         return self._make_child(child_id, members)
 
-    def dup(self) -> "CommunicatorBase":
+    def dup(self) -> CommunicatorBase:
+        self._note_collective("dup")
         self.barrier()
         self._child_count += 1
         return self._make_child(f"{self.id}/d{self._child_count}", self.members)
@@ -355,6 +382,7 @@ class Communicator(CommunicatorBase):
                  world_rank: int):
         self._runtime = runtime
         self._init_base(comm_id, members, world_rank)
+        self._recorder = runtime.recorder
 
     # ---- point-to-point -------------------------------------------------------
 
@@ -371,10 +399,14 @@ class Communicator(CommunicatorBase):
         if isinstance(payload, np.ndarray):
             self.bytes_sent += payload.nbytes
         self.messages_sent += 1
+        if self._recorder is not None:
+            self._recorder.note_send(self.id, self.rank, dest, tag)
+            if move:
+                freeze_payload(payload)
         box = self._runtime.mailbox(self.id, dest)
         box.put(_Message(source=self.rank, tag=tag, payload=payload))
 
-    def Recv(self, buf: Optional[np.ndarray] = None, source: int = ANY_SOURCE,
+    def Recv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
              tag: int = ANY_TAG) -> Any:
         """Blocking receive.  With an ndarray ``buf`` the payload is copied
         into it (mpi4py upper-case convention); the payload is returned
@@ -382,6 +414,8 @@ class Communicator(CommunicatorBase):
         msg = self._runtime.mailbox(self.id, self.rank).get(
             source, tag, self._runtime.timeout
         )
+        if self._recorder is not None:
+            self._recorder.note_recv(self.id, msg.source, self.rank, msg.tag)
         if buf is not None:
             arr = np.asarray(msg.payload)
             if buf.shape != arr.shape:
@@ -393,10 +427,10 @@ class Communicator(CommunicatorBase):
 
     # ---- collective rendezvous / children -------------------------------------
 
-    def _exchange(self, seq: int, payload: Any) -> Dict[int, Any]:
+    def _exchange(self, seq: int, payload: Any) -> dict[int, Any]:
         return self._runtime.exchange(self, seq, payload)
 
-    def _make_child(self, comm_id: str, members: Sequence[int]) -> "Communicator":
+    def _make_child(self, comm_id: str, members: Sequence[int]) -> Communicator:
         return Communicator(self._runtime, comm_id, members, self.world_rank)
 
 
@@ -423,7 +457,7 @@ class SimMPI:
         timeout: float = None,
         backend: str = "thread",
         **kwargs: Any,
-    ) -> List[Any]:
+    ) -> list[Any]:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank; returns the
         per-rank return values in rank order.  Any rank exception aborts
         the world and is re-raised (with all failures noted)."""
@@ -438,7 +472,7 @@ class SimMPI:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         runtime = _Runtime(nprocs, timeout)
-        results: List[Any] = [None] * nprocs
+        results: list[Any] = [None] * nprocs
 
         def runner(rank: int) -> None:
             comm = Communicator(runtime, "world", list(range(nprocs)), rank)
@@ -460,4 +494,9 @@ class SimMPI:
                 raise DeadlockTimeout(f"{t.name} did not terminate (deadlock?)")
         if runtime.failures:
             raise runtime.failures[0]
+        if runtime.recorder is not None:
+            report = runtime.recorder.report()
+            set_last_protocol_report(report)
+            if not report.ok:
+                raise ProtocolViolation(report.summary())
         return results

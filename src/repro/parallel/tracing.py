@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -34,7 +33,7 @@ class MessageRecord:
 class CommTrace:
     """Accumulated message records from one (traced) communicator."""
 
-    records: List[MessageRecord] = field(default_factory=list)
+    records: list[MessageRecord] = field(default_factory=list)
 
     def add(self, rec: MessageRecord) -> None:
         self.records.append(rec)
@@ -54,15 +53,15 @@ class CommTrace:
             m[r.source, r.dest] += r.nbytes
         return m
 
-    def partners_of(self, rank: int) -> Tuple[set, set]:
+    def partners_of(self, rank: int) -> tuple[set, set]:
         """(destinations rank sent to, sources rank received from)."""
         sent = {r.dest for r in self.records if r.source == rank}
         recv = {r.source for r in self.records if r.dest == rank}
         return sent, recv
 
-    def by_tag(self) -> Dict[int, int]:
+    def by_tag(self) -> dict[int, int]:
         """Total bytes per tag — separates halo from overset traffic."""
-        out: Dict[int, int] = {}
+        out: dict[int, int] = {}
         for r in self.records:
             out[r.tag] = out.get(r.tag, 0) + r.nbytes
         return out

@@ -10,7 +10,6 @@ tested against the paper's printed values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.machine.specs import EARTH_SIMULATOR
 
@@ -51,7 +50,7 @@ class SCEntry:
         return self.tflops * 1e12 / (peak * 1e9)
 
 
-TABLE3_ENTRIES: List[SCEntry] = [
+TABLE3_ENTRIES: list[SCEntry] = [
     SCEntry(
         label="Shingu", reference="Shingu et al., SC 2002",
         tflops=26.6, nodes=640, efficiency=0.65, grid_points=7.1e8,
@@ -98,7 +97,7 @@ PAPER_DERIVED = {
 }
 
 
-def table3_rows() -> List[dict]:
+def table3_rows() -> list[dict]:
     """Table III with recomputed derived columns, one dict per code."""
     rows = []
     for e in TABLE3_ENTRIES:

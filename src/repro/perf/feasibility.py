@@ -10,7 +10,6 @@ the ~50 MB of field arrays); the checks here use the same accounting as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.machine.counters import RUNTIME_MEMORY_OVERHEAD_MB
 from repro.machine.node import memory_per_process_bytes
@@ -32,7 +31,7 @@ class FeasibilityReport:
     def feasible(self) -> bool:
         return self.fits_processors and self.fits_memory
 
-    def problems(self) -> List[str]:
+    def problems(self) -> list[str]:
         out = []
         if not self.fits_processors:
             out.append("more processes than the machine has APs")

@@ -10,14 +10,13 @@ with the code.
 from __future__ import annotations
 
 import threading
-from typing import Dict
 
 import numpy as np
 
 #: FLOPs charged per output element for each counted ufunc.  Division
 #: and roots are one "operation" on vector hardware's fused pipes; we
 #: follow the common convention of 1 flop each (the ES counted them so).
-_UFUNC_FLOPS: Dict[str, int] = {
+_UFUNC_FLOPS: dict[str, int] = {
     "add": 1, "subtract": 1, "multiply": 1, "divide": 1, "true_divide": 1,
     "negative": 1, "positive": 0, "absolute": 1,
     "sqrt": 1, "square": 1, "reciprocal": 1,
@@ -33,7 +32,7 @@ _UFUNC_FLOPS: Dict[str, int] = {
 class _Tally(threading.local):
     def __init__(self):
         self.flops = 0
-        self.by_ufunc: Dict[str, int] = {}
+        self.by_ufunc: dict[str, int] = {}
         self.active = False
 
 
@@ -56,10 +55,10 @@ class CountingArray(np.ndarray):
         if _TALLY.active and method in ("__call__", "reduce"):
             cost = _UFUNC_FLOPS.get(ufunc.__name__)
             if cost:
-                if method == "reduce":
-                    n = np.asarray(clean_in[0]).size
-                else:
-                    n = np.asarray(result[0] if isinstance(result, tuple) else result).size
+                counted = clean_in[0] if method == "reduce" else (
+                    result[0] if isinstance(result, tuple) else result
+                )
+                n = np.asarray(counted).size
                 _TALLY.flops += cost * n
                 _TALLY.by_ufunc[ufunc.__name__] = (
                     _TALLY.by_ufunc.get(ufunc.__name__, 0) + cost * n
@@ -88,7 +87,7 @@ class count_flops:
     200
     """
 
-    def __enter__(self) -> "count_flops":
+    def __enter__(self) -> count_flops:
         self._prev = (_TALLY.flops, dict(_TALLY.by_ufunc), _TALLY.active)
         _TALLY.flops = 0
         _TALLY.by_ufunc = {}
@@ -101,4 +100,4 @@ class count_flops:
         _TALLY.flops, _TALLY.by_ufunc, _TALLY.active = self._prev
 
     flops: int = 0
-    by_ufunc: Dict[str, int] = {}
+    by_ufunc: dict[str, int] = {}

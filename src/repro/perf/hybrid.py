@@ -19,7 +19,6 @@ messages and larger per-process tiles) at the cost of a microtasking
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.perf.model import (
     ITEM,
@@ -124,8 +123,8 @@ class HybridPerformanceModel(PerformanceModel):
 def problem_size_sweep(
     model: HybridPerformanceModel,
     n_processors: int = 4096,
-    radial_sizes: Tuple[int, ...] = (63, 127, 255, 511),
-) -> List[ParallelisationComparison]:
+    radial_sizes: tuple[int, ...] = (63, 127, 255, 511),
+) -> list[ParallelisationComparison]:
     """Nakajima's observation, reproduced: sweep the problem size at a
     fixed processor count and watch flat MPI close the gap (or pass
     hybrid) as the per-process work grows."""

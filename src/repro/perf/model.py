@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.machine.network import CrossbarNetwork
 from repro.machine.specs import EARTH_SIMULATOR, EarthSimulatorSpec
@@ -47,7 +46,7 @@ N_STAGES = 4
 ITEM = 8
 
 
-def choose_process_grid(n_per_panel: int, nth: int, nph: int) -> Tuple[int, int]:
+def choose_process_grid(n_per_panel: int, nth: int, nph: int) -> tuple[int, int]:
     """Factor a panel's process count into a near-optimal ``pth x pph``.
 
     Chooses the factorisation whose tiles are closest to square in
@@ -82,7 +81,7 @@ class PerfPrediction:
     nr: int
     nth: int
     nph: int
-    process_grid: Tuple[int, int]
+    process_grid: tuple[int, int]
     step_time: float  #: seconds per RK4 step
     compute_time: float
     comm_time: float

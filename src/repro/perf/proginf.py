@@ -11,7 +11,6 @@ GFLOPS relative to total user time, ...).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.machine.counters import HardwareCounters, aggregate, synthesize_counters
 from repro.machine.node import memory_per_process_bytes
@@ -23,7 +22,7 @@ def proginf_for_run(
     *,
     real_time: float = 453.0,
     seed: int = 15,
-) -> List[HardwareCounters]:
+) -> list[HardwareCounters]:
     """Counters for a run of the predicted configuration lasting
     ``real_time`` seconds (the paper's run: ~453 s)."""
     user_time = real_time * 0.978  # List 1: user ~ 443 s of 453 s real
@@ -54,7 +53,7 @@ def _fmt(v: float, kind: str) -> str:
     return f"{v:,.3f}".replace(",", "")
 
 
-def format_mpiproginf(counters: List[HardwareCounters], universe: int = 0) -> str:
+def format_mpiproginf(counters: list[HardwareCounters], universe: int = 0) -> str:
     """Render the MPIPROGINF block in List 1's layout."""
     agg = aggregate(counters)
     n = len(counters)
@@ -121,7 +120,7 @@ def format_mpiproginf(counters: List[HardwareCounters], universe: int = 0) -> st
 
 
 def list1_report(
-    model: Optional[PerformanceModel] = None, *, calibrate: bool = True
+    model: PerformanceModel | None = None, *, calibrate: bool = True
 ) -> str:
     """The full List 1 reproduction: flagship configuration, calibrated."""
     model = model or PerformanceModel()

@@ -9,7 +9,6 @@ on the command line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
 
 import numpy as np
 
@@ -46,7 +45,7 @@ class Comparison:
 class ReproductionReport:
     """All line items plus a pass/fail roll-up."""
 
-    items: List[Comparison] = field(default_factory=list)
+    items: list[Comparison] = field(default_factory=list)
 
     def add(self, *args, **kwargs) -> None:
         self.items.append(Comparison(*args, **kwargs))

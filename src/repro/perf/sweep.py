@@ -11,12 +11,11 @@ reproduction asserts (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.perf.model import PerformanceModel, PerfPrediction
 
 #: (processors, (nr, nth, nph), paper TFlops, paper efficiency)
-TABLE2_MEASURED: List[Tuple[int, Tuple[int, int, int], float, float]] = [
+TABLE2_MEASURED: list[tuple[int, tuple[int, int, int], float, float]] = [
     (4096, (511, 514, 1538), 15.2, 0.46),
     (3888, (511, 514, 1538), 13.8, 0.44),
     (3888, (255, 514, 1538), 12.1, 0.39),
@@ -26,7 +25,7 @@ TABLE2_MEASURED: List[Tuple[int, Tuple[int, int, int], float, float]] = [
 ]
 
 
-def table2_configs() -> List[Tuple[int, Tuple[int, int, int]]]:
+def table2_configs() -> list[tuple[int, tuple[int, int, int]]]:
     return [(n, g) for n, g, _, _ in TABLE2_MEASURED]
 
 
@@ -35,7 +34,7 @@ class SweepRow:
     """One Table II row: paper values next to model prediction."""
 
     n_processors: int
-    grid: Tuple[int, int, int]
+    grid: tuple[int, int, int]
     paper_tflops: float
     paper_efficiency: float
     model: PerfPrediction
@@ -51,7 +50,7 @@ class SweepRow:
         return self.model.tflops / self.paper_tflops
 
 
-def run_table2(model: Optional[PerformanceModel] = None, *, calibrate: bool = True) -> List[SweepRow]:
+def run_table2(model: PerformanceModel | None = None, *, calibrate: bool = True) -> list[SweepRow]:
     """Regenerate Table II.
 
     With ``calibrate`` the model's single free constant is anchored at
@@ -72,7 +71,7 @@ def run_table2(model: Optional[PerformanceModel] = None, *, calibrate: bool = Tr
     return rows
 
 
-def format_table2(rows: List[SweepRow]) -> str:
+def format_table2(rows: list[SweepRow]) -> str:
     """Aligned text table: paper vs model."""
     hdr = (
         f"{'processors':>10}  {'grid points':>22}  "
@@ -92,10 +91,10 @@ def format_table2(rows: List[SweepRow]) -> str:
 
 
 def sweep_processors(
-    grid: Tuple[int, int, int],
-    processor_counts: List[int],
-    model: Optional[PerformanceModel] = None,
-) -> List[PerfPrediction]:
+    grid: tuple[int, int, int],
+    processor_counts: list[int],
+    model: PerformanceModel | None = None,
+) -> list[PerfPrediction]:
     """Generic strong-scaling sweep at fixed grid size."""
     model = model or PerformanceModel()
     return [model.predict(*grid, n) for n in processor_counts]
@@ -104,10 +103,10 @@ def sweep_processors(
 def weak_scaling_sweep(
     *,
     points_per_ap: float = 2.0e5,
-    processor_counts: Tuple[int, ...] = (512, 1024, 2048, 4096),
+    processor_counts: tuple[int, ...] = (512, 1024, 2048, 4096),
     nr: int = 511,
-    model: Optional[PerformanceModel] = None,
-) -> List[PerfPrediction]:
+    model: PerformanceModel | None = None,
+) -> list[PerfPrediction]:
     """Weak scaling: grow the angular grid with the processor count so
     every AP keeps ~``points_per_ap`` points (the flagship run's 2e5).
 
@@ -125,7 +124,7 @@ def weak_scaling_sweep(
     return out
 
 
-def projected_full_machine(model: Optional[PerformanceModel] = None) -> PerfPrediction:
+def projected_full_machine(model: PerformanceModel | None = None) -> PerfPrediction:
     """What-if beyond Table II: the flagship grid on all 5120 APs."""
     model = model or PerformanceModel()
     return model.predict(511, 514, 1538, 5120)

@@ -7,7 +7,7 @@ so indexing arithmetic appears in exactly one place.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ def assert_shape(arr: np.ndarray, shape: Sequence[int], name: str = "array") -> 
         raise ValueError(f"{name} has shape {arr.shape}, expected {tuple(shape)}")
 
 
-def interior_slices(ndim: int, ng: int = NGHOST) -> Tuple[slice, ...]:
+def interior_slices(ndim: int, ng: int = NGHOST) -> tuple[slice, ...]:
     """Slices selecting the interior (non-ghost) region of an ndim array."""
     return tuple(slice(ng, -ng) for _ in range(ndim))
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 
@@ -50,7 +50,7 @@ class Timer:
 class TimerRegistry:
     """A named collection of :class:`Timer` objects with a context helper."""
 
-    timers: Dict[str, Timer] = field(default_factory=dict)
+    timers: dict[str, Timer] = field(default_factory=dict)
 
     def timer(self, name: str) -> Timer:
         if name not in self.timers:
@@ -66,7 +66,7 @@ class TimerRegistry:
         finally:
             t.stop()
 
-    def totals(self) -> Dict[str, float]:
+    def totals(self) -> dict[str, float]:
         """Mapping of phase name to accumulated seconds."""
         return {k: v.total for k, v in self.timers.items()}
 

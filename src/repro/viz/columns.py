@@ -10,7 +10,6 @@ the alternating columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -34,14 +33,14 @@ def _global_z_component(grid, panel: Panel, vec) -> Array:
 
 
 def equatorial_vorticity(
-    grid: YinYangGrid, states: Dict[Panel, MHDState], nphi: int = 256
-) -> Tuple[Array, Array]:
+    grid: YinYangGrid, states: dict[Panel, MHDState], nphi: int = 256
+) -> tuple[Array, Array]:
     """``(phi, omega_z)`` on the equatorial plane, shape ``(nr, nphi)``.
 
     ``omega = curl v`` per panel, rotated to the global frame and merged
     with the choose-one-solution policy.
     """
-    wz: Dict[Panel, Array] = {}
+    wz: dict[Panel, Array] = {}
     for panel, state in states.items():
         g = grid.panel(panel)
         ops = SphericalOperators(g)
@@ -124,7 +123,7 @@ def count_columns(
 
 def column_profile(
     grid: YinYangGrid,
-    states: Dict[Panel, MHDState],
+    states: dict[Panel, MHDState],
     *,
     nphi: int = 256,
     radius_frac: float = 0.5,
@@ -146,7 +145,7 @@ def column_profile(
 
 def synthetic_columns(
     grid: YinYangGrid, m: int = 6, amplitude: float = 1.0
-) -> Dict[Panel, MHDState]:
+) -> dict[Panel, MHDState]:
     """A manufactured columnar flow with ``m`` cyclone/anticyclone pairs.
 
     Builds the velocity of a z-independent vortex array
@@ -154,7 +153,7 @@ def synthetic_columns(
     with ``rho = 1`` so ``f = v``; used to validate the census and to
     drive the Fig. 2 bench without a long spin-up.
     """
-    states: Dict[Panel, MHDState] = {}
+    states: dict[Panel, MHDState] = {}
     for panel in (Panel.YIN, Panel.YANG):
         g = grid.panel(panel)
         state = MHDState.zeros(g.shape)

@@ -8,7 +8,6 @@ ASCII map for terminals and test output).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -24,7 +23,7 @@ def _inside(theta: Array, phi: Array) -> Array:
     )
 
 
-def panel_mask_lonlat(nlat: int = 90, nlon: int = 180) -> Tuple[Array, Array]:
+def panel_mask_lonlat(nlat: int = 90, nlon: int = 180) -> tuple[Array, Array]:
     """Boolean (Yin, Yang) membership masks on a regular lon-lat raster.
 
     Rows run from north (small colatitude) to south; columns from
@@ -46,7 +45,7 @@ def overlap_map(nlat: int = 90, nlon: int = 180) -> Array:
     return yin.astype(np.int8) + yang.astype(np.int8)
 
 
-def coverage_fractions(nlat: int = 360, nlon: int = 720) -> Tuple[float, float]:
+def coverage_fractions(nlat: int = 360, nlon: int = 720) -> tuple[float, float]:
     """(covered fraction, overlap fraction) by area-weighted rasterisation.
 
     Weights each raster cell by ``sin(theta)``; converges to (1.0,
@@ -69,7 +68,7 @@ def ascii_sphere_map(nlat: int = 24, nlon: int = 72) -> str:
     return "\n".join("".join(row) for row in chars)
 
 
-def mercator_rectangle() -> Tuple[float, float, float, float]:
+def mercator_rectangle() -> tuple[float, float, float, float]:
     """The component panel's rectangle in Mercator coordinates:
     ``(lon_min, lon_max, lat_min, lat_max)`` in degrees — 270 deg of
     longitude by 90 deg of latitude, as in Section II."""

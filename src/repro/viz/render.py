@@ -11,7 +11,6 @@ indicate cyclonic and anti-cyclonic convection columns").
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Tuple
 
 import numpy as np
 
@@ -64,7 +63,7 @@ def write_signed_ppm(path: str | Path, values: Array) -> Path:
     return path
 
 
-def read_pnm(path: str | Path) -> Tuple[str, Array]:
+def read_pnm(path: str | Path) -> tuple[str, Array]:
     """Read back a binary PGM/PPM written by this module (for tests)."""
     raw = Path(path).read_bytes()
     parts = raw.split(b"\n", 3)

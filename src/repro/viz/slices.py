@@ -9,7 +9,6 @@ where the point lies in the Yin panel, else take Yang.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -33,7 +32,7 @@ def sample_panel(grid: ComponentGrid, field: Array, theta: Array, phi: Array) ->
 
 def sample_sphere(
     grid: YinYangGrid,
-    fields: Dict[Panel, Array],
+    fields: dict[Panel, Array],
     theta_global: Array,
     phi_global: Array,
 ) -> Array:
@@ -70,8 +69,8 @@ def sample_sphere(
 
 
 def equatorial_slice(
-    grid: YinYangGrid, fields: Dict[Panel, Array], nphi: int = 360
-) -> Tuple[Array, Array]:
+    grid: YinYangGrid, fields: dict[Panel, Array], nphi: int = 360
+) -> tuple[Array, Array]:
     """Merged field on the global equatorial plane.
 
     Returns ``(phi, values)`` with ``values`` of shape ``(nr, nphi)``;
@@ -84,15 +83,15 @@ def equatorial_slice(
 
 
 def merge_equatorial(
-    grid: YinYangGrid, fields: Dict[Panel, Array], nphi: int = 360
+    grid: YinYangGrid, fields: dict[Panel, Array], nphi: int = 360
 ) -> Array:
     """Convenience: just the ``(nr, nphi)`` equatorial values."""
     return equatorial_slice(grid, fields, nphi)[1]
 
 
 def meridional_slice(
-    grid: YinYangGrid, fields: Dict[Panel, Array], phi0: float = 0.0, ntheta: int = 180
-) -> Tuple[Array, Array]:
+    grid: YinYangGrid, fields: dict[Panel, Array], phi0: float = 0.0, ntheta: int = 180
+) -> tuple[Array, Array]:
     """Merged field on the meridian plane of longitude ``phi0``.
 
     Returns ``(theta, values)`` with ``values`` of shape ``(nr, ntheta)``.

@@ -9,7 +9,6 @@ off the Fourier side (the two are cross-checked in the tests).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -50,11 +49,11 @@ def dominant_mode(circle_values: Array, *, m_min: int = 1) -> int:
 
 def vorticity_mode_spectrum(
     grid: YinYangGrid,
-    states: Dict[Panel, MHDState],
+    states: dict[Panel, MHDState],
     *,
     nphi: int = 256,
     radius_frac: float = 0.5,
-) -> Tuple[Array, int]:
+) -> tuple[Array, int]:
     """(power spectrum, dominant m) of the equatorial axial vorticity.
 
     The dominant m equals the number of cyclone/anticyclone *pairs* —

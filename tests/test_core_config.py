@@ -1,3 +1,5 @@
+import dataclasses
+
 import pytest
 
 from repro.core.config import RunConfig
@@ -25,7 +27,7 @@ class TestValidation:
 
     def test_frozen(self):
         c = RunConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             c.nr = 99
 
 

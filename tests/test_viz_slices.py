@@ -38,7 +38,7 @@ class TestSamplePanel:
         np.testing.assert_allclose(vals, expected, atol=1e-12)
 
     def test_raises_outside(self, grid, smooth_fields):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             sample_panel(grid.yin, smooth_fields[Panel.YIN], np.array([0.01]), np.array([0.0]))
 
 
