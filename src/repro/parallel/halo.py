@@ -22,7 +22,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
+from repro.checkers.sanitize import ProtocolViolation
+from repro.checkers.shapes import Float64
 from repro.parallel.cart import PROC_NULL, CartComm
 from repro.parallel.decomposition import HALO, Subdomain
 
@@ -94,7 +97,8 @@ class HaloExchanger:
         ]
 
     @hot_path
-    def _phase_legacy(self, fields: Sequence[Array], directions, tag_base: int) -> None:
+    def _phase_legacy(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                      directions, tag_base: int) -> None:
         recvs: list[tuple] = []
         for k, f in enumerate(fields):
             for direction in directions:
@@ -120,10 +124,20 @@ class HaloExchanger:
                 self.cart.comm.Send(f[self._send_slice(direction)], dest=nbr, tag=tag)
         for req, f, sl in recvs:
             payload = req.wait()
+            expected = f[sl].shape
+            if (not isinstance(payload, np.ndarray)
+                    or payload.shape != expected or payload.dtype != f.dtype):
+                raise ProtocolViolation(
+                    f"halo message has shape "
+                    f"{getattr(payload, 'shape', None)} dtype "
+                    f"{getattr(payload, 'dtype', None)}; this rank's "
+                    f"decomposition plan expects {expected} {f.dtype}"
+                )
             f[sl] = payload
 
     @hot_path
-    def _phase_packed(self, fields: Sequence[Array], directions, tag_base: int) -> None:
+    def _phase_packed(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                      directions, tag_base: int) -> None:
         recvs: list[tuple] = []
         for direction in directions:
             nbr = self.nbr[direction]
@@ -148,16 +162,30 @@ class HaloExchanger:
         for req, direction in recvs:
             payload = req.wait()
             sl = self._recv_slice(direction)
+            expected = (len(fields),) + fields[0][sl].shape
+            if (not isinstance(payload, np.ndarray)
+                    or payload.shape != expected
+                    or payload.dtype != fields[0].dtype):
+                raise ProtocolViolation(
+                    f"packed halo message from the {direction} neighbour "
+                    f"has shape {getattr(payload, 'shape', None)} dtype "
+                    f"{getattr(payload, 'dtype', None)}; this rank's "
+                    f"decomposition plan expects {expected} "
+                    f"{fields[0].dtype}"
+                )
             for k, f in enumerate(fields):
                 f[sl] = payload[k]
 
-    def _phase(self, fields: Sequence[Array], directions, tag_base: int) -> None:
+    def _phase(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+               directions, tag_base: int) -> None:
         if self.packed:
             self._phase_packed(fields, directions, tag_base)
         else:
             self._phase_legacy(fields, directions, tag_base)
 
-    def exchange(self, fields: Sequence[Array], tag_base: int = 0) -> None:
+    @contract
+    def exchange(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                 tag_base: int = 0) -> None:
         """Exchange halos of several fields, in place.
 
         Two phases — phi direction, then theta with full-width strips —

@@ -27,7 +27,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
+from repro.checkers.sanitize import ProtocolViolation
+from repro.checkers.shapes import Float64
 from repro.grids.interpolation import OversetInterpolator
 from repro.grids.yinyang import YinYangGrid
 from repro.parallel.decomposition import PanelDecomposition, Subdomain
@@ -46,8 +49,8 @@ class _ReceptorSide:
     n_loc: int
     ring_lith: Array  # local theta indices of my ring points
     ring_liph: Array
-    weights: Array  # (4, n_loc) bilinear corner weights
-    rotation: Array  # (n_loc, 3, 3) donor->receptor component rotation
+    weights: Float64[4, "n_loc"]  # bilinear corner weights
+    rotation: Float64["n_loc", 3, 3]  # donor->receptor component rotation
     #: donor panel-rank -> (corner slot array, local point array) in the
     #: deterministic message order
     sources: dict[int, tuple[Array, Array]] = field(default_factory=dict)
@@ -174,7 +177,9 @@ class OversetExchanger:
 
     # ---- exchanges ------------------------------------------------------------
 
-    def exchange(self, fields: tuple[Array, ...], *, vector: bool, tag0: int) -> None:
+    @contract
+    def exchange(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                 *, vector: bool, tag0: int) -> None:
         """One overset exchange of my panel's field(s), in place.
 
         ``fields`` is ``(f,)`` for a scalar or the three spherical
@@ -297,6 +302,17 @@ class OversetExchanger:
         corner_vals = np.zeros((nf, 4, nr, receptor.n_loc))  # repro: noqa-REP001
         for req, slot_c, slot_j in recvs:
             payload = req.wait()
+            expected = (nf, nr, slot_c.size)
+            if (not isinstance(payload, np.ndarray)
+                    or payload.shape != expected
+                    or payload.dtype != fields[0].dtype):
+                raise ProtocolViolation(
+                    f"packed overset message has shape "
+                    f"{getattr(payload, 'shape', None)} dtype "
+                    f"{getattr(payload, 'dtype', None)}; this rank's "
+                    f"interpolation plan expects {expected} "
+                    f"{fields[0].dtype}"
+                )
             for k in range(nf):
                 corner_vals[k, slot_c, :, slot_j] = payload[k].T
 
@@ -336,6 +352,17 @@ class OversetExchanger:
         corner_vals = np.zeros((nf, 4, nr, receptor.n_loc))  # repro: noqa-REP001
         for req, d, k, slot_c, slot_j in recvs:
             payload = req.wait()
+            expected = (nr, slot_c.size)
+            if (not isinstance(payload, np.ndarray)
+                    or payload.shape != expected
+                    or payload.dtype != fields[0].dtype):
+                raise ProtocolViolation(
+                    f"overset message for field {k} from panel rank {d} "
+                    f"has shape {getattr(payload, 'shape', None)} dtype "
+                    f"{getattr(payload, 'dtype', None)}; this rank's "
+                    f"interpolation plan expects {expected} "
+                    f"{fields[0].dtype}"
+                )
             corner_vals[k, slot_c, :, slot_j] = payload.T
 
         self._combine(receptor, corner_vals, ((0, 1, 2),) if vector else (),

@@ -144,7 +144,19 @@ class _ProcRuntime:
 
     def _read_slots(self, meta) -> np.ndarray:
         slots, shape, dtype_str, nbytes = meta
-        out = np.empty(shape, dtype=np.dtype(dtype_str))
+        dtype = np.dtype(dtype_str)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != nbytes or len(slots) != -(-nbytes // self.slot_bytes):
+            # return the slots before raising or the arena leaks them
+            for s in slots:
+                self.free_q.put(s)
+            raise ProtocolViolation(
+                f"slot message header inconsistent: shape {tuple(shape)} "
+                f"dtype {dtype_str} implies {expected} B, but the header "
+                f"claims {nbytes} B in {len(slots)} slot(s) of "
+                f"{self.slot_bytes} B"
+            )
+        out = np.empty(shape, dtype=dtype)
         flat = out.reshape(-1).view(np.uint8)
         pos = 0
         for s in slots:

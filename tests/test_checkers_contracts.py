@@ -1,0 +1,236 @@
+"""Runtime shape contracts: the decoration-time gate, the always-on
+wrapper's argument/return/binding checks, state-like bundles, and the
+strict MHDState dtype check."""
+
+import numpy as np
+import pytest
+
+from repro.checkers.contracts import (
+    ContractViolation,
+    apply_contract,
+    contract,
+    contracts_enabled,
+)
+from repro.checkers.shapes import Float32, Float64
+
+
+class TestGate:
+    def test_disabled_returns_function_unchanged(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+        assert not contracts_enabled()
+
+        def f(x: Float64["n"]) -> Float64["n"]:
+            return x
+
+        assert contract(f) is f  # literally zero overhead
+
+    def test_enabled_wraps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTRACTS", "1")
+        assert contracts_enabled()
+
+        def f(x: Float64["n"]) -> Float64["n"]:
+            return x
+
+        g = contract(f)
+        assert g is not f and g.__repro_contract__
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no"])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CONTRACTS", value)
+        assert not contracts_enabled()
+
+
+class TestWrapper:
+    def test_valid_call_passes_through(self):
+        @apply_contract
+        def f(x: Float64["n"], y: Float64["n"]) -> Float64["n"]:
+            return x + y
+
+        out = f(np.ones(4), np.ones(4))
+        assert out.shape == (4,)
+
+    def test_symbol_binding_shared_across_arguments(self):
+        @apply_contract
+        def f(x: Float64["n"], y: Float64["n"]):
+            return x + y[: x.size]
+
+        with pytest.raises(ContractViolation, match="'n' = 4"):
+            f(np.ones(4), np.ones(5))
+
+    def test_dtype_checked(self):
+        @apply_contract
+        def f(x: Float64["n"]):
+            return x
+
+        with pytest.raises(ContractViolation, match="float32"):
+            f(np.ones(4, dtype=np.float32))
+
+    def test_return_value_checked_against_bound_symbols(self):
+        @apply_contract
+        def f(x: Float64["n"]) -> Float64["n"]:
+            return x[:-1]
+
+        with pytest.raises(ContractViolation, match="return value"):
+            f(np.ones(4))
+
+    def test_int_dims_exact(self):
+        @apply_contract
+        def f(w: Float64[4, "m"]):
+            return w
+
+        f(np.ones((4, 7)))
+        with pytest.raises(ContractViolation, match="axis 0"):
+            f(np.ones((3, 7)))
+
+    def test_rank_mismatch(self):
+        @apply_contract
+        def f(x: Float64["a", "b"]):
+            return x
+
+        with pytest.raises(ContractViolation, match="rank"):
+            f(np.ones(4))
+
+    def test_ellipsis_leading_dims_free(self):
+        @apply_contract
+        def f(x: Float64[..., "m"]) -> Float64[..., "m"]:
+            return x
+
+        f(np.ones((2, 3, 5)))
+        f(np.ones(5))
+
+    def test_optional_accepts_none(self):
+        @apply_contract
+        def f(x: Float64["n"], out: Float64["n"] | None = None):
+            return x
+
+        f(np.ones(3))
+        f(np.ones(3), out=np.ones(3))
+        with pytest.raises(ContractViolation):
+            f(np.ones(3), out=np.ones(4))
+
+    def test_float32_spec_accepts_float32(self):
+        @apply_contract
+        def f(x: Float32["n"]):
+            return x
+
+        f(np.ones(3, dtype=np.float32))
+        with pytest.raises(ContractViolation):
+            f(np.ones(3))
+
+    def test_scalar_ok_for_dimless_spec(self):
+        @apply_contract
+        def f(x: Float64[...]):
+            return x
+
+        f(1.0)
+
+    def test_sequence_spec_checks_each_item(self):
+        from collections.abc import Sequence
+
+        @apply_contract
+        def f(fields: Sequence[Float64["nr", "lth", "lph"]]):
+            return len(fields)
+
+        assert f([np.ones((2, 3, 4)), np.ones((2, 3, 4))]) == 2
+        with pytest.raises(ContractViolation, match=r"fields.*\[1\]"):
+            f([np.ones((2, 3, 4)), np.ones((2, 3, 5))])
+
+    def test_tuple_spec_checks_arity(self):
+        @apply_contract
+        def f(v: tuple[Float64["n"], Float64["n"], Float64["n"]]):
+            return v
+
+        f((np.ones(3), np.ones(3), np.ones(3)))
+        with pytest.raises(ContractViolation, match="expected 3"):
+            f((np.ones(3), np.ones(3)))
+
+    def test_state_like_bundle_checked_per_field(self):
+        from repro.mhd.state import MHDState
+
+        @apply_contract
+        def f(state: Float64["nr", "nth", "nph"]):
+            return state
+
+        f(MHDState.zeros((3, 4, 5)))
+
+    def test_var_positional_not_spec_checked(self):
+        @apply_contract
+        def f(*arrays: Float64["n"]):
+            return arrays
+
+        # *args bundles are not bound to the spec (documented limit)
+        f(np.ones(3), np.ones(4))
+
+
+class TestStateStrictness:
+    def test_shape_always_enforced(self):
+        from repro.mhd.state import MHDState
+
+        arrays = [np.zeros((2, 3, 4)) for _ in range(8)]
+        arrays[5] = np.zeros((2, 3, 5))
+        with pytest.raises(ValueError, match="shape"):
+            MHDState(*arrays)
+
+    def test_dtype_enforced_under_contracts(self):
+        # the module-level gate is read at import; exercise it in a
+        # child interpreter so the env is armed before repro imports
+        import subprocess
+        import sys
+
+        code = (
+            "import numpy as np\n"
+            "from repro.checkers.contracts import ContractViolation\n"
+            "from repro.mhd.state import MHDState\n"
+            "try:\n"
+            "    MHDState(*[np.zeros((2, 3, 4), dtype=np.float32)"
+            " for _ in range(8)])\n"
+            "except ContractViolation:\n"
+            "    print('VIOLATION')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "REPRO_CONTRACTS": "1",
+                 "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert "VIOLATION" in out.stdout, out.stderr
+
+    def test_float64_state_accepted_without_contracts(self):
+        from repro.mhd.state import MHDState
+
+        MHDState.zeros((2, 3, 4))  # no raise
+
+
+class TestAnnotatedBoundaries:
+    """The shipped annotations are resolvable by the wrapper."""
+
+    @pytest.mark.parametrize("modname, fname", [
+        ("repro.fd.stencils", "diff"),
+        ("repro.fd.stencils", "diff2"),
+        ("repro.fd.stencils", "diff_raw"),
+        ("repro.fd.stencils", "diff2_raw"),
+    ])
+    def test_stencils_check_under_wrapper(self, modname, fname):
+        import importlib
+
+        fn = getattr(importlib.import_module(modname), fname)
+        wrapped = apply_contract(fn)
+        args = (np.ones((4, 5, 6)), 0.1, 0) if fname in ("diff", "diff2") \
+            else (np.ones((4, 5, 6)), 0)
+        assert wrapped(*args).shape == (4, 5, 6)
+        bad = (np.ones((4, 5, 6), dtype=np.float32),) + args[1:]
+        with pytest.raises(ContractViolation):
+            wrapped(*bad)
+
+    def test_interpolator_contract_resolves(self):
+        from repro.grids.yinyang import YinYangGrid
+
+        grid = YinYangGrid(5, 10, 30)
+        interp = grid.to_yang
+        donor = np.ones((5, grid.yin.nth, grid.yin.nph))
+        wrapped = apply_contract(type(interp).interp_scalar)
+        out = wrapped(interp, donor)
+        assert out.shape == (5, interp.n_ring)
+        with pytest.raises(ContractViolation):
+            wrapped(interp, donor.astype(np.float32))

@@ -110,6 +110,48 @@ class TestBackendsAndWireFormats:
                 scale = max(1.0, float(np.abs(b).max()))
                 assert np.abs(a - b).max() < 1e-12 * scale, (panel, name)
 
+    def test_contracts_and_sanitizers_bitwise_smoke(self):
+        """A 2-rank dynamo under ``REPRO_CONTRACTS=1 REPRO_SANITIZE=1``
+        combined must still reproduce the serial solver bitwise: neither
+        checker may perturb the numerics.  Contracts arm at import time,
+        so the run happens in a child interpreter with the env set."""
+        import subprocess
+        import sys
+
+        code = (
+            "import numpy as np\n"
+            "from repro.checkers.contracts import contracts_enabled\n"
+            "from repro.checkers.sanitize import sanitize_enabled\n"
+            "import repro.fd.stencils as st\n"
+            "assert contracts_enabled() and sanitize_enabled()\n"
+            "assert st.diff.__repro_contract__  # boundaries really armed\n"
+            "from repro.core import RunConfig, YinYangDynamo\n"
+            "from repro.grids.component import Panel\n"
+            "from repro.mhd.parameters import MHDParameters\n"
+            "from repro.parallel.parallel_solver import run_parallel_dynamo\n"
+            "cfg = RunConfig(nr=7, nth=12, nph=36,\n"
+            "                params=MHDParameters.laptop_demo(), dt=1e-3,\n"
+            "                amp_temperature=1e-2)\n"
+            "ser = YinYangDynamo(cfg)\n"
+            "for _ in range(2):\n"
+            "    ser.step()\n"
+            "par = run_parallel_dynamo(cfg, 1, 1, 2)\n"
+            "for panel in (Panel.YIN, Panel.YANG):\n"
+            "    for (name, a), b in zip(par.states[panel].named_arrays(),\n"
+            "                            ser.state[panel].arrays()):\n"
+            "        np.testing.assert_array_equal(a, b,\n"
+            "                                      err_msg=f'{panel} {name}')\n"
+            "print('BITWISE_OK')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=300,
+            env={"PYTHONPATH": "src", "REPRO_CONTRACTS": "1",
+                 "REPRO_SANITIZE": "1", "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert "BITWISE_OK" in out.stdout, out.stderr
+
     def test_per_rank_step_seconds_reported(self, config):
         par = run_parallel_dynamo(config, 1, 2, 2)
         assert len(par.rank_step_seconds) == 4  # 2 panels x 1 x 2
