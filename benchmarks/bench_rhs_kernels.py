@@ -1,27 +1,33 @@
-"""E-K1 — throughput of the derivative-cached RHS kernel layer.
+"""E-K1 — throughput of the RHS kernel backends (reference/fused/c).
 
 The paper's hand-fused kernel (List 1) evaluates all eight prognostic
 derivatives in one sweep, touching every operand once.  This benchmark
-measures how much of that discipline the NumPy port recovers: the
-fused path (:class:`~repro.fd.kernels.DerivativeCache` +
-:class:`~repro.fd.kernels.BufferPool` + folded stencil coefficients)
-against the reference per-operator path, on the 32x64x128 panel named
-by the PR acceptance criterion.
+tracks how much of that discipline each backend recovers, as a
+*trajectory* on the 32x64x128 panel named by the PR acceptance
+criteria: the ``reference`` per-operator path, the ``fused`` NumPy
+kernel (:class:`~repro.fd.kernels.DerivativeCache` +
+:class:`~repro.fd.kernels.BufferPool` + folded stencil coefficients),
+and the compiled ``c`` backend (:mod:`repro.fd.ckernels`, six C sweeps
+per evaluation).  Backends are swept via
+:func:`repro.fd.backend.detect`; machines without a toolchain simply
+record the NumPy pair.
 
 Methodology: wall-clock on a shared machine drifts by tens of percent
-over seconds, so back-to-back block timings of the two paths measure
-the drift as much as the code.  Instead each round times one reference
-call and one fused call *adjacent* in time and takes their ratio; the
-reported speedup is the median of the per-round ratios, which cancels
-machine-speed drift to first order.  Allocation and stencil-execution
-counts are reported alongside — they are deterministic and CI-stable.
+over seconds, so back-to-back block timings of the paths measure the
+drift as much as the code.  Instead each round times one call of every
+backend *adjacent* in time and takes ratios within the round; reported
+speedups are medians of per-round ratios, which cancels machine-speed
+drift to first order.  Allocation and stencil-execution counts are
+reported alongside — they are deterministic and CI-stable (identical
+across backends by construction).
 
 Run standalone to (re)generate ``BENCH_rhs_kernels.json`` at the repo
 root::
 
     PYTHONPATH=src python benchmarks/bench_rhs_kernels.py
 
-or under pytest-benchmark (small panel, quick)::
+``--smoke`` runs a reduced-round sweep without touching the JSON (the
+CI toolchain check); or run under pytest-benchmark::
 
     pytest benchmarks/bench_rhs_kernels.py --benchmark-only
 """
@@ -29,6 +35,8 @@ or under pytest-benchmark (small panel, quick)::
 from __future__ import annotations
 
 import json
+import platform
+import sys
 import time
 from pathlib import Path
 from statistics import median
@@ -68,6 +76,49 @@ def build_case(nr: int = 32, nth: int = 64, nph: int = 128):
     return patch, perturbed, fused, reference
 
 
+def build_backend_sweep(nr: int = 32, nth: int = 64, nph: int = 128):
+    """The state plus one :class:`PanelEquations` per detected backend.
+
+    Ordered reference -> fused -> c so the trajectory reads oldest to
+    newest; the ``c`` entry is present only when the compiled backend
+    actually loads (construction falls back silently, so verify the
+    resolved ``kernel_backend`` rather than trusting the probe).
+    """
+    patch, state, fused, reference = build_case(nr, nth, nph)
+    eqs = {"reference": reference, "fused": fused}
+    from repro.fd import backend as kb
+
+    if kb.probe("c").available:
+        omega = (0.0, 0.0, fused.params.omega)
+        ceq = PanelEquations(patch, fused.params, omega, fused=True, backend="c")
+        if ceq.kernel_backend == "c":
+            ceq.rhs(state)  # build the C panel context up front
+            if ceq.kernel_backend == "c":  # context build can also fall back
+                eqs["c"] = ceq
+    return state, eqs
+
+
+def _machine_metadata() -> dict:
+    from repro.fd.ckernels import build as ck_build
+
+    meta = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "c_compile_args": list(ck_build._COMPILE_ARGS),
+        "c_toolchain": ck_build.toolchain_available()[1],
+    }
+    try:
+        import cffi
+
+        meta["cffi"] = cffi.__version__
+    except ImportError:
+        meta["cffi"] = None
+    return meta
+
+
 def count_stencils(eq: PanelEquations, state: MHDState) -> dict[str, int]:
     """Stencil-kernel executions of one RHS evaluation."""
     reset_stencil_counts()
@@ -76,53 +127,65 @@ def count_stencils(eq: PanelEquations, state: MHDState) -> dict[str, int]:
 
 
 def measure(rounds: int = 13, warmup: int = 3) -> dict:
-    """Paired-ratio throughput measurement plus deterministic counters."""
-    _, state, fused, reference = build_case(*BENCH_SHAPE)
+    """Paired-ratio sweep over every detected backend plus counters."""
+    state, eqs = build_backend_sweep(*BENCH_SHAPE)
+    names = list(eqs)  # reference, fused[, c]
     for _ in range(warmup):
-        reference.rhs(state)
-        fused.rhs(state)
+        for eq in eqs.values():
+            eq.rhs(state)
 
-    ratios, ref_times, fused_times = [], [], []
+    times = {n: [] for n in names}
     for _ in range(rounds):
-        t0 = time.perf_counter()
-        reference.rhs(state)
-        t1 = time.perf_counter()
-        fused.rhs(state)
-        t2 = time.perf_counter()
-        ref_times.append(t1 - t0)
-        fused_times.append(t2 - t1)
-        ratios.append((t1 - t0) / (t2 - t1))
+        # One call per backend, adjacent in time, so per-round ratios
+        # cancel machine-speed drift.
+        for name, eq in eqs.items():
+            t0 = time.perf_counter()
+            eq.rhs(state)
+            times[name].append(time.perf_counter() - t0)
 
+    def ratios(num: str, den: str) -> list[float]:
+        return [a / b for a, b in zip(times[num], times[den])]
+
+    fused = eqs["fused"]
     fused.pool.allocated = fused.pool.reused = 0
     fused.cache.reset_stats()
     fused.rhs(state)
     pool = fused.pool.stats()
     cache = fused.cache.stats()
-    sc_fused = count_stencils(fused, state)
-    sc_ref = count_stencils(reference, state)
 
-    ref_s = median(ref_times)
-    fused_s = median(fused_times)
-    return {
+    report = {
         "panel_shape": list(BENCH_SHAPE),
         "rounds": rounds,
-        "methodology": "median over paired (reference, fused) call-time ratios",
-        "reference": {
-            "median_s_per_call": ref_s,
-            "calls_per_sec": 1.0 / ref_s,
-            "stencil_counts": sc_ref,
-        },
-        "fused": {
-            "median_s_per_call": fused_s,
-            "calls_per_sec": 1.0 / fused_s,
-            "stencil_counts": sc_fused,
-            "pool_stats_steady_state": pool,
-            "cache_stats": cache,
-        },
-        "speedup_median_of_ratios": median(ratios),
-        "speedup_min": min(ratios),
-        "speedup_max": max(ratios),
+        "methodology": "median over paired per-round call-time ratios",
+        "machine": _machine_metadata(),
+        "backends_detected": names,
+        "speedup_median_of_ratios": median(ratios("reference", "fused")),
+        "speedup_min": min(ratios("reference", "fused")),
+        "speedup_max": max(ratios("reference", "fused")),
     }
+    trajectory = []
+    for name, eq in eqs.items():
+        med = median(times[name])
+        entry = {
+            "backend": name,
+            "median_s_per_call": med,
+            "calls_per_sec": 1.0 / med,
+            "stencil_counts": count_stencils(eq, state),
+            "speedup_vs_reference": median(ratios("reference", name)),
+        }
+        trajectory.append(entry)
+        report[name] = dict(entry)
+        del report[name]["backend"]
+    report["fused"]["pool_stats_steady_state"] = pool
+    report["fused"]["cache_stats"] = cache
+    report["trajectory"] = trajectory
+    if "c" in eqs:
+        report["c_speedup_over_fused"] = {
+            "median": median(ratios("fused", "c")),
+            "min": min(ratios("fused", "c")),
+            "max": max(ratios("fused", "c")),
+        }
+    return report
 
 
 def emit_json(path: Path = JSON_PATH, **kwargs) -> dict:
@@ -162,12 +225,29 @@ def test_speedup_report(rhs_kernel_case):
     fused_work = report["fused"]["stencil_counts"]
     ref_work = report["reference"]["stencil_counts"]
     assert sum(fused_work.values()) < sum(ref_work.values())
+    if "c" in report["backends_detected"]:
+        print(
+            f"[RHS kernels] c backend "
+            f"{report['c']['calls_per_sec']:.1f} calls/s "
+            f"({report['c_speedup_over_fused']['median']:.2f}x over fused)"
+        )
+        assert report["c_speedup_over_fused"]["median"] > 1.0
+        # Equal sweep accounting across backends, by construction.
+        assert report["c"]["stencil_counts"] == fused_work
 
 
 if __name__ == "__main__":
-    rep = emit_json()
+    if "--smoke" in sys.argv:
+        rep = measure(rounds=3, warmup=1)
+    else:
+        rep = emit_json()
     print(json.dumps(rep, indent=2))
-    print(
-        f"\nspeedup (median of paired ratios): "
-        f"{rep['speedup_median_of_ratios']:.3f}x  ->  {JSON_PATH}"
+    line = (
+        f"\nfused over reference (median of paired ratios): "
+        f"{rep['speedup_median_of_ratios']:.3f}x"
     )
+    if "c_speedup_over_fused" in rep:
+        line += f"; c over fused: {rep['c_speedup_over_fused']['median']:.3f}x"
+    if "--smoke" not in sys.argv:
+        line += f"  ->  {JSON_PATH}"
+    print(line)

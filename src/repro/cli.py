@@ -12,6 +12,7 @@ script) prints the reproduced tables and figures:
 ``fig2``       column census of a manufactured columnar flow
 ``volume``     Section V's 500 GB / 127-save accounting
 ``run``        a small live dynamo run with energy history
+``kernels``    detected kernel backends and build-cache status
 ``lint``       REP001-REP004 invariant lint over the source tree
 =============  =====================================================
 """
@@ -117,6 +118,7 @@ def _cmd_run_parallel(args) -> None:
     print(f"running {args.steps} steps on {args.ranks} {args.backend} ranks "
           f"(2 panels x {pth} x {pph}) ...")
     res = run_parallel_dynamo(config, pth, pph, args.steps, backend=args.backend)
+    print(f"kernel backend: {res.kernel_backend}")
     grid = YinYangGrid(config.nr, config.nth, config.nph,
                        ri=params.ri, ro=params.ro,
                        extra_theta=config.extra_theta, extra_phi=config.extra_phi)
@@ -126,6 +128,34 @@ def _cmd_run_parallel(args) -> None:
     e = yinyang_energies(grid, res.states, params)
     print(f"t = {res.time:.4f} after {res.steps} steps")
     print("final:", {k: f"{v:.4g}" for k, v in e.as_dict().items()})
+
+
+def _cmd_kernels(args) -> None:
+    """List kernel backends: detection, active selection, build cache."""
+    from repro.fd import backend as kb
+    from repro.fd.ckernels import build
+
+    import os
+
+    active = kb.select()
+    req = kb.requested()
+    for info in kb.detect():
+        mark = "*" if info.name == active else " "
+        avail = "available" if info.available else "unavailable"
+        print(f" {mark} {info.name:<6} {avail:<12} {info.detail}")
+    env = os.environ.get(kb.KERNELS_ENV)
+    src = f"{kb.KERNELS_ENV}={env}" if env else "default"
+    line = f"active: {active} ({src}"
+    if req != active:
+        line += ", fell back"
+    print(line + ")")
+    status = build.build_status()
+    print(f"build cache: {status['cache_dir']}")
+    print(f"  shared object {'present' if status['built'] else 'absent'} "
+          f"(key {status['source_key']}), "
+          f"{'loaded' if status['loaded'] else 'not loaded'} in this process")
+    if status["error"]:
+        print(f"  last load error: {status['error']}")
 
 
 def _cmd_lint(args) -> None:
@@ -203,6 +233,9 @@ def _cmd_run(args) -> None:
     if args.restart:
         print(f"restarting from {args.restart} ...")
     print(f"running {args.steps} steps on {dyn.grid!r} ...")
+    from repro.grids.component import Panel
+
+    print(f"kernel backend: {dyn.equations[Panel.YIN].kernel_backend}")
     try:
         dyn.run(args.steps, record_every=max(1, args.steps // 8),
                 observers=observers)
@@ -240,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_fig2)
 
     sub.add_parser("volume", help="Section V data-volume accounting").set_defaults(fn=_cmd_volume)
+    sub.add_parser(
+        "kernels",
+        help="list detected kernel backends (numpy/fused/c), the active "
+             "REPRO_KERNELS selection and the cffi build-cache status",
+    ).set_defaults(fn=_cmd_kernels)
     sub.add_parser(
         "report", help="full paper-vs-reproduction comparison (markdown)"
     ).set_defaults(fn=_cmd_report)

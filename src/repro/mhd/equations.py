@@ -33,6 +33,7 @@ from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
 from repro.checkers.shapes import Float64
 from repro.coords.spherical import cart_vector_to_sph
+from repro.fd import backend as kernel_backend
 from repro.fd.kernels import BufferPool, DerivativeCache, StencilCoefficients
 from repro.fd.operators import SphericalOperators
 from repro.fd.stencils import AXIS_PH, AXIS_R, AXIS_TH
@@ -86,6 +87,12 @@ class PanelEquations:
     fused:
         Select the derivative-cached, buffer-pooled RHS kernel (default)
         or the reference per-operator path.  Results are bitwise equal.
+    backend:
+        Kernel backend (``numpy``/``fused``/``c``); ``None`` reads
+        ``REPRO_KERNELS=`` via :func:`repro.fd.backend.select` with
+        silent fallback.  ``fused=False`` forces the ``numpy``
+        (reference) backend for backward compatibility; the resolved
+        name is exposed as :attr:`kernel_backend`.
     """
 
     def __init__(
@@ -95,13 +102,18 @@ class PanelEquations:
         omega_cart: tuple[float, float, float],
         *,
         fused: bool = True,
+        backend: str | None = None,
     ):
         self.patch = patch
         self.params = params
-        self.fused = fused
+        self.kernel_backend = "numpy" if not fused else kernel_backend.select(backend)
+        self.fused = fused and self.kernel_backend != "numpy"
         self.ops = SphericalOperators(patch)
         self.pool = BufferPool()
-        self.cache = DerivativeCache(pool=self.pool)
+        self.cache = DerivativeCache(
+            pool=self.pool,
+            impl=kernel_backend.stencil_module(self.kernel_backend),
+        )
         self.ops_cached = SphericalOperators(patch, cache=self.cache)
         self.coef = StencilCoefficients(patch)
         self.omega = rotation_vector_field(patch, omega_cart)
@@ -125,6 +137,9 @@ class PanelEquations:
         self.mu_inv_r_cot = mu * m.inv_r_cot
         self.mu_grad_th = mu * c.grad_th
         self.mu_grad_ph = mu * c.grad_ph
+        # compiled-RHS context, built lazily on first evaluation so a
+        # build failure can still fall back to the fused NumPy path
+        self._cctx = None
 
     # ---- subsidiary fields -----------------------------------------------------
 
@@ -160,9 +175,30 @@ class PanelEquations:
         stencils and are meaningless; the drivers overwrite them with
         boundary-condition data after every stage.
         """
+        if self.kernel_backend == "c":
+            return self.rhs_c(state)
         if self.fused:
             return self.rhs_fused(state)
         return self.rhs_reference(state)
+
+    def rhs_c(self, state: MHDState) -> MHDState:
+        """The compiled six-sweep kernel (:mod:`repro.fd.ckernels.rhs`).
+
+        Agrees with :meth:`rhs_fused` to a few ULPs (same operation
+        order, coefficients folded by the same expressions; the tests
+        pin 1e-13).  A context-build failure demotes the panel to the
+        fused NumPy path permanently — silent fallback, reported via
+        :attr:`kernel_backend`.
+        """
+        if self._cctx is None:
+            from repro.fd.ckernels.rhs import CPanelContext
+
+            try:
+                self._cctx = CPanelContext(self)
+            except Exception:
+                self.kernel_backend = "fused"
+                return self.rhs_fused(state)
+        return self._cctx.rhs(state)
 
     def rhs_reference(self, state: MHDState) -> MHDState:
         """The uncached path: every operator re-derives its operands."""

@@ -28,6 +28,17 @@ FIELD_NAMES = ("rho", "fr", "fth", "fph", "p", "ar", "ath", "aph")
 _STRICT = contracts_enabled()
 
 
+def _compiled_elementwise():
+    """Compiled ``axpy``/``iadd`` module when ``REPRO_KERNELS=c``, else None.
+
+    Imported lazily: ``repro.fd`` transitively imports this module, so a
+    top-level import would be circular.
+    """
+    from repro.fd import backend as kernel_backend
+
+    return kernel_backend.compiled_elementwise()
+
+
 @dataclass
 class MHDState:
     """Eight prognostic arrays on a single patch, all the same shape.
@@ -119,7 +130,10 @@ class MHDState:
         allocating eight fresh fields per stage.  ``out`` may not alias
         ``self`` or ``other``.
         """
+        ck = _compiled_elementwise()
         for x, y, o in zip(self.arrays(), other.arrays(), out.arrays()):
+            if ck is not None and ck.axpy_into(x, y, a, o):
+                continue
             np.multiply(y, a, out=o)
             o += x
         return out
@@ -133,8 +147,13 @@ class MHDState:
         allocate a full-size temporary per field per call; the RK4
         accumulate stage calls this three times per step).
         """
-        scratch = np.empty_like(self.rho)  # repro: noqa-REP001 — hoisted, reused 8x
+        ck = _compiled_elementwise()
+        scratch = None
         for x, y in zip(self.arrays(), other.arrays()):
+            if ck is not None and ck.iadd_scaled_into(x, y, a):
+                continue
+            if scratch is None:
+                scratch = np.empty_like(self.rho)  # repro: noqa-REP001 — hoisted, reused 8x
             np.multiply(y, a, out=scratch)
             x += scratch
         return self

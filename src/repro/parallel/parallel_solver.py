@@ -359,6 +359,9 @@ class ParallelRunResult:
     dt_history: list[float]
     #: per-world-rank wall seconds spent inside the step loop (TimerObserver)
     rank_step_seconds: list[float] = field(default_factory=list)
+    #: resolved kernel backend (``numpy``/``fused``/``c``) the RHS ran on —
+    #: after silent fallback, so it reports what actually executed
+    kernel_backend: str = "fused"
 
 
 def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
@@ -378,6 +381,7 @@ def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
             states=gathered, time=solver.time, steps=solver.step_count,
             dt_history=result.dt_history,
             rank_step_seconds=[float(s) for s in rank_seconds],
+            kernel_backend=solver.equations.kernel_backend,
         )
     return None
 

@@ -1,0 +1,140 @@
+"""Kernel-backend factory: selection, probing, and silent fallback.
+
+``REPRO_KERNELS`` is read at selection time (construction of
+:class:`~repro.mhd.equations.PanelEquations`), so these tests drive it
+with ``monkeypatch.setenv`` in-process — no subprocesses needed.  The
+forced-fallback tests simulate a machine with no C toolchain *and* no
+cached build by monkeypatching the probe seam and pointing the build
+cache at an empty directory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fd import backend as kernel_backend
+from repro.fd import stencils as np_stencils
+from repro.fd.ckernels import build
+
+
+@pytest.fixture
+def no_toolchain(monkeypatch, tmp_path):
+    """Simulate: no compiler, no cffi, no cached shared object."""
+    build.reset()
+    monkeypatch.setenv(build._CACHE_ENV, str(tmp_path / "empty-cache"))
+    monkeypatch.setattr(
+        build, "toolchain_available", lambda: (False, "forced by test")
+    )
+    yield
+    build.reset()  # drop the memoized failure so later tests can load
+
+
+def test_backend_names_and_detect():
+    assert kernel_backend.BACKENDS == ("numpy", "fused", "c")
+    infos = kernel_backend.detect()
+    assert [b.name for b in infos] == list(kernel_backend.BACKENDS)
+    # NumPy paths are always available.
+    assert infos[0].available and infos[1].available
+
+
+def test_default_selection_is_fused(monkeypatch):
+    monkeypatch.delenv(kernel_backend.KERNELS_ENV, raising=False)
+    assert kernel_backend.requested() == "fused"
+    assert kernel_backend.select() == "fused"
+
+
+def test_env_selects_backend(monkeypatch):
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "numpy")
+    assert kernel_backend.select() == "numpy"
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "fused")
+    assert kernel_backend.select() == "fused"
+
+
+def test_unknown_env_value_warns_and_defaults(monkeypatch):
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "fortran")
+    with pytest.warns(RuntimeWarning, match="fortran"):
+        assert kernel_backend.requested() == "fused"
+
+
+def test_explicit_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernel_backend.select("fortran")
+
+
+def test_stencil_module_mapping():
+    assert kernel_backend.stencil_module("numpy") is np_stencils
+    assert kernel_backend.stencil_module("fused") is np_stencils
+    if kernel_backend.probe("c").available:
+        from repro.fd.ckernels import stencils as ck_stencils
+
+        assert kernel_backend.stencil_module("c") is ck_stencils
+
+
+def test_probe_c_without_toolchain(no_toolchain):
+    info = kernel_backend.probe("c")
+    assert not info.available
+    assert info.detail  # says why
+
+
+def test_select_c_falls_back_silently(no_toolchain, monkeypatch):
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "c")
+    assert kernel_backend.select() == "fused"
+    assert kernel_backend.compiled_elementwise() is None
+
+
+def test_equations_fall_back_and_still_run(no_toolchain, monkeypatch):
+    """REPRO_KERNELS=c with no toolchain: construction and RHS succeed
+    on the fused path, and the instance reports what actually ran."""
+    from repro.grids.yinyang import YinYangGrid
+    from repro.mhd.equations import PanelEquations
+    from repro.mhd.initial import conduction_state
+    from repro.mhd.parameters import MHDParameters
+
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "c")
+    params = MHDParameters.laptop_demo()
+    grid = YinYangGrid(7, 8, 12, ri=params.ri, ro=params.ro)
+    eq = PanelEquations(grid.yin, params, (0.0, 0.0, params.omega))
+    assert eq.kernel_backend == "fused"
+    out = eq.rhs(conduction_state(grid.yin, params))
+    assert np.all(np.isfinite(out.rho))
+
+
+def test_parallel_run_reports_fallback_backend(no_toolchain, monkeypatch):
+    """A thread-backend run with REPRO_KERNELS=c and no toolchain must
+    finish and report the backend that actually executed."""
+    from repro.core.config import RunConfig
+    from repro.parallel.parallel_solver import run_parallel_dynamo
+
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "c")
+    cfg = RunConfig(nr=7, nth=8, nph=24, dt=1e-3, amp_temperature=1e-2)
+    res = run_parallel_dynamo(cfg, 1, 1, 2, backend="thread")
+    assert res.kernel_backend == "fused"
+    assert res.steps == 2
+
+
+def test_build_status_reports_cache_state(no_toolchain):
+    status = build.build_status()
+    assert status["built"] is False
+    assert status["loaded"] is False
+    assert status["toolchain_ok"] is False
+    assert "empty-cache" in status["cache_dir"]
+
+
+@pytest.mark.skipif(
+    not kernel_backend.probe("c").available,
+    reason="C kernel backend unavailable",
+)
+def test_cached_so_loads_without_toolchain(monkeypatch):
+    """Once the shared object is cached, load() must not require a
+    compiler — deployment machines only need the cache directory."""
+    build.load()  # ensure the cache is warm
+    build.reset()
+    monkeypatch.setattr(
+        build, "toolchain_available", lambda: (False, "forced by test")
+    )
+    try:
+        lib, ffi = build.load()
+        assert hasattr(lib, "ck_diff")
+    finally:
+        build.reset()

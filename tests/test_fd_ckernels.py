@@ -1,0 +1,228 @@
+"""Compiled stencil backend vs the NumPy reference, element for element.
+
+The C kernels were written to mirror NumPy's per-operation rounding
+(left-associated accumulation, ``-ffp-contract=off``), so equality here
+is *bitwise*, not approximate.  Hypothesis drives random shapes, axes
+and strides — including non-contiguous views, which the wrappers must
+copy through without changing results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd import backend as kernel_backend
+from repro.fd import stencils as np_stencils
+
+pytestmark = pytest.mark.skipif(
+    not kernel_backend.probe("c").available,
+    reason="C kernel backend unavailable (no toolchain and no cached build)",
+)
+
+
+def _ck():
+    from repro.fd.ckernels import stencils as ck_stencils
+
+    return ck_stencils
+
+
+OPS = ("diff", "diff2", "diff_raw", "diff2_raw")
+
+
+@st.composite
+def _arrays(draw):
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(draw(st.integers(min_value=3, max_value=8)) for _ in range(ndim))
+    axis = draw(st.integers(min_value=0, max_value=ndim - 1))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal(shape)
+    return f, axis
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_arrays(), op=st.sampled_from(OPS))
+def test_stencils_bitwise_equal(case, op):
+    f, axis = case
+    ck = _ck()
+    if op.endswith("_raw"):
+        expected = getattr(np_stencils, op)(f, axis)
+        got = getattr(ck, op)(f, axis)
+    else:
+        expected = getattr(np_stencils, op)(f, 0.1, axis)
+        got = getattr(ck, op)(f, 0.1, axis)
+    np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=_arrays(), op=st.sampled_from(OPS))
+def test_stencils_noncontiguous_input(case, op):
+    """Strided (non-C-contiguous) views go through a copy, same results."""
+    f, axis = case
+    big = np.zeros(tuple(2 * n for n in f.shape))
+    view = big[tuple(slice(0, 2 * n, 2) for n in f.shape)]
+    view[...] = f
+    assert not view.flags["C_CONTIGUOUS"]
+    ck = _ck()
+    if op.endswith("_raw"):
+        expected = getattr(np_stencils, op)(f, axis)
+        got = getattr(ck, op)(view, axis)
+    else:
+        expected = getattr(np_stencils, op)(f, 0.1, axis)
+        got = getattr(ck, op)(view, 0.1, axis)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_out_param_and_flat_last_axis():
+    rng = np.random.default_rng(7)
+    f = rng.standard_normal((6, 5, 9))
+    ck = _ck()
+    for axis in range(3):
+        out = np.empty_like(f)
+        res = ck.diff(f, 0.25, axis, out=out)
+        assert res is out
+        np.testing.assert_array_equal(out, np_stencils.diff(f, 0.25, axis))
+        out2 = np.empty_like(f)
+        res2 = ck.diff2_raw(f, axis, out=out2)
+        assert res2 is out2
+        np.testing.assert_array_equal(out2, np_stencils.diff2_raw(f, axis))
+
+
+def test_out_aliasing_rejected():
+    f = np.zeros((4, 4))
+    ck = _ck()
+    with pytest.raises(ValueError, match="alias"):
+        ck.diff(f, 0.1, 0, out=f)
+
+
+def test_short_axis_rejected():
+    f = np.zeros((2, 5))
+    ck = _ck()
+    with pytest.raises(ValueError):
+        ck.diff(f, 0.1, 0)
+
+
+def test_non_float64_delegates_to_numpy():
+    f = np.arange(24, dtype=np.float32).reshape(4, 6)
+    ck = _ck()
+    got = ck.diff(f, 0.5, 1)
+    np.testing.assert_array_equal(got, np_stencils.diff(f, 0.5, 1))
+
+
+def test_counters_track_compiled_sweeps():
+    f = np.random.default_rng(1).standard_normal((5, 6, 7))
+    ck = _ck()
+    np_stencils.reset_stencil_counts()
+    ck.diff(f, 0.1, 0)
+    ck.diff_raw(f, 1)
+    ck.diff2(f, 0.1, 2)
+    ck.diff2_raw(f, 0)
+    counts = np_stencils.stencil_counts()
+    assert counts == {"diff": 2, "diff2": 2}
+
+
+def test_elementwise_iadd_axpy_bitwise():
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((4, 5, 6))
+    y = rng.standard_normal((4, 5, 6))
+    a = 0.37
+    ck = _ck()
+    x_c = x.copy()
+    assert ck.iadd_scaled_into(x_c, y, a)
+    np.testing.assert_array_equal(x_c, x + a * y)
+    out = np.empty_like(x)
+    assert ck.axpy_into(x, y, a, out)
+    np.testing.assert_array_equal(out, x + a * y)
+    # Non-contiguous operands are refused (caller falls back to NumPy).
+    assert not ck.iadd_scaled_into(x_c.T, y.T, a)
+
+
+@pytest.fixture
+def yin_case():
+    from repro.grids.yinyang import YinYangGrid
+    from repro.mhd.initial import conduction_state
+    from repro.mhd.parameters import MHDParameters
+    from repro.mhd.state import FIELD_NAMES, MHDState
+
+    params = MHDParameters.laptop_demo()
+    grid = YinYangGrid(9, 12, 16, ri=params.ri, ro=params.ro)
+    patch = grid.yin
+    base = conduction_state(patch, params)
+    rng = np.random.default_rng(42)
+    state = MHDState(
+        **{
+            n: getattr(base, n) + 0.05 * rng.standard_normal(base.rho.shape)
+            for n in FIELD_NAMES
+        }
+    )
+    omega = (0.0, 0.0, params.omega)
+    return patch, params, omega, state
+
+
+def test_rhs_c_bitwise_matches_fused(yin_case, monkeypatch):
+    from repro.mhd.equations import PanelEquations
+    from repro.mhd.state import FIELD_NAMES
+
+    patch, params, omega, state = yin_case
+    fused = PanelEquations(patch, params, omega, fused=True)
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "c")
+    ceq = PanelEquations(patch, params, omega, fused=True)
+    assert ceq.kernel_backend == "c"
+    want = fused.rhs(state)
+    got = ceq.rhs(state)
+    assert ceq.kernel_backend == "c"  # no silent fallback happened
+    for name in FIELD_NAMES:
+        np.testing.assert_array_equal(getattr(got, name), getattr(want, name))
+
+
+def test_rhs_c_stencil_counts_match_fused(yin_case, monkeypatch):
+    from repro.mhd.equations import PanelEquations
+
+    patch, params, omega, state = yin_case
+    fused = PanelEquations(patch, params, omega, fused=True)
+    np_stencils.reset_stencil_counts()
+    fused.rhs(state)
+    fused_counts = np_stencils.stencil_counts()
+
+    monkeypatch.setenv(kernel_backend.KERNELS_ENV, "c")
+    ceq = PanelEquations(patch, params, omega, fused=True)
+    ceq.rhs(state)  # build the context outside the counted window
+    np_stencils.reset_stencil_counts()
+    ceq.rhs(state)
+    c_counts = np_stencils.stencil_counts()
+
+    assert c_counts == fused_counts == {"diff": 44, "diff2": 3}
+
+
+def test_serial_dynamo_c_matches_numpy(monkeypatch):
+    """10 steps of the serial dynamo: C backend vs NumPy to <= 1e-13 rel."""
+    from repro.core.config import RunConfig
+    from repro.core.yycore import YinYangDynamo
+    from repro.mhd.state import FIELD_NAMES
+
+    def run(backend_env):
+        if backend_env is None:
+            monkeypatch.delenv(kernel_backend.KERNELS_ENV, raising=False)
+        else:
+            monkeypatch.setenv(kernel_backend.KERNELS_ENV, backend_env)
+        cfg = RunConfig(nr=7, nth=10, nph=30, dt=1e-3,
+                        amp_temperature=1e-2, seed=123)
+        dyn = YinYangDynamo(cfg)
+        for _ in range(10):
+            dyn.step()
+        return dyn
+
+    ref = run(None)
+    cdyn = run("c")
+    for panel, eq in cdyn.equations.items():
+        assert eq.kernel_backend == "c", panel
+    for panel, state in cdyn.state.items():
+        ref_state = ref.state[panel]
+        for name in FIELD_NAMES:
+            a = getattr(state, name)
+            b = getattr(ref_state, name)
+            scale = max(float(np.max(np.abs(b))), 1.0)
+            assert np.max(np.abs(a - b)) <= 1e-13 * scale, (panel, name)
