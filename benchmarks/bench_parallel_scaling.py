@@ -1,12 +1,15 @@
-"""E-P1 — parallel step throughput: serial vs thread vs process backend.
+"""E-P1 — parallel step throughput: serial vs every launcher backend.
 
 The paper's result is parallel scaling (Tables I-III: 15.2 TFlops from
 flat-MPI yycore on 4096 processors).  This benchmark measures our
 miniature analogue: wall-clock steps/sec of the serial
 :class:`~repro.core.yycore.YinYangDynamo` against the parallel solver
-on 2, 4 and 8 ranks, on both SimMPI backends (``thread`` — one thread
-per rank, GIL-serialised; ``process`` — one OS process per rank over
-shared-memory buffers, the only backend that can use real cores).
+on 2, 4 and 8 ranks, on every *detected* self-launching backend of the
+launcher registry (``thread`` — one thread per rank, GIL-serialised;
+``process`` — one OS process per rank over shared-memory buffers;
+``socket`` — one OS process per rank over loopback TCP frames).
+Backends needing an external runner (``mpi4py``) are skipped and the
+skip is recorded in the JSON.
 
 Methodology: launch cost (thread setup, process spawn + interpreter
 boot) is *excluded* — each rank times its own step loop with
@@ -42,7 +45,22 @@ import numpy as np
 from repro.core import RunConfig, YinYangDynamo
 from repro.engine import TimerObserver
 from repro.mhd.parameters import MHDParameters
+from repro.parallel.backends import detect
 from repro.parallel.parallel_solver import run_parallel_dynamo
+
+
+def benchable_backends() -> tuple[list[str], dict[str, str]]:
+    """Detected backends the benchmark can drive itself, plus the
+    skipped ones with the reason (unavailable / needs external runner)."""
+    names, skipped = [], {}
+    for info in detect():
+        if not info.available:
+            skipped[info.name] = f"unavailable: {info.detail}"
+        elif not info.capabilities.self_launch:
+            skipped[info.name] = "needs an external runner (mpirun)"
+        else:
+            names.append(info.name)
+    return names, skipped
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_scaling.json"
 
@@ -104,8 +122,9 @@ def measure(n_steps: int = 6, rank_counts: list[int] = (2, 4, 8),
     grid = dict(BENCH_GRID if grid is None else grid)
     config = bench_config(grid)
     serial = measure_serial(config, n_steps)
+    names, skipped = benchable_backends()
     backends: dict[str, list[dict]] = {}
-    for backend in ("thread", "process"):
+    for backend in names:
         curve = []
         for ranks in rank_counts:
             point = measure_parallel(config, backend, ranks, n_steps)
@@ -117,6 +136,7 @@ def measure(n_steps: int = 6, rank_counts: list[int] = (2, 4, 8),
     return {
         "grid": grid,
         "n_steps": n_steps,
+        "skipped_backends": skipped,
         "machine": machine_metadata(),
         "methodology": (
             "steps/sec = n_steps / max over ranks of per-rank step-loop "
@@ -147,6 +167,8 @@ def _print_summary(rep: dict) -> None:
             print(f"  {backend:<8} {pt['ranks']} ranks: "
                   f"{pt['steps_per_sec']:.2f} steps/s "
                   f"({pt['speedup_vs_serial']:.2f}x vs serial)")
+    for backend, reason in rep.get("skipped_backends", {}).items():
+        print(f"  {backend:<8} skipped — {reason}")
 
 
 # ---- pytest entry point (the CI scaling smoke) --------------------------------

@@ -96,6 +96,10 @@ _MsgKey = tuple[str, int, int, int]
 _TRANSPORT_MODULES = (
     "repro.parallel.simmpi",
     "repro.parallel.procmpi",
+    "repro.parallel.sockmpi",
+    "repro.parallel.mpimpi",
+    "repro.parallel.frames",
+    "repro.parallel.transport",
     "repro.parallel.tracing",
     "repro.checkers",
 )

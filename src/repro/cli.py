@@ -13,6 +13,8 @@ script) prints the reproduced tables and figures:
 ``volume``     Section V's 500 GB / 127-save accounting
 ``run``        a small live dynamo run with energy history
 ``kernels``    detected kernel backends and build-cache status
+``backends``   detected launcher backends (thread/process/socket/...)
+``worker``     join a socket-launcher world as an external worker
 ``lint``       REP001-REP004 invariant lint over the source tree
 =============  =====================================================
 """
@@ -117,8 +119,16 @@ def _cmd_run_parallel(args) -> None:
     pth, pph = _ranks_to_layout(args.ranks)
     print(f"running {args.steps} steps on {args.ranks} {args.backend} ranks "
           f"(2 panels x {pth} x {pph}) ...")
-    res = run_parallel_dynamo(config, pth, pph, args.steps, backend=args.backend)
+    if args.restart:
+        print(f"restarting from {args.restart} ...")
+    res = run_parallel_dynamo(
+        config, pth, pph, args.steps, backend=args.backend,
+        restart=args.restart or None,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every or None,
+    )
     print(f"kernel backend: {res.kernel_backend}")
+    print(f"launcher backend: {res.launcher_backend}")
     grid = YinYangGrid(config.nr, config.nth, config.nph,
                        ri=params.ri, ro=params.ro,
                        extra_theta=config.extra_theta, extra_phi=config.extra_phi)
@@ -156,6 +166,37 @@ def _cmd_kernels(args) -> None:
           f"{'loaded' if status['loaded'] else 'not loaded'} in this process")
     if status["error"]:
         print(f"  last load error: {status['error']}")
+
+
+def _cmd_backends(args) -> None:
+    """List launcher backends: detection, capabilities, active selection."""
+    import os
+
+    from repro.parallel import backends as pb
+
+    active = pb.select()
+    req = pb.requested()
+    for info in pb.detect():
+        mark = "*" if info.name == active else " "
+        avail = "available" if info.available else "unavailable"
+        print(f" {mark} {info.name:<8} {avail:<12} {info.detail}")
+        if info.capabilities is not None:
+            print(f"   {'':<8} {'':<12} {info.capabilities.summary()}")
+    env = os.environ.get(pb.LAUNCHER_ENV)
+    src = f"{pb.LAUNCHER_ENV}={env}" if env else "default"
+    line = f"active: {active} ({src}"
+    if req != active:
+        line += ", fell back"
+    print(line + ")")
+
+
+def _cmd_worker(args) -> None:
+    """Join a socket-launcher world: connect, receive a rank, run."""
+    from repro.parallel.sockmpi import worker_join
+
+    print(f"connecting to coordinator at {args.connect} ...")
+    worker_join(args.connect, timeout=args.timeout)
+    print("worker finished")
 
 
 def _cmd_lint(args) -> None:
@@ -207,10 +248,8 @@ def _cmd_run(args) -> None:
     from repro.engine import CheckpointObserver, HealthGuard, TimerObserver
 
     if args.backend != "serial":
-        if args.guard or args.checkpoint_every or args.restart:
-            raise SystemExit(
-                "--guard/--checkpoint-every/--restart are serial-only options"
-            )
+        if args.guard:
+            raise SystemExit("--guard is a serial-only option")
         _cmd_run_parallel(args)
         return
 
@@ -279,6 +318,25 @@ def build_parser() -> argparse.ArgumentParser:
              "REPRO_KERNELS selection and the cffi build-cache status",
     ).set_defaults(fn=_cmd_kernels)
     sub.add_parser(
+        "backends",
+        help="list detected launcher backends (thread/process/socket/mpi4py), "
+             "their capabilities and the active REPRO_LAUNCHER selection",
+    ).set_defaults(fn=_cmd_backends)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a socket-launcher world as an external worker: connect "
+             "to a coordinator started with `run --backend socket`, receive "
+             "a rank and run the distributed program",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address announced by the launcher")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-wait deadlock timeout "
+                        "(default: REPRO_SIMMPI_TIMEOUT or 60)")
+    p.set_defaults(fn=_cmd_worker)
+
+    sub.add_parser(
         "report", help="full paper-vs-reproduction comparison (markdown)"
     ).set_defaults(fn=_cmd_report)
 
@@ -296,10 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for --checkpoint-every archives")
     p.add_argument("--restart", default=None, metavar="PATH",
                    help="resume from a checkpoint archive before stepping")
+    from repro.parallel.backends import BACKENDS
+
     p.add_argument("--backend", default="serial",
-                   choices=["serial", "thread", "process"],
-                   help="serial solver, or a SimMPI backend for the "
-                        "flat-MPI parallel solver")
+                   choices=["serial", *BACKENDS],
+                   help="serial solver, or a launcher backend for the "
+                        "flat-MPI parallel solver (probe with "
+                        "`repro-paper backends`)")
     p.add_argument("--ranks", type=int, default=4, metavar="N",
                    help="total ranks for a parallel backend (even; "
                         "2 panels x near-square process array)")

@@ -26,6 +26,9 @@ _FORMAT_VERSION = 2
 #: key prefix of a single (non-panel) state in the archive
 _SINGLE = "single"
 
+#: key prefix of caller metadata entries (see ``save_checkpoint(meta=)``)
+_META = "_meta:"
+
 CheckpointStates = dict[Panel, MHDState] | MHDState
 
 
@@ -35,12 +38,17 @@ def save_checkpoint(
     *,
     time: float = 0.0,
     step: int = 0,
+    meta: dict[str, str | int | float] | None = None,
 ) -> Path:
     """Write a checkpoint archive.
 
     Accepts either a Yin-Yang panel pair or a single (lat-lon) state;
     the layout is recorded so :func:`load_checkpoint` reconstructs the
-    same shape.  Returns the path written.
+    same shape.  ``meta`` entries (scalar str/int/float) are stored
+    under ``_meta:<key>`` and read back with :func:`read_meta` — the
+    parallel solver records its tile placement this way, which is what
+    makes elastic (rank-count-changing) restarts possible.  Returns the
+    path written.
     """
     path = Path(path)
     payload: dict[str, np.ndarray] = {
@@ -48,6 +56,8 @@ def save_checkpoint(
         "_time": np.array(time),
         "_step": np.array(step),
     }
+    for key, value in (meta or {}).items():
+        payload[f"{_META}{key}"] = np.array(value)
     if isinstance(states, MHDState):
         payload["_layout"] = np.array(_SINGLE)
         for name, arr in states.named_arrays():
@@ -89,3 +99,20 @@ def load_checkpoint(path: str | Path) -> tuple[CheckpointStates, float, int]:
             arrays = [np.array(data[f"{panel.value}:{n}"]) for n in FIELD_NAMES]
             states[panel] = MHDState(*arrays)
     return states, time, step
+
+
+def read_meta(path: str | Path) -> dict[str, str | int | float]:
+    """Read the caller metadata (``_meta:`` entries) of an archive.
+
+    Values come back as Python scalars (``.item()`` of the stored
+    0-d array); archives written without ``meta`` yield ``{}``.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    meta: dict[str, str | int | float] = {}
+    with np.load(path) as data:
+        for key in data.files:
+            if key.startswith(_META):
+                meta[key[len(_META):]] = data[key].item()
+    return meta

@@ -238,10 +238,19 @@ class YinYangDynamo:
     def restore_checkpoint(self, path: str | Path) -> None:
         """Resume from a panel-pair checkpoint (exact continuation: the
         restored fields enter the next RK4 step precisely as the
-        original run's fields would have)."""
+        original run's fields would have).  A per-rank tile family from
+        a parallel run is accepted too — it is assembled into the exact
+        global pair (:mod:`repro.parallel.elastic`), so a parallel
+        checkpoint restarts serially without conversion."""
         from repro.core.checkpoint import load_checkpoint
 
-        states, t, step = load_checkpoint(path)
+        p = Path(path)
+        if not p.exists() and not p.with_suffix(p.suffix + ".npz").exists():
+            from repro.parallel.elastic import load_any_checkpoint
+
+            states, t, step = load_any_checkpoint(p)
+        else:
+            states, t, step = load_checkpoint(path)
         if not isinstance(states, dict) or set(states) != {Panel.YIN, Panel.YANG}:
             raise ValueError(
                 f"{path}: not a Yin-Yang panel-pair checkpoint "

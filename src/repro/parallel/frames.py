@@ -1,0 +1,221 @@
+"""Length-prefixed message frames — the cross-host wire format.
+
+The socket backend (:mod:`repro.parallel.sockmpi`) moves every message
+as one *frame*; the shared-memory backend reuses the same header
+arithmetic for its slot descriptors.  A frame is::
+
+    u32   magic      0x52504D31 ("RPM1")
+    u8    kind       0 = NDARRAY, 1 = PICKLE
+    u32   header_len
+    bytes header     pickled (chan, source, dest, tag, dtype, shape)
+    u64   payload_len
+    bytes payload    raw array bytes (NDARRAY) / pickle (PICKLE)
+
+Everything structural is validated at decode time, *before* any bytes
+are interpreted: magic, header arity and field types, and — for
+NDARRAY frames — that ``payload_len`` equals exactly
+``prod(shape) * dtype.itemsize``.  A truncated stream, a corrupt
+header or a shape/dtype that disagrees with the byte count raises
+:class:`~repro.checkers.sanitize.ProtocolViolation` (the same failure
+mode as the shape-validated receive paths of the halo and overset
+exchangers), never a partial array.
+
+The header is pickled (like every SimMPI payload), so the transport
+trusts its peers the way MPI does — this is a cluster interconnect
+format, not an authentication boundary; bind coordinators to loopback
+or a private network.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.checkers.sanitize import ProtocolViolation
+
+__all__ = [
+    "Frame",
+    "KIND_NDARRAY",
+    "KIND_PICKLE",
+    "encode_frame",
+    "ndarray_nbytes",
+    "read_frame",
+    "validate_payload",
+]
+
+MAGIC = 0x52504D31  # "RPM1"
+KIND_NDARRAY = 0
+KIND_PICKLE = 1
+
+_PREFIX = struct.Struct("<IBI")  # magic, kind, header_len
+_PLEN = struct.Struct("<Q")  # payload_len
+
+#: Structural caps: a hostile or corrupt prefix must not trigger a
+#: giant allocation before validation can reject it.
+MAX_HEADER_BYTES = 1 << 16
+MAX_PAYLOAD_BYTES = 1 << 34
+
+
+def ndarray_nbytes(shape: tuple[int, ...], dtype: str) -> int:
+    """Byte count implied by an ndarray message header.
+
+    Shared by the socket frames and the shared-memory slot descriptors:
+    both transports must agree with the receiver about exactly how many
+    bytes a ``(shape, dtype)`` announcement is allowed to carry.
+    """
+    try:
+        dt = np.dtype(dtype)
+    except TypeError as exc:
+        raise ProtocolViolation(f"message header has invalid dtype {dtype!r}") from exc
+    n = 1
+    for d in shape:
+        if not isinstance(d, int) or d < 0:
+            raise ProtocolViolation(
+                f"message header has invalid shape {tuple(shape)!r}"
+            )
+        n *= d
+    return n * dt.itemsize
+
+
+@dataclass
+class Frame:
+    """One decoded (but not yet materialised) wire frame."""
+
+    kind: int
+    chan: str
+    source: int
+    dest: int
+    tag: int
+    dtype: str | None
+    shape: tuple[int, ...] | None
+    payload: bytes
+    #: the exact encoded bytes (prefix + header + payload length) up to
+    #: but excluding the payload — a router forwards ``head + payload``
+    #: verbatim instead of re-encoding
+    head: bytes = b""
+
+    def materialise(self) -> Any:
+        """Decode the payload (array copy / unpickle)."""
+        if self.kind == KIND_NDARRAY:
+            arr = np.frombuffer(bytearray(self.payload), dtype=np.dtype(self.dtype))
+            return arr.reshape(self.shape)
+        return pickle.loads(self.payload)
+
+
+def encode_frame(chan: str, source: int, dest: int, tag: int,
+                 payload: Any) -> tuple[bytes, bytes | memoryview]:
+    """Encode one message as ``(head, payload_bytes)``.
+
+    The two buffers are returned separately so a large array travels as
+    a zero-copy memoryview of its own data; callers write ``head`` then
+    ``payload_bytes``.
+    """
+    if isinstance(payload, np.ndarray) and payload.dtype != object:
+        arr = payload if payload.flags.c_contiguous else np.ascontiguousarray(payload)
+        header = pickle.dumps(
+            (chan, source, dest, tag, arr.dtype.str, arr.shape),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        body: bytes | memoryview = memoryview(arr).cast("B")
+        kind = KIND_NDARRAY
+    else:
+        header = pickle.dumps(
+            (chan, source, dest, tag, None, None),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        kind = KIND_PICKLE
+    head = _PREFIX.pack(MAGIC, kind, len(header)) + header + _PLEN.pack(len(body))
+    return head, body
+
+
+def _header_fields(header: bytes) -> tuple[str, int, int, int, Any, Any]:
+    try:
+        fields = pickle.loads(header)
+    except Exception as exc:
+        raise ProtocolViolation(f"undecodable frame header: {exc}") from exc
+    if not (isinstance(fields, tuple) and len(fields) == 6):
+        raise ProtocolViolation(
+            f"frame header is not a 6-tuple: {type(fields).__name__}"
+        )
+    chan, source, dest, tag, dtype, shape = fields
+    if not isinstance(chan, str) or not all(
+        isinstance(v, int) for v in (source, dest, tag)
+    ):
+        raise ProtocolViolation(
+            f"frame header field types invalid: {fields!r}"
+        )
+    return chan, source, dest, tag, dtype, shape
+
+
+def read_frame(recv_exactly) -> Frame:
+    """Read and structurally validate one frame.
+
+    ``recv_exactly(n)`` must return exactly ``n`` bytes or raise
+    :class:`ProtocolViolation` (truncation).  Returns a :class:`Frame`
+    whose payload bytes are read but not yet interpreted.
+    """
+    prefix = recv_exactly(_PREFIX.size)
+    magic, kind, header_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolViolation(
+            f"bad frame magic 0x{magic:08X} (expected 0x{MAGIC:08X}) — "
+            "peer is not speaking the sockmpi frame protocol"
+        )
+    if kind not in (KIND_NDARRAY, KIND_PICKLE):
+        raise ProtocolViolation(f"unknown frame kind {kind}")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolViolation(
+            f"frame header of {header_len} B exceeds the {MAX_HEADER_BYTES} B cap"
+        )
+    header = recv_exactly(header_len)
+    chan, source, dest, tag, dtype, shape = _header_fields(header)
+    (payload_len,) = _PLEN.unpack(recv_exactly(_PLEN.size))
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolViolation(
+            f"frame payload of {payload_len} B exceeds the "
+            f"{MAX_PAYLOAD_BYTES} B cap"
+        )
+    if kind == KIND_NDARRAY:
+        if not (isinstance(shape, tuple) and isinstance(dtype, str)):
+            raise ProtocolViolation(
+                f"ndarray frame header lacks shape/dtype: {dtype!r} {shape!r}"
+            )
+        expected = ndarray_nbytes(shape, dtype)
+        if expected != payload_len:
+            raise ProtocolViolation(
+                f"ndarray frame header claims shape {shape} dtype {dtype} "
+                f"({expected} B) but carries {payload_len} B"
+            )
+    payload = recv_exactly(payload_len)
+    head = prefix + header + _PLEN.pack(payload_len)
+    return Frame(kind=kind, chan=chan, source=source, dest=dest, tag=tag,
+                 dtype=dtype if kind == KIND_NDARRAY else None,
+                 shape=tuple(shape) if kind == KIND_NDARRAY else None,
+                 payload=payload, head=head)
+
+
+def validate_payload(payload: Any, expected_shape: tuple[int, ...],
+                     expected_dtype, *, what: str, plan: str) -> np.ndarray:
+    """Shape-validated receive: check an incoming message against the
+    receiver's communication plan.
+
+    This is the single check behind the halo, overset and socket
+    receive paths — a message whose shape or dtype disagrees with what
+    the (deterministically built) plan expects raises
+    :class:`ProtocolViolation` naming both sides, instead of silently
+    scattering wrong bytes into the field arrays.
+    """
+    if (not isinstance(payload, np.ndarray)
+            or payload.shape != tuple(expected_shape)
+            or payload.dtype != expected_dtype):
+        raise ProtocolViolation(
+            f"{what} has shape {getattr(payload, 'shape', None)} dtype "
+            f"{getattr(payload, 'dtype', None)}; {plan} expects "
+            f"{tuple(expected_shape)} {np.dtype(expected_dtype)}"
+        )
+    return payload

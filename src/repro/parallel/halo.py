@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
-from repro.checkers.sanitize import ProtocolViolation
 from repro.checkers.shapes import Float64
+from repro.parallel.frames import validate_payload
 from repro.parallel.cart import PROC_NULL, CartComm
 from repro.parallel.decomposition import HALO, Subdomain
 
@@ -123,17 +123,11 @@ class HaloExchanger:
                 # an ascontiguousarray here would be a second full copy
                 self.cart.comm.Send(f[self._send_slice(direction)], dest=nbr, tag=tag)
         for req, f, sl in recvs:
-            payload = req.wait()
-            expected = f[sl].shape
-            if (not isinstance(payload, np.ndarray)
-                    or payload.shape != expected or payload.dtype != f.dtype):
-                raise ProtocolViolation(
-                    f"halo message has shape "
-                    f"{getattr(payload, 'shape', None)} dtype "
-                    f"{getattr(payload, 'dtype', None)}; this rank's "
-                    f"decomposition plan expects {expected} {f.dtype}"
-                )
-            f[sl] = payload
+            f[sl] = validate_payload(
+                req.wait(), f[sl].shape, f.dtype,
+                what="halo message",
+                plan="this rank's decomposition plan",
+            )
 
     @hot_path
     def _phase_packed(self, fields: Sequence[Float64["nr", "lth", "lph"]],
@@ -160,19 +154,13 @@ class HaloExchanger:
             # freshly allocated, never touched again on this side: move it
             self.cart.comm.Send(buf, dest=nbr, tag=tag, move=True)
         for req, direction in recvs:
-            payload = req.wait()
             sl = self._recv_slice(direction)
-            expected = (len(fields),) + fields[0][sl].shape
-            if (not isinstance(payload, np.ndarray)
-                    or payload.shape != expected
-                    or payload.dtype != fields[0].dtype):
-                raise ProtocolViolation(
-                    f"packed halo message from the {direction} neighbour "
-                    f"has shape {getattr(payload, 'shape', None)} dtype "
-                    f"{getattr(payload, 'dtype', None)}; this rank's "
-                    f"decomposition plan expects {expected} "
-                    f"{fields[0].dtype}"
-                )
+            payload = validate_payload(
+                req.wait(), (len(fields),) + fields[0][sl].shape,
+                fields[0].dtype,
+                what=f"packed halo message from the {direction} neighbour",
+                plan="this rank's decomposition plan",
+            )
             for k, f in enumerate(fields):
                 f[sl] = payload[k]
 

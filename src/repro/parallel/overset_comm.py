@@ -29,8 +29,8 @@ import numpy as np
 
 from repro.checkers.contracts import contract
 from repro.checkers.hotpath import hot_path
-from repro.checkers.sanitize import ProtocolViolation
 from repro.checkers.shapes import Float64
+from repro.parallel.frames import validate_payload
 from repro.grids.interpolation import OversetInterpolator
 from repro.grids.yinyang import YinYangGrid
 from repro.parallel.decomposition import PanelDecomposition, Subdomain
@@ -301,18 +301,11 @@ class OversetExchanger:
         # scatter target for the received columns (sized per exchange)
         corner_vals = np.zeros((nf, 4, nr, receptor.n_loc))  # repro: noqa-REP001
         for req, slot_c, slot_j in recvs:
-            payload = req.wait()
-            expected = (nf, nr, slot_c.size)
-            if (not isinstance(payload, np.ndarray)
-                    or payload.shape != expected
-                    or payload.dtype != fields[0].dtype):
-                raise ProtocolViolation(
-                    f"packed overset message has shape "
-                    f"{getattr(payload, 'shape', None)} dtype "
-                    f"{getattr(payload, 'dtype', None)}; this rank's "
-                    f"interpolation plan expects {expected} "
-                    f"{fields[0].dtype}"
-                )
+            payload = validate_payload(
+                req.wait(), (nf, nr, slot_c.size), fields[0].dtype,
+                what="packed overset message",
+                plan="this rank's interpolation plan",
+            )
             for k in range(nf):
                 corner_vals[k, slot_c, :, slot_j] = payload[k].T
 
@@ -351,18 +344,11 @@ class OversetExchanger:
         # scatter target for the received columns (sized per exchange)
         corner_vals = np.zeros((nf, 4, nr, receptor.n_loc))  # repro: noqa-REP001
         for req, d, k, slot_c, slot_j in recvs:
-            payload = req.wait()
-            expected = (nr, slot_c.size)
-            if (not isinstance(payload, np.ndarray)
-                    or payload.shape != expected
-                    or payload.dtype != fields[0].dtype):
-                raise ProtocolViolation(
-                    f"overset message for field {k} from panel rank {d} "
-                    f"has shape {getattr(payload, 'shape', None)} dtype "
-                    f"{getattr(payload, 'dtype', None)}; this rank's "
-                    f"interpolation plan expects {expected} "
-                    f"{fields[0].dtype}"
-                )
+            payload = validate_payload(
+                req.wait(), (nr, slot_c.size), fields[0].dtype,
+                what=f"overset message for field {k} from panel rank {d}",
+                plan="this rank's interpolation plan",
+            )
             corner_vals[k, slot_c, :, slot_j] = payload.T
 
         self._combine(receptor, corner_vals, ((0, 1, 2),) if vector else (),

@@ -41,7 +41,7 @@ from repro.mhd.rk4 import rk4_step
 from repro.mhd.state import FIELD_NAMES, MHDState
 from repro.parallel.cart import create_cart
 from repro.parallel.decomposition import PanelDecomposition
-from repro.parallel.backends import get_backend
+from repro.parallel.backends import get_backend, select
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.overset_comm import OversetExchanger
 from repro.parallel.simmpi import CommunicatorBase
@@ -69,6 +69,7 @@ class ParallelYinYangDynamo:
         self.world = world
         self.config = config
         self.packed = packed
+        self.pth, self.pph = pth, pph
         nper = pth * pph
         if world.size != 2 * nper:
             raise ValueError(
@@ -295,27 +296,77 @@ class ParallelYinYangDynamo:
         suffix = path.suffix or ".npz"
         return path.with_name(f"{path.stem}_rank{self.world.rank:03d}{suffix}")
 
+    def _placement_meta(self) -> dict[str, str | int]:
+        """Where this rank's tile sits in the global state — enough for
+        :mod:`~repro.parallel.elastic` to re-decompose the archive
+        family onto a different rank count."""
+        return {
+            "panel": self.panel.value,
+            "panel_rank": self.panel_comm.rank,
+            "world_rank": self.world.rank,
+            "pth": self.pth,
+            "pph": self.pph,
+            "nth": self.config.nth,
+            "nph": self.config.nph,
+        }
+
     def save_checkpoint(self, path) -> Path:
         """Checkpoint hook: per-rank archive (``..._rankNNN.npz``) of the
         local tile — the flat-MPI analogue of the paper's per-process
-        I/O; a global save goes through ``gather_state`` on rank 0."""
+        I/O; a global save goes through ``gather_state`` on rank 0.
+        The archive records the tile's placement, so the family can be
+        reassembled and restarted at any rank count."""
         from repro.core.checkpoint import save_checkpoint
 
         return save_checkpoint(self._rank_path(path), self.state,
-                               time=self.time, step=self.step_count)
+                               time=self.time, step=self.step_count,
+                               meta=self._placement_meta())
+
+    def restore_global(self, pair: dict[Panel, MHDState], time: float,
+                       step: int) -> None:
+        """Adopt a global post-enforce panel pair as this rank's state.
+
+        The restriction covers owned points *and* halos (a halo is the
+        neighbour's owned data in the global array), so the result is
+        bitwise what this rank would hold had it run to this point."""
+        self.state = self._restrict_state(pair)
+        self.time = time
+        self.step_count = step
 
     def restore_checkpoint(self, path) -> None:
-        """Resume this rank from its per-rank archive."""
-        from repro.core.checkpoint import load_checkpoint
+        """Resume this rank from a checkpoint, elastically if needed.
 
-        states, t, step = load_checkpoint(self._rank_path(path))
-        if not isinstance(states, MHDState):
-            raise ValueError(
-                f"{self._rank_path(path)}: expected a single-tile checkpoint"
-            )
-        self.state = states
-        self.time = t
-        self.step_count = step
+        Fast path: a per-rank archive written by a world of the same
+        geometry is loaded directly.  Otherwise — the family was written
+        at a different rank count, or the archive is a serial/global
+        panel pair — the global state is assembled
+        (:func:`~repro.parallel.elastic.load_any_checkpoint`) and
+        restricted onto this rank's tile.
+        """
+        from repro.core.checkpoint import load_checkpoint, read_meta
+        from repro.parallel.elastic import load_any_checkpoint
+
+        rank_path = self._rank_path(path)
+        probe = rank_path if rank_path.exists() \
+            else rank_path.with_suffix(rank_path.suffix + ".npz")
+        if probe.exists():
+            meta = read_meta(probe)
+            mine = self._placement_meta()
+            # empty meta = pre-elastic archive; honour the old contract
+            # (the per-rank file was written by this same geometry)
+            if not meta or all(meta.get(k) == mine[k]
+                               for k in ("panel", "panel_rank", "pth", "pph")):
+                states, t, step = load_checkpoint(probe)
+                if not isinstance(states, MHDState):
+                    raise ValueError(
+                        f"{probe}: expected a single-tile checkpoint"
+                    )
+                self.state = states
+                self.time = t
+                self.step_count = step
+                return
+        pair, t, step = load_any_checkpoint(path)
+        self.restore_global(pair, t, step)
 
     # ---- gathering -----------------------------------------------------------------
 
@@ -362,18 +413,32 @@ class ParallelRunResult:
     #: resolved kernel backend (``numpy``/``fused``/``c``) the RHS ran on —
     #: after silent fallback, so it reports what actually executed
     kernel_backend: str = "fused"
+    #: resolved launcher backend (registry name) the world ran on —
+    #: after any warn-and-fallback, so it reports what actually launched
+    launcher_backend: str = "thread"
 
 
 def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
-                      pph: int, n_steps: int, packed: bool = True):
-    """One rank's whole program: build, run, gather.
+                      pph: int, n_steps: int, packed: bool = True,
+                      restart=None, checkpoint_dir=None,
+                      checkpoint_every: int | None = None):
+    """One rank's whole program: build, (restore,) run, gather.
 
     Module-level (not a closure) so the process backend can pickle it
-    for ``spawn``; both backends call it with identical arguments.
+    for ``spawn``; all backends call it with identical arguments.
     """
+    from repro.engine import CheckpointObserver
+
     solver = ParallelYinYangDynamo(world, config, pth, pph, packed=packed)
     timer = TimerObserver()
-    result = solver.run(n_steps, observers=(timer,))
+    observers: list = [timer]
+    if checkpoint_every:
+        observers.append(CheckpointObserver(
+            checkpoint_dir or ".", checkpoint_every, restart=restart,
+        ))
+    elif restart is not None:
+        solver.restore_checkpoint(restart)
+    result = solver.run(n_steps, observers=tuple(observers))
     rank_seconds = world.allgather(float(timer.total_seconds))
     gathered = solver.gather_state()
     if world.rank == 0:
@@ -393,17 +458,32 @@ def run_parallel_dynamo(
     n_steps: int,
     *,
     timeout: float = 300.0,
-    backend: str = "thread",
+    backend: str | None = "thread",
     packed: bool = True,
+    restart=None,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> ParallelRunResult:
-    """Launch a world of ``2 * pth * pph`` ranks on the chosen backend
-    (``"thread"`` or ``"process"``), run ``n_steps`` and return the
-    gathered result."""
-    launcher = get_backend(backend)
+    """Launch a world of ``2 * pth * pph`` ranks on the chosen launcher
+    backend, run ``n_steps`` and return the gathered result.
+
+    ``backend=None`` resolves via the registry (``REPRO_LAUNCHER`` env
+    var, falling back down the priority order); a named-but-unavailable
+    backend warns and falls back likewise.  The backend that actually
+    ran is recorded in ``ParallelRunResult.launcher_backend``.  With
+    ``restart`` set, every rank restores from the checkpoint before the
+    first step — elastically re-decomposed when the archive was written
+    at a different rank count; ``checkpoint_every``/``checkpoint_dir``
+    save per-rank archives during the run.
+    """
+    resolved = select(backend)
+    launcher = get_backend(resolved)
     results = launcher.run(
         2 * pth * pph, _parallel_program, config, pth, pph, n_steps, packed,
+        restart, checkpoint_dir, checkpoint_every,
         timeout=timeout,
     )
     out = results[0]
     assert out is not None
+    out.launcher_backend = resolved
     return out

@@ -53,8 +53,8 @@ from repro.checkers.sanitize import (
     ProtocolViolation,
     freeze_payload,
     sanitize_enabled,
-    set_last_protocol_report,
 )
+from repro.parallel.frames import ndarray_nbytes
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -63,6 +63,11 @@ from repro.parallel.simmpi import (
     DeadlockTimeout,
     SimMPIError,
 )
+from repro.parallel.transport import (
+    COLL_CHANNEL,
+    RootedRendezvous,
+    verify_protocol,
+)
 
 __all__ = ["ProcMPI", "ProcCommunicator", "ProcWorkerError"]
 
@@ -70,10 +75,35 @@ __all__ = ["ProcMPI", "ProcCommunicator", "ProcWorkerError"]
 _KIND_SLOTS = 0  # ndarray in arena slots: meta = (slots, shape, dtype, nbytes)
 _KIND_PICKLE = 1  # anything else: meta = the object itself (queue pickles it)
 
-#: Collective traffic shares the rank inboxes with point-to-point
-#: messages; its channel key is the comm id plus this suffix, so
-#: collective tags (sequence numbers) can never collide with user tags.
-_COLL = "\x00coll"
+#: Collective control channel, shared with the socket backend.
+_COLL = COLL_CHANNEL
+
+# ---- launcher registration (repro.parallel.backends) ------------------------------
+
+LAUNCHER_NAME = "process"
+
+#: Registry capabilities record (see ``backends.LauncherCapabilities``).
+LAUNCHER_CAPABILITIES = dict(
+    picklable_fn=True, cross_host=False, self_launch=True, max_ranks=None,
+)
+
+
+def launcher_detect() -> tuple[bool, str]:
+    """Availability probe: needs POSIX shared memory + spawnable processes."""
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=4096)
+    except (OSError, PermissionError) as exc:
+        return False, f"shared memory unavailable: {exc}"
+    seg.close()
+    seg.unlink()
+    return True, "one OS process per rank, shared-memory slot arena"
+
+
+def open_launcher(**opts):
+    """Registry hook: the launcher object (``.run(nprocs, fn, ...)``)."""
+    if opts:
+        raise TypeError(f"process launcher takes no options, got {sorted(opts)}")
+    return ProcMPI
 
 
 def _arena_geometry() -> tuple[int, int]:
@@ -145,7 +175,9 @@ class _ProcRuntime:
     def _read_slots(self, meta) -> np.ndarray:
         slots, shape, dtype_str, nbytes = meta
         dtype = np.dtype(dtype_str)
-        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        # same header arithmetic as the socket frames: the announced
+        # (shape, dtype) must account for every byte the message claims
+        expected = ndarray_nbytes(tuple(shape), dtype_str)
         if expected != nbytes or len(slots) != -(-nbytes // self.slot_bytes):
             # return the slots before raising or the arena leaks them
             for s in slots:
@@ -246,31 +278,18 @@ def _process_recorder() -> ProtocolRecorder | None:
     return _RECORDER
 
 
-def _verify_protocol(world: ProcCommunicator, rec: ProtocolRecorder) -> None:
-    """Allgather per-rank recorder snapshots and check the merged protocol.
-
-    Runs on every rank after the rank function returns; each rank
-    computes the identical merged report, so a violation raises the same
-    :class:`ProtocolViolation` everywhere.  Ordering across processes is
-    unknown, so only the order-free checks (send/recv matching and
-    collective lockstep) apply — in-flight tag collisions are a
-    thread-backend check.
-    """
-    snapshots = world._exchange(world._next_seq(), rec.snapshot())
-    merged = ProtocolRecorder.merged([snapshots[r] for r in range(world.size)])
-    report = merged.report()
-    set_last_protocol_report(report)
-    if not report.ok:
-        raise ProtocolViolation(report.summary())
+#: Finalize-time sanitizer merge, shared with the socket backend.
+_verify_protocol = verify_protocol
 
 
-class ProcCommunicator(CommunicatorBase):
+class ProcCommunicator(RootedRendezvous, CommunicatorBase):
     """MPI-style communicator where every rank is an OS process.
 
     Point-to-point payloads travel through the shared-memory arena;
-    collectives come from :class:`CommunicatorBase`, running over a
-    gather-to-root rendezvous (``gather``/``bcast`` are specialised to
-    avoid shipping the full payload dict to every member)."""
+    collectives come from :class:`CommunicatorBase` over the shared
+    :class:`~repro.parallel.transport.RootedRendezvous` (gather-to-root
+    + rebroadcast; ``gather``/``bcast`` specialised to avoid shipping
+    the full payload dict to every member)."""
 
     def __init__(self, runtime: _ProcRuntime, comm_id: str,
                  members: Sequence[int], world_rank: int):
@@ -311,53 +330,7 @@ class ProcCommunicator(CommunicatorBase):
             buf[...] = arr
         return payload
 
-    # ---- collective rendezvous ------------------------------------------------
-
-    def _isolate(self, data: Any) -> Any:
-        return data  # the transport serialises/copies; no eager copy needed
-
-    def _exchange(self, seq: int, payload: Any) -> dict[int, Any]:
-        chan = self.id + _COLL
-        rt = self._rt
-        if self.rank == 0:
-            slot: dict[int, Any] = {0: payload}
-            for _ in range(self.size - 1):
-                src, _, p = rt.recv(chan, ANY_SOURCE, seq)
-                slot[src] = p
-            for r in range(1, self.size):
-                rt.send(self.members[r], chan, 0, seq, slot)
-            return slot
-        rt.send(self.members[0], chan, self.rank, seq, payload)
-        _, _, result = rt.recv(chan, 0, seq)
-        return result
-
-    def gather(self, data: Any, root: int = 0) -> list[Any] | None:
-        """Root-only collection — the payloads are shipped to ``root``
-        once instead of rebroadcast to every member (this is the path
-        the end-of-run state gather takes, with multi-MB blocks)."""
-        self._note_collective("gather")
-        seq = self._next_seq()
-        chan = self.id + _COLL
-        if self.rank == root:
-            slot: dict[int, Any] = {root: data}
-            for _ in range(self.size - 1):
-                src, _, p = self._rt.recv(chan, ANY_SOURCE, seq)
-                slot[src] = p
-            return [slot[r] for r in range(self.size)]
-        self._rt.send(self.members[root], chan, self.rank, seq, data)
-        return None
-
-    def bcast(self, data: Any, root: int = 0) -> Any:
-        self._note_collective("bcast")
-        seq = self._next_seq()
-        chan = self.id + _COLL
-        if self.rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self._rt.send(self.members[r], chan, root, seq, data)
-            return data
-        _, _, payload = self._rt.recv(chan, root, seq)
-        return payload
+    # ---- collective rendezvous: RootedRendezvous over self._rt ----------------
 
     def _make_child(self, comm_id: str, members: Sequence[int]) -> ProcCommunicator:
         return ProcCommunicator(self._rt, comm_id, members, self.world_rank)

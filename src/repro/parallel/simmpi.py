@@ -65,6 +65,28 @@ from repro.checkers.sanitize import (
 ANY_SOURCE = -2
 ANY_TAG = -1
 
+# ---- launcher registration (repro.parallel.backends) ------------------------------
+
+LAUNCHER_NAME = "thread"
+
+#: Registry capabilities record (see ``backends.LauncherCapabilities``).
+LAUNCHER_CAPABILITIES = dict(
+    picklable_fn=False, cross_host=False, self_launch=True, max_ranks=None,
+)
+
+
+def launcher_detect() -> tuple[bool, str]:
+    """Availability probe: threads always work — this is the registry's
+    graceful fallback on any machine with an interpreter."""
+    return True, "one thread per rank, in-process mailboxes (always available)"
+
+
+def open_launcher(**opts):
+    """Registry hook: the launcher object (``.run(nprocs, fn, ...)``)."""
+    if opts:
+        raise TypeError(f"thread launcher takes no options, got {sorted(opts)}")
+    return SimMPI
+
 
 def _timeout_from_env(default: float = 120.0) -> float:
     """``REPRO_SIMMPI_TIMEOUT`` (seconds), or ``default`` when unset/bad."""

@@ -1,0 +1,122 @@
+"""Backend-shared transport plumbing for out-of-process rank runtimes.
+
+The process and socket backends have the same shape: each rank owns a
+*runtime* object with two primitives —
+
+``send(dest_world, chan, src_rank, tag, payload) -> nbytes``
+    post one message to a world rank on a named channel;
+``recv(chan, source, tag) -> (source_rank, matched_tag, payload)``
+    block until a matching message arrives (honouring the
+    ``REPRO_SIMMPI_TIMEOUT`` guard).
+
+Everything a communicator builds on top of those two calls is
+identical across transports and lives here once:
+
+* :class:`RootedRendezvous` — the collective rendezvous
+  (gather-to-root + rebroadcast on a private control channel) plus the
+  root-only ``gather`` / one-to-all ``bcast`` specialisations that
+  avoid shipping the full payload dict to every member.  Reductions
+  still associate in rank order (:class:`CommunicatorBase`), so
+  results are bit-identical across the thread, process and socket
+  backends.
+* :func:`verify_protocol` — the finalize-time sanitizer merge: each
+  rank's :class:`~repro.checkers.sanitize.ProtocolRecorder` snapshot is
+  allgathered *over the transport itself* and every rank checks the
+  identical merged report, raising the same
+  :class:`~repro.checkers.sanitize.ProtocolViolation` everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.checkers.sanitize import (
+    ProtocolRecorder,
+    ProtocolViolation,
+    set_last_protocol_report,
+)
+from repro.parallel.simmpi import ANY_SOURCE
+
+__all__ = ["COLL_CHANNEL", "RootedRendezvous", "verify_protocol"]
+
+#: Collective traffic shares the rank inboxes with point-to-point
+#: messages; its channel key is the comm id plus this suffix, so
+#: collective tags (sequence numbers) can never collide with user tags.
+COLL_CHANNEL = "\x00coll"
+
+
+class RootedRendezvous:
+    """Mixin: collective rendezvous over a ``send``/``recv`` runtime.
+
+    Mix into a :class:`~repro.parallel.simmpi.CommunicatorBase` subclass
+    that sets ``self._rt`` to a runtime exposing the two primitives
+    above.  The transport serialises or copies payloads on its own, so
+    ``_isolate`` is the identity (no eager copy, unlike the
+    shared-address-space thread backend).
+    """
+
+    _rt: Any
+
+    def _isolate(self, data: Any) -> Any:
+        return data
+
+    def _exchange(self, seq: int, payload: Any) -> dict[int, Any]:
+        chan = self.id + COLL_CHANNEL
+        rt = self._rt
+        if self.rank == 0:
+            slot: dict[int, Any] = {0: payload}
+            for _ in range(self.size - 1):
+                src, _, p = rt.recv(chan, ANY_SOURCE, seq)
+                slot[src] = p
+            for r in range(1, self.size):
+                rt.send(self.members[r], chan, 0, seq, slot)
+            return slot
+        rt.send(self.members[0], chan, self.rank, seq, payload)
+        _, _, result = rt.recv(chan, 0, seq)
+        return result
+
+    def gather(self, data: Any, root: int = 0) -> list[Any] | None:
+        """Root-only collection — the payloads are shipped to ``root``
+        once instead of rebroadcast to every member (this is the path
+        the end-of-run state gather takes, with multi-MB blocks)."""
+        self._note_collective("gather")
+        seq = self._next_seq()
+        chan = self.id + COLL_CHANNEL
+        if self.rank == root:
+            slot: dict[int, Any] = {root: data}
+            for _ in range(self.size - 1):
+                src, _, p = self._rt.recv(chan, ANY_SOURCE, seq)
+                slot[src] = p
+            return [slot[r] for r in range(self.size)]
+        self._rt.send(self.members[root], chan, self.rank, seq, data)
+        return None
+
+    def bcast(self, data: Any, root: int = 0) -> Any:
+        self._note_collective("bcast")
+        seq = self._next_seq()
+        chan = self.id + COLL_CHANNEL
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._rt.send(self.members[r], chan, root, seq, data)
+            return data
+        _, _, payload = self._rt.recv(chan, root, seq)
+        return payload
+
+
+def verify_protocol(world, rec: ProtocolRecorder) -> None:
+    """Allgather per-rank recorder snapshots and check the merged protocol.
+
+    Runs on every rank after the rank function returns; each rank
+    computes the identical merged report, so a violation raises the same
+    :class:`ProtocolViolation` everywhere.  Ordering across rank
+    processes is unknown, so only the order-free checks (send/recv
+    matching and collective lockstep) apply — in-flight tag collisions
+    are a thread-backend check.
+    """
+    snapshots = world._exchange(world._next_seq(), rec.snapshot())
+    merged = ProtocolRecorder.merged([snapshots[r] for r in range(world.size)])
+    report = merged.report()
+    set_last_protocol_report(report)
+    if not report.ok:
+        raise ProtocolViolation(report.summary())

@@ -64,6 +64,38 @@ class TestCommands:
         assert "restarting from" in out
         assert "step    10" in out  # 4 checkpointed + 6 more
 
+    def test_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("thread", "process", "socket", "mpi4py"):
+            assert name in out
+        assert "active: thread (default)" in out
+        assert "cross-host" in out  # the capabilities column
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_run_parallel_restart_roundtrip(self, capsys, tmp_path):
+        """Checkpoint on 4 thread ranks, restart on 2 socket ranks —
+        the elastic path end to end through the CLI."""
+        base = ["run", "--nr", "7", "--nth", "12", "--nph", "36"]
+        assert main(base + ["--backend", "thread", "--ranks", "4",
+                            "--steps", "2", "--checkpoint-every", "2",
+                            "--checkpoint-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        ckpt = tmp_path / "checkpoint_000002.npz"
+        assert len(list(tmp_path.glob("checkpoint_000002_rank*.npz"))) == 4
+        assert main(base + ["--backend", "socket", "--ranks", "2",
+                            "--steps", "2", "--restart", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "launcher backend: socket" in out
+        assert "after 4 steps" in out  # 2 checkpointed + 2 more
+
+    def test_run_guard_is_serial_only(self):
+        with pytest.raises(SystemExit, match="serial-only"):
+            main(["run", "--backend", "thread", "--guard"])
+
     @pytest.mark.slow
     def test_table2(self, capsys):
         assert main(["table2"]) == 0

@@ -1,0 +1,144 @@
+"""Elastic restart: re-decomposing checkpoints across rank counts.
+
+The claim under test (see :mod:`repro.parallel.elastic`): a per-rank
+checkpoint family assembles into the exact global post-enforce state,
+so a restart on a *different* rank count — or the serial driver — is
+bitwise identical to never having stopped.  Bitwise *evolution*
+comparisons stick to the 1x1 / 1x2 layouts the rest of the suite
+asserts bitwise; cross-layout *reconstruction* (zero further steps) is
+exact for any layout pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.core.checkpoint import read_meta, save_checkpoint
+from repro.grids.component import Panel
+from repro.mhd.parameters import MHDParameters
+from repro.mhd.state import MHDState
+from repro.parallel.elastic import (
+    assemble_rank_files,
+    find_rank_files,
+    load_any_checkpoint,
+)
+from repro.parallel.parallel_solver import run_parallel_dynamo
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RunConfig(nr=7, nth=12, nph=36, params=MHDParameters.laptop_demo(),
+                     dt=1e-3, amp_temperature=1e-2)
+
+
+def _assert_pair_equal(got, want, context=""):
+    for panel in (Panel.YIN, Panel.YANG):
+        for (name, a), b in zip(got[panel].named_arrays(),
+                                want[panel].arrays()):
+            np.testing.assert_array_equal(a, b, err_msg=f"{context} {panel} {name}")
+
+
+class TestCheckpointMeta:
+    def test_meta_roundtrip(self, tmp_path):
+        state = MHDState.zeros((3, 4, 5))
+        path = save_checkpoint(tmp_path / "tile.npz", state,
+                               meta=dict(panel="yin", panel_rank=2, pth=1.5))
+        meta = read_meta(path)
+        assert meta == {"panel": "yin", "panel_rank": 2, "pth": 1.5}
+        assert isinstance(meta["panel_rank"], int)
+
+    def test_archive_without_meta_reads_empty(self, tmp_path):
+        path = save_checkpoint(tmp_path / "bare.npz", MHDState.zeros((3, 4, 5)))
+        assert read_meta(path) == {}
+
+
+class TestElasticRestart:
+    def test_restart_on_fewer_ranks_is_bitwise(self, config, tmp_path):
+        """1x2 world (4 ranks) checkpoints at step 3; a 1x1 world
+        (2 ranks) finishes the run — on the thread, process and socket
+        launchers — bitwise equal to the uninterrupted 1x2 run."""
+        baseline = run_parallel_dynamo(config, 1, 2, 6)
+        first = run_parallel_dynamo(config, 1, 2, 3,
+                                    checkpoint_dir=str(tmp_path),
+                                    checkpoint_every=3)
+        assert first.steps == 3
+        base = tmp_path / "checkpoint_000003.npz"
+        assert len(find_rank_files(base)) == 4
+        for backend in ("thread", "process", "socket"):
+            resumed = run_parallel_dynamo(config, 1, 1, 3, backend=backend,
+                                          timeout=240.0, restart=str(base))
+            assert resumed.steps == 6, backend
+            assert resumed.time == baseline.time, backend
+            _assert_pair_equal(resumed.states, baseline.states, backend)
+
+    def test_restart_on_more_ranks_is_bitwise(self, config, tmp_path):
+        """The other direction: 1x1 checkpoints, 1x2 finishes."""
+        baseline = run_parallel_dynamo(config, 1, 1, 4)
+        run_parallel_dynamo(config, 1, 1, 2, checkpoint_dir=str(tmp_path),
+                            checkpoint_every=2)
+        resumed = run_parallel_dynamo(
+            config, 1, 2, 2, restart=str(tmp_path / "checkpoint_000002.npz"))
+        assert resumed.steps == 4
+        _assert_pair_equal(resumed.states, baseline.states, "1x1->1x2")
+
+    def test_same_layout_restart_uses_direct_tiles(self, config, tmp_path):
+        """Matching layout keeps the per-rank fast path and is bitwise."""
+        baseline = run_parallel_dynamo(config, 1, 2, 4)
+        run_parallel_dynamo(config, 1, 2, 2, checkpoint_dir=str(tmp_path),
+                            checkpoint_every=2)
+        resumed = run_parallel_dynamo(
+            config, 1, 2, 2, restart=str(tmp_path / "checkpoint_000002.npz"))
+        _assert_pair_equal(resumed.states, baseline.states, "1x2->1x2")
+
+    def test_cross_layout_reconstruction_is_exact(self, config, tmp_path):
+        """Assembling a 2x2 family reproduces the gathered global state
+        bit for bit — the stitch-only-owned-blocks argument, checked on
+        a layout the evolution comparisons cannot cover."""
+        res = run_parallel_dynamo(config, 2, 2, 2,
+                                  checkpoint_dir=str(tmp_path),
+                                  checkpoint_every=2)
+        pair, t, step = load_any_checkpoint(tmp_path / "checkpoint_000002.npz")
+        assert (t, step) == (res.time, 2)
+        _assert_pair_equal(pair, res.states, "2x2 assembly")
+
+    def test_serial_restart_from_rank_family(self, config, tmp_path):
+        """The serial driver restarts from a parallel tile family."""
+        res = run_parallel_dynamo(config, 1, 2, 2,
+                                  checkpoint_dir=str(tmp_path),
+                                  checkpoint_every=2)
+        dyn = YinYangDynamo(config)
+        dyn.restore_checkpoint(tmp_path / "checkpoint_000002.npz")
+        assert (dyn.time, dyn.step_count) == (res.time, 2)
+        _assert_pair_equal(dyn.state, res.states, "serial restore")
+
+
+class TestAssemblyErrors:
+    @pytest.fixture()
+    def family(self, config, tmp_path):
+        run_parallel_dynamo(config, 1, 2, 2, checkpoint_dir=str(tmp_path),
+                            checkpoint_every=2)
+        return tmp_path / "checkpoint_000002.npz"
+
+    def test_incomplete_family(self, family):
+        files = find_rank_files(family)
+        files[-1].unlink()
+        with pytest.raises(ValueError, match="incomplete checkpoint family"):
+            load_any_checkpoint(family)
+
+    def test_missing_placement_metadata(self, tmp_path):
+        save_checkpoint(tmp_path / "old_rank000.npz", MHDState.zeros((3, 4, 5)))
+        with pytest.raises(ValueError, match="missing placement metadata"):
+            assemble_rank_files(find_rank_files(tmp_path / "old.npz"))
+
+    def test_single_state_archive_rejected(self, tmp_path):
+        path = save_checkpoint(tmp_path / "latlon.npz", MHDState.zeros((3, 4, 5)))
+        with pytest.raises(ValueError, match="single .lat-lon. state"):
+            load_any_checkpoint(path)
+
+    def test_missing_checkpoint_names_both_attempts(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="_rank"):
+            load_any_checkpoint(tmp_path / "nothing.npz")
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError, match="no per-rank checkpoint files"):
+            assemble_rank_files([])

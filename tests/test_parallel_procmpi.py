@@ -64,12 +64,12 @@ def _pair_prog(comm):
 
 class TestBackendRegistry:
     def test_names(self):
-        assert available_backends() == ["thread", "process"]
+        assert available_backends() == ["thread", "process", "socket"]
         assert get_backend("thread") is SimMPI
         assert get_backend("process") is ProcMPI
 
     def test_unknown_backend(self):
-        with pytest.raises(ValueError, match="unknown SimMPI backend"):
+        with pytest.raises(ValueError, match="unknown launcher backend"):
             get_backend("rdma")
 
 
