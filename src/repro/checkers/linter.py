@@ -41,6 +41,19 @@ REP004 — *no collectives under rank-dependent conditionals.*
     assigned from one) diverges the SPMD collective sequence and
     deadlocks real MPI.
 
+REP009 — *every non-blocking request is waited.*
+    In the same module scope as REP003: an ``Isend``/``Irecv`` call
+    whose request is provably dropped — a bare expression statement
+    (the returned request is discarded on the spot), or an assignment
+    to a local name that the function never reads again (no ``wait`` /
+    ``Wait`` / ``test`` call, never passed on, stored, or returned).
+    A dropped Irecv loses its payload and, under ``REPRO_SANITIZE=1``,
+    fails the run's protocol finalize (the recorder tracks request
+    lifetimes); the lexical rule catches the same bug before any run.
+    Requests that flow into containers, other calls, returns, or
+    attributes are assumed waited elsewhere — the runtime check covers
+    those paths.
+
 The rules are deliberately lexical/intra-procedural: predictable,
 fast, and wrong only in ways a ``# repro: noqa-REPxxx`` comment can
 document.  Known approximations — scalar arithmetic in a loop matches
@@ -67,6 +80,7 @@ RULES: dict[str, str] = {
     "REP002": "Send(move=True) payload not a fresh local buffer, or used after the move",
     "REP003": "Send tag expression with no structurally matching Recv tag (or vice versa)",
     "REP004": "collective call under a rank-dependent conditional",
+    "REP009": "Isend/Irecv request dropped without a Wait/Waitall",
 }
 
 
@@ -446,6 +460,74 @@ def _check_rep004(tree: ast.AST, path: str) -> list[Violation]:
     return out
 
 
+# ---- REP009: dropped non-blocking requests ----------------------------------------
+
+_REQUEST_CALLS = {"Isend", "Irecv"}
+
+
+def _request_call(node: ast.AST) -> ast.Call | None:
+    """The node itself as an Isend/Irecv call, or None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _REQUEST_CALLS
+    ):
+        return node
+    return None
+
+
+def _contains_request_call(node: ast.AST) -> ast.Call | None:
+    for sub in ast.walk(node):
+        call = _request_call(sub)
+        if call is not None:
+            return call
+    return None
+
+
+def _check_rep009(tree: ast.AST, path: str) -> list[Violation]:
+    out: list[Violation] = []
+    # a bare-expression Isend/Irecv discards its request on the spot,
+    # wherever it appears (module level included)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Expr):
+            call = _request_call(node.value)
+            if call is not None:
+                out.append(Violation(
+                    "REP009", path, call.lineno, call.col_offset,
+                    f"{call.func.attr} request discarded — the request "
+                    f"must be kept and Wait/Waitall-ed on every path",
+                ))
+    # an assignment whose value posts a request, to a name the function
+    # never reads, drops the request just as surely
+    for fn in _functions(tree):
+        assigns: list[tuple[str, ast.Call, ast.Assign]] = []
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            call = _contains_request_call(stmt.value)
+            if call is None:
+                continue
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    assigns.append((t.id, call, stmt))
+        for name, call, stmt in assigns:
+            in_stmt = {id(sub) for sub in ast.walk(stmt)}
+            used = any(
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in in_stmt
+                for node in ast.walk(fn)
+            )
+            if not used:
+                out.append(Violation(
+                    "REP009", path, call.lineno, call.col_offset,
+                    f"request assigned to {name!r} is never used in "
+                    f"{fn.name!r} — no Wait/Waitall can reach it",
+                ))
+    return out
+
+
 # ---- driver ----------------------------------------------------------------------
 
 
@@ -476,11 +558,13 @@ def lint_source(
         found.extend(_check_rep001(tree, path))
     if "REP002" in selected:
         found.extend(_check_rep002(tree, path))
-    if selected & {"REP003", "REP004"} and _parallel_scope(tree, path):
+    if selected & {"REP003", "REP004", "REP009"} and _parallel_scope(tree, path):
         if "REP003" in selected:
             found.extend(_check_rep003(tree, path))
         if "REP004" in selected:
             found.extend(_check_rep004(tree, path))
+        if "REP009" in selected:
+            found.extend(_check_rep009(tree, path))
     noqa = _noqa_lines(source)
     # a send inside a nested function is walked once from each enclosing
     # FunctionDef — identical findings collapse to one

@@ -15,8 +15,11 @@ check.  Three behaviours turn on:
   payloads the dataflow analysis cannot see).
 * Communicators record the message protocol; at world finalize the
   recorder checks for unmatched sends (a message no receive drained),
-  tag collisions, and per-rank collective-sequence divergence (the
-  deadlock REP004 lints against).  Any finding raises
+  tag collisions, per-rank collective-sequence divergence (the
+  deadlock REP004 lints against), and unwaited non-blocking requests
+  (an ``Isend``/``Irecv`` handle that was never ``Wait``-ed — the
+  runtime counterpart of the REP009 lint rule, catching the dynamic
+  paths the lexical check cannot see).  Any finding raises
   :class:`ProtocolViolation` from ``SimMPI.run``; the full report stays
   inspectable through :func:`last_protocol_report`.
 
@@ -126,21 +129,27 @@ class ProtocolReport:
     unmatched_sends: list[dict[str, Any]] = field(default_factory=list)
     tag_collisions: list[dict[str, Any]] = field(default_factory=list)
     collective_mismatches: list[dict[str, Any]] = field(default_factory=list)
+    unwaited_requests: list[dict[str, Any]] = field(default_factory=list)
     n_sends: int = 0
     n_recvs: int = 0
     n_collectives: int = 0
+    n_requests: int = 0
 
     @property
     def ok(self) -> bool:
         return not (
-            self.unmatched_sends or self.tag_collisions or self.collective_mismatches
+            self.unmatched_sends
+            or self.tag_collisions
+            or self.collective_mismatches
+            or self.unwaited_requests
         )
 
     def summary(self) -> str:
         if self.ok:
             return (
                 f"protocol clean: {self.n_sends} sends matched, "
-                f"{self.n_collectives} collective calls in lockstep"
+                f"{self.n_collectives} collective calls in lockstep, "
+                f"{self.n_requests} requests waited"
             )
         lines = ["message-protocol violations:"]
         for u in self.unmatched_sends:
@@ -159,6 +168,11 @@ class ProtocolReport:
                 f"  collective divergence comm={m['comm']}: rank {m['rank']} ran "
                 f"{m['sequence']} but rank {m['reference_rank']} ran "
                 f"{m['reference_sequence']}"
+            )
+        for r in self.unwaited_requests:
+            lines.append(
+                f"  unwaited request {r['kind']} opened at {r['site']} "
+                f"(never Wait-ed; see REP009)"
             )
         return "\n".join(lines)
 
@@ -180,6 +194,12 @@ class ProtocolRecorder:
         self._in_flight: dict[_MsgKey, list[str]] = {}
         self._collisions: list[dict[str, Any]] = []
         self._collectives: dict[tuple[str, int], list[str]] = {}
+        #: request-lifetime tracking: token -> (kind, opening site); a
+        #: token is removed when its request is waited, so whatever is
+        #: left at finalize is an abandoned Isend/Irecv handle
+        self._open_requests: dict[int, tuple[str, str]] = {}
+        self._next_request_token = 0
+        self._n_requests = 0
 
     # ---- recording hooks -------------------------------------------------------
 
@@ -212,6 +232,22 @@ class ProtocolRecorder:
         with self._lock:
             self._collectives.setdefault((comm_id, rank), []).append(op)
 
+    def note_request_open(self, kind: str) -> int:
+        """Record a freshly created non-blocking request; returns a token
+        the request hands back through :meth:`note_request_done` when it
+        is waited."""
+        site = _send_site()
+        with self._lock:
+            token = self._next_request_token
+            self._next_request_token += 1
+            self._open_requests[token] = (kind, site)
+            self._n_requests += 1
+            return token
+
+    def note_request_done(self, token: int | None) -> None:
+        with self._lock:
+            self._open_requests.pop(token, None)
+
     # ---- process-backend merging -----------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -224,6 +260,10 @@ class ProtocolRecorder:
                     (comm, rank, list(ops))
                     for (comm, rank), ops in self._collectives.items()
                 ],
+                "open_requests": [
+                    list(entry) for entry in self._open_requests.values()
+                ],
+                "n_requests": self._n_requests,
             }
 
     @classmethod
@@ -236,6 +276,11 @@ class ProtocolRecorder:
                 rec._received[tuple(key)] += n
             for comm, rank, ops in snap["collectives"]:
                 rec._collectives.setdefault((comm, rank), []).extend(ops)
+            for kind, site in snap.get("open_requests", ()):
+                token = rec._next_request_token
+                rec._next_request_token += 1
+                rec._open_requests[token] = (kind, site)
+            rec._n_requests += snap.get("n_requests", 0)
         return rec
 
     # ---- finalize --------------------------------------------------------------
@@ -247,6 +292,11 @@ class ProtocolRecorder:
                 n_sends=sum(self._sent.values()),
                 n_recvs=sum(self._received.values()),
                 n_collectives=sum(len(v) for v in self._collectives.values()),
+                n_requests=self._n_requests,
+                unwaited_requests=[
+                    {"kind": kind, "site": site}
+                    for _token, (kind, site) in sorted(self._open_requests.items())
+                ],
             )
             for key in sorted(self._sent):
                 missing = self._sent[key] - self._received[key]

@@ -123,18 +123,25 @@ def _cmd_run_parallel(args) -> None:
         print(f"restarting from {args.restart} ...")
     res = run_parallel_dynamo(
         config, pth, pph, args.steps, backend=args.backend,
+        overlap=True if args.overlap else None,
         restart=args.restart or None,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every or None,
     )
     print(f"kernel backend: {res.kernel_backend}")
     print(f"launcher backend: {res.launcher_backend}")
+    print(f"exchange schedule: {'overlapped' if res.overlap else 'blocking'}")
     grid = YinYangGrid(config.nr, config.nth, config.nph,
                        ri=params.ri, ro=params.ro,
                        extra_theta=config.extra_theta, extra_phi=config.extra_phi)
-    for rank, sec in enumerate(res.rank_step_seconds):
+    phases = zip(res.rank_comm_seconds, res.rank_interior_seconds,
+                 res.rank_rim_seconds)
+    for rank, (sec, (comm, interior, rim)) in enumerate(
+        zip(res.rank_step_seconds, phases)
+    ):
         rate = res.steps / sec if sec > 0 else float("inf")
-        print(f"  rank {rank:>3}  step loop {sec:8.3f} s  ({rate:8.2f} steps/s)")
+        print(f"  rank {rank:>3}  step loop {sec:8.3f} s  ({rate:8.2f} steps/s)  "
+              f"comm {comm:7.3f} s  interior {interior:7.3f} s  rim {rim:7.3f} s")
     e = yinyang_energies(grid, res.states, params)
     print(f"t = {res.time:.4f} after {res.steps} steps")
     print("final:", {k: f"{v:.4g}" for k, v in e.as_dict().items()})
@@ -364,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=4, metavar="N",
                    help="total ranks for a parallel backend (even; "
                         "2 panels x near-square process array)")
+    p.add_argument("--overlap", action="store_true",
+                   help="split-phase exchange overlapped with the interior "
+                        "RHS (same as REPRO_OVERLAP=1; falls back to the "
+                        "blocking schedule on backends without non-blocking "
+                        "support)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(

@@ -19,6 +19,7 @@ halo slice are bit-identical on both paths.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -35,6 +36,25 @@ Array = np.ndarray
 # share the communicator without cross-talk (legacy per-field path)
 _TAG_STRIDE = 8
 _DIR_TAGS = {"north": 0, "south": 1, "west": 2, "east": 3}
+
+
+@dataclass
+class HaloHandle:
+    """In-flight state of a split-phase halo exchange.
+
+    Only the receives are posted at :meth:`HaloExchanger.exchange_begin`
+    time; every pack/send/unpack stays in
+    :meth:`HaloExchanger.exchange_finish` so the outgoing strips are
+    read after any interleaved overset combine has written the ring —
+    which is what makes the split schedule bitwise identical to the
+    blocking one.
+    """
+
+    fields: tuple[Array, ...]
+    tag_base: int
+    #: per-phase posted receives: phase index -> [(request, direction)]
+    recvs: dict[int, list[tuple]] = field(default_factory=dict)
+    finished: bool = False
 
 
 class HaloExchanger:
@@ -130,8 +150,8 @@ class HaloExchanger:
             )
 
     @hot_path
-    def _phase_packed(self, fields: Sequence[Float64["nr", "lth", "lph"]],
-                      directions, tag_base: int) -> None:
+    def _packed_post(self, directions, tag_base: int) -> list[tuple]:
+        """Post one packed receive per present neighbour in ``directions``."""
         recvs: list[tuple] = []
         for direction in directions:
             nbr = self.nbr[direction]
@@ -140,6 +160,13 @@ class HaloExchanger:
             tag = tag_base + _DIR_TAGS[direction]
             req = self.cart.comm.Irecv(source=nbr, tag=tag)
             recvs.append((req, direction))
+        return recvs
+
+    @hot_path
+    def _packed_complete(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                         directions, tag_base: int,
+                         recvs: list[tuple]) -> None:
+        """Pack+send the outgoing strips, then wait/validate/unpack."""
         for direction in directions:
             nbr = self.nbr[direction]
             if nbr == PROC_NULL:
@@ -164,12 +191,51 @@ class HaloExchanger:
             for k, f in enumerate(fields):
                 f[sl] = payload[k]
 
+    def _phase_packed(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                      directions, tag_base: int) -> None:
+        recvs = self._packed_post(directions, tag_base)
+        self._packed_complete(fields, directions, tag_base, recvs)
+
     def _phase(self, fields: Sequence[Float64["nr", "lth", "lph"]],
                directions, tag_base: int) -> None:
         if self.packed:
             self._phase_packed(fields, directions, tag_base)
         else:
             self._phase_legacy(fields, directions, tag_base)
+
+    # ---- split-phase exchange (REPRO_OVERLAP=1) --------------------------------
+
+    def exchange_begin(self, fields: Sequence[Float64["nr", "lth", "lph"]],
+                       tag_base: int = 0) -> HaloHandle:
+        """Start an :meth:`exchange`: post every receive (both phases)
+        and return a handle.  Packing, sending and unpacking all stay in
+        :meth:`exchange_finish` — the phi-phase strips must be read
+        after any concurrent overset combine, and the theta-phase
+        strips after the phi-phase unpack (corners) — so the split only
+        moves the receive posting early.  Packed wire format only."""
+        if not self.packed:
+            raise ValueError(
+                "split-phase halo exchange requires packed=True "
+                "(the legacy wire format has no begin/finish split)"
+            )
+        handle = HaloHandle(fields=tuple(fields), tag_base=tag_base)
+        handle.recvs[0] = self._packed_post(("west", "east"), tag_base)
+        handle.recvs[1] = self._packed_post(("north", "south"), tag_base + 4)
+        return handle
+
+    def exchange_finish(self, handle: HaloHandle) -> None:
+        """Complete a begun exchange: phi phase (pack/send/unpack), then
+        theta phase with full-width strips, exactly the blocking
+        :meth:`exchange` order.  A handle finishes exactly once."""
+        if handle.finished:
+            raise ValueError("halo exchange handle already finished")
+        handle.finished = True
+        self._packed_complete(
+            handle.fields, ("west", "east"), handle.tag_base, handle.recvs[0]
+        )
+        self._packed_complete(
+            handle.fields, ("north", "south"), handle.tag_base + 4, handle.recvs[1]
+        )
 
     @contract
     def exchange(self, fields: Sequence[Float64["nr", "lth", "lph"]],

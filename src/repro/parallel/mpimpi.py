@@ -34,6 +34,7 @@ from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
     CommunicatorBase,
+    Request,
     SimMPIError,
 )
 
@@ -46,6 +47,7 @@ LAUNCHER_NAME = "mpi4py"
 #: Registry capabilities record (see ``backends.LauncherCapabilities``).
 LAUNCHER_CAPABILITIES = dict(
     picklable_fn=False, cross_host=True, self_launch=False, max_ranks=None,
+    nonblocking=True,
 )
 
 
@@ -109,6 +111,44 @@ class MPICommunicator(CommunicatorBase):
                 )
             buf[...] = arr
         return payload
+
+    # ---- non-blocking point-to-point ------------------------------------------
+    # These wrap mpi4py's genuinely asynchronous isend/irecv instead of
+    # the CommunicatorBase eager fallbacks, so posted receives really do
+    # progress while the caller computes.  mpi4py has no recorder here
+    # (out-of-process finalize is the MPI runtime's), so the Request
+    # carries no lifetime token.
+
+    def Isend(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> Request:
+        del move  # pickle transport serialises immediately; no copy to skip
+        if not 0 <= dest < self.size:
+            raise SimMPIError(f"dest {dest} out of range for comm of size {self.size}")
+        if isinstance(data, np.ndarray):
+            self.bytes_sent += data.nbytes
+        self.messages_sent += 1
+        mreq = self._mpi.isend(data, dest=dest, tag=tag)
+        return Request(_complete=mreq.wait)
+
+    def Irecv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Request:
+        from mpi4py import MPI
+
+        mpi_source = MPI.ANY_SOURCE if source == ANY_SOURCE else source
+        mpi_tag = MPI.ANY_TAG if tag == ANY_TAG else tag
+        mreq = self._mpi.irecv(source=mpi_source, tag=mpi_tag)
+
+        def complete() -> Any:
+            payload = mreq.wait()
+            if buf is not None:
+                arr = np.asarray(payload)
+                if buf.shape != arr.shape:
+                    raise SimMPIError(
+                        f"Recv buffer shape {buf.shape} != message shape {arr.shape}"
+                    )
+                buf[...] = arr
+            return payload
+
+        return Request(_complete=complete)
 
     # ---- collective rendezvous / children -------------------------------------
 

@@ -57,6 +57,24 @@ class _ReceptorSide:
 
 
 @dataclass
+class OversetHandle:
+    """In-flight split-phase overset exchange (see
+    :meth:`OversetExchanger.exchange_state_begin`).
+
+    Owns the posted receive requests until
+    :meth:`OversetExchanger.exchange_state_finish` drains them; the
+    packed send buffers were moved to the communicator at begin time,
+    so nothing here aliases caller-owned memory.
+    """
+
+    fields: tuple[Array, ...]
+    rotate_groups: tuple[tuple[int, int, int], ...]
+    #: (request, slot_c, slot_j) per donor rank, in plan order
+    recvs: list[tuple]
+    finished: bool = False
+
+
+@dataclass
 class _DonorSide:
     """What one donor rank must send for one direction."""
 
@@ -268,9 +286,9 @@ class OversetExchanger:
             fields[k][:, i, j] = vals[k]
 
     @hot_path
-    def _exchange_packed(self, fields: Sequence[Array], rotate_groups,
-                         tag0: int) -> None:
-        """One ``(nfields, nr, m)`` message per donor->receptor pair."""
+    def _packed_begin(self, fields: Sequence[Array], tag0: int) -> list[tuple]:
+        """Post all receives and pack+post all sends; returns the posted
+        receive requests for :meth:`_packed_finish` to drain."""
         nf = len(fields)
         donor, receptor = self._post_plan()
         nr = fields[0].shape[0]
@@ -292,6 +310,15 @@ class OversetExchanger:
                 buf[k] = fields[k][:, lith, liph]
             # freshly packed, never reused here: zero-copy handoff
             self.world.Send(buf, dest=dest, tag=tag, move=True)
+        return recvs
+
+    @hot_path
+    def _packed_finish(self, fields: Sequence[Array], rotate_groups,
+                       recvs: list[tuple]) -> None:
+        """Wait, validate and unpack every receive, then combine."""
+        nf = len(fields)
+        _, receptor = self._post_plan()
+        nr = fields[0].shape[0]
 
         if receptor.n_loc == 0:
             for req, *_ in recvs:
@@ -310,6 +337,50 @@ class OversetExchanger:
                 corner_vals[k, slot_c, :, slot_j] = payload[k].T
 
         self._combine(receptor, corner_vals, rotate_groups, fields)
+
+    def _exchange_packed(self, fields: Sequence[Array], rotate_groups,
+                         tag0: int) -> None:
+        """One ``(nfields, nr, m)`` message per donor->receptor pair.
+
+        The blocking exchange is literally begin-then-finish with no
+        compute in between, so the split-phase path (REPRO_OVERLAP=1)
+        is bitwise identical by construction.
+        """
+        recvs = self._packed_begin(fields, tag0)
+        self._packed_finish(fields, rotate_groups, recvs)
+
+    # ---- split-phase state exchange (REPRO_OVERLAP=1) --------------------------
+
+    def exchange_state_begin(
+        self,
+        state,
+        tag0: int = 0,
+        rotate_groups: tuple[tuple[int, int, int], ...] = ((1, 2, 3), (5, 6, 7)),
+    ) -> OversetHandle:
+        """Start an :meth:`exchange_state`: post every receive, pack and
+        post every send, and return a handle — the ring write-back is
+        deferred to :meth:`exchange_state_finish`, so interior compute
+        can run while the messages are in flight.  Packed wire format
+        only (the split exists for the hot path)."""
+        if not self.packed:
+            raise ValueError(
+                "split-phase overset exchange requires packed=True "
+                "(the legacy wire format has no begin/finish split)"
+            )
+        fields = tuple(state.arrays()) if hasattr(state, "arrays") else tuple(state)
+        recvs = self._packed_begin(fields, tag0)
+        return OversetHandle(fields=fields, rotate_groups=tuple(rotate_groups),
+                             recvs=recvs)
+
+    def exchange_state_finish(self, handle: OversetHandle) -> None:
+        """Complete a begun exchange: wait on every receive, validate
+        each payload against the interpolation plan, and run the
+        combine/rotation/ring write-back.  Idempotence is refused — a
+        handle finishes exactly once."""
+        if handle.finished:
+            raise ValueError("overset exchange handle already finished")
+        handle.finished = True
+        self._packed_finish(handle.fields, handle.rotate_groups, handle.recvs)
 
     @hot_path
     def _exchange_legacy(self, fields: Sequence[Array], vector: bool,

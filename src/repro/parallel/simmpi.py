@@ -5,7 +5,11 @@ MPI subset yycore needs (paper Section IV):
 
 * point-to-point: ``Send`` / ``Isend`` / ``Recv`` / ``Irecv`` with
   ``(source, tag)`` matching, NumPy-buffer payloads copied eagerly
-  (buffered-send semantics, so no rendezvous deadlocks);
+  (buffered-send semantics, so no rendezvous deadlocks).  Every
+  ``Isend``/``Irecv`` returns a :class:`Request` that **must** be
+  completed with ``wait()``/``Wait()`` or ``comm.Waitall`` — the
+  protocol recorder tracks request lifetimes and an abandoned handle
+  fails the sanitized finalize (see REP009);
 * collectives: ``barrier``, ``bcast``, ``gather``, ``allgather``,
   ``allreduce``, ``alltoall``;
 * communicator management: ``split`` (the paper's ``MPI_COMM_SPLIT``
@@ -72,6 +76,7 @@ LAUNCHER_NAME = "thread"
 #: Registry capabilities record (see ``backends.LauncherCapabilities``).
 LAUNCHER_CAPABILITIES = dict(
     picklable_fn=False, cross_host=False, self_launch=True, max_ranks=None,
+    nonblocking=True,
 )
 
 
@@ -210,20 +215,38 @@ class _Runtime:
 
 @dataclass
 class Request:
-    """Handle for a non-blocking operation."""
+    """Handle for a non-blocking operation.
+
+    Every request must be completed exactly once with :meth:`wait` (or
+    its mpi4py-style alias :meth:`Wait`, or through
+    ``CommunicatorBase.Waitall``) — the protocol recorder notes the
+    request at creation and clears it at completion, so a handle that
+    is dropped without a wait shows up as an ``unwaited request`` in
+    the sanitized finalize report.
+    """
 
     _complete: Callable[[], Any]
     _done: bool = False
     _value: Any = None
+    #: recorder lifetime tracking (None when the sanitizer is off or the
+    #: backend has no recorder, e.g. mpi4py)
+    _recorder: Any = None
+    _token: int | None = None
 
     def wait(self) -> Any:
         if not self._done:
             self._value = self._complete()
             self._done = True
+            if self._recorder is not None:
+                self._recorder.note_request_done(self._token)
         return self._value
 
+    def Wait(self) -> Any:
+        """mpi4py-style alias of :meth:`wait`."""
+        return self.wait()
+
     def test(self) -> bool:
-        """SimMPI sends complete eagerly; receives complete on wait()."""
+        """Whether the request has completed (requests complete on wait)."""
         return self._done
 
 
@@ -299,15 +322,29 @@ class CommunicatorBase:
 
     # ---- point-to-point wrappers ----------------------------------------------
 
+    def _make_request(self, kind: str, complete: Callable[[], Any]) -> Request:
+        """Build a :class:`Request`, registering its lifetime with the
+        protocol recorder so an abandoned handle is caught at finalize."""
+        recorder = self._recorder
+        token = recorder.note_request_open(kind) if recorder is not None else None
+        return Request(_complete=complete, _recorder=recorder, _token=token)
+
     def Isend(self, data: Any, dest: int, tag: int = 0, *, move: bool = False) -> Request:
-        """Non-blocking send; completes immediately (buffered)."""
+        """Non-blocking send.  The transfer is buffered eagerly (these
+        transports never rendezvous), but the returned request must
+        still be waited — the wait is where the sanitizer closes the
+        request's lifetime record."""
         self.Send(data, dest, tag, move=move)
-        return Request(_complete=lambda: None, _done=True)
+        return self._make_request("Isend", lambda: None)
 
     def Irecv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
               tag: int = ANY_TAG) -> Request:
         """Non-blocking receive; the transfer happens in ``wait()``."""
-        return Request(_complete=lambda: self.Recv(buf, source, tag))
+        return self._make_request("Irecv", lambda: self.Recv(buf, source, tag))
+
+    def Waitall(self, requests: Sequence[Request]) -> list[Any]:
+        """Complete every request; returns their values in order."""
+        return [req.wait() for req in requests]
 
     def Sendrecv(self, senddata: Any, dest: int, recvsource: int,
                  sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:

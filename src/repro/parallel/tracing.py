@@ -74,13 +74,20 @@ class TracedCommunicator:
     traced communicator drops into HaloExchanger / OversetExchanger
     unchanged.  The trace object is shared across ranks (thread-safe by
     the GIL for list appends), giving the global message log.
+
+    Non-blocking operations delegate to the wrapped communicator's own
+    ``Isend``/``Irecv``/``Waitall`` — the returned :class:`Request`
+    objects keep their recorder lifetime tokens, so the sanitizer's
+    unwaited-request check sees through the tracing layer.  ``Isend``
+    is recorded at post time (these transports buffer eagerly, so post
+    time is when the bytes leave).
     """
 
     def __init__(self, comm: CommunicatorBase, trace: CommTrace):
         self._comm = comm
         self.trace = trace
 
-    def Send(self, data, dest: int, tag: int = 0, *, move: bool = False) -> None:
+    def _record(self, dest: int, tag: int, data) -> None:
         nbytes = data.nbytes if isinstance(data, np.ndarray) else 0
         self.trace.add(
             MessageRecord(
@@ -88,13 +95,24 @@ class TracedCommunicator:
                 nbytes=int(nbytes), timestamp=time.perf_counter(),
             )
         )
+
+    def Send(self, data, dest: int, tag: int = 0, *, move: bool = False) -> None:
+        self._record(dest, tag, data)
         self._comm.Send(data, dest, tag, move=move)
 
     def Isend(self, data, dest: int, tag: int = 0, *, move: bool = False):
-        self.Send(data, dest, tag, move=move)
-        from repro.parallel.simmpi import Request
+        self._record(dest, tag, data)
+        return self._comm.Isend(data, dest, tag, move=move)
 
-        return Request(_complete=lambda: None, _done=True)
+    def Irecv(self, buf=None, source=None, tag=None):
+        from repro.parallel.simmpi import ANY_SOURCE, ANY_TAG
+
+        source = ANY_SOURCE if source is None else source
+        tag = ANY_TAG if tag is None else tag
+        return self._comm.Irecv(buf, source, tag)
+
+    def Waitall(self, requests):
+        return self._comm.Waitall(requests)
 
     def __getattr__(self, name):
         return getattr(self._comm, name)

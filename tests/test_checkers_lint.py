@@ -341,6 +341,95 @@ def f(comm):
         assert codes(src) == ["REP004"]
 
 
+class TestRep009:
+    BAD_BARE = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm):
+    comm.Isend(b"x", dest=1, tag=0)
+    comm.Recv(source=1, tag=0)
+"""
+
+    BAD_UNUSED = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm):
+    req = comm.Irecv(source=1, tag=0)
+    return None
+"""
+
+    CLEAN_WAIT = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm):
+    req = comm.Irecv(source=1, tag=0)
+    return req.wait()
+"""
+
+    CLEAN_WAITALL = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm):
+    reqs = [comm.Irecv(source=s, tag=0) for s in range(2)]
+    reqs.append(comm.Isend(b"x", dest=1, tag=0))
+    return comm.Waitall(reqs)
+"""
+
+    CLEAN_CONTAINER = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm, recvs):
+    recvs.append((comm.Irecv(source=1, tag=0), "north"))
+    return recvs
+"""
+
+    CLEAN_RETURNED = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm):
+    return comm.Irecv(source=1, tag=0)
+"""
+
+    def test_bare_expression_flagged(self):
+        vs = lint_source(self.BAD_BARE)
+        assert [v.rule for v in vs] == ["REP009"]
+        assert "Isend" in vs[0].message
+
+    def test_assigned_never_used_flagged(self):
+        vs = lint_source(self.BAD_UNUSED)
+        assert [v.rule for v in vs] == ["REP009"]
+        assert "'req'" in vs[0].message
+
+    def test_waited_request_clean(self):
+        assert codes(self.CLEAN_WAIT) == []
+
+    def test_waitall_clean(self):
+        assert codes(self.CLEAN_WAITALL) == []
+
+    def test_container_flow_assumed_waited(self):
+        assert codes(self.CLEAN_CONTAINER) == []
+
+    def test_returned_request_clean(self):
+        assert codes(self.CLEAN_RETURNED) == []
+
+    def test_outside_parallel_scope_ignored(self):
+        src = """
+def f(comm):
+    comm.Isend(b"x", dest=1, tag=0)
+"""
+        assert codes(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+from repro.parallel.simmpi import SimMPI
+
+def f(comm):
+    comm.Isend(b"x", dest=1, tag=0)  # repro: noqa-REP009
+    comm.Recv(source=1, tag=0)
+"""
+        assert codes(src) == []
+
+
 class TestDriver:
     def test_rules_filter(self):
         both = TestRep001.BAD + """
@@ -351,7 +440,7 @@ def g(comm, f):
         assert codes(both, rules=["REP001"]) == ["REP001"]
 
     def test_registry_covers_all_rules(self):
-        assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004"]
+        assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004", "REP009"]
 
     def test_violations_sorted_and_located(self):
         vs = lint_source(TestRep001.BAD, path="fixture.py")

@@ -1,0 +1,183 @@
+"""Split-phase overlap (``REPRO_OVERLAP=1``) equivalence and plumbing.
+
+The overlapped schedule — post receives, evaluate the interior RHS,
+finish the exchanges, then evaluate the rim — must be *bitwise*
+identical to the blocking schedule and hence to the serial solver:
+overlap reorders communication against computation, never arithmetic.
+These tests pin that equivalence on the thread backend in process, on
+the process and socket backends in sanitized child interpreters, and
+check the env/CLI plumbing and per-phase timing surfaces around it.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, YinYangDynamo
+from repro.grids.component import Panel
+from repro.mhd.parameters import MHDParameters
+from repro.parallel import backends
+from repro.parallel.backends import OVERLAP_ENV, overlap_requested, select_overlap
+from repro.parallel.parallel_solver import run_parallel_dynamo
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RunConfig(nr=7, nth=12, nph=36, params=MHDParameters.laptop_demo(),
+                     dt=1e-3, amp_temperature=1e-2)
+
+
+@pytest.fixture(scope="module")
+def serial_run(config):
+    dyn = YinYangDynamo(config)
+    for _ in range(4):
+        dyn.step()
+    return dyn
+
+
+class TestBitwiseEquivalence:
+    """Overlapped == blocking == serial, to the bit, on every layout."""
+
+    @pytest.mark.parametrize("layout", [(1, 2), (2, 1), (2, 2)])
+    def test_overlap_matches_blocking_bitwise(self, config, serial_run, layout):
+        """Overlapped vs blocking: bitwise on every layout.  Vs serial:
+        the seed suite's 1e-12 relative tolerance (multi-rank angular
+        tilings reassociate reductions; bitwise serial equality is the
+        single-tile guarantee, pinned below and in the sanitized child
+        runs)."""
+        blocking = run_parallel_dynamo(config, *layout, 4, overlap=False)
+        overlapped = run_parallel_dynamo(config, *layout, 4, overlap=True)
+        assert not blocking.overlap
+        assert overlapped.overlap
+        for panel in (Panel.YIN, Panel.YANG):
+            for (name, a), (_, b), c in zip(
+                overlapped.states[panel].named_arrays(),
+                blocking.states[panel].named_arrays(),
+                serial_run.state[panel].arrays(),
+            ):
+                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+                scale = max(1.0, float(np.abs(c).max()))
+                assert np.abs(a - c).max() < 1e-12 * scale, (panel, name)
+
+    def test_single_tile_overlap_matches_serial_bitwise(self, config, serial_run):
+        par = run_parallel_dynamo(config, 1, 1, 4, overlap=True)
+        assert par.overlap
+        for panel in (Panel.YIN, Panel.YANG):
+            for (name, a), b in zip(
+                par.states[panel].named_arrays(), serial_run.state[panel].arrays()
+            ):
+                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+
+    def test_adaptive_dt_matches_blocking_exactly(self, config):
+        cfg = RunConfig(nr=7, nth=12, nph=36, params=config.params, dt=None,
+                        amp_temperature=1e-2)
+        blocking = run_parallel_dynamo(cfg, 2, 2, 3, overlap=False)
+        overlapped = run_parallel_dynamo(cfg, 2, 2, 3, overlap=True)
+        assert overlapped.dt_history == blocking.dt_history
+        assert overlapped.time == blocking.time
+
+
+_SANITIZED_CODE = (
+    "import numpy as np\n"
+    "from repro.checkers.contracts import contracts_enabled\n"
+    "from repro.checkers.sanitize import sanitize_enabled\n"
+    "assert contracts_enabled() and sanitize_enabled()\n"
+    "from repro.core import RunConfig, YinYangDynamo\n"
+    "from repro.grids.component import Panel\n"
+    "from repro.mhd.parameters import MHDParameters\n"
+    "from repro.parallel.parallel_solver import run_parallel_dynamo\n"
+    "cfg = RunConfig(nr=7, nth=12, nph=36,\n"
+    "                params=MHDParameters.laptop_demo(), dt=1e-3,\n"
+    "                amp_temperature=1e-2)\n"
+    "ser = YinYangDynamo(cfg)\n"
+    "for _ in range(2):\n"
+    "    ser.step()\n"
+    "par = run_parallel_dynamo(cfg, 1, 1, 2, backend='@BACKEND@',\n"
+    "                          timeout=240.0)\n"
+    "assert par.overlap, 'overlap did not engage'\n"
+    "for panel in (Panel.YIN, Panel.YANG):\n"
+    "    for (name, a), b in zip(par.states[panel].named_arrays(),\n"
+    "                            ser.state[panel].arrays()):\n"
+    "        np.testing.assert_array_equal(a, b,\n"
+    "                                      err_msg=f'{panel} {name}')\n"
+    "print('BITWISE_OK')\n"
+)
+
+
+class TestSanitizedChildBackends:
+    """Overlapped 2-rank runs on the spawned backends, with contracts
+    and the protocol sanitizer armed, still reproduce serial bitwise.
+    Overlap is requested via ``REPRO_OVERLAP=1`` so the env path is the
+    one exercised end to end."""
+
+    @pytest.mark.parametrize("backend", ["process", "socket"])
+    def test_overlapped_backend_bitwise(self, backend):
+        out = subprocess.run(
+            [sys.executable, "-c", _SANITIZED_CODE.replace("@BACKEND@", backend)],
+            capture_output=True, text=True, timeout=300,
+            env={"PYTHONPATH": "src", "REPRO_CONTRACTS": "1",
+                 "REPRO_SANITIZE": "1", "REPRO_OVERLAP": "1",
+                 "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert "BITWISE_OK" in out.stdout, out.stderr
+
+
+class TestOverlapSelection:
+    def test_env_parsing(self, monkeypatch):
+        for raw, want in [("", False), ("0", False), ("off", False),
+                          ("no", False), ("1", True), ("true", True),
+                          ("ON", True), ("yes", True)]:
+            monkeypatch.setenv(OVERLAP_ENV, raw)
+            assert overlap_requested() is want, raw
+
+    def test_env_garbage_warns_and_stays_off(self, monkeypatch):
+        monkeypatch.setenv(OVERLAP_ENV, "maybe")
+        with pytest.warns(RuntimeWarning, match="overlap stays off"):
+            assert overlap_requested() is False
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(OVERLAP_ENV, "1")
+        assert select_overlap("thread", overlap=False) is False
+        monkeypatch.delenv(OVERLAP_ENV)
+        assert select_overlap("thread", overlap=True) is True
+
+    def test_fallback_warns_without_nonblocking(self, monkeypatch):
+        real = backends.probe("thread")
+        crippled = backends.LauncherInfo(
+            name=real.name,
+            available=real.available,
+            detail=real.detail,
+            capabilities=backends.LauncherCapabilities(
+                picklable_fn=real.capabilities.picklable_fn,
+                cross_host=real.capabilities.cross_host,
+                self_launch=real.capabilities.self_launch,
+                max_ranks=real.capabilities.max_ranks,
+                nonblocking=False,
+            ),
+        )
+        monkeypatch.setattr(backends, "probe", lambda name: crippled)
+        with pytest.warns(RuntimeWarning, match="no non-blocking support"):
+            assert select_overlap("thread", overlap=True) is False
+
+
+class TestPhaseTiming:
+    def test_overlapped_result_reports_phases(self, config):
+        par = run_parallel_dynamo(config, 1, 2, 2, overlap=True)
+        world = 4  # 2 panels x 1 x 2
+        assert par.overlap
+        assert len(par.rank_comm_seconds) == world
+        assert len(par.rank_interior_seconds) == world
+        assert len(par.rank_rim_seconds) == world
+        assert all(s > 0.0 for s in par.rank_comm_seconds)
+        assert all(s > 0.0 for s in par.rank_interior_seconds)
+        assert all(s > 0.0 for s in par.rank_rim_seconds)
+
+    def test_blocking_result_books_no_interior(self, config):
+        par = run_parallel_dynamo(config, 1, 2, 2, overlap=False)
+        assert not par.overlap
+        assert all(s == 0.0 for s in par.rank_interior_seconds)
+        assert all(s > 0.0 for s in par.rank_comm_seconds)
+        assert all(s > 0.0 for s in par.rank_rim_seconds)
