@@ -25,6 +25,18 @@ protocol.  This package makes those rules checkable:
     Runtime shape contracts behind ``REPRO_CONTRACTS=1`` — the
     ``@contract`` decorator validating annotated boundaries, a no-op
     (the undecorated function itself) when disabled.
+:mod:`repro.checkers.schedule`
+    The concurrency analyzer (``repro-paper lint --schedule``,
+    ``repro-paper analyze deadlock``) — a schedule model checker over
+    lifted per-rank comm-event programs proving deadlock-freedom or
+    producing a minimal blocked-cycle witness, plus the rules
+    REP010-REP012 (provable deadlock, send-buffer write before the
+    request wait, unpaired split-phase exchange).
+:mod:`repro.checkers.hb`
+    The dynamic happens-before layer — vector clocks, in-flight
+    buffer-window race detection for the thread backend, and the
+    wait-for graph every backend's blocking ops register with so
+    timeouts diagnose the per-rank cycle (``DeadlockError``).
 """
 
 from repro.checkers.contracts import (
@@ -33,8 +45,26 @@ from repro.checkers.contracts import (
     contract,
     contracts_enabled,
 )
+from repro.checkers.hb import (
+    HBTracker,
+    PendingOp,
+    WaitForGraph,
+    dominates,
+    merge_clocks,
+)
 from repro.checkers.hotpath import hot_path
 from repro.checkers.linter import Violation, lint_paths, lint_source
+from repro.checkers.schedule import (
+    SCHEDULE_RULES,
+    Op,
+    Verdict,
+    Witness,
+    check_deadlock_free,
+    dynamo_step_programs,
+    lift_function,
+    schedule_lint_paths,
+    schedule_lint_source,
+)
 from repro.checkers.sanitize import (
     DoubleRelease,
     ProtocolReport,
@@ -54,25 +84,39 @@ from repro.checkers.shapes import (
 )
 
 __all__ = [
+    "SCHEDULE_RULES",
     "SHAPE_RULES",
     "Array",
     "ContractViolation",
     "DoubleRelease",
     "Float32",
     "Float64",
+    "HBTracker",
+    "Op",
+    "PendingOp",
     "ProtocolReport",
     "ProtocolViolation",
     "SanitizerError",
     "ShapeSpec",
+    "Verdict",
     "Violation",
+    "WaitForGraph",
+    "Witness",
     "apply_contract",
+    "check_deadlock_free",
     "contract",
     "contracts_enabled",
+    "dominates",
+    "dynamo_step_programs",
     "hot_path",
     "last_protocol_report",
+    "lift_function",
     "lint_paths",
     "lint_source",
+    "merge_clocks",
     "sanitize_enabled",
+    "schedule_lint_paths",
+    "schedule_lint_source",
     "shape_lint_paths",
     "shape_lint_source",
 ]

@@ -1,0 +1,406 @@
+"""Dynamic happens-before layer: vector clocks, wait-for graphs, races.
+
+Three cooperating pieces, all pure stdlib (this module must import
+cleanly from anywhere — including the transport modules — so it pulls
+in *nothing* from :mod:`repro.parallel`):
+
+``VectorClock`` helpers
+    Plain-tuple vector clocks: one logical counter per rank, merged
+    elementwise on message receipt.  ``dominates(a, b)`` is the
+    happens-before test — event *b* is ordered before event *a* iff
+    ``a[i] >= b[i]`` for every rank ``i``.
+
+``PendingOp`` / ``WaitForGraph``
+    Every *blocking* operation (``Recv``, a collective rendezvous, a
+    shared-arena slot acquire, the launcher join) registers a
+    :class:`PendingOp` on entry and clears it on exit.  When a timeout
+    fires, the snapshot of per-rank pending ops — who waits on whom,
+    with source/tag/collective seq — is attached to the raised
+    :class:`~repro.parallel.simmpi.DeadlockError` instead of the old
+    bare ``Recv(...) timed out`` guess.  :meth:`WaitForGraph.find_cycle`
+    extracts a blocked cycle from the snapshot when one exists.
+
+``HBTracker``
+    Thread-backend race detection for pooled buffers.  A ``move=True``
+    send opens a *window* on the payload buffer; the receiving rank's
+    vector clock at receipt closes it.  If the sender's
+    :class:`~repro.fd.kernels.BufferPool` releases (and poisons) the
+    buffer at a clock that does not dominate the receipt — i.e. the
+    release is concurrent with the in-flight message — that is a racy
+    reuse the one observed schedule may or may not corrupt, and it is
+    reported through ``ProtocolReport.races``.
+
+Armed together with the protocol sanitizer (``REPRO_SANITIZE=1``); the
+wait-for graph itself is always on — registration is two dict writes
+per blocking op (see ``benchmarks/bench_schedule_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PendingOp",
+    "WaitForGraph",
+    "HBTracker",
+    "dominates",
+    "merge_clocks",
+    "active_tracker",
+    "activate_tracker",
+    "deactivate_tracker",
+    "note_buffer_release",
+]
+
+
+# --------------------------------------------------------------------------
+# vector clocks
+# --------------------------------------------------------------------------
+
+def merge_clocks(a: tuple, b: tuple) -> tuple:
+    """Elementwise max of two clocks (``None`` acts as the zero clock)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return tuple(max(x, y) for x, y in zip(a, b))
+
+
+def dominates(a: tuple, b: tuple) -> bool:
+    """True iff clock ``a`` happens-after (or equals) clock ``b``."""
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return all(x >= y for x, y in zip(a, b))
+
+
+# --------------------------------------------------------------------------
+# wait-for graph
+# --------------------------------------------------------------------------
+
+@dataclass
+class PendingOp:
+    """One blocking operation a rank is currently inside."""
+
+    rank: int
+    kind: str                      # "Recv" | "collective" | "slot-acquire" | ...
+    comm: str = "world"
+    source: int | None = None      # WORLD rank waited on; None = ANY/unknown
+    tag: int | None = None         # None = ANY_TAG (or not applicable)
+    seq: int | None = None         # collective sequence number
+    members: tuple = ()            # collective participants (world ranks)
+    detail: str = ""
+    since: float = field(default_factory=_time.monotonic)
+
+    def as_dict(self) -> dict:
+        return {
+            "rank": self.rank, "kind": self.kind, "comm": self.comm,
+            "source": self.source, "tag": self.tag, "seq": self.seq,
+            "members": list(self.members), "detail": self.detail,
+            "since": self.since,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PendingOp":
+        return cls(
+            rank=d.get("rank", -1), kind=d.get("kind", "?"),
+            comm=d.get("comm", "?"), source=d.get("source"),
+            tag=d.get("tag"), seq=d.get("seq"),
+            members=tuple(d.get("members") or ()),
+            detail=d.get("detail", ""), since=d.get("since", 0.0),
+        )
+
+    def describe(self) -> str:
+        if self.kind == "collective":
+            what = f"collective {self.detail or ''} seq={self.seq} on comm {self.comm!r}"
+        else:
+            src = "ANY" if self.source is None else self.source
+            tag = "ANY" if self.tag is None else self.tag
+            what = f"{self.kind}(source={src}, tag={tag}) on comm {self.comm!r}"
+            if self.detail:
+                what += f" [{self.detail}]"
+        waited = _time.monotonic() - self.since
+        if 0.0 < waited < 1e6:
+            what += f", blocked {waited:.1f}s"
+        return what
+
+
+class WaitForGraph:
+    """Per-world registry of blocking ops, with cycle extraction.
+
+    ``enter``/``exit`` bracket every blocking call; ``pending_snapshot``
+    is read on timeout to explain *why* the world is stuck.  The edge
+    relation (`rank r` waits on `rank s`) is derived from the snapshot:
+
+    * a ``Recv`` from a concrete source waits on that source;
+    * an ANY-source receive waits on every *other blocked* rank (it can
+      only be released by someone who is currently not sending);
+    * a collective waits on every member that has not yet arrived at
+      the same ``(comm, seq)`` rendezvous but is blocked elsewhere.
+    """
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        self._pending: dict[int, PendingOp] = {}
+        self._lock = threading.Lock()
+
+    def enter(self, op: PendingOp) -> PendingOp:
+        with self._lock:
+            self._pending[op.rank] = op
+        return op
+
+    def exit(self, rank: int) -> None:
+        with self._lock:
+            self._pending.pop(rank, None)
+
+    def pending_snapshot(self) -> dict[int, PendingOp | None]:
+        with self._lock:
+            snap = dict(self._pending)
+        return {r: snap.get(r) for r in range(self.nranks)}
+
+    # ---- analysis (static methods: usable on merged cross-process views) --
+
+    @staticmethod
+    def edges(snapshot: dict) -> dict[int, list[int]]:
+        """Waits-on adjacency derived from a pending-op snapshot."""
+        blocked = {r for r, op in snapshot.items() if op is not None}
+        out: dict[int, list[int]] = {}
+        for r, op in snapshot.items():
+            if op is None:
+                continue
+            if op.kind == "collective":
+                targets = []
+                for m in op.members:
+                    if m == r:
+                        continue
+                    other = snapshot.get(m)
+                    if other is None:
+                        continue  # still running — may yet arrive
+                    same = (other.kind == "collective"
+                            and other.comm == op.comm and other.seq == op.seq)
+                    if not same:
+                        targets.append(m)
+                out[r] = targets
+            elif op.source is not None:
+                out[r] = [op.source]
+            else:  # ANY-source: released only by a rank that can still send
+                out[r] = sorted(blocked - {r})
+        return out
+
+    @classmethod
+    def find_cycle(cls, snapshot: dict) -> list[int] | None:
+        """A blocked cycle ``[r0, r1, ..., r0]`` in the snapshot, if any."""
+        adj = cls.edges(snapshot)
+        color: dict[int, int] = {}
+        stack: list[int] = []
+
+        def dfs(u: int) -> list[int] | None:
+            color[u] = 1
+            stack.append(u)
+            for v in adj.get(u, ()):  # noqa: B023 - local closure
+                if color.get(v, 0) == 1:
+                    return stack[stack.index(v):] + [v]
+                if color.get(v, 0) == 0 and v in adj:
+                    got = dfs(v)
+                    if got is not None:
+                        return got
+            stack.pop()
+            color[u] = 2
+            return None
+
+        for r in sorted(adj):
+            if color.get(r, 0) == 0:
+                got = dfs(r)
+                if got is not None:
+                    return got
+        return None
+
+    @classmethod
+    def describe(cls, snapshot: dict, cycle: list[int] | None = None) -> str:
+        """Human-readable per-rank wait-for summary (plus the cycle)."""
+        lines = ["wait-for graph at timeout:"]
+        for r in sorted(snapshot):
+            op = snapshot[r]
+            if op is None:
+                lines.append(f"  rank {r}: running (no blocking op registered)")
+            elif isinstance(op, PendingOp):
+                lines.append(f"  rank {r}: blocked in {op.describe()}")
+            else:  # raw dict (torn cross-process read)
+                lines.append(f"  rank {r}: blocked in {op}")
+        if cycle:
+            lines.append("  blocked cycle: " + " -> ".join(str(r) for r in cycle))
+        else:
+            lines.append("  no blocked cycle found (slow rank, crash, or "
+                         "external stall?)")
+        return "\n".join(lines)
+
+    @staticmethod
+    def snapshot_from_dicts(raw: dict, nranks: int) -> dict[int, PendingOp | None]:
+        """Rebuild a snapshot from per-rank op dicts (process/socket views)."""
+        out: dict[int, PendingOp | None] = {}
+        for r in range(nranks):
+            d = raw.get(r)
+            out[r] = PendingOp.from_dict(d) if isinstance(d, dict) else None
+        return out
+
+
+# --------------------------------------------------------------------------
+# happens-before tracker (thread backend)
+# --------------------------------------------------------------------------
+
+class HBTracker:
+    """Vector clocks + in-flight buffer windows for one threaded world."""
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        self._lock = threading.Lock()
+        self._clocks = [[0] * nranks for _ in range(nranks)]
+        self._tls = threading.local()
+        # id(buf) -> window; holds a reference to the buffer so the id
+        # cannot be recycled while the window is open
+        self._windows: dict[int, dict] = {}
+        self._races: list[dict] = []
+
+    # ---- rank threads ------------------------------------------------------
+
+    def register_thread(self, rank: int) -> None:
+        self._tls.rank = rank
+
+    def current_rank(self) -> int | None:
+        return getattr(self._tls, "rank", None)
+
+    # ---- events ------------------------------------------------------------
+
+    def send_event(self, rank: int) -> tuple:
+        with self._lock:
+            c = self._clocks[rank]
+            c[rank] += 1
+            return tuple(c)
+
+    def recv_event(self, rank: int, sender_clock: tuple | None) -> tuple:
+        with self._lock:
+            c = self._clocks[rank]
+            c[rank] += 1
+            if sender_clock is not None:
+                for i, v in enumerate(sender_clock):
+                    if v > c[i]:
+                        c[i] = v
+            return tuple(c)
+
+    def collective_event(self, rank: int, clocks) -> tuple:
+        """Join all participants' clocks (a collective is an all-to-all)."""
+        with self._lock:
+            c = self._clocks[rank]
+            c[rank] += 1
+            for clk in clocks:
+                if clk is None:
+                    continue
+                for i, v in enumerate(clk):
+                    if v > c[i]:
+                        c[i] = v
+            return tuple(c)
+
+    def clock_of(self, rank: int) -> tuple:
+        with self._lock:
+            return tuple(self._clocks[rank])
+
+    # ---- in-flight buffer windows -----------------------------------------
+
+    def open_window(self, rank: int, buf, dest: int, site: str) -> None:
+        """A ``move=True`` payload left ``rank`` for ``dest``: the sender
+        must not recycle it until the receipt is ordered before the
+        release."""
+        with self._lock:
+            self._windows[id(buf)] = {
+                "buf": buf, "src": rank, "dest": dest, "site": site,
+                "open_clock": tuple(self._clocks[rank]),
+                "recv_clock": None,
+            }
+
+    def mark_received(self, rank: int, buf) -> None:
+        with self._lock:
+            w = self._windows.get(id(buf))
+            if w is not None and w["recv_clock"] is None:
+                w["recv_clock"] = tuple(self._clocks[rank])
+
+    def note_release(self, buf, site_fn=None) -> None:
+        """A buffer went back to a pool (about to be poisoned/reused).
+
+        ``site_fn`` (optional) is called only when a race is recorded,
+        to name the release site without paying a stack walk on every
+        clean release."""
+        rank = self.current_rank()
+        with self._lock:
+            w = self._windows.get(id(buf))
+            if w is None:
+                return
+            recv_clock = w["recv_clock"]
+            release_clock = None if rank is None else tuple(self._clocks[rank])
+            if recv_clock is None:
+                why = "released while the message is still in flight"
+                racy = True
+            elif rank is None:
+                why = "released from an unregistered thread (unordered)"
+                racy = True
+            elif not dominates(release_clock, recv_clock):
+                why = ("release is concurrent with the receipt "
+                       "(no happens-before edge back to the sender)")
+                racy = True
+            else:
+                why, racy = "", False
+            if racy:
+                self._races.append({
+                    "src": w["src"], "dest": w["dest"],
+                    "open_site": w["site"],
+                    "release_site": site_fn() if site_fn is not None else "",
+                    "release_rank": rank, "why": why,
+                })
+            del self._windows[id(buf)]
+
+    def races(self) -> list[dict]:
+        with self._lock:
+            return list(self._races)
+
+    def open_windows(self) -> int:
+        with self._lock:
+            return len(self._windows)
+
+
+# --------------------------------------------------------------------------
+# module-level hook for BufferPool (avoids a kernels -> parallel import)
+# --------------------------------------------------------------------------
+
+_active_lock = threading.Lock()
+_active: list[HBTracker] = []
+
+
+def activate_tracker(tracker: HBTracker) -> None:
+    with _active_lock:
+        _active.append(tracker)
+
+
+def deactivate_tracker(tracker: HBTracker) -> None:
+    with _active_lock:
+        if tracker in _active:
+            _active.remove(tracker)
+
+
+def active_tracker() -> HBTracker | None:
+    with _active_lock:
+        return _active[-1] if _active else None
+
+
+def note_buffer_release(buf) -> None:
+    """Called by :class:`~repro.fd.kernels.BufferPool` under sanitize."""
+    t = active_tracker()
+    if t is None:
+        return
+
+    def site_fn() -> str:
+        # best-effort call site; sanitize's walker skips checker frames
+        from repro.checkers.sanitize import _send_site
+        return _send_site()
+
+    t.note_release(buf, site_fn)

@@ -130,6 +130,9 @@ class ProtocolReport:
     tag_collisions: list[dict[str, Any]] = field(default_factory=list)
     collective_mismatches: list[dict[str, Any]] = field(default_factory=list)
     unwaited_requests: list[dict[str, Any]] = field(default_factory=list)
+    #: happens-before races on pooled move-send buffers (thread backend
+    #: with the HB tracker armed; see repro.checkers.hb)
+    races: list[dict[str, Any]] = field(default_factory=list)
     n_sends: int = 0
     n_recvs: int = 0
     n_collectives: int = 0
@@ -142,6 +145,7 @@ class ProtocolReport:
             or self.tag_collisions
             or self.collective_mismatches
             or self.unwaited_requests
+            or self.races
         )
 
     def summary(self) -> str:
@@ -173,6 +177,13 @@ class ProtocolReport:
             lines.append(
                 f"  unwaited request {r['kind']} opened at {r['site']} "
                 f"(never Wait-ed; see REP009)"
+            )
+        for rc in self.races:
+            lines.append(
+                f"  pooled-buffer race: move-send buffer "
+                f"{rc['src']}->{rc['dest']} from {rc['open_site']} "
+                f"released at {rc['release_site'] or 'unknown site'} — "
+                f"{rc['why']}"
             )
         return "\n".join(lines)
 

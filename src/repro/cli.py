@@ -208,9 +208,10 @@ def _cmd_worker(args) -> None:
 
 def _cmd_lint(args) -> None:
     from repro.checkers.linter import RULES, lint_paths, to_json
+    from repro.checkers.schedule import SCHEDULE_RULES, schedule_lint_paths
     from repro.checkers.shapes import SHAPE_RULES, shape_lint_paths
 
-    known = {**RULES, **SHAPE_RULES}
+    known = {**RULES, **SHAPE_RULES, **SCHEDULE_RULES}
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
         unknown = [r for r in rules if r not in known]
@@ -221,9 +222,13 @@ def _cmd_lint(args) -> None:
             )
         core_rules = [r for r in rules if r in RULES]
         shape_rules = [r for r in rules if r in SHAPE_RULES]
+        sched_rules = [r for r in rules if r in SCHEDULE_RULES]
     else:
         core_rules = list(RULES)
         shape_rules = list(SHAPE_RULES) if getattr(args, "shapes", False) else []
+        sched_rules = (
+            list(SCHEDULE_RULES) if getattr(args, "schedule", False) else []
+        )
 
     violations: list = []
     n_files = 0
@@ -231,10 +236,15 @@ def _cmd_lint(args) -> None:
         violations, n_files = lint_paths(args.paths, rules=core_rules)
     if shape_rules:
         shape_violations, n_files = shape_lint_paths(args.paths, rules=shape_rules)
-        violations = sorted(
-            violations + shape_violations,
-            key=lambda v: (v.path, v.line, v.col, v.rule),
+        violations = violations + shape_violations
+    if sched_rules:
+        sched_violations, n_files = schedule_lint_paths(
+            args.paths, rules=sched_rules
         )
+        violations = violations + sched_violations
+    violations = sorted(
+        violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+    )
     if args.format == "json":
         print(to_json(violations, n_files))
     else:
@@ -246,6 +256,45 @@ def _cmd_lint(args) -> None:
             else f"clean: {n_files} file(s), 0 violations"
         )
     if violations:
+        raise SystemExit(1)
+
+
+def _cmd_analyze_deadlock(args) -> None:
+    """Model-check the dynamo step protocol for one layout; exit 1 on a
+    blocked-cycle witness (or an undecided state-cap bailout)."""
+    from repro.checkers.schedule import check_deadlock_free, dynamo_step_programs
+
+    pth, pph = _ranks_to_layout(args.ranks)
+    semantics = (
+        ["buffered", "rendezvous"] if args.semantics == "both"
+        else [args.semantics]
+    )
+    schedule = "overlapped" if args.overlap else "blocking"
+    print(f"layout: 2 panels x {pth} x {pph} = {args.ranks} ranks, "
+          f"grid nth={args.nth} nph={args.nph} nr={args.nr}, "
+          f"{schedule} schedule")
+    programs = dynamo_step_programs(
+        args.nth, args.nph, pth, pph, nr=args.nr, overlap=args.overlap,
+    )
+    n_ops = sum(len(p) for p in programs)
+    print(f"lifted {n_ops} comm events across {len(programs)} rank programs")
+    failed = False
+    for sem in semantics:
+        verdict = check_deadlock_free(
+            programs, semantics=sem, max_states=args.max_states,
+        )
+        if verdict.witness is not None:
+            failed = True
+            print(f"{sem}: DEADLOCK ({verdict.explored} states explored)")
+            print(verdict.witness.describe())
+        elif verdict.exhausted:
+            failed = True
+            print(f"{sem}: UNDECIDED — state cap {args.max_states} hit "
+                  f"({verdict.explored} states explored); raise --max-states")
+        else:
+            print(f"{sem}: deadlock-free "
+                  f"({verdict.explored} states explored)")
+    if failed:
         raise SystemExit(1)
 
 
@@ -382,7 +431,8 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="check the REP001-REP004 invariants (hot-path allocations, "
              "move=True ownership, tag matching, rank-dependent collectives); "
-             "--shapes adds the REP005-REP008 symbolic shape/dtype pass",
+             "--shapes adds the REP005-REP008 symbolic shape/dtype pass, "
+             "--schedule the REP010-REP012 concurrency pass",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -390,11 +440,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output format")
     p.add_argument("--rules", default=None, metavar="REP001,REP002,...",
                    help="comma-separated rule subset (default: REP001-REP004, "
-                        "plus REP005-REP008 with --shapes)")
+                        "plus REP005-REP008 with --shapes and "
+                        "REP010-REP012 with --schedule)")
     p.add_argument("--shapes", action="store_true",
                    help="also run the symbolic shape-inference rules "
                         "REP005-REP008 over annotated call boundaries")
+    p.add_argument("--schedule", action="store_true",
+                   help="also run the concurrency rules REP010-REP012: "
+                        "model-check lifted comm protocols for deadlock, "
+                        "flag send-buffer writes before the request wait "
+                        "and unpaired split-phase exchanges")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static concurrency analyses over the solver's own "
+             "communication plans",
+    )
+    asub = p.add_subparsers(dest="analysis", required=True)
+    p = asub.add_parser(
+        "deadlock",
+        help="model-check the dynamo step protocol for a given layout: "
+             "exhaustively explore message matchings and either prove "
+             "deadlock-freedom or print the minimal blocked-cycle witness",
+    )
+    p.add_argument("--ranks", type=int, default=4, metavar="N",
+                   help="total ranks (even; 2 panels x near-square array)")
+    p.add_argument("--nth", type=int, default=14)
+    p.add_argument("--nph", type=int, default=42)
+    p.add_argument("--nr", type=int, default=5)
+    p.add_argument("--semantics", choices=["buffered", "rendezvous", "both"],
+                   default="both",
+                   help="send semantics to check under (rendezvous is the "
+                        "stricter, MPI-standard-safe model)")
+    p.add_argument("--overlap", action="store_true",
+                   help="check the split-phase overlapped schedule instead "
+                        "of the blocking one")
+    p.add_argument("--max-states", type=int, default=200_000,
+                   help="state-exploration cap before giving up undecided")
+    p.set_defaults(fn=_cmd_analyze_deadlock)
     return parser
 
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkers.contracts import contract
+from repro.checkers.hb import note_buffer_release
 from repro.checkers.sanitize import DoubleRelease, poison_buffer, sanitize_enabled
 from repro.checkers.shapes import Float64
 from repro.fd import stencils
@@ -89,6 +90,10 @@ class BufferPool:
                     f"twice (id={id(arr):#x})"
                 )
             self._free_ids.add(id(arr))
+            # the happens-before tracker vetoes racy reuse of buffers
+            # whose move-send is still in flight (the poison below would
+            # corrupt the receiver)
+            note_buffer_release(arr)
             poison_buffer(arr)
         self._free.setdefault((arr.shape, arr.dtype), []).append(arr)
 

@@ -30,6 +30,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.checkers.hb import PendingOp
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -38,7 +39,19 @@ from repro.parallel.simmpi import (
     SimMPIError,
 )
 
-__all__ = ["MPICommunicator", "MPIMPI"]
+__all__ = ["MPICommunicator", "MPIMPI", "current_pending_op"]
+
+#: Process-local blocked-op stack.  A real MPI runtime has no timeout
+#: guard to hang a wait-for graph on, but a hung rank inspected from a
+#: signal handler or debugger can still name the op it is parked in.
+_PENDING: list[PendingOp] = []
+
+
+def current_pending_op() -> PendingOp | None:
+    """The blocking operation this rank process is currently inside
+    (``None`` when computing).  Diagnostic hook for hang triage under
+    ``mpirun`` — see ``docs/STATIC_ANALYSIS.md``."""
+    return _PENDING[-1] if _PENDING else None
 
 # ---- launcher registration (repro.parallel.backends) ------------------------------
 
@@ -102,7 +115,15 @@ class MPICommunicator(CommunicatorBase):
 
         mpi_source = MPI.ANY_SOURCE if source == ANY_SOURCE else source
         mpi_tag = MPI.ANY_TAG if tag == ANY_TAG else tag
-        payload = self._mpi.recv(source=mpi_source, tag=mpi_tag)
+        _PENDING.append(PendingOp(
+            rank=self.world_rank, kind="Recv", comm=self.id,
+            source=self.members[source] if source >= 0 else None,
+            tag=None if tag == ANY_TAG else tag,
+        ))
+        try:
+            payload = self._mpi.recv(source=mpi_source, tag=mpi_tag)
+        finally:
+            _PENDING.pop()
         if buf is not None:
             arr = np.asarray(payload)
             if buf.shape != arr.shape:

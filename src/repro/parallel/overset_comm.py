@@ -285,6 +285,27 @@ class OversetExchanger:
         for k in range(nf):
             fields[k][:, i, j] = vals[k]
 
+    def protocol_ops(self, tag0: int = 0) -> dict:
+        """Wire protocol of one packed :meth:`exchange_state` for this
+        rank, as ``{"recvs": [(src_world, tag)], "sends": [(dest_world,
+        tag)]}`` in posting order.
+
+        Derived from the same plan objects ``_packed_begin`` iterates —
+        no communicator needed (the exchanger may be built with
+        ``world=None``), so the schedule model checker
+        (:func:`repro.checkers.schedule.dynamo_step_programs`) checks
+        the protocol that actually ships.
+        """
+        donor, receptor = self._post_plan()
+        recv_tag = _TAG_BASE + tag0 + 4 * self.panel_index
+        send_tag = _TAG_BASE + tag0 + 4 * (1 - self.panel_index)
+        return {
+            "recvs": [(self._world_rank(1 - self.panel_index, d), recv_tag)
+                      for d in receptor.sources],
+            "sends": [(self._world_rank(1 - self.panel_index, r), send_tag)
+                      for r in donor.targets],
+        }
+
     @hot_path
     def _packed_begin(self, fields: Sequence[Array], tag0: int) -> list[tuple]:
         """Post all receives and pack+post all sends; returns the posted

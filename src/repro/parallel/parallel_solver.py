@@ -45,7 +45,7 @@ from repro.parallel.decomposition import PanelDecomposition
 from repro.parallel.backends import get_backend, select, select_overlap
 from repro.parallel.halo import HaloExchanger
 from repro.parallel.overset_comm import OversetExchanger
-from repro.parallel.simmpi import CommunicatorBase
+from repro.parallel.simmpi import CommunicatorBase, SimMPIError
 
 Array = np.ndarray
 
@@ -691,6 +691,7 @@ def run_parallel_dynamo(
     restart=None,
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
+    verify_schedule: bool = False,
 ) -> ParallelRunResult:
     """Launch a world of ``2 * pth * pph`` ranks on the chosen launcher
     backend, run ``n_steps`` and return the gathered result.
@@ -709,9 +710,31 @@ def run_parallel_dynamo(
     backend without non-blocking support warns and runs blocking.  The
     schedule that actually ran is recorded in
     ``ParallelRunResult.overlap``.
+
+    ``verify_schedule=True`` model-checks the step's communication
+    protocol for this exact layout *before* launching any rank —
+    :func:`repro.checkers.schedule.check_deadlock_free` over the lifted
+    per-rank event programs — and raises :class:`SimMPIError` with the
+    blocked-cycle witness instead of hanging into the timeout guard.
     """
     resolved = select(backend)
     use_overlap = select_overlap(resolved, overlap) and packed
+    if verify_schedule:
+        from repro.checkers.schedule import (
+            check_deadlock_free,
+            dynamo_step_programs,
+        )
+
+        programs = dynamo_step_programs(
+            config.nth, config.nph, pth, pph, nr=config.nr,
+            overlap=use_overlap,
+        )
+        verdict = check_deadlock_free(programs, semantics="rendezvous")
+        if verdict.witness is not None:
+            raise SimMPIError(
+                f"schedule model checker: the step protocol for layout "
+                f"{pth}x{pph} can deadlock:\n" + verdict.witness.describe()
+            )
     launcher = get_backend(resolved)
     results = launcher.run(
         2 * pth * pph, _parallel_program, config, pth, pph, n_steps, packed,

@@ -37,6 +37,7 @@ Environment
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import pickle
 import queue as _queue
@@ -48,6 +49,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.checkers.hb import PendingOp, WaitForGraph
 from repro.checkers.sanitize import (
     ProtocolRecorder,
     ProtocolViolation,
@@ -58,10 +60,11 @@ from repro.parallel.frames import ndarray_nbytes
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
-    DEFAULT_TIMEOUT,
     CommunicatorBase,
+    DeadlockError,
     DeadlockTimeout,
     SimMPIError,
+    resolve_timeout,
 )
 from repro.parallel.transport import (
     COLL_CHANNEL,
@@ -123,11 +126,89 @@ class ProcWorkerError(SimMPIError):
     re-raised directly (unpicklable); carries the formatted traceback."""
 
 
+#: Bytes per rank in the blocked-op register (length word + JSON blob).
+_REG_SLOT = 512
+
+
+class _OpRegister:
+    """Cross-process blocked-op register: one fixed slot per rank.
+
+    Each rank publishes the blocking operation it is currently parked
+    in (a :class:`~repro.checkers.hb.PendingOp` as JSON) into its own
+    slot of a tiny shared segment, so *any* process — a peer whose
+    receive just timed out, or the launcher's run guard — can read a
+    whole-world wait-for snapshot without anyone cooperating.
+
+    Writes are length-last: the length word is zeroed, the payload
+    bytes land, then the 4-byte little-endian length makes them
+    visible.  A reader can therefore never see a length describing
+    bytes that are not yet written; a reader racing a *rewrite* of the
+    same slot can still tear, which surfaces as a JSON decode failure
+    and is reported as "no op" rather than guessed at.
+    """
+
+    def __init__(self, nprocs: int, name: str | None = None):
+        self.nprocs = nprocs
+        if name is None:
+            self.seg = shared_memory.SharedMemory(
+                create=True, size=nprocs * _REG_SLOT
+            )
+            self.owner = True
+        else:
+            self.seg = shared_memory.SharedMemory(name=name)
+            self.owner = False
+
+    @property
+    def name(self) -> str:
+        return self.seg.name
+
+    def publish(self, rank: int, op: PendingOp | None) -> None:
+        base = rank * _REG_SLOT
+        buf = self.seg.buf
+        buf[base:base + 4] = b"\x00\x00\x00\x00"
+        if op is None:
+            return
+        d = op.as_dict()
+        blob = json.dumps(d).encode()
+        if len(blob) > _REG_SLOT - 4:  # degrade: drop the long fields
+            d["members"] = []
+            d["detail"] = str(d.get("detail", ""))[:64]
+            d["comm"] = str(d.get("comm", ""))[:32]
+            blob = json.dumps(d).encode()
+        buf[base + 4:base + 4 + len(blob)] = blob
+        buf[base:base + 4] = len(blob).to_bytes(4, "little")
+
+    def read_all(self) -> dict[int, dict | None]:
+        """Best-effort snapshot of every rank's published op dict."""
+        out: dict[int, dict | None] = {}
+        buf = self.seg.buf
+        for r in range(self.nprocs):
+            base = r * _REG_SLOT
+            n = int.from_bytes(bytes(buf[base:base + 4]), "little")
+            if not 0 < n <= _REG_SLOT - 4:
+                out[r] = None
+                continue
+            try:
+                out[r] = json.loads(bytes(buf[base + 4:base + 4 + n]))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                out[r] = None  # torn rewrite; treat as running
+        return out
+
+    def close(self) -> None:
+        with contextlib.suppress(BufferError):
+            self.seg.close()
+
+    def unlink(self) -> None:
+        with contextlib.suppress(FileNotFoundError):
+            self.seg.unlink()
+
+
 class _ProcRuntime:
     """One rank process's view of the shared transport."""
 
     def __init__(self, world_rank: int, nprocs: int, arena_name: str,
-                 slot_bytes: int, n_slots: int, free_q, inboxes, timeout: float):
+                 slot_bytes: int, n_slots: int, free_q, inboxes, timeout: float,
+                 register_name: str | None = None):
         self.world_rank = world_rank
         self.nprocs = nprocs
         self.slot_bytes = slot_bytes
@@ -145,22 +226,73 @@ class _ProcRuntime:
         self.arena = shared_memory.SharedMemory(name=arena_name)
         #: descriptors popped from my inbox but not yet matched
         self.pending: list[tuple] = []
+        self.register = (
+            _OpRegister(nprocs, name=register_name) if register_name else None
+        )
+        #: blocking ops can nest (a collective's internal sends may park
+        #: on slot acquisition) — publish the innermost one
+        self._op_stack: list[PendingOp] = []
+        #: once a deadlock is diagnosed the published op stays up, so
+        #: peers (and the launcher) that read later still see the full
+        #: blocked picture while this process unwinds
+        self._stuck = False
+
+    # ---- wait-for registration (shared with RootedRendezvous) -----------------
+
+    def wfg_enter(self, op: PendingOp) -> PendingOp:
+        self._op_stack.append(op)
+        if self.register is not None:
+            self.register.publish(self.world_rank, op)
+        return op
+
+    def wfg_exit(self, rank: int | None = None) -> None:
+        if self._op_stack:
+            self._op_stack.pop()
+        if self.register is not None and not self._stuck:
+            self.register.publish(
+                self.world_rank,
+                self._op_stack[-1] if self._op_stack else None,
+            )
+
+    def deadlock_error(self, base: str) -> DeadlockTimeout:
+        """Upgrade a bare timeout into a wait-for-graph diagnosis.
+
+        Reads every rank's published op from the shared register;
+        called while this rank's own op is still up (the registration
+        is cleared on the way out, and stays up once ``_stuck``)."""
+        if self.register is None:
+            return DeadlockTimeout(base)
+        self._stuck = True
+        raw = self.register.read_all()
+        snap = WaitForGraph.snapshot_from_dicts(raw, self.nprocs)
+        cycle = WaitForGraph.find_cycle(snap)
+        return DeadlockError(
+            base + "\n" + WaitForGraph.describe(snap, cycle),
+            pending=raw,
+            cycle=cycle,
+        )
 
     # ---- slot management ------------------------------------------------------
 
     def _acquire_slots(self, n: int) -> list[int]:
         slots: list[int] = []
+        self.wfg_enter(PendingOp(
+            rank=self.world_rank, kind="slot-acquire",
+            detail=f"{n} slot(s) of {self.slot_bytes} B",
+        ))
         try:
             for _ in range(n):
                 slots.append(self.free_q.get(timeout=self.timeout))
         except _queue.Empty:
             for s in slots:
                 self.free_q.put(s)
-            raise DeadlockTimeout(
+            raise self.deadlock_error(
                 f"shared-memory arena exhausted: rank {self.world_rank} waited "
                 f"{self.timeout}s for {n} slot(s); raise REPRO_PROCMPI_SLOTS "
                 f"(= {self.n_slots}) or REPRO_PROCMPI_SLOT_BYTES"
             ) from None
+        finally:
+            self.wfg_exit()
         return slots
 
     def _write_slots(self, arr: np.ndarray, slots: list[int]) -> None:
@@ -249,7 +381,7 @@ class _ProcRuntime:
                 return desc[1], desc[2], self._materialise(desc)
             remaining = deadline - _time.monotonic()
             if remaining <= 0:
-                raise DeadlockTimeout(
+                raise self.deadlock_error(
                     f"Recv(chan={chan!r}, source={source}, tag={tag}) timed out "
                     f"after {self.timeout}s on world rank {self.world_rank}"
                 )
@@ -260,6 +392,8 @@ class _ProcRuntime:
 
     def close(self) -> None:
         self.pending.clear()
+        if self.register is not None:
+            self.register.close()
         # a stray view can pin the mmap; leak it quietly in that case
         with contextlib.suppress(BufferError):
             self.arena.close()
@@ -319,7 +453,15 @@ class ProcCommunicator(RootedRendezvous, CommunicatorBase):
 
     def Recv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
              tag: int = ANY_TAG) -> Any:
-        src, matched_tag, payload = self._rt.recv(self.id, source, tag)
+        self._rt.wfg_enter(PendingOp(
+            rank=self._rt.world_rank, kind="Recv", comm=self.id,
+            source=self.members[source] if source >= 0 else None,
+            tag=None if tag == ANY_TAG else tag,
+        ))
+        try:
+            src, matched_tag, payload = self._rt.recv(self.id, source, tag)
+        finally:
+            self._rt.wfg_exit()
         if self._recorder is not None:
             self._recorder.note_recv(self.id, src, self.rank, matched_tag)
         if buf is not None:
@@ -357,11 +499,13 @@ def _pack_exception(exc: BaseException) -> tuple[str, Any]:
 
 def _worker_main(rank: int, nprocs: int, arena_name: str, slot_bytes: int,
                  n_slots: int, free_q, inboxes, result_q, timeout: float,
+                 register_name: str | None,
                  fn: Callable[..., Any], fn_args: tuple, fn_kwargs: dict) -> None:
     """Entry point of one rank process (module-level: spawn-picklable)."""
     try:
         runtime = _ProcRuntime(rank, nprocs, arena_name, slot_bytes, n_slots,
-                               free_q, inboxes, timeout)
+                               free_q, inboxes, timeout,
+                               register_name=register_name)
     except BaseException as exc:  # noqa: BLE001 - reported to launcher
         result_q.put(("err", rank, _pack_exception(exc)))
         return
@@ -399,14 +543,14 @@ class ProcMPI:
     ) -> list[Any]:
         import multiprocessing as mp
 
-        if timeout is None:
-            timeout = DEFAULT_TIMEOUT
+        timeout = resolve_timeout(timeout)
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         method = start_method or os.environ.get("REPRO_PROCMPI_START", "spawn")
         ctx = mp.get_context(method)
         n_slots, slot_bytes = _arena_geometry()
         arena = shared_memory.SharedMemory(create=True, size=n_slots * slot_bytes)
+        register = _OpRegister(nprocs)
         free_q = ctx.Queue()
         for i in range(n_slots):
             free_q.put(i)
@@ -416,7 +560,8 @@ class ProcMPI:
             ctx.Process(
                 target=_worker_main,
                 args=(r, nprocs, arena.name, slot_bytes, n_slots, free_q,
-                      inboxes, result_q, timeout, fn, args, kwargs),
+                      inboxes, result_q, timeout, register.name,
+                      fn, args, kwargs),
                 name=f"procmpi-rank-{r}",
                 daemon=True,
             )
@@ -450,9 +595,17 @@ class ProcMPI:
                         elif _time.monotonic() < deadline:
                             continue
                         else:
-                            error = DeadlockTimeout(
-                                f"process world of {nprocs} did not report within "
-                                f"{2 * timeout:.0f}s run guard (deadlock or crash?)"
+                            # the op register tells deadlock from crash:
+                            # read every rank's published blocking op
+                            raw = register.read_all()
+                            snap = WaitForGraph.snapshot_from_dicts(raw, nprocs)
+                            cycle = WaitForGraph.find_cycle(snap)
+                            error = DeadlockError(
+                                f"process world of {nprocs} did not report "
+                                f"within {2 * timeout:.0f}s run guard\n"
+                                + WaitForGraph.describe(snap, cycle),
+                                pending=raw,
+                                cycle=cycle,
                             )
                         break
                 if error is not None:
@@ -486,6 +639,8 @@ class ProcMPI:
             arena.close()
             with contextlib.suppress(FileNotFoundError):
                 arena.unlink()
+            register.close()
+            register.unlink()
         if error is not None:
             raise error
         return results

@@ -58,13 +58,17 @@ from typing import Any
 
 import numpy as np
 
+from repro.checkers.hb import HBTracker, PendingOp, WaitForGraph
+from repro.checkers.hb import activate_tracker, deactivate_tracker
 from repro.checkers.sanitize import (
     ProtocolRecorder,
     ProtocolViolation,
+    _send_site,
     freeze_payload,
     sanitize_enabled,
     set_last_protocol_report,
 )
+from repro.parallel.fuzz import ScheduleFuzzer
 
 ANY_SOURCE = -2
 ANY_TAG = -1
@@ -109,6 +113,16 @@ def _timeout_from_env(default: float = 120.0) -> float:
 DEFAULT_TIMEOUT = _timeout_from_env()
 
 
+def resolve_timeout(timeout: float | None = None) -> float:
+    """The single ``timeout=None -> DEFAULT_TIMEOUT`` resolution point.
+
+    Every launcher (thread, process, socket — including the socket
+    worker side) funnels through here instead of repeating the dance,
+    so the env-var default stays consistent across backends.
+    """
+    return DEFAULT_TIMEOUT if timeout is None else timeout
+
+
 class SimMPIError(RuntimeError):
     pass
 
@@ -117,24 +131,72 @@ class DeadlockTimeout(SimMPIError):
     """A blocking receive/collective did not complete within the guard."""
 
 
+class DeadlockError(DeadlockTimeout):
+    """A blocking op timed out, with the wait-for graph attached.
+
+    ``pending`` maps world rank to the op dict it was blocked in (or
+    ``None`` for ranks that were still running); ``cycle`` is the
+    blocked waits-on cycle when one exists (``[r0, r1, ..., r0]``).
+    Subclasses :class:`DeadlockTimeout` so existing ``except``/
+    ``pytest.raises`` sites keep working — the upgrade is diagnosis,
+    not a new failure mode.
+    """
+
+    def __init__(self, message: str, pending: dict | None = None,
+                 cycle: list[int] | None = None):
+        super().__init__(message)
+        self.pending = pending or {}
+        self.cycle = list(cycle) if cycle else None
+
+    def __reduce__(self):
+        # picklable across the process/socket result channels
+        return (type(self), (self.args[0], self.pending, self.cycle))
+
+
 @dataclass
 class _Message:
     source: int
     tag: int
     payload: Any
+    #: sender's vector clock at send time (sanitize runs only)
+    clock: tuple | None = None
 
 
 class _MailBox:
-    """Per-(comm, receiver-rank) queue with (source, tag) matching."""
+    """Per-(comm, receiver-rank) queue with (source, tag) matching.
 
-    def __init__(self):
+    With a :class:`~repro.parallel.fuzz.ScheduleFuzzer` attached,
+    deliveries are jittered and may be *held back* until the next
+    ``get`` — reordering visibility across (source, tag) streams while
+    preserving MPI's per-stream FIFO (a held message blocks later
+    same-stream deliveries from overtaking it, and every ``get`` flushes
+    the held set first, so no artificial deadlock is introduced).
+    """
+
+    def __init__(self, fuzz: ScheduleFuzzer | None = None):
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._messages: list[_Message] = []
+        self._held: list[_Message] = []
+        self._fuzz = fuzz
 
     def put(self, msg: _Message) -> None:
+        fuzz = self._fuzz
+        if fuzz is not None:
+            fuzz.sleep_jitter()
         with self._cond:
-            self._messages.append(msg)
+            # a stream with a held message must queue behind it (the
+            # get-time flush appends held messages last, so letting a
+            # same-stream follower into the visible list would reorder
+            # the stream); only otherwise is holding a free choice
+            same_stream_held = any(
+                h.source == msg.source and h.tag == msg.tag
+                for h in self._held
+            )
+            if fuzz is not None and (same_stream_held or fuzz.hold()):
+                self._held.append(msg)
+            else:
+                self._messages.append(msg)
             self._cond.notify_all()
 
     def get(self, source: int, tag: int, timeout: float) -> _Message:
@@ -147,14 +209,17 @@ class _MailBox:
             return None
 
         with self._cond:
-            idx = match()
-            while idx is None:
+            while True:
+                if self._held:
+                    self._messages.extend(self._held)
+                    self._held.clear()
+                idx = match()
+                if idx is not None:
+                    return self._messages.pop(idx)
                 if not self._cond.wait(timeout=timeout):
                     raise DeadlockTimeout(
                         f"Recv(source={source}, tag={tag}) timed out after {timeout}s"
                     )
-                idx = match()
-            return self._messages.pop(idx)
 
 
 class _Runtime:
@@ -175,13 +240,36 @@ class _Runtime:
         self.recorder: ProtocolRecorder | None = (
             ProtocolRecorder() if sanitize_enabled() else None
         )
+        #: wait-for graph: always on (two dict writes per blocking op)
+        self.wfg = WaitForGraph(nprocs)
+        #: happens-before tracker: armed with the sanitizer
+        self.hb: HBTracker | None = (
+            HBTracker(nprocs) if self.recorder is not None else None
+        )
+        #: schedule-perturbation fuzzer (REPRO_SCHED_FUZZ)
+        self.fuzz = ScheduleFuzzer.from_env()
 
     def mailbox(self, comm_id: str, rank: int) -> _MailBox:
         key = (comm_id, rank)
         with self._boxes_lock:
             if key not in self._boxes:
-                self._boxes[key] = _MailBox()
+                self._boxes[key] = _MailBox(self.fuzz)
             return self._boxes[key]
+
+    def deadlock_error(self, base: str) -> DeadlockError:
+        """Upgrade a bare timeout into a wait-for-graph diagnosis.
+
+        Called from ``except DeadlockTimeout`` blocks *before* the
+        blocked op is popped, so the failing rank's own op is in the
+        snapshot too."""
+        snap = self.wfg.pending_snapshot()
+        cycle = WaitForGraph.find_cycle(snap)
+        return DeadlockError(
+            base + "\n" + WaitForGraph.describe(snap, cycle),
+            pending={r: (op.as_dict() if op is not None else None)
+                     for r, op in snap.items()},
+            cycle=cycle,
+        )
 
     def exchange(
         self, comm: Communicator, seq: int, payload: Any
@@ -190,27 +278,42 @@ class _Runtime:
         deposited for the same sequence number; returns all payloads."""
         key = (comm.id, seq)
         size = comm.size
-        with self._coll_cond:
-            slot = self._coll_slots.setdefault(key, {})
-            slot[comm.rank] = payload
-            if len(slot) == size:
-                self._coll_done[key] = self._coll_slots.pop(key)
-                self._coll_cond.notify_all()
-            else:
-                while key not in self._coll_done:
-                    if not self._coll_cond.wait(timeout=self.timeout):
-                        raise DeadlockTimeout(
-                            f"collective seq={seq} on comm {comm.id} timed out "
-                            f"({len(slot)}/{size} ranks arrived)"
-                        )
-            result = self._coll_done[key]
-            # last rank to leave cleans up
-            slot_readers = self._coll_slots.setdefault(("readers",) + key, {})  # type: ignore[arg-type]
-            slot_readers[comm.rank] = True
-            if len(slot_readers) == size:
-                del self._coll_done[key]
-                del self._coll_slots[("readers",) + key]  # type: ignore[arg-type]
-            return result
+        hb = self.hb
+        if hb is not None:
+            payload = (hb.send_event(comm.world_rank), payload)
+        self.wfg.enter(PendingOp(
+            rank=comm.world_rank, kind="collective", comm=comm.id, seq=seq,
+            members=tuple(comm.members),
+        ))
+        try:
+            with self._coll_cond:
+                slot = self._coll_slots.setdefault(key, {})
+                slot[comm.rank] = payload
+                if len(slot) == size:
+                    self._coll_done[key] = self._coll_slots.pop(key)
+                    self._coll_cond.notify_all()
+                else:
+                    while key not in self._coll_done:
+                        if not self._coll_cond.wait(timeout=self.timeout):
+                            raise self.deadlock_error(
+                                f"collective seq={seq} on comm {comm.id} timed out "
+                                f"({len(slot)}/{size} ranks arrived)"
+                            )
+                result = self._coll_done[key]
+                # last rank to leave cleans up
+                slot_readers = self._coll_slots.setdefault(("readers",) + key, {})  # type: ignore[arg-type]
+                slot_readers[comm.rank] = True
+                if len(slot_readers) == size:
+                    del self._coll_done[key]
+                    del self._coll_slots[("readers",) + key]  # type: ignore[arg-type]
+        finally:
+            self.wfg.exit(comm.world_rank)
+        if hb is not None:
+            # the rendezvous orders every member after every deposit
+            hb.collective_event(comm.world_rank,
+                                [v[0] for v in result.values()])
+            result = {r: v[1] for r, v in result.items()}
+        return result
 
 
 @dataclass
@@ -298,6 +401,13 @@ class CommunicatorBase:
     def _note_collective(self, op: str) -> None:
         if self._recorder is not None:
             self._recorder.note_collective(self.id, self.rank, op)
+
+    def hb_clock(self) -> tuple | None:
+        """This rank's current vector clock, when happens-before tracking
+        is armed (thread backend under ``REPRO_SANITIZE=1``); ``None``
+        otherwise.  Consumed by the tracing wrapper so message records
+        carry their causal timestamps."""
+        return None
 
     # ---- transport hooks (backend-specific) -----------------------------------
 
@@ -458,21 +568,46 @@ class Communicator(CommunicatorBase):
         if isinstance(payload, np.ndarray):
             self.bytes_sent += payload.nbytes
         self.messages_sent += 1
+        clock = None
+        hb = self._runtime.hb
+        if hb is not None:
+            clock = hb.send_event(self.world_rank)
+            if move and isinstance(payload, np.ndarray):
+                # in-flight window: the sender's pool must not recycle
+                # this buffer until the receipt happens-before the release
+                hb.open_window(self.world_rank, payload,
+                               self.members[dest], _send_site())
         if self._recorder is not None:
             self._recorder.note_send(self.id, self.rank, dest, tag)
             if move:
                 freeze_payload(payload)
         box = self._runtime.mailbox(self.id, dest)
-        box.put(_Message(source=self.rank, tag=tag, payload=payload))
+        box.put(_Message(source=self.rank, tag=tag, payload=payload,
+                         clock=clock))
 
     def Recv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
              tag: int = ANY_TAG) -> Any:
         """Blocking receive.  With an ndarray ``buf`` the payload is copied
         into it (mpi4py upper-case convention); the payload is returned
         either way."""
-        msg = self._runtime.mailbox(self.id, self.rank).get(
-            source, tag, self._runtime.timeout
-        )
+        rt = self._runtime
+        rt.wfg.enter(PendingOp(
+            rank=self.world_rank, kind="Recv", comm=self.id,
+            source=self.members[source] if source >= 0 else None,
+            tag=None if tag == ANY_TAG else tag,
+        ))
+        try:
+            msg = rt.mailbox(self.id, self.rank).get(source, tag, rt.timeout)
+        except DeadlockError:
+            raise
+        except DeadlockTimeout as exc:
+            raise rt.deadlock_error(str(exc)) from None
+        finally:
+            rt.wfg.exit(self.world_rank)
+        if rt.hb is not None:
+            rt.hb.recv_event(self.world_rank, msg.clock)
+            if isinstance(msg.payload, np.ndarray):
+                rt.hb.mark_received(self.world_rank, msg.payload)
         if self._recorder is not None:
             self._recorder.note_recv(self.id, msg.source, self.rank, msg.tag)
         if buf is not None:
@@ -491,6 +626,10 @@ class Communicator(CommunicatorBase):
 
     def _make_child(self, comm_id: str, members: Sequence[int]) -> Communicator:
         return Communicator(self._runtime, comm_id, members, self.world_rank)
+
+    def hb_clock(self) -> tuple | None:
+        hb = self._runtime.hb
+        return hb.clock_of(self.world_rank) if hb is not None else None
 
 
 class SimMPI:
@@ -520,8 +659,7 @@ class SimMPI:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank; returns the
         per-rank return values in rank order.  Any rank exception aborts
         the world and is re-raised (with all failures noted)."""
-        if timeout is None:
-            timeout = DEFAULT_TIMEOUT
+        timeout = resolve_timeout(timeout)
         if backend != "thread":
             from repro.parallel.backends import get_backend
 
@@ -534,6 +672,8 @@ class SimMPI:
         results: list[Any] = [None] * nprocs
 
         def runner(rank: int) -> None:
+            if runtime.hb is not None:
+                runtime.hb.register_thread(rank)
             comm = Communicator(runtime, "world", list(range(nprocs)), rank)
             try:
                 results[rank] = fn(comm, *args, **kwargs)
@@ -545,16 +685,33 @@ class SimMPI:
             threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
             for r in range(nprocs)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=timeout * 2)
-            if t.is_alive():
-                raise DeadlockTimeout(f"{t.name} did not terminate (deadlock?)")
+        if runtime.hb is not None:
+            activate_tracker(runtime.hb)
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=timeout * 2)
+                if t.is_alive():
+                    raise runtime.deadlock_error(
+                        f"{t.name} did not terminate"
+                    )
+        finally:
+            if runtime.hb is not None:
+                deactivate_tracker(runtime.hb)
         if runtime.failures:
-            raise runtime.failures[0]
+            # concurrent timeouts race to snapshot the wait-for graph;
+            # surface the failure that caught the cycle when one did
+            fail = runtime.failures[0]
+            for f in runtime.failures:
+                if isinstance(f, DeadlockError) and f.cycle:
+                    fail = f
+                    break
+            raise fail
         if runtime.recorder is not None:
             report = runtime.recorder.report()
+            if runtime.hb is not None:
+                report.races.extend(runtime.hb.races())
             set_last_protocol_report(report)
             if not report.ok:
                 raise ProtocolViolation(report.summary())

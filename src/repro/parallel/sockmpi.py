@@ -68,6 +68,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.checkers.hb import PendingOp, WaitForGraph
 from repro.checkers.sanitize import (
     ProtocolRecorder,
     ProtocolViolation,
@@ -75,14 +76,16 @@ from repro.checkers.sanitize import (
     sanitize_enabled,
 )
 from repro.parallel.frames import Frame, encode_frame, read_frame
+from repro.parallel.fuzz import ScheduleFuzzer
 from repro.parallel.procmpi import _pack_exception, _pack_result
 from repro.parallel.simmpi import (
     ANY_SOURCE,
     ANY_TAG,
-    DEFAULT_TIMEOUT,
     CommunicatorBase,
+    DeadlockError,
     DeadlockTimeout,
     SimMPIError,
+    resolve_timeout,
 )
 from repro.parallel.transport import RootedRendezvous, verify_protocol
 
@@ -215,6 +218,34 @@ class _SockRuntime:
         self.recorder: ProtocolRecorder | None = (
             ProtocolRecorder() if sanitize_enabled() else None
         )
+        #: blocking ops can nest (a collective recv inside the
+        #: rendezvous); the innermost one names why this rank is stuck
+        self._op_stack: list[PendingOp] = []
+
+    # ---- wait-for registration (shared with RootedRendezvous) -----------------
+
+    def wfg_enter(self, op: PendingOp) -> PendingOp:
+        self._op_stack.append(op)
+        return op
+
+    def wfg_exit(self, rank: int | None = None) -> None:
+        if self._op_stack:
+            self._op_stack.pop()
+
+    def deadlock_error(self, base: str) -> DeadlockError:
+        """Upgrade a bare timeout: tell the coordinator why this rank is
+        stuck (a STUCK control notice with the innermost blocking op),
+        so the launcher can merge every rank's notice into the world
+        wait-for graph; the local error carries this rank's view."""
+        op = self._op_stack[-1] if self._op_stack else None
+        d = op.as_dict() if op is not None else None
+        with contextlib.suppress(OSError, ProtocolViolation, DeadlockTimeout):
+            self.send_ctl(("STUCK", self.world_rank, d))
+        detail = op.describe() if op is not None else "an unregistered blocking op"
+        return DeadlockError(
+            f"{base}\nrank {self.world_rank} blocked in {detail}",
+            pending={self.world_rank: d},
+        )
 
     def send(self, dest_world: int, chan: str, src_rank: int, tag: int,
              payload: Any) -> int:
@@ -260,12 +291,20 @@ class _SockRuntime:
                 return f.source, f.tag, f.materialise()
             remaining = deadline - _time.monotonic()
             if remaining <= 0:
-                raise DeadlockTimeout(
+                raise self.deadlock_error(
                     f"Recv(chan={chan!r}, source={source}, tag={tag}) timed "
                     f"out after {self.timeout}s on world rank {self.world_rank}"
                 )
             self.sock.settimeout(remaining)
-            self.pending.append(self._next_frame())
+            try:
+                self.pending.append(self._next_frame())
+            except DeadlockError:
+                raise
+            except DeadlockTimeout:
+                raise self.deadlock_error(
+                    f"Recv(chan={chan!r}, source={source}, tag={tag}) timed "
+                    f"out after {self.timeout}s on world rank {self.world_rank}"
+                ) from None
 
     def send_ctl(self, payload: Any) -> None:
         _send_frame(self.sock, self._wlock, CTL_CHANNEL, self.world_rank,
@@ -309,7 +348,15 @@ class SockCommunicator(RootedRendezvous, CommunicatorBase):
 
     def Recv(self, buf: np.ndarray | None = None, source: int = ANY_SOURCE,
              tag: int = ANY_TAG) -> Any:
-        src, matched_tag, payload = self._rt.recv(self.id, source, tag)
+        self._rt.wfg_enter(PendingOp(
+            rank=self._rt.world_rank, kind="Recv", comm=self.id,
+            source=self.members[source] if source >= 0 else None,
+            tag=None if tag == ANY_TAG else tag,
+        ))
+        try:
+            src, matched_tag, payload = self._rt.recv(self.id, source, tag)
+        finally:
+            self._rt.wfg_exit()
         if self._recorder is not None:
             self._recorder.note_recv(self.id, src, self.rank, matched_tag)
         if buf is not None:
@@ -337,8 +384,7 @@ def worker_join(address: str, *, timeout: float | None = None) -> Any:
     in-process loopback world.  Returns the rank function's value (and
     re-raises its exception after reporting it to the coordinator).
     """
-    if timeout is None:
-        timeout = DEFAULT_TIMEOUT
+    timeout = resolve_timeout(timeout)
     host, port = _parse_address(address)
     sock = _socket.create_connection((host, port), timeout=timeout)
     runtime: _SockRuntime | None = None
@@ -411,6 +457,14 @@ class _Router:
         #: seconds) — simulates network RTT on loopback worlds; the
         #: sleep happens in this reader thread, so senders never block
         self.latency = _latency_from_env()
+        #: seeded schedule perturbation (REPRO_SCHED_FUZZ): random
+        #: jitter before each forwarded frame, same idea as the fixed
+        #: latency above but per-message
+        self.fuzz = ScheduleFuzzer.from_env()
+        #: rank -> blocked-op dict from STUCK notices (ranks whose
+        #: blocking op timed out); merged into the world wait-for
+        #: graph by the launcher's collector
+        self.stuck: dict[int, dict | None] = {}
 
     def serve(self, rank: int) -> None:
         sock = self.socks[rank]
@@ -430,6 +484,9 @@ class _Router:
                         self.finished[rank] = True
                         self.result_q.put(("result", msg[1], msg[2], msg[3]))
                         continue  # drain until the worker closes
+                    if msg[0] == "STUCK":
+                        self.stuck[msg[1]] = msg[2]
+                        continue
                     raise ProtocolViolation(
                         f"unexpected control message {msg[0]!r} from rank {rank}"
                     )
@@ -439,6 +496,8 @@ class _Router:
                     )
                 if self.latency > 0.0:
                     _time.sleep(self.latency)
+                if self.fuzz is not None:
+                    self.fuzz.sleep_jitter()
                 dst = self.socks[frame.dest]
                 with self.wlocks[frame.dest]:
                     dst.sendall(frame.head)
@@ -499,8 +558,7 @@ class SockMPI:
 
     def run(self, nprocs: int, fn: Callable[..., Any], *args: Any,
             timeout: float = None, **kwargs: Any) -> list[Any]:
-        if timeout is None:
-            timeout = DEFAULT_TIMEOUT
+        timeout = resolve_timeout(timeout)
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         host, port = _parse_address(self.bind)
@@ -629,6 +687,30 @@ class SockMPI:
             n += 1
 
     @staticmethod
+    def _merge_deadlock(router: _Router, err: DeadlockError,
+                        nprocs: int) -> DeadlockError:
+        """One rank timed out; merge every rank's STUCK notice into the
+        world wait-for graph.  Peers share the same guard, so their
+        notices land within moments of the first — give them a beat."""
+        grace = _time.monotonic() + 1.5
+        while _time.monotonic() < grace:
+            blocked = {r for r in range(nprocs) if not router.finished[r]}
+            if blocked <= set(router.stuck):
+                break
+            _time.sleep(0.05)
+        merged = {
+            r: router.stuck.get(r, err.pending.get(r)) for r in range(nprocs)
+        }
+        snap = WaitForGraph.snapshot_from_dicts(merged, nprocs)
+        cycle = WaitForGraph.find_cycle(snap)
+        first_line = str(err.args[0]).splitlines()[0]
+        return DeadlockError(
+            first_line + "\n" + WaitForGraph.describe(snap, cycle),
+            pending=merged,
+            cycle=cycle,
+        )
+
+    @staticmethod
     def _collect(router: _Router, results: list[Any], nprocs: int,
                  timeout: float) -> BaseException | None:
         """Wait for every rank's RESULT (or the first failure/abort)."""
@@ -641,9 +723,17 @@ class SockMPI:
                 if router.abort_reason is not None:
                     return ProtocolViolation(router.abort_reason)
                 if _time.monotonic() > deadline:
-                    return DeadlockTimeout(
+                    # ranks that timed out said why (STUCK notices);
+                    # merge them into the world wait-for graph
+                    raw = {r: router.stuck.get(r) for r in range(nprocs)}
+                    snap = WaitForGraph.snapshot_from_dicts(raw, nprocs)
+                    cycle = WaitForGraph.find_cycle(snap)
+                    return DeadlockError(
                         f"socket world of {nprocs} did not report within "
-                        f"{2 * timeout:.0f}s run guard (deadlock or crash?)"
+                        f"{2 * timeout:.0f}s run guard\n"
+                        + WaitForGraph.describe(snap, cycle),
+                        pending=raw,
+                        cycle=cycle,
                     )
                 continue
             if kind == "abort":
@@ -657,8 +747,11 @@ class SockMPI:
                 if how == "exc":
                     blob, tb = payload
                     try:
-                        return pickle.loads(blob)
+                        error = pickle.loads(blob)
                     except Exception:
                         return SockWorkerError(f"rank {rank} failed:\n{tb}")
+                    if isinstance(error, DeadlockError):
+                        error = SockMPI._merge_deadlock(router, error, nprocs)
+                    return error
                 return SockWorkerError(f"rank {rank} failed:\n{payload}")
         return None

@@ -27,6 +27,11 @@ class MessageRecord:
     tag: int
     nbytes: int
     timestamp: float
+    #: sender's vector clock at send time (thread backend under
+    #: REPRO_SANITIZE=1; None elsewhere).  Lets a trace consumer check
+    #: happens-before claims offline: record A causally precedes B iff
+    #: A.clock is elementwise <= B.clock and not equal.
+    clock: tuple | None = None
 
 
 @dataclass
@@ -93,6 +98,7 @@ class TracedCommunicator:
             MessageRecord(
                 source=self._comm.rank, dest=dest, tag=tag,
                 nbytes=int(nbytes), timestamp=time.perf_counter(),
+                clock=self._comm.hb_clock(),
             )
         )
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.checkers.hb import PendingOp
 from repro.checkers.sanitize import (
     ProtocolRecorder,
     ProtocolViolation,
@@ -60,20 +61,41 @@ class RootedRendezvous:
     def _isolate(self, data: Any) -> Any:
         return data
 
+    def _coll_guard(self, what: str, seq: int):
+        """Register this collective with the runtime's wait-for graph
+        (when the runtime keeps one); returns the exit callable or None.
+        A rank stuck inside the rendezvous then times out with a
+        ``collective (comm, seq)`` op, and the cycle analysis knows
+        which members have not arrived at the same rendezvous."""
+        rt = self._rt
+        enter = getattr(rt, "wfg_enter", None)
+        if enter is None:
+            return None
+        enter(PendingOp(
+            rank=self.world_rank, kind="collective", comm=self.id,
+            seq=seq, members=tuple(self.members), detail=what,
+        ))
+        return rt.wfg_exit
+
     def _exchange(self, seq: int, payload: Any) -> dict[int, Any]:
         chan = self.id + COLL_CHANNEL
         rt = self._rt
-        if self.rank == 0:
-            slot: dict[int, Any] = {0: payload}
-            for _ in range(self.size - 1):
-                src, _, p = rt.recv(chan, ANY_SOURCE, seq)
-                slot[src] = p
-            for r in range(1, self.size):
-                rt.send(self.members[r], chan, 0, seq, slot)
-            return slot
-        rt.send(self.members[0], chan, self.rank, seq, payload)
-        _, _, result = rt.recv(chan, 0, seq)
-        return result
+        wfg_exit = self._coll_guard("exchange", seq)
+        try:
+            if self.rank == 0:
+                slot: dict[int, Any] = {0: payload}
+                for _ in range(self.size - 1):
+                    src, _, p = rt.recv(chan, ANY_SOURCE, seq)
+                    slot[src] = p
+                for r in range(1, self.size):
+                    rt.send(self.members[r], chan, 0, seq, slot)
+                return slot
+            rt.send(self.members[0], chan, self.rank, seq, payload)
+            _, _, result = rt.recv(chan, 0, seq)
+            return result
+        finally:
+            if wfg_exit is not None:
+                wfg_exit()
 
     def gather(self, data: Any, root: int = 0) -> list[Any] | None:
         """Root-only collection — the payloads are shipped to ``root``
@@ -82,26 +104,36 @@ class RootedRendezvous:
         self._note_collective("gather")
         seq = self._next_seq()
         chan = self.id + COLL_CHANNEL
-        if self.rank == root:
-            slot: dict[int, Any] = {root: data}
-            for _ in range(self.size - 1):
-                src, _, p = self._rt.recv(chan, ANY_SOURCE, seq)
-                slot[src] = p
-            return [slot[r] for r in range(self.size)]
-        self._rt.send(self.members[root], chan, self.rank, seq, data)
-        return None
+        wfg_exit = self._coll_guard("gather", seq)
+        try:
+            if self.rank == root:
+                slot: dict[int, Any] = {root: data}
+                for _ in range(self.size - 1):
+                    src, _, p = self._rt.recv(chan, ANY_SOURCE, seq)
+                    slot[src] = p
+                return [slot[r] for r in range(self.size)]
+            self._rt.send(self.members[root], chan, self.rank, seq, data)
+            return None
+        finally:
+            if wfg_exit is not None:
+                wfg_exit()
 
     def bcast(self, data: Any, root: int = 0) -> Any:
         self._note_collective("bcast")
         seq = self._next_seq()
         chan = self.id + COLL_CHANNEL
-        if self.rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self._rt.send(self.members[r], chan, root, seq, data)
-            return data
-        _, _, payload = self._rt.recv(chan, root, seq)
-        return payload
+        wfg_exit = self._coll_guard("bcast", seq)
+        try:
+            if self.rank == root:
+                for r in range(self.size):
+                    if r != root:
+                        self._rt.send(self.members[r], chan, root, seq, data)
+                return data
+            _, _, payload = self._rt.recv(chan, root, seq)
+            return payload
+        finally:
+            if wfg_exit is not None:
+                wfg_exit()
 
 
 def verify_protocol(world, rec: ProtocolRecorder) -> None:
