@@ -1,0 +1,86 @@
+"""Benchmark: per-family lint passes vs the single-pass driver.
+
+``repro-paper lint`` used to run each rule family as its own pass,
+re-reading and re-parsing every source file per family (the shape pass
+even parsed twice: registry collection + check).  The single-pass
+driver (:func:`repro.checkers.driver.lint_all_paths`) parses each file
+once and shares the tree across all four families.  This script times
+both over ``src/`` and writes the comparison to
+``BENCH_lint_runtime.json`` in the repository root.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_lint_runtime.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.checkers.determinism import determinism_lint_paths  # noqa: E402
+from repro.checkers.driver import ALL_RULES, lint_all_paths  # noqa: E402
+from repro.checkers.linter import lint_paths  # noqa: E402
+from repro.checkers.schedule import schedule_lint_paths  # noqa: E402
+from repro.checkers.shapes import shape_lint_paths  # noqa: E402
+
+PATHS = ["src"]
+REPEATS = 5
+
+
+def _time(fn) -> tuple[float, int]:
+    """Best-of-REPEATS wall time and the violation count of one run."""
+    best = float("inf")
+    count = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        violations, _ = fn()
+        best = min(best, time.perf_counter() - t0)
+        count = len(violations)
+    return best, count
+
+
+def _per_family() -> tuple[list, int]:
+    """The historical multi-pass flow: four independent drivers."""
+    violations = []
+    n_files = 0
+    for driver in (lint_paths, shape_lint_paths, schedule_lint_paths,
+                   determinism_lint_paths):
+        found, n_files = driver(PATHS)
+        violations.extend(found)
+    return violations, n_files
+
+
+def main() -> int:
+    multi_s, multi_count = _time(_per_family)
+    single_s, single_count = _time(lambda: lint_all_paths(PATHS))
+    if multi_count != single_count:
+        raise SystemExit(
+            f"drivers disagree: multi-pass found {multi_count} "
+            f"violation(s), single-pass {single_count}"
+        )
+    n_files = lint_all_paths(PATHS)[1]
+    result = {
+        "paths": PATHS,
+        "files": n_files,
+        "rules": len(ALL_RULES),
+        "repeats": REPEATS,
+        "per_family_passes_s": round(multi_s, 4),
+        "single_pass_s": round(single_s, 4),
+        "speedup": round(multi_s / single_s, 2),
+        "violations": single_count,
+    }
+    out = REPO_ROOT / "BENCH_lint_runtime.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

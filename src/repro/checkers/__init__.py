@@ -37,6 +37,24 @@ protocol.  This package makes those rules checkable:
     buffer-window race detection for the thread backend, and the
     wait-for graph every backend's blocking ops register with so
     timeouts diagnose the per-rank cycle (``DeadlockError``).
+:mod:`repro.checkers.determinism`
+    The bitwise-determinism rules REP013-REP016 — nondeterministic
+    iteration order feeding numerics or comm, unordered floating-point
+    reductions, ambient nondeterminism reachable from ``@hot_path``
+    kernels, and FP-contraction / fast-math hazards in the compiled C
+    backend's sources and compile flags.
+:mod:`repro.checkers.fingerprint`
+    Merkle-style SHA-256 state digests (field → panel → root) behind
+    the repo's bitwise serial-equals-parallel invariant: per-step
+    :class:`~repro.checkers.fingerprint.Fingerprint` timelines,
+    :func:`~repro.checkers.fingerprint.first_divergence` localization
+    to (step, panel, field), and the shared test assertion
+    :func:`~repro.checkers.fingerprint.assert_bitwise_equal`.  Drives
+    ``repro-paper verify-bitwise``.
+:mod:`repro.checkers.driver`
+    The single-pass lint driver: all four rule families (REP001-REP016)
+    over one shared AST parse per file — what ``repro-paper lint``
+    runs by default.
 """
 
 from repro.checkers.contracts import (
@@ -44,6 +62,22 @@ from repro.checkers.contracts import (
     apply_contract,
     contract,
     contracts_enabled,
+)
+from repro.checkers.determinism import (
+    DETERMINISM_RULES,
+    determinism_lint_paths,
+    determinism_lint_source,
+)
+from repro.checkers.driver import ALL_RULES, lint_all_paths
+from repro.checkers.fingerprint import (
+    Divergence,
+    Fingerprint,
+    assert_bitwise_equal,
+    field_digest,
+    fingerprint_state,
+    first_divergence,
+    state_digests,
+    states_root_digest,
 )
 from repro.checkers.hb import (
     HBTracker,
@@ -84,11 +118,15 @@ from repro.checkers.shapes import (
 )
 
 __all__ = [
+    "ALL_RULES",
+    "DETERMINISM_RULES",
     "SCHEDULE_RULES",
     "SHAPE_RULES",
     "Array",
     "ContractViolation",
+    "Divergence",
     "DoubleRelease",
+    "Fingerprint",
     "Float32",
     "Float64",
     "HBTracker",
@@ -103,17 +141,26 @@ __all__ = [
     "WaitForGraph",
     "Witness",
     "apply_contract",
+    "assert_bitwise_equal",
     "check_deadlock_free",
     "contract",
     "contracts_enabled",
+    "determinism_lint_paths",
+    "determinism_lint_source",
     "dominates",
     "dynamo_step_programs",
+    "field_digest",
+    "fingerprint_state",
+    "first_divergence",
     "hot_path",
     "last_protocol_report",
     "lift_function",
+    "lint_all_paths",
     "lint_paths",
     "lint_source",
     "merge_clocks",
+    "state_digests",
+    "states_root_digest",
     "sanitize_enabled",
     "schedule_lint_paths",
     "schedule_lint_source",

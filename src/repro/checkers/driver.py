@@ -1,0 +1,103 @@
+"""Single-pass lint driver: all rule families over one shared parse.
+
+``repro-paper lint`` historically ran up to three separate passes —
+:func:`~repro.checkers.linter.lint_paths` (REP001-004, REP009),
+:func:`~repro.checkers.shapes.shape_lint_paths` (REP005-008, which
+itself parsed every file *twice*: once for the annotation registry,
+once for the check) and
+:func:`~repro.checkers.schedule.schedule_lint_paths` (REP010-012) —
+re-reading and re-parsing the tree each time.  With the determinism
+family (REP013-016) that would have been a fourth full parse.
+
+:func:`lint_all_paths` reads and parses each file exactly once, feeds
+the shared tree to every family's ``*_lint_source`` via their ``tree=``
+parameter, and builds both cross-file registries (the shape annotation
+registry and the determinism call registry) from the same parse.
+``benchmarks/bench_lint_runtime.py`` records the wall-time ratio in
+``BENCH_lint_runtime.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.checkers.determinism import (
+    DETERMINISM_RULES,
+    DeterminismRegistry,
+    determinism_collect,
+    determinism_lint_source,
+)
+from repro.checkers.linter import RULES, Violation, _iter_files, lint_source
+from repro.checkers.schedule import SCHEDULE_RULES, schedule_lint_source
+from repro.checkers.shapes import (
+    SHAPE_RULES,
+    _collect,
+    _Registry,
+    shape_lint_source,
+)
+
+__all__ = ["ALL_RULES", "lint_all_paths"]
+
+#: Every rule the linter knows, across all four families.
+ALL_RULES: dict[str, str] = {
+    **RULES, **SHAPE_RULES, **SCHEDULE_RULES, **DETERMINISM_RULES,
+}
+
+
+def lint_all_paths(
+    paths: Sequence[str],
+    rules: Sequence[str] | None = None,
+    *,
+    sizes=(2, 3, 4),
+    max_states: int = 20_000,
+) -> tuple[list[Violation], int]:
+    """Run every selected rule family over one shared parse per file.
+
+    ``rules`` defaults to all of REP001-REP016; a subset runs only the
+    families it touches.  Returns ``(violations, files seen)`` like the
+    per-family drivers, with violations sorted by position.
+    """
+    selected = set(rules) if rules is not None else set(ALL_RULES)
+    core = selected & set(RULES)
+    shape = selected & set(SHAPE_RULES)
+    sched = selected & set(SCHEDULE_RULES)
+    deter = selected & set(DETERMINISM_RULES)
+
+    files = _iter_files(paths)
+    parsed: list[tuple[str, str, ast.Module]] = []
+    shape_reg = _Registry()
+    det_reg = DeterminismRegistry()
+    for f in files:
+        source = Path(f).read_text()
+        tree = ast.parse(source, filename=str(f))
+        parsed.append((source, str(f), tree))
+        if shape:
+            _collect(tree, shape_reg)
+        if deter:
+            determinism_collect(tree, str(f), det_reg)
+
+    violations: list[Violation] = []
+    for source, path, tree in parsed:
+        if core:
+            violations.extend(
+                lint_source(source, path, rules=sorted(core), tree=tree)
+            )
+        if shape:
+            violations.extend(shape_lint_source(
+                source, path, rules=sorted(shape), registry=shape_reg,
+                tree=tree,
+            ))
+        if sched:
+            violations.extend(schedule_lint_source(
+                source, path, rules=sorted(sched), sizes=sizes,
+                max_states=max_states, tree=tree,
+            ))
+        if deter:
+            violations.extend(determinism_lint_source(
+                source, path, rules=sorted(deter), tree=tree,
+                registry=det_reg,
+            ))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, len(parsed)

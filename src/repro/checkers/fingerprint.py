@@ -1,0 +1,215 @@
+"""State fingerprints: merkle-style SHA-256 digests of solver states.
+
+The repo's central invariant — the parallel result is *bitwise*
+identical to serial (paper Section IV) — used to be asserted by ~15
+hand-rolled ``np.testing.assert_array_equal`` loops scattered through
+the test suite, each reporting "arrays differ" with no idea *where* a
+run diverged.  This module turns the invariant into data:
+
+* :func:`field_digest` hashes one prognostic array — dtype, shape and
+  the raw little-endian bytes, so two arrays share a digest iff they
+  are bitwise identical (``+0.0`` and ``-0.0`` differ; identical NaN
+  payloads match — stricter than ``==``-based comparison on both
+  counts);
+* :func:`fingerprint_state` rolls field digests up merkle-style
+  (field → panel → root) into a :class:`Fingerprint` record for one
+  step of a run, accepting either a Yin-Yang panel pair or a single
+  :class:`~repro.mhd.state.MHDState`;
+* :func:`first_divergence` diffs two fingerprint timelines and names
+  the first divergent ``(step, panel, field)`` instead of "arrays
+  differ";
+* :func:`assert_bitwise_equal` is the shared test/CLI assertion built
+  on the same digests.
+
+The digests ride along in checkpoint archives
+(:func:`repro.core.checkpoint.save_checkpoint` embeds the root under
+``meta=``), are recorded per step by
+:class:`repro.engine.observers.FingerprintObserver`, and drive the
+``repro-paper verify-bitwise`` configuration-matrix harness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Divergence",
+    "Fingerprint",
+    "assert_bitwise_equal",
+    "field_digest",
+    "fingerprint_state",
+    "first_divergence",
+    "state_digests",
+    "states_root_digest",
+]
+
+#: Panel key used for a bare (non-panel) state.
+SINGLE = "single"
+
+
+def field_digest(arr: np.ndarray) -> str:
+    """SHA-256 over dtype, shape and raw bytes of one array.
+
+    The dtype/shape header keeps a ``(2, 4)`` float64 field from
+    colliding with a ``(4, 2)`` one holding the same bytes; arrays are
+    made contiguous (a bitwise no-op) so views hash like their copies.
+    """
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(f"{a.dtype.str}:{a.shape}:".encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _digest_mapping(pairs: Sequence[tuple[str, str]]) -> str:
+    """Merkle combine: hash the sorted ``name:digest`` lines."""
+    h = hashlib.sha256()
+    for name, digest in sorted(pairs):
+        h.update(f"{name}:{digest}\n".encode())
+    return h.hexdigest()
+
+
+def _as_panel_states(states) -> list[tuple[str, object]]:
+    """Normalize a panel pair / single state to ``[(key, MHDState)]``."""
+    if isinstance(states, Mapping):
+        return [(getattr(p, "value", str(p)), s) for p, s in states.items()]
+    return [(SINGLE, states)]
+
+
+def state_digests(states) -> dict[str, dict[str, str]]:
+    """Per-panel, per-field digests of a panel pair or single state."""
+    out: dict[str, dict[str, str]] = {}
+    for key, state in _as_panel_states(states):
+        out[key] = {n: field_digest(a) for n, a in state.named_arrays()}
+    return out
+
+
+def states_root_digest(states) -> str:
+    """The merkle root digest of a panel pair or single state."""
+    fields = state_digests(states)
+    panel_digests = [
+        (panel, _digest_mapping(sorted(per.items())))
+        for panel, per in fields.items()
+    ]
+    return _digest_mapping(panel_digests)
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Per-field, per-panel digests of one step's solver state."""
+
+    step: int
+    time: float
+    #: panel key ("yin"/"yang"/"single") -> field name -> digest
+    fields: dict[str, dict[str, str]]
+    #: merkle root over the panels
+    root: str
+
+    def panel_digest(self, panel: str) -> str:
+        return _digest_mapping(sorted(self.fields[panel].items()))
+
+    def summary(self) -> str:
+        return f"step {self.step} t={self.time:.6g} root {self.root[:16]}"
+
+
+def fingerprint_state(states, *, step: int = 0, time: float = 0.0) -> Fingerprint:
+    """Fingerprint a Yin-Yang panel pair or a single state."""
+    fields = state_digests(states)
+    panel_digests = [
+        (panel, _digest_mapping(sorted(per.items())))
+        for panel, per in fields.items()
+    ]
+    return Fingerprint(
+        step=step, time=time, fields=fields, root=_digest_mapping(panel_digests)
+    )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point two fingerprint timelines disagree."""
+
+    step: int
+    panel: str
+    field: str
+    digest_a: str
+    digest_b: str
+
+    def describe(self) -> str:
+        return (
+            f"first divergence at step {self.step}, panel {self.panel!r}, "
+            f"field {self.field!r}: {self.digest_a[:16]} != {self.digest_b[:16]}"
+        )
+
+
+def _first_field_mismatch(a: Fingerprint, b: Fingerprint) -> tuple[str, str] | None:
+    """Earliest (panel, field) where two same-step fingerprints differ.
+
+    Panels in sorted order, fields in the canonical prognostic order
+    (:data:`repro.mhd.state.FIELD_NAMES`) so "rho diverged" is reported
+    before the fields it feeds.
+    """
+    from repro.mhd.state import FIELD_NAMES
+
+    for panel in sorted(set(a.fields) | set(b.fields)):
+        fa = a.fields.get(panel, {})
+        fb = b.fields.get(panel, {})
+        names = list(FIELD_NAMES) + sorted((set(fa) | set(fb)) - set(FIELD_NAMES))
+        for name in names:
+            if fa.get(name) != fb.get(name):
+                return panel, name
+    return None
+
+
+def first_divergence(
+    a: Sequence[Fingerprint], b: Sequence[Fingerprint]
+) -> Divergence | None:
+    """Diff two fingerprint timelines; None when every common step matches.
+
+    Timelines are matched on ``step`` (restart legs join mid-run, so
+    the step sets need not be equal); the earliest common step whose
+    root digests differ is localized to its first divergent
+    (panel, field).
+    """
+    by_step = {fp.step: fp for fp in b}
+    for fa in sorted(a, key=lambda fp: fp.step):
+        fb = by_step.get(fa.step)
+        if fb is None or fa.root == fb.root:
+            continue
+        if set(fa.fields) != set(fb.fields):  # panel-pair vs single, say
+            panel = sorted(set(fa.fields) ^ set(fb.fields))[0]
+            return Divergence(fa.step, panel, "<layout>", fa.root, fb.root)
+        hit = _first_field_mismatch(fa, fb)
+        assert hit is not None  # roots differ, same panel set
+        panel, name = hit
+        return Divergence(
+            fa.step, panel, name,
+            fa.fields.get(panel, {}).get(name, "<absent>"),
+            fb.fields.get(panel, {}).get(name, "<absent>"),
+        )
+    return None
+
+
+def assert_bitwise_equal(actual, expected, *, step: int | None = None,
+                         context: str = "") -> None:
+    """Assert two states (panel pairs or singles) are bitwise identical.
+
+    On mismatch, raises ``AssertionError`` naming the first divergent
+    (step, panel, field) with both digests — the shared replacement for
+    the per-test ``assert_array_equal`` loops.
+    """
+    fa = fingerprint_state(actual, step=step or 0)
+    fb = fingerprint_state(expected, step=step or 0)
+    if fa.root == fb.root:
+        return
+    div = first_divergence([fa], [fb])
+    assert div is not None
+    where = f" at step {step}" if step is not None else ""
+    prefix = f"{context}: " if context else ""
+    raise AssertionError(
+        f"{prefix}states not bitwise equal{where}: panel {div.panel!r}, "
+        f"field {div.field!r}: {div.digest_a[:16]} != {div.digest_b[:16]}"
+    )

@@ -548,10 +548,20 @@ def _parallel_scope(tree: ast.AST, path: str) -> bool:
 
 
 def lint_source(
-    source: str, path: str = "<string>", rules: Sequence[str] | None = None
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[str] | None = None,
+    *,
+    tree: ast.AST | None = None,
 ) -> list[Violation]:
-    """Lint one module's source; returns noqa-filtered violations."""
-    tree = ast.parse(source, filename=path)
+    """Lint one module's source; returns noqa-filtered violations.
+
+    ``tree`` accepts a pre-parsed module so the single-pass driver
+    (:func:`repro.checkers.driver.lint_all_paths`) parses each file
+    exactly once across all rule families.
+    """
+    if tree is None:
+        tree = ast.parse(source, filename=path)
     selected = set(rules) if rules is not None else set(RULES)
     found: list[Violation] = []
     if "REP001" in selected:

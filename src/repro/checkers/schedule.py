@@ -1037,13 +1037,19 @@ def schedule_lint_source(
     *,
     sizes=(2, 3, 4),
     max_states: int = 20_000,
+    tree=None,
 ) -> list:
-    """Run REP010-REP012 over one file's source."""
+    """Run REP010-REP012 over one file's source.
+
+    ``tree`` accepts a pre-parsed module (the single-pass driver's
+    shared parse).
+    """
     active = set(rules) if rules is not None else set(SCHEDULE_RULES)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError:
-        return []
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            return []
     if not _parallel_scope(tree, path):
         return []
     found: list[Violation] = []

@@ -1447,9 +1447,16 @@ def shape_lint_source(
     path: str = "<string>",
     rules: Sequence[str] | None = None,
     registry: _Registry | None = None,
+    *,
+    tree: ast.Module | None = None,
 ) -> list[Violation]:
-    """Shape-lint one module's source; returns noqa-filtered violations."""
-    tree = ast.parse(source, filename=path)
+    """Shape-lint one module's source; returns noqa-filtered violations.
+
+    ``tree`` accepts a pre-parsed module (the single-pass driver's
+    shared parse); ``registry`` the cross-file annotation registry.
+    """
+    if tree is None:
+        tree = ast.parse(source, filename=path)
     reg = registry
     if reg is None:
         reg = _Registry()
@@ -1477,14 +1484,15 @@ def shape_lint_paths(
     """
     files = _iter_files(paths)
     reg = _Registry()
-    parsed: list[tuple[str, str]] = []
+    parsed: list[tuple[str, str, ast.Module]] = []
     for f in files:
         source = Path(f).read_text()
-        parsed.append((source, str(f)))
-        _collect(ast.parse(source, filename=str(f)), reg)
+        tree = ast.parse(source, filename=str(f))
+        parsed.append((source, str(f), tree))
+        _collect(tree, reg)
     violations: list[Violation] = []
-    for source, path in parsed:
+    for source, path, tree in parsed:
         violations.extend(
-            shape_lint_source(source, path, rules=rules, registry=reg)
+            shape_lint_source(source, path, rules=rules, registry=reg, tree=tree)
         )
     return violations, len(files)

@@ -15,7 +15,8 @@ script) prints the reproduced tables and figures:
 ``kernels``    detected kernel backends and build-cache status
 ``backends``   detected launcher backends (thread/process/socket/...)
 ``worker``     join a socket-launcher world as an external worker
-``lint``       REP001-REP004 invariant lint over the source tree
+``lint``       single-pass REP001-REP016 reproducibility lint
+``verify-bitwise``  cross-configuration bitwise state-digest check
 =============  =====================================================
 """
 
@@ -207,44 +208,26 @@ def _cmd_worker(args) -> None:
 
 
 def _cmd_lint(args) -> None:
-    from repro.checkers.linter import RULES, lint_paths, to_json
-    from repro.checkers.schedule import SCHEDULE_RULES, schedule_lint_paths
-    from repro.checkers.shapes import SHAPE_RULES, shape_lint_paths
+    """All sixteen REP rules in one pass over one shared parse per file.
 
-    known = {**RULES, **SHAPE_RULES, **SCHEDULE_RULES}
+    ``--rules`` selects a subset; ``--shapes``/``--schedule``/``--all``
+    are retained for script compatibility but every family now runs by
+    default (the historical opt-in flags are no-ops).
+    """
+    from repro.checkers.driver import ALL_RULES, lint_all_paths
+    from repro.checkers.linter import to_json
+
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in known]
+        unknown = [r for r in rules if r not in ALL_RULES]
         if unknown:
             raise SystemExit(
                 f"unknown rule(s) {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(known))}"
+                f"known: {', '.join(sorted(ALL_RULES))}"
             )
-        core_rules = [r for r in rules if r in RULES]
-        shape_rules = [r for r in rules if r in SHAPE_RULES]
-        sched_rules = [r for r in rules if r in SCHEDULE_RULES]
     else:
-        core_rules = list(RULES)
-        shape_rules = list(SHAPE_RULES) if getattr(args, "shapes", False) else []
-        sched_rules = (
-            list(SCHEDULE_RULES) if getattr(args, "schedule", False) else []
-        )
-
-    violations: list = []
-    n_files = 0
-    if core_rules:
-        violations, n_files = lint_paths(args.paths, rules=core_rules)
-    if shape_rules:
-        shape_violations, n_files = shape_lint_paths(args.paths, rules=shape_rules)
-        violations = violations + shape_violations
-    if sched_rules:
-        sched_violations, n_files = schedule_lint_paths(
-            args.paths, rules=sched_rules
-        )
-        violations = violations + sched_violations
-    violations = sorted(
-        violations, key=lambda v: (v.path, v.line, v.col, v.rule)
-    )
+        rules = None
+    violations, n_files = lint_all_paths(args.paths, rules=rules)
     if args.format == "json":
         print(to_json(violations, n_files))
     else:
@@ -257,6 +240,165 @@ def _cmd_lint(args) -> None:
         )
     if violations:
         raise SystemExit(1)
+
+
+def _verify_bitwise_cases():
+    """Named configurations and the serial reference each must match.
+
+    Each case is ``(name, kernels, ref_kernels, run_kwargs)``:
+    ``kernels`` is the ``REPRO_KERNELS`` value the case runs under,
+    ``ref_kernels`` the kernel backend of the serial reference timeline
+    it must be bitwise-identical to, and ``run_kwargs`` feeds
+    :func:`~repro.parallel.parallel_solver.run_parallel_dynamo` (``None``
+    = a serial run).  Kernel backends are *not* required to match each
+    other — different operation orders round differently — except the
+    compiled C backend, whose contract is bitwise identity with
+    ``fused`` (mirroring ``test_rhs_c_bitwise_matches_fused``).  The
+    ``fused`` case is a second serial fused run: run-to-run stability.
+    ``elastic`` is special-cased in the driver (checkpoint mid-run at
+    4 ranks, restart at 2).
+    """
+    return [
+        ("fused", "fused", "fused", None),
+        ("c", "c", "fused", None),
+        ("thread", "numpy", "numpy", {"backend": "thread"}),
+        ("thread-overlap", "numpy", "numpy",
+         {"backend": "thread", "overlap": True}),
+        ("process", "numpy", "numpy", {"backend": "process"}),
+        ("process-overlap", "numpy", "numpy",
+         {"backend": "process", "overlap": True}),
+        ("socket", "numpy", "numpy", {"backend": "socket"}),
+        ("elastic", "numpy", "numpy", {"backend": "process"}),
+    ]
+
+
+def _cmd_verify_bitwise(args) -> None:
+    """Bitwise cross-configuration verification harness.
+
+    Runs one serial numpy reference, fingerprinting every step, then
+    replays the same configuration through each requested case (kernel
+    backends, launcher backends, overlapped schedules, an elastic
+    restart) and demands digest-for-digest identical state timelines.
+    The first mismatch is reported as (step, panel, field).  Exit 1 on
+    any divergence; unavailable backends are reported and skipped.
+    """
+    import os
+    import tempfile
+
+    from repro.checkers.fingerprint import first_divergence
+    from repro.core.config import RunConfig
+    from repro.core.yycore import YinYangDynamo
+    from repro.engine import FingerprintObserver
+    from repro.parallel.backends import probe
+    from repro.parallel.parallel_solver import run_parallel_dynamo
+
+    cases = _verify_bitwise_cases()
+    wanted = ["process", "c"] if args.smoke else (
+        [c.strip() for c in args.cases.split(",") if c.strip()]
+        if args.cases else [name for name, _, _, _ in cases]
+    )
+    known = {name for name, _, _, _ in cases}
+    unknown = [c for c in wanted if c not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown case(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+
+    config = RunConfig(nr=args.nr, nth=args.nth, nph=args.nph, dt=1e-4)
+    steps = args.steps
+
+    def serial_timeline(kernels: str | None):
+        saved = os.environ.get("REPRO_KERNELS")
+        try:
+            if kernels is not None:
+                os.environ["REPRO_KERNELS"] = kernels
+            driver = YinYangDynamo(config)
+            observer = FingerprintObserver()
+            driver.run(steps, observers=(observer,))
+            backend = next(iter(driver.equations.values())).kernel_backend
+            return observer.fingerprints, backend
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_KERNELS", None)
+            else:
+                os.environ["REPRO_KERNELS"] = saved
+
+    def parallel_timeline(kernels, run_kwargs, *, elastic=False):
+        saved = os.environ.get("REPRO_KERNELS")
+        try:
+            if kernels is not None:
+                os.environ["REPRO_KERNELS"] = kernels
+            if not elastic:
+                result = run_parallel_dynamo(
+                    config, 1, 2, steps, fingerprint_every=1,
+                    timeout=args.timeout, **run_kwargs,
+                )
+                return result.fingerprints
+            # elastic: checkpoint at 4 ranks mid-run, restart at 2 ranks
+            with tempfile.TemporaryDirectory() as tmp:
+                half = max(1, steps // 2)
+                run_parallel_dynamo(
+                    config, 1, 2, half, checkpoint_dir=tmp,
+                    checkpoint_every=half, timeout=args.timeout,
+                    **run_kwargs,
+                )
+                archive = os.path.join(tmp, f"checkpoint_{half:06d}.npz")
+                result = run_parallel_dynamo(
+                    config, 1, 1, steps - half, restart=archive,
+                    fingerprint_every=1, timeout=args.timeout, **run_kwargs,
+                )
+                return result.fingerprints
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_KERNELS", None)
+            else:
+                os.environ["REPRO_KERNELS"] = saved
+
+    print(f"grid: nr={args.nr} nth={args.nth} nph={args.nph}, "
+          f"{steps} step(s); serial references built per kernel backend")
+    references: dict[str, list] = {}
+
+    def reference(ref_kernels: str):
+        if ref_kernels not in references:
+            timeline, got = serial_timeline(ref_kernels)
+            if got != ref_kernels:
+                raise SystemExit(
+                    f"serial {ref_kernels!r} reference resolved to "
+                    f"{got!r}; cannot build the comparison baseline"
+                )
+            references[ref_kernels] = timeline
+        return references[ref_kernels]
+
+    failures: list[str] = []
+    for name, kernels, ref_kernels, run_kwargs in cases:
+        if name not in wanted:
+            continue
+        if run_kwargs is not None:
+            info = probe(run_kwargs["backend"])
+            if not info.available:
+                print(f"  {name:<16} SKIP ({info.detail})")
+                continue
+            timeline = parallel_timeline(
+                kernels, run_kwargs, elastic=(name == "elastic"),
+            )
+        else:
+            timeline, got = serial_timeline(kernels)
+            if got != kernels:
+                print(f"  {name:<16} SKIP (kernel backend resolved to "
+                      f"{got!r}; build unavailable?)")
+                continue
+        divergence = first_divergence(reference(ref_kernels), timeline)
+        if divergence is None:
+            print(f"  {name:<16} OK   ({len(timeline)} fingerprint(s) "
+                  f"bitwise-identical to serial {ref_kernels})")
+        else:
+            print(f"  {name:<16} FAIL (vs serial {ref_kernels}) "
+                  f"{divergence.describe()}")
+            failures.append(name)
+    if failures:
+        raise SystemExit(1)
+    print("verify-bitwise: all compared configurations bitwise-identical")
 
 
 def _cmd_analyze_deadlock(args) -> None:
@@ -429,28 +571,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="check the REP001-REP004 invariants (hot-path allocations, "
-             "move=True ownership, tag matching, rank-dependent collectives); "
-             "--shapes adds the REP005-REP008 symbolic shape/dtype pass, "
-             "--schedule the REP010-REP012 concurrency pass",
+        help="run all REP001-REP016 reproducibility invariants in a "
+             "single pass: hot-path allocations / ownership / tags / "
+             "collectives, symbolic shape+dtype contracts, the "
+             "concurrency pass, and the bitwise-determinism rules "
+             "(unordered iteration, unordered FP reductions, ambient "
+             "nondeterminism, FP-contraction hazards)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="output format")
     p.add_argument("--rules", default=None, metavar="REP001,REP002,...",
-                   help="comma-separated rule subset (default: REP001-REP004, "
-                        "plus REP005-REP008 with --shapes and "
-                        "REP010-REP012 with --schedule)")
+                   help="comma-separated rule subset "
+                        "(default: all of REP001-REP016)")
+    p.add_argument("--all", action="store_true",
+                   help="run every rule family (this is the default; the "
+                        "flag exists so scripts can say it explicitly)")
     p.add_argument("--shapes", action="store_true",
-                   help="also run the symbolic shape-inference rules "
-                        "REP005-REP008 over annotated call boundaries")
+                   help="deprecated no-op: the REP005-REP008 shape rules "
+                        "now run by default")
     p.add_argument("--schedule", action="store_true",
-                   help="also run the concurrency rules REP010-REP012: "
-                        "model-check lifted comm protocols for deadlock, "
-                        "flag send-buffer writes before the request wait "
-                        "and unpaired split-phase exchanges")
+                   help="deprecated no-op: the REP010-REP012 concurrency "
+                        "rules now run by default")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "verify-bitwise",
+        help="dynamic bitwise-determinism harness: run a serial numpy "
+             "reference with per-step state digests, replay through "
+             "kernel/launcher/overlap/elastic-restart configurations, "
+             "and fail naming the first divergent (step, panel, field)",
+    )
+    p.add_argument("--nr", type=int, default=5)
+    p.add_argument("--nth", type=int, default=10)
+    p.add_argument("--nph", type=int, default=30)
+    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-run deadlock-guard timeout (seconds)")
+    p.add_argument("--cases", default=None,
+                   metavar="fused,c,thread,...",
+                   help="comma-separated case subset (default: all of "
+                        "fused, c, thread, thread-overlap, process, "
+                        "process-overlap, socket, elastic)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI subset: just the process launcher and the "
+                        "compiled C kernel backend")
+    p.set_defaults(fn=_cmd_verify_bitwise)
 
     p = sub.add_parser(
         "analyze",

@@ -50,6 +50,8 @@ def save_checkpoint(
     makes elastic (rank-count-changing) restarts possible.  Returns the
     path written.
     """
+    from repro.checkers.fingerprint import states_root_digest
+
     path = Path(path)
     payload: dict[str, np.ndarray] = {
         "_version": np.array(_FORMAT_VERSION),
@@ -58,6 +60,10 @@ def save_checkpoint(
     }
     for key, value in (meta or {}).items():
         payload[f"{_META}{key}"] = np.array(value)
+    # Bitwise state digest, always embedded: `repro-paper verify-bitwise`
+    # and verify_checkpoint() use it to detect any post-save corruption
+    # or cross-configuration drift without loading a reference run.
+    payload[f"{_META}fingerprint"] = np.array(states_root_digest(states))
     if isinstance(states, MHDState):
         payload["_layout"] = np.array(_SINGLE)
         for name, arr in states.named_arrays():
@@ -116,3 +122,27 @@ def read_meta(path: str | Path) -> dict[str, str | int | float]:
             if key.startswith(_META):
                 meta[key[len(_META):]] = data[key].item()
     return meta
+
+
+def verify_checkpoint(path: str | Path) -> str:
+    """Check an archive's stored bitwise fingerprint against its fields.
+
+    Recomputes the state root digest from the loaded arrays and compares
+    it to the ``_meta:fingerprint`` embedded at save time.  Returns the
+    digest on success; raises ``ValueError`` on mismatch (bit rot, a
+    truncated copy, or hand-edited fields) or when the archive predates
+    fingerprint embedding.
+    """
+    from repro.checkers.fingerprint import states_root_digest
+
+    stored = read_meta(path).get("fingerprint")
+    if stored is None:
+        raise ValueError(f"{path}: no fingerprint recorded in this archive")
+    states, _, _ = load_checkpoint(path)
+    actual = states_root_digest(states)
+    if actual != stored:
+        raise ValueError(
+            f"{path}: fingerprint mismatch — stored {stored}, "
+            f"recomputed {actual}"
+        )
+    return actual

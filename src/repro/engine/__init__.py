@@ -19,6 +19,7 @@ from repro.engine.controller import (
 from repro.engine.integrator import IntegrationResult, Integrator, StepEvent, integrate
 from repro.engine.observers import (
     CheckpointObserver,
+    FingerprintObserver,
     HealthGuard,
     HistoryRecorder,
     StepObserver,
@@ -44,6 +45,7 @@ __all__ = [
     "HistoryRecorder",
     "HealthGuard",
     "CheckpointObserver",
+    "FingerprintObserver",
     "TimerObserver",
     "TimeDependentSystem",
     "IntegrableDriver",

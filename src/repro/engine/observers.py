@@ -141,6 +141,43 @@ class CheckpointObserver(StepObserver):
             self._save(driver, step)
 
 
+class FingerprintObserver(StepObserver):
+    """Record bitwise state digests every ``every`` steps.
+
+    Captures a :class:`~repro.checkers.fingerprint.Fingerprint` of the
+    driver's full state (per-field SHA-256, combined per panel and into
+    one root digest) in ``on_start`` — the pre-step state — and after
+    every ``every``-th step.  Two runs of the same configuration must
+    produce identical fingerprint timelines; comparing timelines with
+    :func:`~repro.checkers.fingerprint.first_divergence` names the first
+    (step, panel, field) where they part ways.
+    """
+
+    def __init__(self, every: int = 1):
+        require(every >= 1, "every must be >= 1")
+        self.every = every
+        self.fingerprints: list = []
+
+    def _capture(self, driver, step: int) -> None:
+        from repro.checkers.fingerprint import fingerprint_state
+
+        self.fingerprints.append(fingerprint_state(
+            driver.state, step=step, time=float(getattr(driver, "time", 0.0))
+        ))
+
+    def on_start(self, driver) -> None:
+        if getattr(driver, "state", None) is None:
+            raise TypeError(
+                "FingerprintObserver needs a driver with a `state` "
+                f"attribute; {type(driver).__name__} does not provide one"
+            )
+        self._capture(driver, int(getattr(driver, "step_count", 0)))
+
+    def after_step(self, event) -> None:
+        if event.step % self.every == 0:
+            self._capture(event.driver, event.step)
+
+
 class TimerObserver(StepObserver):
     """Attribute wall-clock time to the run loop, mirroring the paper's
     per-phase MPIPROGINF accounting.

@@ -37,7 +37,11 @@ from repro.fd.ckernels.csrc import CDEF, CSRC
 
 _CACHE_ENV = "REPRO_CKERNELS_CACHE"
 _MODULE_NAME = "_repro_ckernels"
-_COMPILE_ARGS = ["-O3", "-ffp-contract=off"]
+#: Public so the determinism lint (REP016) and docs can point at the
+#: exact flag set: -ffp-contract=off is the bitwise contract with the
+#: NumPy reference, not an optimization preference.
+COMPILE_ARGS = ["-O3", "-ffp-contract=off"]
+_COMPILE_ARGS = COMPILE_ARGS  # legacy alias
 
 #: Memoized (lib, ffi) pair / failure reason for this process.
 _loaded: tuple | None = None

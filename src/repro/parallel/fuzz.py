@@ -92,7 +92,9 @@ class ScheduleFuzzer:
     def sleep_jitter(self) -> None:
         d = self.delay()
         if d > 0.0:
-            time.sleep(d)
+            # the fuzzer exists to perturb timing; the bitwise tests
+            # assert the results don't care
+            time.sleep(d)  # repro: noqa-REP015
 
     def hold(self) -> bool:
         """Whether to park this delivery until the receiver's next get."""

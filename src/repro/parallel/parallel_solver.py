@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.config import RunConfig
 from repro.core.guard import HealthReport, assert_healthy
 from repro.engine import CadenceController, IntegrationResult, Integrator
-from repro.engine.observers import TimerObserver
+from repro.engine.observers import StepObserver, TimerObserver
 from repro.grids.base import SphericalPatch
 from repro.grids.component import Panel
 from repro.grids.yinyang import YinYangGrid
@@ -632,13 +632,49 @@ class ParallelRunResult:
     rank_interior_seconds: list[float] = field(default_factory=list)
     #: per-world-rank wall seconds in the rim RHS pass (blocking: whole RHS)
     rank_rim_seconds: list[float] = field(default_factory=list)
+    #: global-state :class:`~repro.checkers.fingerprint.Fingerprint`
+    #: timeline (rank 0 only; empty unless ``fingerprint_every`` was set)
+    fingerprints: list = field(default_factory=list)
+
+
+class _GatherFingerprints(StepObserver):
+    """Collective bitwise fingerprints of the *global* gathered state.
+
+    Every rank participates in ``gather_state`` (it is collective — the
+    panel gathers and the cross-panel Send/Recv need all ranks), and
+    world rank 0 records the resulting pair's digest.  Captured before
+    the first step and after every ``every``-th step, so the timeline
+    lines up with a serial run observed by
+    :class:`~repro.engine.observers.FingerprintObserver`.
+    """
+
+    def __init__(self, every: int):
+        self.every = every
+        self.fingerprints: list = []
+
+    def _capture(self, driver) -> None:
+        from repro.checkers.fingerprint import fingerprint_state
+
+        pair = driver.gather_state()
+        if pair is not None:
+            self.fingerprints.append(fingerprint_state(
+                pair, step=driver.step_count, time=float(driver.time)
+            ))
+
+    def on_start(self, driver) -> None:
+        self._capture(driver)
+
+    def after_step(self, event) -> None:
+        if event.step % self.every == 0:
+            self._capture(event.driver)
 
 
 def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
                       pph: int, n_steps: int, packed: bool = True,
                       restart=None, checkpoint_dir=None,
                       checkpoint_every: int | None = None,
-                      overlap: bool = False):
+                      overlap: bool = False,
+                      fingerprint_every: int | None = None):
     """One rank's whole program: build, (restore,) run, gather.
 
     Module-level (not a closure) so the process backend can pickle it
@@ -656,6 +692,10 @@ def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
         ))
     elif restart is not None:
         solver.restore_checkpoint(restart)
+    prints = None
+    if fingerprint_every:
+        prints = _GatherFingerprints(fingerprint_every)
+        observers.append(prints)
     result = solver.run(n_steps, observers=tuple(observers))
     rank_seconds = world.allgather(float(timer.total_seconds))
     rank_phases = world.allgather((
@@ -674,6 +714,7 @@ def _parallel_program(world: CommunicatorBase, config: RunConfig, pth: int,
             rank_comm_seconds=[p[0] for p in rank_phases],
             rank_interior_seconds=[p[1] for p in rank_phases],
             rank_rim_seconds=[p[2] for p in rank_phases],
+            fingerprints=prints.fingerprints if prints is not None else [],
         )
     return None
 
@@ -692,6 +733,7 @@ def run_parallel_dynamo(
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
     verify_schedule: bool = False,
+    fingerprint_every: int | None = None,
 ) -> ParallelRunResult:
     """Launch a world of ``2 * pth * pph`` ranks on the chosen launcher
     backend, run ``n_steps`` and return the gathered result.
@@ -739,6 +781,7 @@ def run_parallel_dynamo(
     results = launcher.run(
         2 * pth * pph, _parallel_program, config, pth, pph, n_steps, packed,
         restart, checkpoint_dir, checkpoint_every, use_overlap,
+        fingerprint_every,
         timeout=timeout,
     )
     out = results[0]

@@ -283,13 +283,14 @@ class _SockRuntime:
                     return i
             return None
 
-        deadline = _time.monotonic() + self.timeout
+        # deadlock-timeout bookkeeping, not numerics
+        deadline = _time.monotonic() + self.timeout  # repro: noqa-REP015
         while True:
             idx = match_idx()
             if idx is not None:
                 f = self.pending.pop(idx)
                 return f.source, f.tag, f.materialise()
-            remaining = deadline - _time.monotonic()
+            remaining = deadline - _time.monotonic()  # repro: noqa-REP015
             if remaining <= 0:
                 raise self.deadlock_error(
                     f"Recv(chan={chan!r}, source={source}, tag={tag}) timed "

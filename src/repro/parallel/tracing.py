@@ -97,7 +97,9 @@ class TracedCommunicator:
         self.trace.add(
             MessageRecord(
                 source=self._comm.rank, dest=dest, tag=tag,
-                nbytes=int(nbytes), timestamp=time.perf_counter(),
+                nbytes=int(nbytes),
+                timestamp=time.perf_counter(),  # repro: noqa-REP015 — telemetry
+
                 clock=self._comm.hb_clock(),
             )
         )

@@ -420,12 +420,17 @@ class TestCli:
         assert main(["lint", "--shapes", "src/repro/checkers"]) == 0
         assert "0 violations" in capsys.readouterr().out
 
-    def test_shapes_off_by_default(self, tmp_path, capsys):
+    def test_shapes_on_by_default(self, tmp_path, capsys):
+        """Every rule family runs by default: the default single-pass
+        lint catches a REP005 shape mismatch without ``--shapes``."""
         from repro.cli import main
 
         f = tmp_path / "bad.py"
         f.write_text(TestRep005.MISMATCH)
-        assert main(["lint", str(f)]) == 0  # core rules only: clean
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", str(f)])
+        assert exc.value.code == 1
+        assert "REP005" in capsys.readouterr().out
 
     def test_lint_shapes_failing_file_exits_nonzero(self, tmp_path, capsys):
         from repro.cli import main

@@ -217,10 +217,10 @@ class TestCheckpointEquivalence:
         restorer = CheckpointObserver(tmp_path, 10**6, restart=saver.paths[-1])
         second.run(self.N - self.K, record_every=0, observers=[restorer])
         assert second.step_count == self.N
-        for panel in (Panel.YIN, Panel.YANG):
-            for a, b in zip(second.state[panel].arrays(),
-                            direct.state[panel].arrays()):
-                np.testing.assert_array_equal(a, b)
+        from repro.checkers.fingerprint import assert_bitwise_equal
+
+        assert_bitwise_equal(second.state, direct.state,
+                             context="restarted vs direct run")
 
     def test_latlon_split_run_bitwise(self, params, tmp_path):
         cfg = RunConfig(nr=7, nth=12, nph=24, params=params, dt=5e-4,
@@ -236,8 +236,10 @@ class TestCheckpointEquivalence:
         second.restore_checkpoint(path)
         second.run(self.N - self.K, record_every=0)
         assert second.time == direct.time
-        for a, b in zip(second.state.arrays(), direct.state.arrays()):
-            np.testing.assert_array_equal(a, b)
+        from repro.checkers.fingerprint import assert_bitwise_equal
+
+        assert_bitwise_equal(second.state, direct.state,
+                             context="restarted vs direct lat-lon run")
 
     def test_periodic_saves_and_final(self, params, tmp_path):
         cfg = RunConfig(nr=7, nth=12, nph=36, params=params, dt=1e-3)

@@ -12,6 +12,7 @@ exact for any layout pair.
 import numpy as np
 import pytest
 
+from repro.checkers.fingerprint import assert_bitwise_equal, states_root_digest
 from repro.core import RunConfig, YinYangDynamo
 from repro.core.checkpoint import read_meta, save_checkpoint
 from repro.grids.component import Panel
@@ -32,10 +33,7 @@ def config():
 
 
 def _assert_pair_equal(got, want, context=""):
-    for panel in (Panel.YIN, Panel.YANG):
-        for (name, a), b in zip(got[panel].named_arrays(),
-                                want[panel].arrays()):
-            np.testing.assert_array_equal(a, b, err_msg=f"{context} {panel} {name}")
+    assert_bitwise_equal(got, want, context=context)
 
 
 class TestCheckpointMeta:
@@ -44,12 +42,14 @@ class TestCheckpointMeta:
         path = save_checkpoint(tmp_path / "tile.npz", state,
                                meta=dict(panel="yin", panel_rank=2, pth=1.5))
         meta = read_meta(path)
+        # every archive also carries its auto-embedded state fingerprint
+        assert meta.pop("fingerprint") == states_root_digest(state)
         assert meta == {"panel": "yin", "panel_rank": 2, "pth": 1.5}
         assert isinstance(meta["panel_rank"], int)
 
-    def test_archive_without_meta_reads_empty(self, tmp_path):
+    def test_archive_without_meta_reads_only_fingerprint(self, tmp_path):
         path = save_checkpoint(tmp_path / "bare.npz", MHDState.zeros((3, 4, 5)))
-        assert read_meta(path) == {}
+        assert set(read_meta(path)) == {"fingerprint"}
 
 
 class TestElasticRestart:

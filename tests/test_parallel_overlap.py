@@ -15,6 +15,7 @@ import sys
 import numpy as np
 import pytest
 
+from repro.checkers.fingerprint import assert_bitwise_equal
 from repro.core import RunConfig, YinYangDynamo
 from repro.grids.component import Panel
 from repro.mhd.parameters import MHDParameters
@@ -51,24 +52,21 @@ class TestBitwiseEquivalence:
         overlapped = run_parallel_dynamo(config, *layout, 4, overlap=True)
         assert not blocking.overlap
         assert overlapped.overlap
+        assert_bitwise_equal(overlapped.states, blocking.states,
+                             context="overlapped vs blocking")
         for panel in (Panel.YIN, Panel.YANG):
-            for (name, a), (_, b), c in zip(
+            for (name, a), c in zip(
                 overlapped.states[panel].named_arrays(),
-                blocking.states[panel].named_arrays(),
                 serial_run.state[panel].arrays(),
             ):
-                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
                 scale = max(1.0, float(np.abs(c).max()))
                 assert np.abs(a - c).max() < 1e-12 * scale, (panel, name)
 
     def test_single_tile_overlap_matches_serial_bitwise(self, config, serial_run):
         par = run_parallel_dynamo(config, 1, 1, 4, overlap=True)
         assert par.overlap
-        for panel in (Panel.YIN, Panel.YANG):
-            for (name, a), b in zip(
-                par.states[panel].named_arrays(), serial_run.state[panel].arrays()
-            ):
-                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+        assert_bitwise_equal(par.states, serial_run.state,
+                             context="single-tile overlap vs serial")
 
     def test_adaptive_dt_matches_blocking_exactly(self, config):
         cfg = RunConfig(nr=7, nth=12, nph=36, params=config.params, dt=None,
@@ -97,11 +95,9 @@ _SANITIZED_CODE = (
     "par = run_parallel_dynamo(cfg, 1, 1, 2, backend='@BACKEND@',\n"
     "                          timeout=240.0)\n"
     "assert par.overlap, 'overlap did not engage'\n"
-    "for panel in (Panel.YIN, Panel.YANG):\n"
-    "    for (name, a), b in zip(par.states[panel].named_arrays(),\n"
-    "                            ser.state[panel].arrays()):\n"
-    "        np.testing.assert_array_equal(a, b,\n"
-    "                                      err_msg=f'{panel} {name}')\n"
+    "from repro.checkers.fingerprint import assert_bitwise_equal\n"
+    "assert_bitwise_equal(par.states, ser.state,\n"
+    "                     context='sanitized overlapped run')\n"
     "print('BITWISE_OK')\n"
 )
 

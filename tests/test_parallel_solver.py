@@ -1,6 +1,7 @@
 import numpy as np
 import pytest
 
+from repro.checkers.fingerprint import assert_bitwise_equal
 from repro.core import RunConfig, YinYangDynamo
 from repro.grids.component import Panel
 from repro.mhd.parameters import MHDParameters
@@ -84,23 +85,16 @@ class TestBackendsAndWireFormats:
         par = run_parallel_dynamo(config, 1, 2, 4, backend="process",
                                   timeout=240.0)
         assert par.steps == 4
-        for panel in (Panel.YIN, Panel.YANG):
-            for (name, a), b in zip(
-                par.states[panel].named_arrays(), serial_run.state[panel].arrays()
-            ):
-                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+        assert_bitwise_equal(par.states, serial_run.state,
+                             context="process backend vs serial")
 
     def test_legacy_wire_format_matches_packed(self, config, serial_run):
         """Same layout, both wire formats: the fields must agree to the
         bit — packing is pure message coalescing."""
         packed = run_parallel_dynamo(config, 2, 1, 4, packed=True)
         legacy = run_parallel_dynamo(config, 2, 1, 4, packed=False)
-        for panel in (Panel.YIN, Panel.YANG):
-            for (name, a), (_, b) in zip(
-                packed.states[panel].named_arrays(),
-                legacy.states[panel].named_arrays(),
-            ):
-                np.testing.assert_array_equal(a, b, err_msg=f"{panel} {name}")
+        assert_bitwise_equal(packed.states, legacy.states,
+                             context="packed vs legacy wire format")
         # and both stay within the seed suite's serial tolerance
         for panel in (Panel.YIN, Panel.YANG):
             for (name, a), b in zip(
@@ -136,11 +130,9 @@ class TestBackendsAndWireFormats:
             "for _ in range(2):\n"
             "    ser.step()\n"
             "par = run_parallel_dynamo(cfg, 1, 1, 2)\n"
-            "for panel in (Panel.YIN, Panel.YANG):\n"
-            "    for (name, a), b in zip(par.states[panel].named_arrays(),\n"
-            "                            ser.state[panel].arrays()):\n"
-            "        np.testing.assert_array_equal(a, b,\n"
-            "                                      err_msg=f'{panel} {name}')\n"
+            "from repro.checkers.fingerprint import assert_bitwise_equal\n"
+            "assert_bitwise_equal(par.states, ser.state,\n"
+            "                     context='contracts+sanitize run')\n"
             "print('BITWISE_OK')\n"
         )
         out = subprocess.run(
